@@ -1,0 +1,62 @@
+//! Communication-backend benchmarks: the channel-vs-file ablation behind
+//! Fig. 2's "use MPI instead of files" recommendation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use owlpar_core::comm::{build_fabric, CommMode, WireFormat};
+use owlpar_rdf::{Dictionary, NodeId, Triple};
+use std::sync::Arc;
+
+fn batch(n: u32) -> Vec<Triple> {
+    (0..n)
+        .map(|i| Triple::new(NodeId(i % 500), NodeId(500 + i % 8), NodeId((i * 7) % 500)))
+        .collect()
+}
+
+fn dict() -> Arc<Dictionary> {
+    let mut d = Dictionary::new();
+    for i in 0..600 {
+        d.intern_iri(format!("http://bench.example.org/resource/n{i}"));
+    }
+    Arc::new(d)
+}
+
+fn bench_transports(c: &mut Criterion) {
+    let msgs = batch(5000);
+    let d = dict();
+    let mut group = c.benchmark_group("comm/roundtrip_5k");
+    group.sample_size(20);
+    let modes: [(&str, CommMode); 3] = [
+        ("channel", CommMode::Channel),
+        (
+            "file_binary",
+            CommMode::SharedFile {
+                dir: None,
+                format: WireFormat::Binary,
+            },
+        ),
+        (
+            "file_ntriples",
+            CommMode::SharedFile {
+                dir: None,
+                format: WireFormat::NTriples,
+            },
+        ),
+    ];
+    for (name, mode) in modes {
+        group.bench_function(name, |b| {
+            let mut fabric = build_fabric(2, &mode, Arc::clone(&d));
+            let mut w1 = fabric.pop().unwrap();
+            let mut w0 = fabric.pop().unwrap();
+            b.iter(|| {
+                w0.send(1, &msgs);
+                let got = w1.collect();
+                let _ = w0.collect(); // advance w0's round too
+                got.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_transports);
+criterion_main!(benches);

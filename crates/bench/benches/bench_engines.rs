@@ -1,0 +1,74 @@
+//! Engine ablations called out in DESIGN.md:
+//! * semi-naive vs naive forward chaining,
+//! * backward tabling scope (per-query / per-sweep / none),
+//! * plain backward vs the Jena candidate-enumeration cost model.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use owlpar_datagen::{generate_lubm, LubmConfig};
+use owlpar_datalog::backward::{BackwardEngine, TableScope};
+use owlpar_datalog::forward::{forward_closure, naive_closure};
+use owlpar_horst::HorstReasoner;
+use owlpar_datalog::MaterializationStrategy;
+use owlpar_rdf::TripleStore;
+
+fn workload() -> (TripleStore, Vec<owlpar_datalog::Rule>) {
+    let mut g = generate_lubm(&LubmConfig {
+        universities: 1,
+        scale: 0.08,
+        seed: 1,
+    });
+    let hr = HorstReasoner::from_graph(&mut g, MaterializationStrategy::ForwardSemiNaive);
+    (g.store.clone(), hr.rules().to_vec())
+}
+
+fn bench_forward_ablation(c: &mut Criterion) {
+    let (store, rules) = workload();
+    let mut group = c.benchmark_group("engines/forward");
+    group.sample_size(10);
+    group.bench_function("semi_naive", |b| {
+        b.iter_batched(
+            || store.clone(),
+            |mut s| forward_closure(&mut s, &rules),
+            BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("naive", |b| {
+        b.iter_batched(
+            || store.clone(),
+            |mut s| naive_closure(&mut s, &rules),
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_tabling_ablation(c: &mut Criterion) {
+    let (store, rules) = workload();
+    let mut group = c.benchmark_group("engines/backward");
+    group.sample_size(10);
+    for (name, scope) in [
+        ("per_query", TableScope::PerQuery),
+        ("per_sweep", TableScope::PerSweep),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || store.clone(),
+                |mut s| BackwardEngine::new(&rules, scope).materialize(&mut s),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.bench_function("jena_candidates", |b| {
+        b.iter_batched(
+            || store.clone(),
+            |mut s| {
+                BackwardEngine::new(&rules, TableScope::PerQuery).materialize_jena(&mut s)
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_forward_ablation, bench_tabling_ablation);
+criterion_main!(benches);

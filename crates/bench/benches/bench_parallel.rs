@@ -1,0 +1,40 @@
+//! End-to-end parallel materialization benchmark (forward engine so the
+//! numbers isolate the runtime, not the deliberately slow Jena model).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use owlpar_core::{run_parallel, ParallelConfig, PartitioningStrategy};
+use owlpar_datagen::{generate_lubm, LubmConfig};
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let graph = generate_lubm(&LubmConfig {
+        universities: 2,
+        scale: 0.1,
+        seed: 5,
+    });
+    let mut group = c.benchmark_group("parallel/lubm_forward");
+    group.sample_size(10);
+    for k in [1usize, 2, 4] {
+        group.bench_function(format!("k{k}"), |b| {
+            b.iter_batched(
+                || graph.clone(),
+                |mut g| {
+                    run_parallel(
+                        &mut g,
+                        &ParallelConfig {
+                            k,
+                            strategy: PartitioningStrategy::data_graph(),
+                            ..ParallelConfig::default()
+                        }
+                        .forward(),
+                    )
+                    .derived
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Partitioner benchmarks + the FM-refinement ablation from DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use owlpar_datagen::{generate_lubm, LubmConfig};
+use owlpar_horst::HorstReasoner;
+use owlpar_datalog::MaterializationStrategy;
+use owlpar_partition::multilevel::PartitionOptions;
+use owlpar_partition::{partition_data, OwnershipPolicy};
+use owlpar_rdf::vocab::RDF_TYPE;
+use owlpar_rdf::{Graph, Term, Triple};
+
+fn workload() -> (Graph, Vec<Triple>) {
+    let mut g = generate_lubm(&LubmConfig {
+        universities: 4,
+        scale: 0.2,
+        seed: 3,
+    });
+    let hr = HorstReasoner::from_graph(&mut g, MaterializationStrategy::ForwardSemiNaive);
+    let inst = hr.instance_triples;
+    (g, inst)
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let (g, inst) = workload();
+    let rdf_type = g.dict.id(&Term::iri(RDF_TYPE));
+    let mut group = c.benchmark_group("partitioner");
+    group.sample_size(10);
+    group.bench_function("graph_refined_k8", |b| {
+        b.iter(|| {
+            partition_data(
+                &inst,
+                &g.dict,
+                rdf_type,
+                8,
+                &OwnershipPolicy::Graph(PartitionOptions::default()),
+            )
+            .edge_cut
+        })
+    });
+    group.bench_function("graph_unrefined_k8", |b| {
+        b.iter(|| {
+            partition_data(
+                &inst,
+                &g.dict,
+                rdf_type,
+                8,
+                &OwnershipPolicy::Graph(PartitionOptions {
+                    refine: false,
+                    ..PartitionOptions::default()
+                }),
+            )
+            .edge_cut
+        })
+    });
+    group.bench_function("hash_k8", |b| {
+        b.iter(|| {
+            partition_data(&inst, &g.dict, rdf_type, 8, &OwnershipPolicy::Hash { seed: 1 }).k
+        })
+    });
+    group.bench_function("domain_k8", |b| {
+        b.iter(|| {
+            partition_data(&inst, &g.dict, rdf_type, 8, &OwnershipPolicy::Domain(None)).k
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Micro-benchmarks of the triple store: insertion and every pattern
+//! shape the datalog joins use.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use owlpar_rdf::{NodeId, Triple, TriplePattern, TripleStore};
+
+fn synth(n: u32) -> Vec<Triple> {
+    // pseudo-random but deterministic triples over a mid-sized alphabet
+    (0..n)
+        .map(|i| {
+            let s = (i.wrapping_mul(2654435761)) % (n / 4 + 1);
+            let p = i % 8;
+            let o = (i.wrapping_mul(40503)) % (n / 4 + 1);
+            Triple::new(NodeId(s), NodeId(1000 + p), NodeId(o))
+        })
+        .collect()
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let triples = synth(50_000);
+    c.bench_function("store/insert_50k", |b| {
+        b.iter_batched(
+            TripleStore::new,
+            |mut store| {
+                for &t in &triples {
+                    store.insert(t);
+                }
+                store
+            },
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+fn bench_patterns(c: &mut Criterion) {
+    let store: TripleStore = synth(50_000).into_iter().collect();
+    let s = NodeId(17);
+    let p = NodeId(1003);
+    let o = NodeId(23);
+    let mut group = c.benchmark_group("store/match");
+    group.bench_function("s__", |b| {
+        b.iter(|| store.count_matches(TriplePattern::new(Some(s), None, None)))
+    });
+    group.bench_function("_p_", |b| {
+        b.iter(|| store.count_matches(TriplePattern::new(None, Some(p), None)))
+    });
+    group.bench_function("__o", |b| {
+        b.iter(|| store.count_matches(TriplePattern::new(None, None, Some(o))))
+    });
+    group.bench_function("sp_", |b| {
+        b.iter(|| store.count_matches(TriplePattern::new(Some(s), Some(p), None)))
+    });
+    group.bench_function("spo", |b| {
+        b.iter(|| store.contains(&Triple::new(s, p, o)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_insert, bench_patterns);
+criterion_main!(benches);

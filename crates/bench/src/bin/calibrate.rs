@@ -1,0 +1,32 @@
+//! Timing probe: serial reasoning time vs dataset size for both engines.
+//! Used to pick laptop-scale defaults; not one of the paper's figures.
+
+use owlpar_bench::datasets::{Dataset, DatasetConfig};
+use owlpar_core::run_serial;
+use owlpar_datalog::backward::TableScope;
+use owlpar_datalog::MaterializationStrategy;
+
+fn main() {
+    let (mut cfg, rest) = DatasetConfig::from_args(std::env::args().skip(1));
+    let dataset: Dataset = rest
+        .first()
+        .map(|s| s.parse().expect("dataset"))
+        .unwrap_or(Dataset::Lubm);
+    for scale in [cfg.scale] {
+        cfg.scale = scale;
+        let g = cfg.generate(dataset);
+        let n = g.len();
+        let (d_fwd, t_fwd) =
+            run_serial(&mut g.clone(), MaterializationStrategy::ForwardSemiNaive);
+        let (d_bwd, t_bwd) = run_serial(
+            &mut g.clone(),
+            MaterializationStrategy::BackwardPerResource(TableScope::PerQuery),
+        );
+        println!(
+            "{} scale={scale:<5} triples={n:>8} fwd: {d_fwd:>7} derived in {:>8.3}s   bwd: {d_bwd:>7} derived in {:>8.3}s",
+            dataset.name(),
+            t_fwd.as_secs_f64(),
+            t_bwd.as_secs_f64()
+        );
+    }
+}

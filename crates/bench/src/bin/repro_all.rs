@@ -1,0 +1,32 @@
+//! Run the whole evaluation section in one go: Figs. 1–6 and Table I at
+//! the current default scales, forwarding any dataset flags.
+//!
+//! ```text
+//! cargo run --release -p owlpar-bench --bin repro_all [-- --scale 0.3 --universities 4]
+//! ```
+
+use std::process::Command;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let exps = [
+        "fig1_speedup",
+        "fig2_overhead",
+        "fig3_theoretical",
+        "fig4_model",
+        "fig5_policy_compare",
+        "fig6_rule_partition",
+        "table1_metrics",
+    ];
+    let self_path = std::env::current_exe().expect("current exe");
+    let bin_dir = self_path.parent().expect("bin dir");
+    for exp in exps {
+        println!("\n========================= {exp} =========================\n");
+        let status = Command::new(bin_dir.join(exp))
+            .args(&args)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {exp}: {e}"));
+        assert!(status.success(), "{exp} failed");
+    }
+    println!("\nall experiments completed; JSONL artifacts in target/experiments/");
+}

@@ -1,0 +1,163 @@
+//! Benchmark dataset selection shared by the experiment binaries.
+
+use owlpar_datagen::{
+    generate_lubm, generate_mdc, generate_uobm, LubmConfig, MdcConfig, UobmConfig,
+};
+use owlpar_rdf::Graph;
+
+/// The paper's three benchmark datasets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dataset {
+    /// LUBM-N (super-linear regime).
+    Lubm,
+    /// UOBM-like (sub-linear regime).
+    Uobm,
+    /// MDC-like oilfield (super-linear regime).
+    Mdc,
+}
+
+impl Dataset {
+    /// All three, in the paper's order.
+    pub const ALL: [Dataset; 3] = [Dataset::Lubm, Dataset::Uobm, Dataset::Mdc];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Dataset::Lubm => "LUBM",
+            Dataset::Uobm => "UOBM",
+            Dataset::Mdc => "MDC",
+        }
+    }
+}
+
+impl std::str::FromStr for Dataset {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "lubm" => Ok(Dataset::Lubm),
+            "uobm" => Ok(Dataset::Uobm),
+            "mdc" => Ok(Dataset::Mdc),
+            other => Err(format!("unknown dataset '{other}' (lubm|uobm|mdc)")),
+        }
+    }
+}
+
+/// Scaling knobs, parsed from CLI flags.
+#[derive(Debug, Clone)]
+pub struct DatasetConfig {
+    /// Universities (LUBM/UOBM) — the `N` of LUBM-N.
+    pub universities: usize,
+    /// Entity-count multiplier (1.0 = paper scale).
+    pub scale: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DatasetConfig {
+    fn default() -> Self {
+        // Laptop defaults: big enough for clear speedup shapes, small
+        // enough that the (intentionally) super-linear backward reasoner
+        // finishes a full k-sweep in minutes.
+        DatasetConfig {
+            universities: 4,
+            scale: 0.3,
+            seed: 42,
+        }
+    }
+}
+
+impl DatasetConfig {
+    /// Parse `--scale`, `--universities`, `--seed` out of an argv-style
+    /// iterator. Unrecognized flags are returned for the caller.
+    pub fn from_args(args: impl Iterator<Item = String>) -> (Self, Vec<String>) {
+        let mut cfg = DatasetConfig::default();
+        let mut rest = Vec::new();
+        let mut it = args.peekable();
+        while let Some(a) = it.next() {
+            let mut grab = |name: &str| -> Option<String> {
+                if a == name {
+                    it.next()
+                } else {
+                    None
+                }
+            };
+            if let Some(v) = grab("--scale") {
+                cfg.scale = v.parse().expect("--scale takes a float");
+            } else if let Some(v) = grab("--universities") {
+                cfg.universities = v.parse().expect("--universities takes an integer");
+            } else if let Some(v) = grab("--seed") {
+                cfg.seed = v.parse().expect("--seed takes an integer");
+            } else {
+                rest.push(a);
+            }
+        }
+        (cfg, rest)
+    }
+
+    /// Generate the dataset.
+    pub fn generate(&self, which: Dataset) -> Graph {
+        match which {
+            Dataset::Lubm => generate_lubm(&LubmConfig {
+                universities: self.universities,
+                scale: self.scale,
+                seed: self.seed,
+            }),
+            Dataset::Uobm => generate_uobm(&UobmConfig {
+                lubm: LubmConfig {
+                    universities: self.universities,
+                    scale: self.scale,
+                    seed: self.seed,
+                },
+                ..UobmConfig::default()
+            }),
+            Dataset::Mdc => {
+                // map the scale onto the MDC knobs so sizes are comparable
+                let base = MdcConfig::default();
+                generate_mdc(&MdcConfig {
+                    fields: self.universities.max(2),
+                    wells_per_field: (50.0 * self.scale)
+                        .round()
+                        .max(2.0) as usize,
+                    seed: self.seed,
+                    ..base
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_flags_and_passes_rest() {
+        let args = ["--scale", "0.5", "--foo", "--universities", "8"]
+            .iter()
+            .map(|s| s.to_string());
+        let (cfg, rest) = DatasetConfig::from_args(args);
+        assert_eq!(cfg.scale, 0.5);
+        assert_eq!(cfg.universities, 8);
+        assert_eq!(rest, vec!["--foo"]);
+    }
+
+    #[test]
+    fn dataset_from_str() {
+        assert_eq!("lubm".parse::<Dataset>().unwrap(), Dataset::Lubm);
+        assert_eq!("UOBM".parse::<Dataset>().unwrap(), Dataset::Uobm);
+        assert!("x".parse::<Dataset>().is_err());
+    }
+
+    #[test]
+    fn generates_all_three() {
+        let cfg = DatasetConfig {
+            universities: 2,
+            scale: 0.03,
+            seed: 1,
+        };
+        for d in Dataset::ALL {
+            let g = cfg.generate(d);
+            assert!(g.len() > 100, "{} too small: {}", d.name(), g.len());
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! Shared infrastructure for the experiment binaries (one per table or
+//! figure of the paper) and the Criterion micro-benchmarks.
+//!
+//! Every binary accepts `--scale <f>` (entity-count multiplier),
+//! `--universities <n>`, and prints a self-describing table to stdout; the
+//! same rows are appended as JSON lines to `target/experiments/<exp>.jsonl`
+//! so EXPERIMENTS.md can be regenerated from artifacts.
+
+pub mod datasets;
+pub mod runner;
+pub mod table;
+
+pub use datasets::{Dataset, DatasetConfig};
+pub use runner::{speedup_series, SpeedupPoint};

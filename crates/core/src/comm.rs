@@ -1,0 +1,343 @@
+//! Inter-partition communication backends.
+//!
+//! The paper's implementation exchanged tuples through files on a shared
+//! filesystem ("we could not find an MPI package that works with the
+//! version of Java we have used") and reports the resulting IO overhead
+//! in Fig. 2, predicting that an in-memory transport (MPI) would shrink
+//! it. We implement both ends of that comparison:
+//!
+//! * [`CommMode::Channel`] — crossbeam channels, the "MPI-like" zero-copy
+//!   transport;
+//! * [`CommMode::SharedFile`] — actual files in a shared directory, one
+//!   per (round, sender, receiver), serialized as N-Triples text (like
+//!   the paper's Jena implementation) or as the compact binary batch
+//!   format.
+//!
+//! Both are round-synchronous: every `send` happens before the round
+//! barrier, every `collect` after it, so `collect` sees exactly the
+//! messages addressed to this worker this round.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use owlpar_rdf::triple::{decode_batch, encode_batch};
+use owlpar_rdf::{parse_ntriples, Dictionary, Graph, Triple};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Transport selection.
+#[derive(Debug, Clone, Default)]
+pub enum CommMode {
+    /// In-memory channels (the paper's hypothetical MPI transport).
+    #[default]
+    Channel,
+    /// Files in a shared directory (the paper's actual transport).
+    SharedFile {
+        /// Directory to exchange through; `None` = fresh temp dir.
+        dir: Option<PathBuf>,
+        /// On-disk message encoding.
+        format: WireFormat,
+    },
+}
+
+/// On-disk message encoding for [`CommMode::SharedFile`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WireFormat {
+    /// N-Triples text — what a Jena-based implementation writes.
+    #[default]
+    NTriples,
+    /// Little-endian 12-byte id triples.
+    Binary,
+}
+
+/// One worker's endpoint of the fabric.
+pub struct WorkerComm {
+    me: usize,
+    round: usize,
+    backend: Backend,
+    /// Bytes written by this worker (file mode) or triples moved
+    /// (channel mode, 12 bytes each).
+    pub bytes_sent: u64,
+}
+
+enum Backend {
+    Channel {
+        senders: Vec<Sender<Vec<Triple>>>,
+        receiver: Receiver<Vec<Triple>>,
+    },
+    File {
+        dir: PathBuf,
+        dict: Arc<Dictionary>,
+        format: WireFormat,
+    },
+}
+
+/// Build the k-worker fabric for a mode. `dict` is the frozen global
+/// dictionary (file mode decodes against it).
+pub fn build_fabric(k: usize, mode: &CommMode, dict: Arc<Dictionary>) -> Vec<WorkerComm> {
+    match mode {
+        CommMode::Channel => {
+            let mut senders: Vec<Sender<Vec<Triple>>> = Vec::with_capacity(k);
+            let mut receivers: Vec<Receiver<Vec<Triple>>> = Vec::with_capacity(k);
+            for _ in 0..k {
+                let (s, r) = unbounded();
+                senders.push(s);
+                receivers.push(r);
+            }
+            receivers
+                .into_iter()
+                .enumerate()
+                .map(|(me, receiver)| WorkerComm {
+                    me,
+                    round: 0,
+                    backend: Backend::Channel {
+                        senders: senders.clone(),
+                        receiver,
+                    },
+                    bytes_sent: 0,
+                })
+                .collect()
+        }
+        CommMode::SharedFile { dir, format } => {
+            let dir = dir.clone().unwrap_or_else(|| {
+                let mut d = std::env::temp_dir();
+                d.push(format!(
+                    "owlpar-comm-{}-{:x}",
+                    std::process::id(),
+                    crate::comm::unique_nonce()
+                ));
+                d
+            });
+            std::fs::create_dir_all(&dir).expect("create comm dir");
+            (0..k)
+                .map(|me| WorkerComm {
+                    me,
+                    round: 0,
+                    backend: Backend::File {
+                        dir: dir.clone(),
+                        dict: Arc::clone(&dict),
+                        format: *format,
+                    },
+                    bytes_sent: 0,
+                })
+                .collect()
+        }
+    }
+}
+
+/// Monotonic nonce for temp-dir names (avoids collisions between
+/// concurrently running fabrics in one process, e.g. parallel tests).
+pub(crate) fn unique_nonce() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NONCE: AtomicU64 = AtomicU64::new(1);
+    NONCE.fetch_add(1, Ordering::Relaxed)
+}
+
+impl WorkerComm {
+    /// This worker's index.
+    pub fn me(&self) -> usize {
+        self.me
+    }
+
+    /// Send a batch to worker `to`. Must happen before the round barrier.
+    pub fn send(&mut self, to: usize, batch: &[Triple]) {
+        if batch.is_empty() {
+            return;
+        }
+        match &mut self.backend {
+            Backend::Channel { senders, .. } => {
+                self.bytes_sent += (batch.len() * 12) as u64;
+                senders[to]
+                    .send(batch.to_vec())
+                    .expect("receiver alive until fabric drop");
+            }
+            Backend::File { dir, dict, format } => {
+                let path = dir.join(format!("r{}_f{}_t{}.msg", self.round, self.me, to));
+                let bytes = match format {
+                    WireFormat::Binary => encode_batch(batch),
+                    WireFormat::NTriples => {
+                        let mut text = String::new();
+                        for t in batch {
+                            let term = |id| {
+                                dict.term(id).expect("frozen dictionary covers all ids")
+                            };
+                            text.push_str(&format!(
+                                "{} {} {} .\n",
+                                term(t.s),
+                                term(t.p),
+                                term(t.o)
+                            ));
+                        }
+                        text.into_bytes()
+                    }
+                };
+                self.bytes_sent += bytes.len() as u64;
+                std::fs::write(path, bytes).expect("write comm file");
+            }
+        }
+    }
+
+    /// Non-blocking drain for the asynchronous mode (paper §VI-B: "by
+    /// making a partition not wait till all other partitions finish, but
+    /// rather start immediately using all the currently received tuples").
+    /// Channel transport only — the file transport is inherently
+    /// round-structured.
+    pub fn try_collect(&mut self) -> Vec<Triple> {
+        match &mut self.backend {
+            Backend::Channel { receiver, .. } => {
+                let mut out = Vec::new();
+                while let Ok(batch) = receiver.try_recv() {
+                    out.extend(batch);
+                }
+                out
+            }
+            Backend::File { .. } => {
+                panic!("asynchronous mode requires the channel transport")
+            }
+        }
+    }
+
+    /// Drain every message addressed to this worker this round. Must be
+    /// called after the round barrier. Advances to the next round.
+    pub fn collect(&mut self) -> Vec<Triple> {
+        let out = match &mut self.backend {
+            Backend::Channel { receiver, .. } => {
+                let mut out = Vec::new();
+                while let Ok(batch) = receiver.try_recv() {
+                    out.extend(batch);
+                }
+                out
+            }
+            Backend::File { dir, dict, format } => {
+                let mut out = Vec::new();
+                let prefix = format!("r{}_", self.round);
+                let suffix = format!("_t{}.msg", self.me);
+                let entries = std::fs::read_dir(&*dir).expect("read comm dir");
+                for entry in entries.flatten() {
+                    let name = entry.file_name();
+                    let name = name.to_string_lossy();
+                    if !name.starts_with(&prefix) || !name.ends_with(&suffix) {
+                        continue;
+                    }
+                    let bytes = std::fs::read(entry.path()).expect("read comm file");
+                    match format {
+                        WireFormat::Binary => out.extend(decode_batch(&bytes)),
+                        WireFormat::NTriples => {
+                            let text = String::from_utf8(bytes).expect("utf8 ntriples");
+                            let mut tmp = Graph::new();
+                            parse_ntriples(&text, &mut tmp).expect("well-formed message");
+                            for t in tmp.store.iter() {
+                                let (s, p, o) = tmp.decode(*t);
+                                let id = |term| {
+                                    dict.id(term).expect("terms pre-interned in global dict")
+                                };
+                                out.push(Triple::new(id(&s), id(&p), id(&o)));
+                            }
+                        }
+                    }
+                    let _ = std::fs::remove_file(entry.path());
+                }
+                out
+            }
+        };
+        self.round += 1;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use owlpar_rdf::NodeId;
+
+    fn t(s: u32, p: u32, o: u32) -> Triple {
+        Triple::new(NodeId(s), NodeId(p), NodeId(o))
+    }
+
+    fn dict_with(n: u32) -> Arc<Dictionary> {
+        let mut d = Dictionary::new();
+        for i in 0..n {
+            d.intern_iri(format!("http://x/n{i}"));
+        }
+        Arc::new(d)
+    }
+
+    #[test]
+    fn channel_roundtrip() {
+        let mut fabric = build_fabric(2, &CommMode::Channel, dict_with(10));
+        let mut w1 = fabric.pop().unwrap();
+        let mut w0 = fabric.pop().unwrap();
+        w0.send(1, &[t(1, 2, 3), t(4, 5, 6)]);
+        w1.send(0, &[t(7, 8, 9)]);
+        assert_eq!(w1.collect(), vec![t(1, 2, 3), t(4, 5, 6)]);
+        assert_eq!(w0.collect(), vec![t(7, 8, 9)]);
+        // next round: nothing pending
+        assert!(w0.collect().is_empty());
+    }
+
+    #[test]
+    fn channel_empty_batch_not_sent() {
+        let mut fabric = build_fabric(2, &CommMode::Channel, dict_with(1));
+        let mut w1 = fabric.pop().unwrap();
+        let mut w0 = fabric.pop().unwrap();
+        w0.send(1, &[]);
+        assert_eq!(w0.bytes_sent, 0);
+        assert!(w1.collect().is_empty());
+    }
+
+    fn file_mode(format: WireFormat) -> CommMode {
+        CommMode::SharedFile { dir: None, format }
+    }
+
+    #[test]
+    fn file_binary_roundtrip() {
+        let mut fabric = build_fabric(3, &file_mode(WireFormat::Binary), dict_with(10));
+        let mut w2 = fabric.pop().unwrap();
+        let mut w1 = fabric.pop().unwrap();
+        let mut w0 = fabric.pop().unwrap();
+        w0.send(2, &[t(1, 2, 3)]);
+        w1.send(2, &[t(4, 5, 6)]);
+        let mut got = w2.collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![t(1, 2, 3), t(4, 5, 6)]);
+        assert!(w0.collect().is_empty());
+        assert!(w1.collect().is_empty());
+    }
+
+    #[test]
+    fn file_ntriples_roundtrip_via_dictionary() {
+        let dict = dict_with(10);
+        let mut fabric = build_fabric(2, &file_mode(WireFormat::NTriples), Arc::clone(&dict));
+        let mut w1 = fabric.pop().unwrap();
+        let mut w0 = fabric.pop().unwrap();
+        w0.send(1, &[t(0, 1, 2), t(3, 4, 5)]);
+        assert!(w0.bytes_sent > 24, "text encoding is bigger than binary");
+        let mut got = w1.collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![t(0, 1, 2), t(3, 4, 5)]);
+    }
+
+    #[test]
+    fn file_rounds_are_isolated() {
+        let mut fabric = build_fabric(2, &file_mode(WireFormat::Binary), dict_with(4));
+        let mut w1 = fabric.pop().unwrap();
+        let mut w0 = fabric.pop().unwrap();
+        // round 0
+        w0.send(1, &[t(0, 1, 2)]);
+        assert_eq!(w1.collect(), vec![t(0, 1, 2)]);
+        let _ = w0.collect();
+        // round 1: a message from round 0 must not reappear
+        w0.send(1, &[t(1, 2, 3)]);
+        assert_eq!(w1.collect(), vec![t(1, 2, 3)]);
+    }
+
+    #[test]
+    fn ntriples_mode_counts_more_bytes_than_binary() {
+        let dict = dict_with(10);
+        let batch = [t(0, 1, 2), t(3, 4, 5), t(6, 7, 8)];
+        let mut nt =
+            build_fabric(2, &file_mode(WireFormat::NTriples), Arc::clone(&dict));
+        let mut bin = build_fabric(2, &file_mode(WireFormat::Binary), dict);
+        nt[0].send(1, &batch);
+        bin[0].send(1, &batch);
+        assert!(nt[0].bytes_sent > bin[0].bytes_sent * 3);
+    }
+}

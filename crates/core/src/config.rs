@@ -1,0 +1,159 @@
+//! Configuration of a parallel reasoning run.
+
+use crate::comm::CommMode;
+use owlpar_datalog::backward::TableScope;
+use owlpar_datalog::MaterializationStrategy;
+use owlpar_partition::multilevel::PartitionOptions;
+
+/// Which of the paper's two partitioning approaches to use, and with
+/// which policy.
+#[derive(Debug, Clone)]
+pub enum PartitioningStrategy {
+    /// Algorithm 1 — split the instance triples; every worker runs the
+    /// complete rule-base.
+    Data(DataPolicy),
+    /// Algorithm 2 — split the rule-base; every worker holds the complete
+    /// data.
+    Rule {
+        /// Weigh dependency edges with the dataset's predicate histogram.
+        weighted: bool,
+    },
+    /// Hybrid (the paper's stated future work, after Shao/Bell/Hull):
+    /// rules split into `rule_groups` groups, data split into
+    /// `k / rule_groups` shards; requires `rule_groups` to divide `k`.
+    Hybrid {
+        /// Number of rule groups (`g`); data shards = `k / g`.
+        rule_groups: usize,
+    },
+}
+
+/// Ownership policy for the data-partitioning approach (mirrors
+/// `owlpar_partition::OwnershipPolicy`, minus the non-`Send` key closure).
+#[derive(Debug, Clone)]
+pub enum DataPolicy {
+    /// Multilevel min-cut graph partitioning (METIS role).
+    Graph(PartitionOptions),
+    /// Streaming hash ownership.
+    Hash {
+        /// Hash seed.
+        seed: u64,
+    },
+    /// Domain-specific (IRI-authority) grouping.
+    Domain,
+    /// Linear Deterministic Greedy streaming partitioning.
+    Streaming,
+}
+
+impl PartitioningStrategy {
+    /// Data partitioning with the graph policy and default options.
+    pub fn data_graph() -> Self {
+        PartitioningStrategy::Data(DataPolicy::Graph(PartitionOptions::default()))
+    }
+
+    /// Data partitioning with hash ownership.
+    pub fn data_hash() -> Self {
+        PartitioningStrategy::Data(DataPolicy::Hash { seed: 0xa5a5 })
+    }
+
+    /// Data partitioning with the domain-specific policy.
+    pub fn data_domain() -> Self {
+        PartitioningStrategy::Data(DataPolicy::Domain)
+    }
+
+    /// Data partitioning with LDG streaming ownership.
+    pub fn data_streaming() -> Self {
+        PartitioningStrategy::Data(DataPolicy::Streaming)
+    }
+
+    /// Unweighted rule partitioning.
+    pub fn rule() -> Self {
+        PartitioningStrategy::Rule { weighted: false }
+    }
+}
+
+/// Round synchronization discipline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RoundMode {
+    /// Barrier-synchronized rounds — the paper's implementation.
+    #[default]
+    Barrier,
+    /// Asynchronous: a worker "not wait\[s\] till all other partitions
+    /// finish, but rather start\[s\] immediately using all the currently
+    /// received tuples" (§VI-B). Channel transport only.
+    Async,
+}
+
+/// Full configuration of a run.
+#[derive(Debug, Clone)]
+pub struct ParallelConfig {
+    /// Number of partitions / workers.
+    pub k: usize,
+    /// Partitioning approach.
+    pub strategy: PartitioningStrategy,
+    /// Closure engine each worker wraps (paper: Jena's hybrid engine;
+    /// default here: the backward per-resource emulation of it).
+    pub materialization: MaterializationStrategy,
+    /// Inter-partition transport.
+    pub comm: CommMode,
+    /// Barrier rounds (paper) or the async §VI-B variant.
+    pub rounds: RoundMode,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        ParallelConfig {
+            k: 2,
+            strategy: PartitioningStrategy::data_graph(),
+            materialization: MaterializationStrategy::BackwardJena(TableScope::PerQuery),
+            comm: CommMode::Channel,
+            rounds: RoundMode::Barrier,
+        }
+    }
+}
+
+impl ParallelConfig {
+    /// Convenience: same config with a different k.
+    pub fn with_k(&self, k: usize) -> Self {
+        ParallelConfig {
+            k,
+            ..self.clone()
+        }
+    }
+
+    /// Convenience: fast forward-chaining materialization (used by tests
+    /// and the correctness suite; the speedup experiments use the
+    /// default backward engine).
+    pub fn forward(mut self) -> Self {
+        self.materialization = MaterializationStrategy::ForwardSemiNaive;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = ParallelConfig::default();
+        assert_eq!(c.k, 2);
+        assert!(matches!(c.strategy, PartitioningStrategy::Data(DataPolicy::Graph(_))));
+        assert!(matches!(
+            c.materialization,
+            MaterializationStrategy::BackwardJena(_)
+        ));
+    }
+
+    #[test]
+    fn with_k_overrides_only_k() {
+        let c = ParallelConfig::default().with_k(8);
+        assert_eq!(c.k, 8);
+        assert!(matches!(c.comm, CommMode::Channel));
+    }
+
+    #[test]
+    fn forward_switches_materialization() {
+        let c = ParallelConfig::default().forward();
+        assert_eq!(c.materialization, MaterializationStrategy::ForwardSemiNaive);
+    }
+}

@@ -1,0 +1,535 @@
+//! The master side of Algorithm 3: partition, distribute, join, aggregate.
+//!
+//! "The master node partitions either the data-set or the rule-base and
+//! sends the appropriate partition to each processor in the system ...
+//! Apart from this, the master node also sends a partition table to each
+//! processor. ... the master node itself has no role to play once the
+//! initial partition is done."
+
+use crate::comm::build_fabric;
+use crate::config::{DataPolicy, ParallelConfig, PartitioningStrategy, RoundMode};
+use crate::stats::{PhaseBreakdown, WorkerStats};
+use crate::worker::{run_worker, run_worker_async, AsyncControl, Routing, WorkerCtx};
+use owlpar_datalog::{MaterializationStrategy, Reasoner};
+use owlpar_horst::HorstReasoner;
+use owlpar_partition::metrics::{or_excess, quality, PartitionQuality};
+use owlpar_partition::multilevel::PartitionOptions;
+use owlpar_partition::{partition_data, partition_rules, OwnershipPolicy};
+use owlpar_rdf::vocab::RDF_TYPE;
+use owlpar_rdf::{Graph, Term, Triple, TripleStore};
+use std::sync::atomic::AtomicU64;
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+/// Everything measured about one parallel run.
+#[derive(Debug)]
+pub struct RunReport {
+    /// Number of workers.
+    pub k: usize,
+    /// Per-worker counters.
+    pub workers: Vec<WorkerStats>,
+    /// Max-per-phase breakdown (Fig. 2 convention) + aggregation.
+    pub breakdown: PhaseBreakdown,
+    /// Time spent partitioning (Table I column).
+    pub partition_time: Duration,
+    /// **Simulated cluster wall-clock**: Σ over rounds of the slowest
+    /// worker's CPU charge — what a machine with one core per partition
+    /// would measure. Equals host wall-clock when cores ≥ k.
+    pub parallel_time: Duration,
+    /// Host wall-clock from worker spawn to last join (contended when the
+    /// host has fewer cores than workers; reported for transparency).
+    pub host_parallel_time: Duration,
+    /// End-to-end time including partitioning and aggregation.
+    pub total_time: Duration,
+    /// Distinct new triples across the union.
+    pub derived: usize,
+    /// Final closure size (base + schema + derived).
+    pub closure_size: usize,
+    /// Output replication excess (paper's OR convention, ≈0 is perfect).
+    pub output_replication: f64,
+    /// Pre-run partition quality (data strategies only).
+    pub partition_quality: Option<PartitionQuality>,
+    /// Ownership-graph edge-cut (graph policy only).
+    pub edge_cut: Option<u64>,
+}
+
+impl RunReport {
+    /// Largest round count over the workers.
+    pub fn max_rounds(&self) -> usize {
+        self.workers.iter().map(|w| w.rounds).max().unwrap_or(0)
+    }
+}
+
+/// Materialize `graph` serially; returns (derived count, CPU time of the
+/// reasoning thread — comparable with the simulated parallel times).
+pub fn run_serial(graph: &mut Graph, materialization: MaterializationStrategy) -> (usize, Duration) {
+    let start = crate::cputime::CpuTimer::start();
+    let hr = HorstReasoner::from_graph(graph, materialization);
+    let derived = hr.materialize(graph);
+    (derived, start.elapsed())
+}
+
+/// Run Algorithm 3 over `graph`, materializing it in place.
+pub fn run_parallel(graph: &mut Graph, cfg: &ParallelConfig) -> RunReport {
+    assert!(cfg.k >= 1);
+    let start_total = Instant::now();
+    let before_len = graph.len();
+
+    // Compile the ontology (this interns the last few constants, so it
+    // must precede freezing the dictionary).
+    let hr = HorstReasoner::from_graph(graph, cfg.materialization);
+    let rdf_type = graph.dict.id(&Term::iri(RDF_TYPE));
+
+    // Partition.
+    let t_part = Instant::now();
+    struct Plan {
+        bases: Vec<Vec<Triple>>,
+        rules_per_worker: Vec<Vec<owlpar_datalog::Rule>>,
+        routing: Vec<Routing>,
+        quality: Option<PartitionQuality>,
+        edge_cut: Option<u64>,
+    }
+    let plan = match &cfg.strategy {
+        PartitioningStrategy::Data(policy) => {
+            let ownership = match policy {
+                DataPolicy::Graph(o) => OwnershipPolicy::Graph(*o),
+                DataPolicy::Hash { seed } => OwnershipPolicy::Hash { seed: *seed },
+                DataPolicy::Domain => OwnershipPolicy::Domain(None),
+                DataPolicy::Streaming => OwnershipPolicy::Streaming,
+            };
+            let dp = partition_data(&hr.instance_triples, &graph.dict, rdf_type, cfg.k, &ownership);
+            let q = quality(&dp.parts, rdf_type);
+            let owner = Arc::new(dp.owner);
+            Plan {
+                routing: (0..cfg.k)
+                    .map(|_| Routing::Data {
+                        owner: Arc::clone(&owner),
+                    })
+                    .collect(),
+                bases: dp.parts,
+                rules_per_worker: (0..cfg.k).map(|_| hr.rules().to_vec()).collect(),
+                quality: Some(q),
+                edge_cut: dp.edge_cut,
+            }
+        }
+        PartitioningStrategy::Hybrid { rule_groups } => {
+            let g = *rule_groups;
+            assert!(
+                g >= 1 && cfg.k % g == 0,
+                "rule_groups ({g}) must divide k ({})",
+                cfg.k
+            );
+            let d = cfg.k / g;
+            let dp = partition_data(
+                &hr.instance_triples,
+                &graph.dict,
+                rdf_type,
+                d,
+                &OwnershipPolicy::Graph(PartitionOptions::default()),
+            );
+            let q = quality(&dp.parts, rdf_type);
+            let rp = Arc::new(partition_rules(
+                hr.rules(),
+                g,
+                None,
+                &PartitionOptions::default(),
+            ));
+            let owner = Arc::new(dp.owner);
+            let all_rules = Arc::new(hr.rules().to_vec());
+            Plan {
+                // worker w = group (w / d) × shard (w % d)
+                bases: (0..cfg.k).map(|w| dp.parts[w % d].clone()).collect(),
+                rules_per_worker: (0..cfg.k)
+                    .map(|w| {
+                        rp.parts[w / d]
+                            .iter()
+                            .map(|&i| hr.rules()[i].clone())
+                            .collect()
+                    })
+                    .collect(),
+                routing: (0..cfg.k)
+                    .map(|_| Routing::Hybrid {
+                        owner: Arc::clone(&owner),
+                        groups: Arc::clone(&rp),
+                        all_rules: Arc::clone(&all_rules),
+                        data_shards: d as u32,
+                    })
+                    .collect(),
+                quality: Some(q),
+                edge_cut: dp.edge_cut,
+            }
+        }
+        PartitioningStrategy::Rule { weighted } => {
+            let hist;
+            let weights = if *weighted {
+                hist = graph.store.predicate_counts();
+                Some(&hist)
+            } else {
+                None
+            };
+            let rp = partition_rules(hr.rules(), cfg.k, weights, &PartitionOptions::default());
+            let all_rules = Arc::new(hr.rules().to_vec());
+            let rp = Arc::new(rp);
+            Plan {
+                bases: (0..cfg.k).map(|_| hr.instance_triples.clone()).collect(),
+                rules_per_worker: (0..cfg.k)
+                    .map(|p| {
+                        rp.parts[p].iter().map(|&i| hr.rules()[i].clone()).collect()
+                    })
+                    .collect(),
+                routing: (0..cfg.k)
+                    .map(|_| Routing::Rule {
+                        partitions: Arc::clone(&rp),
+                        all_rules: Arc::clone(&all_rules),
+                    })
+                    .collect(),
+                quality: None,
+                edge_cut: Some(rp.edge_cut),
+            }
+        }
+    };
+    let partition_time = t_part.elapsed();
+
+    // Freeze the dictionary and build the fabric.
+    let dict = Arc::new(graph.dict.clone());
+    let fabric = build_fabric(cfg.k, &cfg.comm, dict);
+    let barrier = Arc::new(Barrier::new(cfg.k));
+    let total_sent = Arc::new(AtomicU64::new(0));
+
+    // Spawn the workers.
+    let t_par = Instant::now();
+    let Plan {
+        bases,
+        rules_per_worker,
+        routing,
+        quality: partition_quality,
+        edge_cut,
+    } = plan;
+    let schema = &hr.schema_triples;
+    let async_control = Arc::new(AsyncControl::default());
+    let mut results: Vec<Option<(TripleStore, WorkerStats)>> =
+        (0..cfg.k).map(|_| None).collect();
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(cfg.k);
+        let mut parts_iter = bases.into_iter();
+        let mut rules_iter = rules_per_worker.into_iter();
+        let mut routing_iter = routing.into_iter();
+        let mut fabric_iter = fabric.into_iter();
+        for id in 0..cfg.k {
+            let base = parts_iter.next().unwrap();
+            let rules = rules_iter.next().unwrap();
+            let routing = routing_iter.next().unwrap();
+            let comm = fabric_iter.next().unwrap();
+            let barrier = Arc::clone(&barrier);
+            let total_sent = Arc::clone(&total_sent);
+            let async_control = Arc::clone(&async_control);
+            let materialization = cfg.materialization;
+            let rounds_mode = cfg.rounds;
+            let schema = schema.clone();
+            handles.push(scope.spawn(move |_| {
+                let mut store = TripleStore::new();
+                store.extend(schema);
+                store.extend(base);
+                let ctx = WorkerCtx {
+                    id,
+                    k: cfg.k,
+                    store,
+                    reasoner: Reasoner::new(rules, materialization),
+                    routing,
+                    comm,
+                    barrier,
+                    total_sent,
+                };
+                match rounds_mode {
+                    RoundMode::Barrier => run_worker(ctx),
+                    RoundMode::Async => run_worker_async(ctx, async_control),
+                }
+            }));
+        }
+        for (id, h) in handles.into_iter().enumerate() {
+            results[id] = Some(h.join().expect("worker panicked"));
+        }
+    })
+    .expect("worker scope");
+    let host_parallel_time = t_par.elapsed();
+
+    // Aggregate: union the partitions back into the master graph.
+    let t_agg = Instant::now();
+    let mut worker_stats = Vec::with_capacity(cfg.k);
+    let mut output_sizes = Vec::with_capacity(cfg.k);
+    for r in results {
+        let (store, stats) = r.expect("worker result present");
+        output_sizes.push(store.len());
+        graph.store.union_with(&store);
+        worker_stats.push(stats);
+    }
+    let aggregation = t_agg.elapsed();
+
+    // Reconstruct the cluster's wall-clock. Barrier mode: replay the
+    // synchronous schedule (per-round maxima + barrier slack). Async mode:
+    // no barriers, so the makespan is the busiest worker's CPU and sync
+    // is zero — exactly the gain §VI-B predicts.
+    let (parallel_time, sim_sync) = match cfg.rounds {
+        RoundMode::Barrier => crate::stats::simulate_rounds(&worker_stats),
+        RoundMode::Async => {
+            let makespan = worker_stats
+                .iter()
+                .map(|w| w.reason_time + w.io_time)
+                .max()
+                .unwrap_or_default();
+            (makespan, vec![Duration::ZERO; worker_stats.len()])
+        }
+    };
+    for (w, s) in worker_stats.iter_mut().zip(sim_sync) {
+        w.sync_time = s;
+    }
+
+    let closure_size = graph.len();
+    RunReport {
+        k: cfg.k,
+        breakdown: PhaseBreakdown::from_workers(&worker_stats, aggregation),
+        workers: worker_stats,
+        partition_time,
+        parallel_time,
+        host_parallel_time,
+        total_time: start_total.elapsed(),
+        derived: closure_size - before_len,
+        closure_size,
+        output_replication: or_excess(&output_sizes, closure_size),
+        partition_quality,
+        edge_cut,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::{CommMode, WireFormat};
+    use owlpar_datagen::{generate_lubm, generate_mdc, generate_uobm, LubmConfig, MdcConfig, UobmConfig};
+
+    fn serial_closure(mut g: Graph) -> (u64, usize) {
+        run_serial(&mut g, MaterializationStrategy::ForwardSemiNaive);
+        (g.term_fingerprint(), g.len())
+    }
+
+    fn assert_parallel_matches_serial(g0: &Graph, cfg: &ParallelConfig) {
+        let (want_fp, want_len) = serial_closure(g0.clone());
+        let mut g = g0.clone();
+        let report = run_parallel(&mut g, cfg);
+        assert_eq!(g.len(), want_len, "closure size mismatch ({cfg:?})");
+        assert_eq!(g.term_fingerprint(), want_fp, "closure mismatch ({cfg:?})");
+        assert!(report.derived > 0);
+        assert_eq!(report.k, cfg.k);
+    }
+
+    #[test]
+    fn lubm_data_graph_partitioning_all_k() {
+        let g0 = generate_lubm(&LubmConfig::mini(2));
+        for k in [1, 2, 4] {
+            let cfg = ParallelConfig {
+                k,
+                strategy: PartitioningStrategy::data_graph(),
+                ..ParallelConfig::default()
+            }
+            .forward();
+            assert_parallel_matches_serial(&g0, &cfg);
+        }
+    }
+
+    #[test]
+    fn lubm_data_hash_partitioning() {
+        let g0 = generate_lubm(&LubmConfig::mini(2));
+        let cfg = ParallelConfig {
+            k: 3,
+            strategy: PartitioningStrategy::data_hash(),
+            ..ParallelConfig::default()
+        }
+        .forward();
+        assert_parallel_matches_serial(&g0, &cfg);
+    }
+
+    #[test]
+    fn lubm_data_domain_partitioning() {
+        let g0 = generate_lubm(&LubmConfig::mini(3));
+        let cfg = ParallelConfig {
+            k: 3,
+            strategy: PartitioningStrategy::data_domain(),
+            ..ParallelConfig::default()
+        }
+        .forward();
+        assert_parallel_matches_serial(&g0, &cfg);
+    }
+
+    #[test]
+    fn lubm_rule_partitioning() {
+        let g0 = generate_lubm(&LubmConfig::mini(2));
+        for weighted in [false, true] {
+            let cfg = ParallelConfig {
+                k: 3,
+                strategy: PartitioningStrategy::Rule { weighted },
+                ..ParallelConfig::default()
+            }
+            .forward();
+            assert_parallel_matches_serial(&g0, &cfg);
+        }
+    }
+
+    #[test]
+    fn mdc_transitive_chains_across_partitions() {
+        let g0 = generate_mdc(&MdcConfig::mini());
+        let cfg = ParallelConfig {
+            k: 4,
+            strategy: PartitioningStrategy::data_graph(),
+            ..ParallelConfig::default()
+        }
+        .forward();
+        assert_parallel_matches_serial(&g0, &cfg);
+    }
+
+    #[test]
+    fn uobm_dense_graph_partitioning() {
+        let g0 = generate_uobm(&UobmConfig::mini(2));
+        let cfg = ParallelConfig {
+            k: 2,
+            strategy: PartitioningStrategy::data_graph(),
+            ..ParallelConfig::default()
+        }
+        .forward();
+        assert_parallel_matches_serial(&g0, &cfg);
+    }
+
+    #[test]
+    fn backward_engine_parallel_matches_serial() {
+        let g0 = generate_mdc(&MdcConfig::mini());
+        let cfg = ParallelConfig {
+            k: 2,
+            strategy: PartitioningStrategy::data_graph(),
+            ..ParallelConfig::default()
+        }; // default = backward per-resource
+        assert_parallel_matches_serial(&g0, &cfg);
+    }
+
+    #[test]
+    fn shared_file_comm_matches_channel() {
+        let g0 = generate_lubm(&LubmConfig::mini(2));
+        for format in [WireFormat::Binary, WireFormat::NTriples] {
+            let cfg = ParallelConfig {
+                k: 3,
+                comm: CommMode::SharedFile { dir: None, format },
+                ..ParallelConfig::default()
+            }
+            .forward();
+            assert_parallel_matches_serial(&g0, &cfg);
+        }
+    }
+
+    #[test]
+    fn report_carries_metrics() {
+        let g0 = generate_lubm(&LubmConfig::mini(2));
+        let mut g = g0.clone();
+        let report = run_parallel(
+            &mut g,
+            &ParallelConfig {
+                k: 4,
+                ..ParallelConfig::default()
+            }
+            .forward(),
+        );
+        assert_eq!(report.workers.len(), 4);
+        assert!(report.max_rounds() >= 1);
+        assert!(report.closure_size > g0.len());
+        let q = report.partition_quality.expect("data strategy has quality");
+        assert_eq!(q.node_counts.len(), 4);
+        assert!(q.ir >= 1.0);
+        assert!(report.edge_cut.is_some());
+        assert!(report.output_replication >= 0.0);
+    }
+
+    #[test]
+    fn hybrid_partitioning_matches_serial() {
+        let g0 = generate_lubm(&LubmConfig::mini(2));
+        for (k, groups) in [(4, 2), (6, 3), (2, 1), (3, 3)] {
+            let cfg = ParallelConfig {
+                k,
+                strategy: PartitioningStrategy::Hybrid {
+                    rule_groups: groups,
+                },
+                ..ParallelConfig::default()
+            }
+            .forward();
+            assert_parallel_matches_serial(&g0, &cfg);
+        }
+    }
+
+    #[test]
+    fn hybrid_on_transitive_heavy_mdc() {
+        let g0 = generate_mdc(&MdcConfig::mini());
+        let cfg = ParallelConfig {
+            k: 4,
+            strategy: PartitioningStrategy::Hybrid { rule_groups: 2 },
+            ..ParallelConfig::default()
+        }
+        .forward();
+        assert_parallel_matches_serial(&g0, &cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn hybrid_rejects_indivisible_k() {
+        let mut g = generate_lubm(&LubmConfig::mini(1));
+        run_parallel(
+            &mut g,
+            &ParallelConfig {
+                k: 5,
+                strategy: PartitioningStrategy::Hybrid { rule_groups: 2 },
+                ..ParallelConfig::default()
+            }
+            .forward(),
+        );
+    }
+
+    #[test]
+    fn async_mode_matches_serial_closure() {
+        use crate::config::RoundMode;
+        let g0 = generate_lubm(&LubmConfig::mini(2));
+        for k in [1, 2, 4] {
+            let cfg = ParallelConfig {
+                k,
+                rounds: RoundMode::Async,
+                ..ParallelConfig::default()
+            }
+            .forward();
+            assert_parallel_matches_serial(&g0, &cfg);
+        }
+    }
+
+    #[test]
+    fn async_mode_reports_zero_sync() {
+        use crate::config::RoundMode;
+        let mut g = generate_mdc(&MdcConfig::mini());
+        let report = run_parallel(
+            &mut g,
+            &ParallelConfig {
+                k: 3,
+                rounds: RoundMode::Async,
+                ..ParallelConfig::default()
+            }
+            .forward(),
+        );
+        assert!(report.workers.iter().all(|w| w.sync_time == Duration::ZERO));
+        assert!(report.parallel_time > Duration::ZERO);
+    }
+
+    #[test]
+    fn k1_equals_serial_with_no_comm() {
+        let g0 = generate_lubm(&LubmConfig::mini(1));
+        let mut g = g0.clone();
+        let report = run_parallel(&mut g, &ParallelConfig::default().with_k(1).forward());
+        assert_eq!(report.workers[0].sent, 0);
+        assert_eq!(report.workers[0].received, 0);
+        assert_eq!(report.max_rounds(), 1);
+        let (fp, len) = serial_closure(g0);
+        assert_eq!(g.len(), len);
+        assert_eq!(g.term_fingerprint(), fp);
+    }
+}

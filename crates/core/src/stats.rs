@@ -1,0 +1,168 @@
+//! Per-worker and per-run instrumentation.
+//!
+//! The Fig. 2 experiment decomposes the parallel run into *reasoning*,
+//! *IO* (inter-process communication), *synchronization* (waiting at the
+//! round barrier) and *aggregation* (the master unioning the outputs).
+//! Workers accumulate the first three; the master records the fourth.
+
+use serde::Serialize;
+use std::time::Duration;
+
+/// Timing and volume counters for one worker.
+///
+/// `reason_time` and `io_time` are **thread CPU time** — what a dedicated
+/// processor would spend — so the numbers stay meaningful when more
+/// workers than cores share the host (see `crate::cputime`).
+/// `sync_time` is *simulated*: per round, the gap between this worker's
+/// CPU use and the slowest worker's (the barrier wait on a real cluster);
+/// the master fills it in after the run.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct WorkerStats {
+    /// Worker index.
+    pub id: usize,
+    /// CPU time spent inside the wrapped reasoner.
+    pub reason_time: Duration,
+    /// CPU time spent serializing/writing/reading/deserializing messages.
+    pub io_time: Duration,
+    /// Simulated barrier-wait time (filled by the master).
+    pub sync_time: Duration,
+    /// CPU time (reason + io) charged to each round, in round order.
+    pub round_cpu: Vec<Duration>,
+    /// Rounds executed (including the final empty round).
+    pub rounds: usize,
+    /// Triples this worker derived itself.
+    pub derived: usize,
+    /// Triples sent to other workers (with multiplicity).
+    pub sent: usize,
+    /// Triples received from other workers (pre-dedup).
+    pub received: usize,
+    /// Final size of the worker's local store (base + schema + derived).
+    pub output_size: usize,
+}
+
+impl WorkerStats {
+    /// Total accounted time of this worker (CPU + simulated waits).
+    pub fn total(&self) -> Duration {
+        self.reason_time + self.io_time + self.sync_time
+    }
+}
+
+/// Reconstruct the synchronous cluster's wall-clock from per-round,
+/// per-worker CPU charges: each round lasts as long as its slowest
+/// worker; a worker's sync time is the sum of its per-round slacks.
+/// Returns (simulated makespan, per-worker sync).
+pub fn simulate_rounds(workers: &[WorkerStats]) -> (Duration, Vec<Duration>) {
+    let rounds = workers.iter().map(|w| w.round_cpu.len()).max().unwrap_or(0);
+    let mut makespan = Duration::ZERO;
+    let mut sync = vec![Duration::ZERO; workers.len()];
+    for r in 0..rounds {
+        let slowest = workers
+            .iter()
+            .map(|w| w.round_cpu.get(r).copied().unwrap_or_default())
+            .max()
+            .unwrap_or_default();
+        makespan += slowest;
+        for (i, w) in workers.iter().enumerate() {
+            sync[i] += slowest - w.round_cpu.get(r).copied().unwrap_or_default();
+        }
+    }
+    (makespan, sync)
+}
+
+/// Maximum per-phase durations across workers — the Fig. 2 convention
+/// ("the figure shows the maximum values over the partitions").
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct PhaseBreakdown {
+    /// Max reasoning time over workers.
+    pub reason: Duration,
+    /// Max IO time over workers.
+    pub io: Duration,
+    /// Max synchronization time over workers.
+    pub sync: Duration,
+    /// Master-side aggregation time.
+    pub aggregation: Duration,
+}
+
+impl PhaseBreakdown {
+    /// Fold worker stats into the max-per-phase view.
+    pub fn from_workers(workers: &[WorkerStats], aggregation: Duration) -> Self {
+        PhaseBreakdown {
+            reason: workers.iter().map(|w| w.reason_time).max().unwrap_or_default(),
+            io: workers.iter().map(|w| w.io_time).max().unwrap_or_default(),
+            sync: workers.iter().map(|w| w.sync_time).max().unwrap_or_default(),
+            aggregation,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_sums_phases() {
+        let w = WorkerStats {
+            reason_time: Duration::from_millis(10),
+            io_time: Duration::from_millis(5),
+            sync_time: Duration::from_millis(1),
+            ..WorkerStats::default()
+        };
+        assert_eq!(w.total(), Duration::from_millis(16));
+    }
+
+    #[test]
+    fn breakdown_takes_maxima() {
+        let workers = vec![
+            WorkerStats {
+                reason_time: Duration::from_millis(10),
+                io_time: Duration::from_millis(1),
+                ..WorkerStats::default()
+            },
+            WorkerStats {
+                reason_time: Duration::from_millis(3),
+                io_time: Duration::from_millis(9),
+                ..WorkerStats::default()
+            },
+        ];
+        let b = PhaseBreakdown::from_workers(&workers, Duration::from_millis(2));
+        assert_eq!(b.reason, Duration::from_millis(10));
+        assert_eq!(b.io, Duration::from_millis(9));
+        assert_eq!(b.aggregation, Duration::from_millis(2));
+    }
+
+    #[test]
+    fn empty_worker_list() {
+        let b = PhaseBreakdown::from_workers(&[], Duration::ZERO);
+        assert_eq!(b.reason, Duration::ZERO);
+        let (makespan, sync) = simulate_rounds(&[]);
+        assert_eq!(makespan, Duration::ZERO);
+        assert!(sync.is_empty());
+    }
+
+    #[test]
+    fn simulate_rounds_takes_per_round_maxima() {
+        let w = |cpu: &[u64]| WorkerStats {
+            round_cpu: cpu.iter().map(|&ms| Duration::from_millis(ms)).collect(),
+            ..WorkerStats::default()
+        };
+        // round 0: max 10; round 1: max 8 → makespan 18
+        let workers = vec![w(&[10, 3]), w(&[4, 8])];
+        let (makespan, sync) = simulate_rounds(&workers);
+        assert_eq!(makespan, Duration::from_millis(18));
+        // worker 0 waits 0 + 5; worker 1 waits 6 + 0
+        assert_eq!(sync[0], Duration::from_millis(5));
+        assert_eq!(sync[1], Duration::from_millis(6));
+    }
+
+    #[test]
+    fn simulate_rounds_handles_uneven_round_counts() {
+        let w = |cpu: &[u64]| WorkerStats {
+            round_cpu: cpu.iter().map(|&ms| Duration::from_millis(ms)).collect(),
+            ..WorkerStats::default()
+        };
+        let workers = vec![w(&[10]), w(&[4, 8])];
+        let (makespan, sync) = simulate_rounds(&workers);
+        assert_eq!(makespan, Duration::from_millis(18));
+        assert_eq!(sync[0], Duration::from_millis(8));
+    }
+}

@@ -1,0 +1,419 @@
+//! The per-node loop of Algorithm 3.
+//!
+//! Each worker wraps a serial reasoner over its private store and runs
+//! barrier-synchronized rounds: close the local store, route new
+//! derivations to the partitions that may need them, exchange, repeat.
+//! Termination: a round in which *no* worker sent anything (detected via
+//! a shared cumulative send counter read between the two round barriers,
+//! so every worker reaches the same verdict in the same round).
+
+use crate::comm::WorkerComm;
+use crate::cputime::CpuTimer;
+use crate::stats::WorkerStats;
+use owlpar_datalog::{Reasoner, Rule};
+use owlpar_partition::RulePartitions;
+use owlpar_rdf::fx::FxHashMap;
+use owlpar_rdf::{NodeId, Triple, TripleStore};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+/// How a worker decides where a freshly derived triple must travel.
+pub enum Routing {
+    /// Data partitioning: a derived triple belongs on the owner of its
+    /// subject and the owner of its object (the partition table of
+    /// Algorithm 1).
+    Data {
+        /// The partition table.
+        owner: Arc<FxHashMap<NodeId, u32>>,
+    },
+    /// Rule partitioning: a derived triple travels to every partition
+    /// holding a rule whose body might consume it.
+    Rule {
+        /// The rule-base split of Algorithm 2.
+        partitions: Arc<RulePartitions>,
+        /// The complete rule-base (for body matching).
+        all_rules: Arc<Vec<Rule>>,
+    },
+    /// Hybrid partitioning (the paper's §VII future work, after Shao et
+    /// al.): rules split into groups, data split into shards; worker
+    /// `g·d + j` holds rule group `g` over data shard `j`. A derived
+    /// triple goes to every interested rule group × both owner shards.
+    Hybrid {
+        /// Data-ownership table (shard ids `0..d`).
+        owner: Arc<FxHashMap<NodeId, u32>>,
+        /// Rule grouping (group ids `0..g`).
+        groups: Arc<RulePartitions>,
+        /// The complete rule-base.
+        all_rules: Arc<Vec<Rule>>,
+        /// Number of data shards (`d`).
+        data_shards: u32,
+    },
+}
+
+impl Routing {
+    /// Destinations of `t` other than `me`.
+    fn destinations(&self, t: &Triple, me: u32, out: &mut Vec<u32>) {
+        out.clear();
+        match self {
+            Routing::Data { owner } => {
+                let a = owner.get(&t.s).copied();
+                let b = owner.get(&t.o).copied();
+                if let Some(x) = a {
+                    if x != me {
+                        out.push(x);
+                    }
+                }
+                if let Some(y) = b {
+                    if y != me && a != Some(y) {
+                        out.push(y);
+                    }
+                }
+            }
+            Routing::Rule {
+                partitions,
+                all_rules,
+            } => {
+                out.extend(partitions.consumers(all_rules, t, me));
+            }
+            Routing::Hybrid {
+                owner,
+                groups,
+                all_rules,
+                data_shards,
+            } => {
+                let a = owner.get(&t.s).copied();
+                let b = owner.get(&t.o).copied();
+                for g in groups.interested_groups(all_rules, t) {
+                    for shard in [a, b].into_iter().flatten() {
+                        let widx = g * data_shards + shard;
+                        if widx != me && !out.contains(&widx) {
+                            out.push(widx);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Shared state for distributed termination detection in the
+/// asynchronous mode: exit when every worker is idle and every sent
+/// triple has been processed.
+pub struct AsyncControl {
+    /// Cumulative triples sent (incremented *before* the send).
+    pub total_sent: AtomicU64,
+    /// Cumulative received triples fully processed.
+    pub total_done: AtomicU64,
+    /// Workers currently idle (inbox empty, nothing to derive).
+    pub idle: std::sync::atomic::AtomicUsize,
+    /// Latched once global quiescence is observed.
+    pub exit: std::sync::atomic::AtomicBool,
+}
+
+impl Default for AsyncControl {
+    fn default() -> Self {
+        AsyncControl {
+            total_sent: AtomicU64::new(0),
+            total_done: AtomicU64::new(0),
+            idle: std::sync::atomic::AtomicUsize::new(0),
+            exit: std::sync::atomic::AtomicBool::new(false),
+        }
+    }
+}
+
+/// Everything a worker thread needs.
+pub struct WorkerCtx {
+    /// Worker index (== partition id).
+    pub id: usize,
+    /// Total number of workers.
+    pub k: usize,
+    /// Private store, pre-loaded with the schema and this partition's
+    /// base tuples.
+    pub store: TripleStore,
+    /// The wrapped serial reasoner (complete rule-base for data
+    /// partitioning; this partition's subset for rule partitioning).
+    pub reasoner: Reasoner,
+    /// Triple routing policy.
+    pub routing: Routing,
+    /// Communication endpoint.
+    pub comm: WorkerComm,
+    /// Round barrier shared by all workers.
+    pub barrier: Arc<Barrier>,
+    /// Cumulative count of triples sent by anyone (termination detector).
+    pub total_sent: Arc<AtomicU64>,
+}
+
+/// Run the worker to quiescence. Returns the final local store and stats.
+pub fn run_worker(mut ctx: WorkerCtx) -> (TripleStore, WorkerStats) {
+    let mut stats = WorkerStats {
+        id: ctx.id,
+        ..WorkerStats::default()
+    };
+    let me = ctx.id as u32;
+    // CPU charged to the round in progress (reason + io); pushed at each
+    // barrier so the master can replay the synchronous schedule.
+    let mut round_cpu = Duration::ZERO;
+
+    // Round 0 closes the base tuples; later rounds close received deltas.
+    let t = CpuTimer::start();
+    let base: Vec<Triple> = ctx.store.iter().copied().collect();
+    let mut derived = ctx.reasoner.materialize_delta(&mut ctx.store, base);
+    let dt = t.elapsed();
+    stats.reason_time += dt;
+    round_cpu += dt;
+    stats.derived += derived.len();
+
+    let mut last_total = 0u64;
+    let mut dests: Vec<u32> = Vec::with_capacity(2);
+    loop {
+        stats.rounds += 1;
+
+        // route + send
+        let t = CpuTimer::start();
+        let mut outbox: Vec<Vec<Triple>> = vec![Vec::new(); ctx.k];
+        for tr in &derived {
+            ctx.routing.destinations(tr, me, &mut dests);
+            for &d in &dests {
+                outbox[d as usize].push(*tr);
+            }
+        }
+        let mut sent_now = 0u64;
+        for (to, batch) in outbox.iter().enumerate() {
+            sent_now += batch.len() as u64;
+            ctx.comm.send(to, batch);
+        }
+        stats.sent += sent_now as usize;
+        ctx.total_sent.fetch_add(sent_now, Ordering::SeqCst);
+        let dt = t.elapsed();
+        stats.io_time += dt;
+        round_cpu += dt;
+
+        // barrier A closes the round's send window — and the round's CPU
+        // account (sync time is reconstructed by the master afterwards)
+        stats.round_cpu.push(round_cpu);
+        round_cpu = Duration::ZERO;
+        ctx.barrier.wait();
+
+        // receive (charged to the next round)
+        let t = CpuTimer::start();
+        let received = ctx.comm.collect();
+        stats.received += received.len();
+        let dt = t.elapsed();
+        stats.io_time += dt;
+        round_cpu += dt;
+
+        // read the verdict inside the [A, B] window, then barrier B
+        let now_total = ctx.total_sent.load(Ordering::SeqCst);
+        ctx.barrier.wait();
+        if now_total == last_total {
+            break; // nobody moved a triple this round: global quiescence
+        }
+        last_total = now_total;
+
+        // absorb + incremental closure
+        let t = CpuTimer::start();
+        let fresh: Vec<Triple> = received
+            .into_iter()
+            .filter(|tr| ctx.store.insert(*tr))
+            .collect();
+        derived = ctx.reasoner.materialize_delta(&mut ctx.store, fresh);
+        let dt = t.elapsed();
+        stats.reason_time += dt;
+        round_cpu += dt;
+        stats.derived += derived.len();
+    }
+    if round_cpu > Duration::ZERO {
+        stats.round_cpu.push(round_cpu); // trailing collect work
+    }
+
+    stats.output_size = ctx.store.len();
+    (ctx.store, stats)
+}
+
+/// The asynchronous variant of Algorithm 3 proposed in §VI-B: no round
+/// barrier — a worker consumes whatever has arrived and keeps deriving.
+/// Termination: every worker idle ∧ every sent triple processed
+/// (`AsyncControl`). Requires the channel transport.
+pub fn run_worker_async(
+    mut ctx: WorkerCtx,
+    control: Arc<AsyncControl>,
+) -> (TripleStore, WorkerStats) {
+    use std::sync::atomic::Ordering::SeqCst;
+    let mut stats = WorkerStats {
+        id: ctx.id,
+        ..WorkerStats::default()
+    };
+    let me = ctx.id as u32;
+    let mut burst_cpu = Duration::ZERO;
+
+    let t = CpuTimer::start();
+    let base: Vec<Triple> = ctx.store.iter().copied().collect();
+    let mut derived = ctx.reasoner.materialize_delta(&mut ctx.store, base);
+    let dt = t.elapsed();
+    stats.reason_time += dt;
+    burst_cpu += dt;
+    stats.derived += derived.len();
+
+    let mut dests: Vec<u32> = Vec::with_capacity(2);
+    'outer: loop {
+        stats.rounds += 1; // one burst = one "round" for accounting
+
+        // route + send whatever the last burst derived
+        let t = CpuTimer::start();
+        let mut outbox: Vec<Vec<Triple>> = vec![Vec::new(); ctx.k];
+        for tr in &derived {
+            ctx.routing.destinations(tr, me, &mut dests);
+            for &d in &dests {
+                outbox[d as usize].push(*tr);
+            }
+        }
+        let sent_now: u64 = outbox.iter().map(|b| b.len() as u64).sum();
+        control.total_sent.fetch_add(sent_now, SeqCst);
+        for (to, batch) in outbox.iter().enumerate() {
+            ctx.comm.send(to, batch);
+        }
+        stats.sent += sent_now as usize;
+        let dt = t.elapsed();
+        stats.io_time += dt;
+        burst_cpu += dt;
+        stats.round_cpu.push(burst_cpu);
+        burst_cpu = Duration::ZERO;
+
+        // grab whatever has arrived; if nothing, go idle and watch for
+        // quiescence
+        let t = CpuTimer::start();
+        let mut received = ctx.comm.try_collect();
+        let dt = t.elapsed();
+        stats.io_time += dt;
+        burst_cpu += dt;
+        if received.is_empty() {
+            control.idle.fetch_add(1, SeqCst);
+            loop {
+                if control.exit.load(SeqCst) {
+                    break 'outer;
+                }
+                received = ctx.comm.try_collect();
+                if !received.is_empty() {
+                    control.idle.fetch_sub(1, SeqCst);
+                    break;
+                }
+                // all idle and nothing in flight ⇒ latch the exit flag
+                if control.idle.load(SeqCst) == ctx.k
+                    && control.total_sent.load(SeqCst) == control.total_done.load(SeqCst)
+                {
+                    control.exit.store(true, SeqCst);
+                    break 'outer;
+                }
+                std::thread::yield_now();
+            }
+        }
+
+        // absorb + incremental closure
+        let t = CpuTimer::start();
+        let n_received = received.len() as u64;
+        stats.received += received.len();
+        let fresh: Vec<Triple> = received
+            .into_iter()
+            .filter(|tr| ctx.store.insert(*tr))
+            .collect();
+        derived = ctx.reasoner.materialize_delta(&mut ctx.store, fresh);
+        control.total_done.fetch_add(n_received, SeqCst);
+        let dt = t.elapsed();
+        stats.reason_time += dt;
+        burst_cpu += dt;
+        stats.derived += derived.len();
+    }
+    if burst_cpu > Duration::ZERO {
+        stats.round_cpu.push(burst_cpu);
+    }
+
+    stats.output_size = ctx.store.len();
+    (ctx.store, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use owlpar_datalog::ast::build::*;
+
+    fn t(s: u32, p: u32, o: u32) -> Triple {
+        Triple::new(NodeId(s), NodeId(p), NodeId(o))
+    }
+
+    #[test]
+    fn data_routing_dedupes_same_owner() {
+        let mut owner = FxHashMap::default();
+        owner.insert(NodeId(1), 2u32);
+        owner.insert(NodeId(2), 2u32);
+        let r = Routing::Data {
+            owner: Arc::new(owner),
+        };
+        let mut out = Vec::new();
+        r.destinations(&t(1, 9, 2), 0, &mut out);
+        assert_eq!(out, vec![2]);
+    }
+
+    #[test]
+    fn data_routing_skips_self() {
+        let mut owner = FxHashMap::default();
+        owner.insert(NodeId(1), 0u32);
+        owner.insert(NodeId(2), 1u32);
+        let r = Routing::Data {
+            owner: Arc::new(owner),
+        };
+        let mut out = Vec::new();
+        r.destinations(&t(1, 9, 2), 0, &mut out);
+        assert_eq!(out, vec![1]);
+        r.destinations(&t(1, 9, 2), 1, &mut out);
+        assert_eq!(out, vec![0]);
+    }
+
+    #[test]
+    fn data_routing_ignores_unowned_endpoints() {
+        let mut owner = FxHashMap::default();
+        owner.insert(NodeId(1), 1u32);
+        let r = Routing::Data {
+            owner: Arc::new(owner),
+        };
+        let mut out = Vec::new();
+        // object 999 (a class) has no owner
+        r.destinations(&t(1, 9, 999), 0, &mut out);
+        assert_eq!(out, vec![1]);
+    }
+
+    #[test]
+    fn rule_routing_matches_consumer_partitions() {
+        use owlpar_partition::multilevel::PartitionOptions;
+        let rules = vec![
+            Rule::new(
+                "p2q",
+                atom(v(0), c(NodeId(20)), v(1)),
+                vec![atom(v(0), c(NodeId(10)), v(1))],
+            )
+            .unwrap(),
+            Rule::new(
+                "q2r",
+                atom(v(0), c(NodeId(30)), v(1)),
+                vec![atom(v(0), c(NodeId(20)), v(1))],
+            )
+            .unwrap(),
+        ];
+        let parts = owlpar_partition::partition_rules(
+            &rules,
+            2,
+            None,
+            &PartitionOptions::default(),
+        );
+        let all = Arc::new(rules);
+        let routing = Routing::Rule {
+            partitions: Arc::new(parts.clone()),
+            all_rules: Arc::clone(&all),
+        };
+        let mut out = Vec::new();
+        // a predicate-20 triple interests the partition holding rule q2r
+        let q_home = parts.assignment[1];
+        routing.destinations(&t(5, 20, 6), 1 - q_home, &mut out);
+        assert_eq!(out, vec![q_home]);
+    }
+}

@@ -1,0 +1,31 @@
+//! Synthetic benchmark data generators.
+//!
+//! The paper evaluates on LUBM-10, UOBM-4 and a proprietary oilfield
+//! dataset (MDC). We rebuild all three as seeded generators:
+//!
+//! * [`lubm`] — the Lehigh University Benchmark universe: universities,
+//!   departments, faculty, students, courses, publications, following the
+//!   UBA generator's distributions. Entities cluster per university, so
+//!   graph/domain partitioning finds low-cut partitions (the super-linear
+//!   regime of Fig. 1).
+//! * [`uobm`] — a UOBM-style extension: the LUBM universe plus dense
+//!   *cross-university* social links (`isFriendOf`, symmetric;
+//!   `hasSameHomeTownWith`, transitive+symmetric). The high inter-cluster
+//!   connectivity drives up edge-cut and input replication, reproducing
+//!   the sub-linear UOBM regime of Fig. 1.
+//! * [`mdc`] — an MDC-like synthetic oilfield: fields, wells, equipment,
+//!   sensors with a deep transitive `partOf` hierarchy and per-field
+//!   clustering (the paper's other super-linear dataset).
+//!
+//! All generators are deterministic given their seed, and emit schema
+//! (TBox) triples alongside instance data, exactly like loading an OWL
+//! file plus its ontology into a real KB.
+
+pub mod lubm;
+pub mod mdc;
+pub mod ontology;
+pub mod uobm;
+
+pub use lubm::{generate_lubm, LubmConfig};
+pub use mdc::{generate_mdc, MdcConfig};
+pub use uobm::{generate_uobm, UobmConfig};

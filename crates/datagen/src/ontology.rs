@@ -1,0 +1,227 @@
+//! TBox builders for the three benchmark universes.
+//!
+//! The univ-bench ontology here is a faithful OWL-Horst-expressible subset
+//! of LUBM's `univ-bench.owl`: the class tree, the property hierarchy, the
+//! domains/ranges, and the property characteristics the rule engine can
+//! act on (`subOrganizationOf` transitive, `degreeFrom`/`hasAlumnus`
+//! inverse, etc.).
+
+use owlpar_rdf::vocab::*;
+use owlpar_rdf::Graph;
+
+/// Namespace of the university ontologies.
+pub const UNIV_NS: &str = "http://swat.lehigh.edu/onto/univ-bench.owl#";
+/// Namespace of the oilfield ontology.
+pub const MDC_NS: &str = "http://cisoft.usc.edu/onto/mdc.owl#";
+
+/// IRI of a univ-bench class or property.
+pub fn univ(name: &str) -> String {
+    format!("{UNIV_NS}{name}")
+}
+
+/// IRI of an mdc class or property.
+pub fn mdc(name: &str) -> String {
+    format!("{MDC_NS}{name}")
+}
+
+/// Insert the univ-bench TBox into `g`. Returns the number of schema
+/// triples inserted.
+pub fn univ_bench_tbox(g: &mut Graph) -> usize {
+    let before = g.len();
+    let class = |g: &mut Graph, c: &str| {
+        g.insert_iris(univ(c), RDF_TYPE, OWL_CLASS);
+    };
+    let sub = |g: &mut Graph, c: &str, d: &str| {
+        g.insert_iris(univ(c), RDFS_SUBCLASSOF, univ(d));
+    };
+    let subp = |g: &mut Graph, p: &str, q: &str| {
+        g.insert_iris(univ(p), RDFS_SUBPROPERTYOF, univ(q));
+    };
+    let dom = |g: &mut Graph, p: &str, c: &str| {
+        g.insert_iris(univ(p), RDFS_DOMAIN, univ(c));
+    };
+    let rng = |g: &mut Graph, p: &str, c: &str| {
+        g.insert_iris(univ(p), RDFS_RANGE, univ(c));
+    };
+
+    for c in [
+        "University",
+        "Organization",
+        "Department",
+        "ResearchGroup",
+        "Person",
+        "Employee",
+        "Faculty",
+        "Professor",
+        "FullProfessor",
+        "AssociateProfessor",
+        "AssistantProfessor",
+        "Lecturer",
+        "Chair",
+        "Student",
+        "UndergraduateStudent",
+        "GraduateStudent",
+        "TeachingAssistant",
+        "ResearchAssistant",
+        "Course",
+        "GraduateCourse",
+        "Publication",
+    ] {
+        class(g, c);
+    }
+    sub(g, "University", "Organization");
+    sub(g, "Department", "Organization");
+    sub(g, "ResearchGroup", "Organization");
+    sub(g, "Employee", "Person");
+    sub(g, "Faculty", "Employee");
+    sub(g, "Professor", "Faculty");
+    sub(g, "FullProfessor", "Professor");
+    sub(g, "AssociateProfessor", "Professor");
+    sub(g, "AssistantProfessor", "Professor");
+    sub(g, "Lecturer", "Faculty");
+    sub(g, "Chair", "Professor");
+    sub(g, "Student", "Person");
+    sub(g, "UndergraduateStudent", "Student");
+    sub(g, "GraduateStudent", "Student");
+    sub(g, "TeachingAssistant", "Person");
+    sub(g, "ResearchAssistant", "Person");
+    sub(g, "GraduateCourse", "Course");
+
+    // property hierarchy
+    subp(g, "headOf", "worksFor");
+    subp(g, "worksFor", "memberOf");
+    subp(g, "undergraduateDegreeFrom", "degreeFrom");
+    subp(g, "mastersDegreeFrom", "degreeFrom");
+    subp(g, "doctoralDegreeFrom", "degreeFrom");
+
+    // characteristics
+    g.insert_iris(univ("subOrganizationOf"), RDF_TYPE, OWL_TRANSITIVE);
+    g.insert_iris(univ("degreeFrom"), OWL_INVERSE_OF, univ("hasAlumnus"));
+
+    // domains/ranges (the ones the benchmark queries rely on)
+    dom(g, "memberOf", "Person");
+    rng(g, "memberOf", "Organization");
+    dom(g, "teacherOf", "Faculty");
+    rng(g, "teacherOf", "Course");
+    dom(g, "takesCourse", "Student");
+    rng(g, "takesCourse", "Course");
+    dom(g, "advisor", "Person");
+    rng(g, "advisor", "Professor");
+    dom(g, "publicationAuthor", "Publication");
+    rng(g, "publicationAuthor", "Person");
+    rng(g, "degreeFrom", "University");
+    rng(g, "subOrganizationOf", "Organization");
+
+    g.len() - before
+}
+
+/// Additional UOBM-style social-property axioms (on top of univ-bench).
+pub fn uobm_extension_tbox(g: &mut Graph) -> usize {
+    let before = g.len();
+    g.insert_iris(univ("isFriendOf"), RDF_TYPE, OWL_SYMMETRIC);
+    g.insert_iris(univ("hasSameHomeTownWith"), RDF_TYPE, OWL_SYMMETRIC);
+    g.insert_iris(univ("hasSameHomeTownWith"), RDF_TYPE, OWL_TRANSITIVE);
+    g.insert_iris(univ("isFriendOf"), RDFS_DOMAIN, univ("Person"));
+    g.insert_iris(univ("isFriendOf"), RDFS_RANGE, univ("Person"));
+    g.len() - before
+}
+
+/// Insert the MDC-like oilfield TBox into `g`.
+pub fn mdc_tbox(g: &mut Graph) -> usize {
+    let before = g.len();
+    for c in [
+        "Asset",
+        "Field",
+        "Well",
+        "Equipment",
+        "Pump",
+        "Valve",
+        "Sensor",
+        "PressureSensor",
+        "TemperatureSensor",
+        "Measurement",
+    ] {
+        g.insert_iris(mdc(c), RDF_TYPE, OWL_CLASS);
+    }
+    for (c, d) in [
+        ("Field", "Asset"),
+        ("Well", "Asset"),
+        ("Equipment", "Asset"),
+        ("Pump", "Equipment"),
+        ("Valve", "Equipment"),
+        ("Sensor", "Asset"),
+        ("PressureSensor", "Sensor"),
+        ("TemperatureSensor", "Sensor"),
+    ] {
+        g.insert_iris(mdc(c), RDFS_SUBCLASSOF, mdc(d));
+    }
+    g.insert_iris(mdc("partOf"), RDF_TYPE, OWL_TRANSITIVE);
+    g.insert_iris(mdc("connectedTo"), RDF_TYPE, OWL_SYMMETRIC);
+    g.insert_iris(mdc("feeds"), RDFS_SUBPROPERTYOF, mdc("connectedTo"));
+    g.insert_iris(mdc("monitors"), OWL_INVERSE_OF, mdc("monitoredBy"));
+    g.insert_iris(mdc("partOf"), RDFS_RANGE, mdc("Asset"));
+    g.insert_iris(mdc("measurementOf"), RDFS_DOMAIN, mdc("Measurement"));
+    g.len() - before
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use owlpar_rdf::Term;
+
+    #[test]
+    fn univ_bench_tbox_inserts_schema() {
+        let mut g = Graph::new();
+        let n = univ_bench_tbox(&mut g);
+        assert!(n > 40);
+        assert!(g.contains_terms(
+            &Term::iri(univ("GraduateStudent")),
+            &Term::iri(RDFS_SUBCLASSOF),
+            &Term::iri(univ("Student"))
+        ));
+        assert!(g.contains_terms(
+            &Term::iri(univ("subOrganizationOf")),
+            &Term::iri(RDF_TYPE),
+            &Term::iri(OWL_TRANSITIVE)
+        ));
+    }
+
+    #[test]
+    fn tbox_is_idempotent() {
+        let mut g = Graph::new();
+        univ_bench_tbox(&mut g);
+        let len = g.len();
+        let added = univ_bench_tbox(&mut g);
+        assert_eq!(added, 0);
+        assert_eq!(g.len(), len);
+    }
+
+    #[test]
+    fn uobm_extension_adds_social_axioms() {
+        let mut g = Graph::new();
+        univ_bench_tbox(&mut g);
+        let n = uobm_extension_tbox(&mut g);
+        assert_eq!(n, 5);
+        assert!(g.contains_terms(
+            &Term::iri(univ("hasSameHomeTownWith")),
+            &Term::iri(RDF_TYPE),
+            &Term::iri(OWL_TRANSITIVE)
+        ));
+    }
+
+    #[test]
+    fn mdc_tbox_has_transitive_part_of() {
+        let mut g = Graph::new();
+        mdc_tbox(&mut g);
+        assert!(g.contains_terms(
+            &Term::iri(mdc("partOf")),
+            &Term::iri(RDF_TYPE),
+            &Term::iri(OWL_TRANSITIVE)
+        ));
+        assert!(g.contains_terms(
+            &Term::iri(mdc("PressureSensor")),
+            &Term::iri(RDFS_SUBCLASSOF),
+            &Term::iri(mdc("Sensor"))
+        ));
+    }
+}

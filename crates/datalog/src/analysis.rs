@@ -1,0 +1,344 @@
+//! Static rule analysis.
+//!
+//! Two analyses from the paper:
+//!
+//! 1. **Single-join classification** (§II): a rule is *single-join* when
+//!    its body has at most two atoms and, if two, the atoms share at least
+//!    one variable. The paper's data-partitioning correctness argument
+//!    rests on every OWL-Horst rule (bar one) being single-join: if both
+//!    endpoints of every triple mentioning a resource live on that
+//!    resource's owner, every possible join is locally evaluable.
+//! 2. **Rule-dependency graph** (Algorithm 2): vertex per rule, edge
+//!    `r1 → r2` when the head of `r1` may unify with a body atom of `r2`
+//!    (a triple produced by `r1` can trigger `r2`). Optionally weighted by
+//!    an estimate of how many triples `r1` will produce, taken from the
+//!    dataset's predicate histogram.
+
+use crate::ast::{Rule, TermPat};
+use owlpar_rdf::fx::FxHashMap;
+use owlpar_rdf::NodeId;
+
+/// Join-structure classification of a rule body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JoinClass {
+    /// One body atom — no join at all.
+    SingleAtom,
+    /// Exactly two body atoms sharing at least one variable.
+    SingleJoin {
+        /// The shared (join) variables.
+        join_vars: Vec<u16>,
+    },
+    /// Two atoms sharing no variable (a cross product).
+    CrossProduct,
+    /// Three or more body atoms.
+    MultiJoin,
+}
+
+/// Classify a rule's body join structure.
+pub fn classify(rule: &Rule) -> JoinClass {
+    match rule.body.len() {
+        1 => JoinClass::SingleAtom,
+        2 => {
+            let a = rule.body[0].variables();
+            let b = rule.body[1].variables();
+            let join_vars: Vec<u16> = a.into_iter().filter(|v| b.contains(v)).collect();
+            if join_vars.is_empty() {
+                JoinClass::CrossProduct
+            } else {
+                JoinClass::SingleJoin { join_vars }
+            }
+        }
+        _ => JoinClass::MultiJoin,
+    }
+}
+
+/// `true` iff the rule is evaluable under the paper's data-partitioning
+/// scheme without communication beyond the ownership protocol (single atom
+/// or single join).
+pub fn is_single_join(rule: &Rule) -> bool {
+    matches!(
+        classify(rule),
+        JoinClass::SingleAtom | JoinClass::SingleJoin { .. }
+    )
+}
+
+/// A rule-dependency graph: adjacency `edges[i]` lists `(j, weight)` for
+/// every rule `j` whose body may consume what rule `i` produces.
+#[derive(Debug, Clone)]
+pub struct RuleDependencyGraph {
+    /// Number of rules (vertices).
+    pub n: usize,
+    /// Outgoing edges per rule, `(target, weight)`.
+    pub edges: Vec<Vec<(usize, u64)>>,
+}
+
+impl RuleDependencyGraph {
+    /// Total number of directed edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.iter().map(Vec::len).sum()
+    }
+
+    /// Symmetrize into an undirected weighted edge list, merging weights of
+    /// antiparallel edges — the input the graph partitioner expects.
+    pub fn undirected_edges(&self) -> Vec<(usize, usize, u64)> {
+        let mut acc: FxHashMap<(usize, usize), u64> = FxHashMap::default();
+        for (i, outs) in self.edges.iter().enumerate() {
+            for &(j, w) in outs {
+                if i == j {
+                    continue; // self-loop: no partitioning pressure
+                }
+                let key = (i.min(j), i.max(j));
+                *acc.entry(key).or_default() += w;
+            }
+        }
+        let mut v: Vec<(usize, usize, u64)> =
+            acc.into_iter().map(|((a, b), w)| (a, b, w)).collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+/// Build the unweighted dependency graph (all weights 1).
+pub fn dependency_graph(rules: &[Rule]) -> RuleDependencyGraph {
+    weighted_dependency_graph(rules, &FxHashMap::default(), 1)
+}
+
+/// Build the dependency graph weighting each edge `r1 → r2` by the
+/// estimated number of triples `r1` produces: the dataset count of the
+/// head predicate when it is a constant with a known histogram entry,
+/// `default_weight` otherwise (paper §III-B: "a priori knowledge about the
+/// distribution of different predicates ... can be used to weigh the
+/// edges").
+pub fn weighted_dependency_graph(
+    rules: &[Rule],
+    predicate_counts: &FxHashMap<NodeId, usize>,
+    default_weight: u64,
+) -> RuleDependencyGraph {
+    let mut edges = vec![Vec::new(); rules.len()];
+    for (i, producer) in rules.iter().enumerate() {
+        let weight = match producer.head.p {
+            TermPat::Const(p) => predicate_counts
+                .get(&p)
+                .map(|&c| (c as u64).max(1))
+                .unwrap_or(default_weight),
+            TermPat::Var(_) => default_weight,
+        };
+        for (j, consumer) in rules.iter().enumerate() {
+            if consumer
+                .body
+                .iter()
+                .any(|atom| producer.head.may_unify(atom))
+            {
+                edges[i].push((j, weight));
+            }
+        }
+    }
+    RuleDependencyGraph {
+        n: rules.len(),
+        edges,
+    }
+}
+
+/// Strongly-connected-component condensation order of the dependency
+/// graph (Tarjan). Rules inside one SCC are mutually recursive; the
+/// returned vector maps each rule to its component id, components numbered
+/// in reverse topological order. Useful for scheduling and diagnostics.
+pub fn sccs(graph: &RuleDependencyGraph) -> Vec<usize> {
+    struct Tarjan<'g> {
+        g: &'g RuleDependencyGraph,
+        index: Vec<Option<usize>>,
+        low: Vec<usize>,
+        on_stack: Vec<bool>,
+        stack: Vec<usize>,
+        next_index: usize,
+        comp: Vec<usize>,
+        next_comp: usize,
+    }
+    impl Tarjan<'_> {
+        fn visit(&mut self, v: usize) {
+            self.index[v] = Some(self.next_index);
+            self.low[v] = self.next_index;
+            self.next_index += 1;
+            self.stack.push(v);
+            self.on_stack[v] = true;
+            for &(w, _) in &self.g.edges[v] {
+                if self.index[w].is_none() {
+                    self.visit(w);
+                    self.low[v] = self.low[v].min(self.low[w]);
+                } else if self.on_stack[w] {
+                    self.low[v] = self.low[v].min(self.index[w].unwrap());
+                }
+            }
+            if self.low[v] == self.index[v].unwrap() {
+                while let Some(w) = self.stack.pop() {
+                    self.on_stack[w] = false;
+                    self.comp[w] = self.next_comp;
+                    if w == v {
+                        break;
+                    }
+                }
+                self.next_comp += 1;
+            }
+        }
+    }
+    let n = graph.n;
+    let mut t = Tarjan {
+        g: graph,
+        index: vec![None; n],
+        low: vec![0; n],
+        on_stack: vec![false; n],
+        stack: Vec::new(),
+        next_index: 0,
+        comp: vec![0; n],
+        next_comp: 0,
+    };
+    for v in 0..n {
+        if t.index[v].is_none() {
+            t.visit(v);
+        }
+    }
+    t.comp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::build::*;
+
+    fn nid(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    const P: u32 = 1;
+    const Q: u32 = 2;
+    const R: u32 = 3;
+
+    fn trans(p: u32) -> Rule {
+        Rule::new(
+            format!("trans{p}"),
+            atom(v(0), c(nid(p)), v(2)),
+            vec![atom(v(0), c(nid(p)), v(1)), atom(v(1), c(nid(p)), v(2))],
+        )
+        .unwrap()
+    }
+
+    fn promote(from: u32, to: u32) -> Rule {
+        Rule::new(
+            format!("promote{from}_{to}"),
+            atom(v(0), c(nid(to)), v(1)),
+            vec![atom(v(0), c(nid(from)), v(1))],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn classify_single_atom() {
+        assert_eq!(classify(&promote(P, Q)), JoinClass::SingleAtom);
+        assert!(is_single_join(&promote(P, Q)));
+    }
+
+    #[test]
+    fn classify_single_join_finds_join_var() {
+        let r = trans(P);
+        match classify(&r) {
+            JoinClass::SingleJoin { join_vars } => assert_eq!(join_vars, vec![1]),
+            other => panic!("expected SingleJoin, got {other:?}"),
+        }
+        assert!(is_single_join(&r));
+    }
+
+    #[test]
+    fn classify_cross_product() {
+        let r = Rule::new(
+            "cross",
+            atom(v(0), c(nid(P)), v(1)),
+            vec![atom(v(0), c(nid(P)), v(1)), atom(v(2), c(nid(Q)), v(3))],
+        )
+        .unwrap();
+        assert_eq!(classify(&r), JoinClass::CrossProduct);
+        assert!(!is_single_join(&r));
+    }
+
+    #[test]
+    fn classify_multi_join() {
+        let r = Rule::new(
+            "multi",
+            atom(v(0), c(nid(P)), v(2)),
+            vec![
+                atom(v(0), c(nid(P)), v(1)),
+                atom(v(1), c(nid(P)), v(2)),
+                atom(v(2), c(nid(Q)), v(0)),
+            ],
+        )
+        .unwrap();
+        assert_eq!(classify(&r), JoinClass::MultiJoin);
+        assert!(!is_single_join(&r));
+    }
+
+    #[test]
+    fn dependency_edges_follow_head_to_body() {
+        // promote P→Q feeds trans(Q); trans(Q) feeds itself.
+        let rules = [promote(P, Q), trans(Q)];
+        let g = dependency_graph(&rules);
+        assert!(g.edges[0].iter().any(|&(j, _)| j == 1), "promote -> trans");
+        assert!(g.edges[1].iter().any(|&(j, _)| j == 1), "trans self-loop");
+        assert!(
+            !g.edges[1].iter().any(|&(j, _)| j == 0),
+            "trans does not feed promote"
+        );
+    }
+
+    #[test]
+    fn no_edge_between_unrelated_predicates() {
+        let rules = [promote(P, Q), promote(R, P)];
+        let g = dependency_graph(&rules);
+        // promote(R,P) produces P-triples consumed by promote(P,Q): edge 1->0
+        assert!(g.edges[1].iter().any(|&(j, _)| j == 0));
+        // promote(P,Q) produces Q-triples; nothing consumes Q
+        assert!(g.edges[0].is_empty());
+    }
+
+    #[test]
+    fn weighted_edges_use_predicate_histogram() {
+        let rules = [promote(P, Q), trans(Q)];
+        let mut hist: FxHashMap<NodeId, usize> = FxHashMap::default();
+        hist.insert(nid(Q), 500);
+        let g = weighted_dependency_graph(&rules, &hist, 1);
+        let w = g.edges[0].iter().find(|&&(j, _)| j == 1).unwrap().1;
+        assert_eq!(w, 500);
+    }
+
+    #[test]
+    fn undirected_edges_merge_and_drop_self_loops() {
+        let rules = [trans(P), promote(P, P)];
+        // trans(P) -> trans(P) self loop dropped; trans(P) <-> promote(P,P)
+        let g = dependency_graph(&rules);
+        let und = g.undirected_edges();
+        assert!(und.iter().all(|&(a, b, _)| a != b));
+        assert!(und.iter().any(|&(a, b, _)| (a, b) == (0, 1)));
+    }
+
+    #[test]
+    fn sccs_group_mutually_recursive_rules() {
+        // p -> q and q -> p are mutually recursive; r -> r alone.
+        let rules = [promote(P, Q), promote(Q, P), trans(R)];
+        let g = dependency_graph(&rules);
+        let comp = sccs(&g);
+        assert_eq!(comp[0], comp[1], "mutual recursion in one SCC");
+        assert_ne!(comp[0], comp[2]);
+    }
+
+    #[test]
+    fn variable_predicate_heads_conservatively_connect() {
+        let sym = Rule::new(
+            "sym_all",
+            atom(v(2), v(1), v(0)),
+            vec![atom(v(0), v(1), v(2))],
+        )
+        .unwrap();
+        let rules = [sym, trans(P)];
+        let g = dependency_graph(&rules);
+        // a variable-predicate head may unify with anything
+        assert!(g.edges[0].iter().any(|&(j, _)| j == 1));
+    }
+}

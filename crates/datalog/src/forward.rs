@@ -1,0 +1,337 @@
+//! Bottom-up (forward-chaining) evaluation.
+//!
+//! [`forward_closure`] runs **semi-naive** evaluation: after the first
+//! round, a rule only fires if at least one body atom matches a triple
+//! derived in the previous round (the *delta*). [`naive_closure`] re-derives
+//! everything every round and exists purely as the ablation baseline for
+//! `bench_forward_ablation`.
+//!
+//! The delta-aware entry point [`forward_closure_delta`] is what the
+//! parallel reasoner's rounds use: a worker whose store is already closed
+//! receives a batch of foreign triples, inserts them, and only needs to
+//! propagate consequences of that batch.
+
+use crate::ast::{Bindings, Rule};
+use owlpar_rdf::{Triple, TripleStore};
+
+/// Compute the closure of `store` under `rules`. Returns the number of
+/// derived (new) triples. Semi-naive: cost proportional to work actually
+/// producing new facts.
+pub fn forward_closure(store: &mut TripleStore, rules: &[Rule]) -> usize {
+    let seed: Vec<Triple> = store.iter().copied().collect();
+    run_rounds(store, rules, seed).len()
+}
+
+/// `store` is assumed closed under `rules` except that the triples in
+/// `delta` were just inserted. Derives all consequences, inserts them, and
+/// returns them (cascades included).
+///
+/// Precondition: every triple of `delta` is already present in `store`.
+pub fn forward_closure_delta(
+    store: &mut TripleStore,
+    rules: &[Rule],
+    delta: Vec<Triple>,
+) -> Vec<Triple> {
+    debug_assert!(delta.iter().all(|t| store.contains(t)));
+    run_rounds(store, rules, delta)
+}
+
+/// Naive evaluation: every round applies every rule to the whole store.
+/// Kept as an ablation baseline; produces the same closure as
+/// [`forward_closure`].
+pub fn naive_closure(store: &mut TripleStore, rules: &[Rule]) -> usize {
+    let mut derived_total = 0;
+    loop {
+        let mut new: Vec<Triple> = Vec::new();
+        for rule in rules {
+            apply_rule_delta(store, store, rule, &mut new);
+        }
+        let mut added = 0;
+        for t in new {
+            if store.insert(t) {
+                added += 1;
+            }
+        }
+        if added == 0 {
+            return derived_total;
+        }
+        derived_total += added;
+    }
+}
+
+fn run_rounds(store: &mut TripleStore, rules: &[Rule], seed: Vec<Triple>) -> Vec<Triple> {
+    let mut all_derived: Vec<Triple> = Vec::new();
+    let mut delta_store: TripleStore = seed.into_iter().collect();
+    while !delta_store.is_empty() {
+        let mut candidates: Vec<Triple> = Vec::new();
+        for rule in rules {
+            apply_rule_delta(store, &delta_store, rule, &mut candidates);
+        }
+        let mut next_delta = TripleStore::new();
+        for t in candidates {
+            if store.insert(t) {
+                next_delta.insert(t);
+                all_derived.push(t);
+            }
+        }
+        delta_store = next_delta;
+    }
+    all_derived
+}
+
+/// Fire `rule` requiring at least one body atom to match inside `delta`;
+/// the remaining atoms are joined against the full `store`. Candidate head
+/// instantiations are appended to `out` (duplicates possible; the caller
+/// dedupes via store insertion).
+fn apply_rule_delta(
+    store: &TripleStore,
+    delta: &TripleStore,
+    rule: &Rule,
+    out: &mut Vec<Triple>,
+) {
+    for pivot in 0..rule.body.len() {
+        let atom = &rule.body[pivot];
+        let empty = rule.empty_bindings();
+        let pat = atom.to_pattern(&empty);
+        delta.for_each_match(pat, |t| {
+            if let Some(b) = atom.match_triple(&t, &empty) {
+                let mut remaining: Vec<usize> =
+                    (0..rule.body.len()).filter(|&i| i != pivot).collect();
+                join_remaining(store, rule, &mut remaining, b, out);
+            }
+        });
+    }
+}
+
+/// Recursively join the remaining body atoms against `store`, most-bound
+/// atom first (greedy index selection), emitting head instantiations.
+fn join_remaining(
+    store: &TripleStore,
+    rule: &Rule,
+    remaining: &mut Vec<usize>,
+    bindings: Bindings,
+    out: &mut Vec<Triple>,
+) {
+    if remaining.is_empty() {
+        if let Some(t) = rule.head.instantiate(&bindings) {
+            out.push(t);
+        }
+        return;
+    }
+    // Pick the atom with the most bound positions under current bindings:
+    // the store lookup for it is cheapest.
+    let (slot, _) = remaining
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, &i)| rule.body[i].to_pattern(&bindings).bound_count())
+        .expect("non-empty");
+    let atom_idx = remaining.swap_remove(slot);
+    let atom = &rule.body[atom_idx];
+    let pat = atom.to_pattern(&bindings);
+    store.for_each_match(pat, |t| {
+        if let Some(b) = atom.match_triple(&t, &bindings) {
+            let mut rest = remaining.clone();
+            join_remaining(store, rule, &mut rest, b, out);
+        }
+    });
+    remaining.push(atom_idx); // restore for the caller's other branches
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::build::*;
+    use crate::ast::Rule;
+    use owlpar_rdf::NodeId;
+
+    const P: u32 = 100; // transitive predicate
+    const Q: u32 = 101;
+    const TYPE: u32 = 102;
+    const STUDENT: u32 = 103;
+    const PERSON: u32 = 104;
+
+    fn nid(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    fn t(s: u32, p: u32, o: u32) -> Triple {
+        Triple::new(nid(s), nid(p), nid(o))
+    }
+
+    fn trans_rule(p: u32) -> Rule {
+        Rule::new(
+            "trans",
+            atom(v(0), c(nid(p)), v(2)),
+            vec![atom(v(0), c(nid(p)), v(1)), atom(v(1), c(nid(p)), v(2))],
+        )
+        .unwrap()
+    }
+
+    fn subclass_rule() -> Rule {
+        Rule::new(
+            "sc",
+            atom(v(0), c(nid(TYPE)), c(nid(PERSON))),
+            vec![atom(v(0), c(nid(TYPE)), c(nid(STUDENT)))],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn transitive_chain_closure() {
+        // 0 -P-> 1 -P-> 2 -P-> 3  yields 3 derived triples
+        let mut s: TripleStore = [t(0, P, 1), t(1, P, 2), t(2, P, 3)].into_iter().collect();
+        let n = forward_closure(&mut s, &[trans_rule(P)]);
+        assert_eq!(n, 3);
+        assert!(s.contains(&t(0, P, 2)));
+        assert!(s.contains(&t(0, P, 3)));
+        assert!(s.contains(&t(1, P, 3)));
+    }
+
+    #[test]
+    fn transitive_cycle_terminates() {
+        let mut s: TripleStore = [t(0, P, 1), t(1, P, 2), t(2, P, 0)].into_iter().collect();
+        forward_closure(&mut s, &[trans_rule(P)]);
+        // complete digraph on {0,1,2} including self loops
+        assert_eq!(s.len(), 9);
+    }
+
+    #[test]
+    fn single_atom_rule_fires() {
+        let mut s: TripleStore = [t(7, TYPE, STUDENT)].into_iter().collect();
+        let n = forward_closure(&mut s, &[subclass_rule()]);
+        assert_eq!(n, 1);
+        assert!(s.contains(&t(7, TYPE, PERSON)));
+    }
+
+    #[test]
+    fn cascading_rules_interact() {
+        // q(x,y) -> p(x,y); p transitive
+        let promote = Rule::new(
+            "promote",
+            atom(v(0), c(nid(P)), v(1)),
+            vec![atom(v(0), c(nid(Q)), v(1))],
+        )
+        .unwrap();
+        let mut s: TripleStore = [t(0, Q, 1), t(1, P, 2)].into_iter().collect();
+        let n = forward_closure(&mut s, &[promote, trans_rule(P)]);
+        // derive p(0,1), then p(0,2)
+        assert_eq!(n, 2);
+        assert!(s.contains(&t(0, P, 2)));
+    }
+
+    #[test]
+    fn closure_is_idempotent() {
+        let mut s: TripleStore = [t(0, P, 1), t(1, P, 2)].into_iter().collect();
+        let rules = [trans_rule(P)];
+        let first = forward_closure(&mut s, &rules);
+        assert_eq!(first, 1);
+        let second = forward_closure(&mut s, &rules);
+        assert_eq!(second, 0);
+    }
+
+    #[test]
+    fn naive_matches_semi_naive() {
+        let base = [t(0, P, 1), t(1, P, 2), t(2, P, 3), t(3, P, 4), t(9, TYPE, STUDENT)];
+        let rules = [trans_rule(P), subclass_rule()];
+
+        let mut a: TripleStore = base.into_iter().collect();
+        forward_closure(&mut a, &rules);
+        let mut b: TripleStore = base.into_iter().collect();
+        naive_closure(&mut b, &rules);
+
+        assert_eq!(a.iter_sorted(), b.iter_sorted());
+    }
+
+    #[test]
+    fn delta_closure_propagates_cascades() {
+        let rules = [trans_rule(P)];
+        let mut s: TripleStore = [t(0, P, 1), t(1, P, 2)].into_iter().collect();
+        forward_closure(&mut s, &rules);
+        assert_eq!(s.len(), 3);
+
+        // Now a foreign triple arrives linking 2 -> 3.
+        let new = t(2, P, 3);
+        s.insert(new);
+        let derived = forward_closure_delta(&mut s, &rules, vec![new]);
+        let mut derived_sorted = derived.clone();
+        derived_sorted.sort_unstable();
+        assert_eq!(derived_sorted, vec![t(0, P, 3), t(1, P, 3)]);
+        assert_eq!(s.len(), 6);
+    }
+
+    #[test]
+    fn delta_closure_noop_for_known_consequences() {
+        let rules = [trans_rule(P)];
+        let mut s: TripleStore = [t(0, P, 1), t(1, P, 2)].into_iter().collect();
+        forward_closure(&mut s, &rules);
+        // Re-adding an existing triple as delta derives nothing new.
+        let derived = forward_closure_delta(&mut s, &rules, vec![t(0, P, 1)]);
+        assert!(derived.is_empty());
+    }
+
+    #[test]
+    fn three_atom_body_joins() {
+        // r: p(x,y) q(y,z) p(z,w) -> q(x,w)  — exercises recursive join with 3 atoms
+        let r = Rule::new(
+            "three",
+            atom(v(0), c(nid(Q)), v(3)),
+            vec![
+                atom(v(0), c(nid(P)), v(1)),
+                atom(v(1), c(nid(Q)), v(2)),
+                atom(v(2), c(nid(P)), v(3)),
+            ],
+        )
+        .unwrap();
+        let mut s: TripleStore = [t(0, P, 1), t(1, Q, 2), t(2, P, 3)].into_iter().collect();
+        let n = forward_closure(&mut s, &[r]);
+        assert_eq!(n, 1);
+        assert!(s.contains(&t(0, Q, 3)));
+    }
+
+    #[test]
+    fn same_variable_twice_in_atom() {
+        // reflexive detector: p(x,x) -> type(x, STUDENT)
+        let r = Rule::new(
+            "refl",
+            atom(v(0), c(nid(TYPE)), c(nid(STUDENT))),
+            vec![atom(v(0), c(nid(P)), v(0))],
+        )
+        .unwrap();
+        let mut s: TripleStore = [t(1, P, 1), t(2, P, 3)].into_iter().collect();
+        let n = forward_closure(&mut s, &[r]);
+        assert_eq!(n, 1);
+        assert!(s.contains(&t(1, TYPE, STUDENT)));
+        assert!(!s.contains(&t(2, TYPE, STUDENT)));
+    }
+
+    #[test]
+    fn variable_predicate_rules() {
+        // "every predicate used between typed things is symmetric"-style
+        // rule with a variable in predicate position:
+        // (?a ?p ?b) -> (?b ?p ?a) restricted by nothing (pure symmetry)
+        let r = Rule::new(
+            "sym_all",
+            atom(v(2), v(1), v(0)),
+            vec![atom(v(0), v(1), v(2))],
+        )
+        .unwrap();
+        let mut s: TripleStore = [t(0, P, 1), t(5, Q, 6)].into_iter().collect();
+        let n = forward_closure(&mut s, &[r]);
+        assert_eq!(n, 2);
+        assert!(s.contains(&t(1, P, 0)));
+        assert!(s.contains(&t(6, Q, 5)));
+    }
+
+    #[test]
+    fn empty_store_closure_is_empty() {
+        let mut s = TripleStore::new();
+        assert_eq!(forward_closure(&mut s, &[trans_rule(P)]), 0);
+    }
+
+    #[test]
+    fn no_rules_closure_is_identity() {
+        let mut s: TripleStore = [t(0, P, 1)].into_iter().collect();
+        assert_eq!(forward_closure(&mut s, &[]), 0);
+        assert_eq!(s.len(), 1);
+    }
+}

@@ -1,0 +1,339 @@
+//! A Jena-inspired textual rule syntax.
+//!
+//! ```text
+//! # comment
+//! [transKnows: (?a <http://x/knows> ?b) (?b <http://x/knows> ?c)
+//!              -> (?a <http://x/knows> ?c)]
+//! [typing: (?x rdf:type <http://x/Student>) -> (?x rdf:type <http://x/Person>)]
+//! ```
+//!
+//! * variables are `?name`;
+//! * IRIs are `<...>` or use the builtin prefixes `rdf:`, `rdfs:`, `owl:`,
+//!   `xsd:`;
+//! * string literals `"..."` are allowed in subject-independent positions;
+//! * each rule has exactly one head atom after `->`.
+//!
+//! Parsing interns constants into the supplied [`Dictionary`], so rules are
+//! immediately evaluable against stores sharing that dictionary.
+
+use crate::ast::{Atom, Rule, TermPat};
+use owlpar_rdf::vocab;
+use owlpar_rdf::{Dictionary, Term};
+use std::collections::HashMap;
+
+/// Error raised while parsing rule text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the error in the input.
+    pub offset: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "rule parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a rule document into a rule set, interning constants in `dict`.
+pub fn parse_rules(input: &str, dict: &mut Dictionary) -> Result<Vec<Rule>, ParseError> {
+    Parser::new(input, dict).parse_all()
+}
+
+struct Parser<'a, 'd> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    dict: &'d mut Dictionary,
+    prefixes: HashMap<&'static str, &'static str>,
+}
+
+impl<'a, 'd> Parser<'a, 'd> {
+    fn new(src: &'a str, dict: &'d mut Dictionary) -> Self {
+        let mut prefixes = HashMap::new();
+        prefixes.insert("rdf", vocab::RDF_NS);
+        prefixes.insert("rdfs", vocab::RDFS_NS);
+        prefixes.insert("owl", vocab::OWL_NS);
+        prefixes.insert("xsd", vocab::XSD_NS);
+        Parser {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+            dict,
+            prefixes,
+        }
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            while matches!(
+                self.bytes.get(self.pos),
+                Some(b' ') | Some(b'\t') | Some(b'\n') | Some(b'\r') | Some(b',')
+            ) {
+                self.pos += 1;
+            }
+            if self.bytes.get(self.pos) == Some(&b'#') {
+                while !matches!(self.bytes.get(self.pos), None | Some(b'\n')) {
+                    self.pos += 1;
+                }
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_all(&mut self) -> Result<Vec<Rule>, ParseError> {
+        let mut rules = Vec::new();
+        loop {
+            self.skip_trivia();
+            if self.pos >= self.bytes.len() {
+                return Ok(rules);
+            }
+            rules.push(self.parse_rule()?);
+        }
+    }
+
+    fn parse_rule(&mut self) -> Result<Rule, ParseError> {
+        if !self.eat(b'[') {
+            return Err(self.err("expected '[' starting a rule"));
+        }
+        self.skip_trivia();
+        let name = self.parse_ident()?;
+        self.skip_trivia();
+        if !self.eat(b':') {
+            return Err(self.err("expected ':' after rule name"));
+        }
+
+        let mut vars: HashMap<String, u16> = HashMap::new();
+        let mut body = Vec::new();
+        loop {
+            self.skip_trivia();
+            if self.src[self.pos..].starts_with("->") {
+                self.pos += 2;
+                break;
+            }
+            body.push(self.parse_atom(&mut vars)?);
+        }
+        self.skip_trivia();
+        let head = self.parse_atom(&mut vars)?;
+        self.skip_trivia();
+        if !self.eat(b']') {
+            return Err(self.err("expected ']' closing the rule (exactly one head atom)"));
+        }
+        Rule::new(name, head, body).map_err(|m| self.err(m))
+    }
+
+    fn parse_ident(&mut self) -> Result<String, ParseError> {
+        let start = self.pos;
+        while let Some(&c) = self.bytes.get(self.pos) {
+            if c.is_ascii_alphanumeric() || c == b'_' || c == b'-' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.err("expected identifier"));
+        }
+        Ok(self.src[start..self.pos].to_string())
+    }
+
+    fn parse_atom(&mut self, vars: &mut HashMap<String, u16>) -> Result<Atom, ParseError> {
+        self.skip_trivia();
+        if !self.eat(b'(') {
+            return Err(self.err("expected '(' starting an atom"));
+        }
+        let s = self.parse_term_pat(vars)?;
+        let p = self.parse_term_pat(vars)?;
+        let o = self.parse_term_pat(vars)?;
+        self.skip_trivia();
+        if !self.eat(b')') {
+            return Err(self.err("expected ')' closing an atom"));
+        }
+        Ok(Atom::new(s, p, o))
+    }
+
+    fn parse_term_pat(&mut self, vars: &mut HashMap<String, u16>) -> Result<TermPat, ParseError> {
+        self.skip_trivia();
+        match self.bytes.get(self.pos) {
+            Some(b'?') => {
+                self.pos += 1;
+                let name = self.parse_ident()?;
+                let next = vars.len() as u16;
+                Ok(TermPat::Var(*vars.entry(name).or_insert(next)))
+            }
+            Some(b'<') => {
+                self.pos += 1;
+                let start = self.pos;
+                while self.bytes.get(self.pos).is_some_and(|&c| c != b'>') {
+                    self.pos += 1;
+                }
+                if self.pos >= self.bytes.len() {
+                    return Err(self.err("unterminated IRI"));
+                }
+                let iri = &self.src[start..self.pos];
+                self.pos += 1;
+                Ok(TermPat::Const(self.dict.intern(Term::iri(iri))))
+            }
+            Some(b'"') => {
+                self.pos += 1;
+                let start = self.pos;
+                while self.bytes.get(self.pos).is_some_and(|&c| c != b'"') {
+                    self.pos += 1;
+                }
+                if self.pos >= self.bytes.len() {
+                    return Err(self.err("unterminated literal"));
+                }
+                let lit = &self.src[start..self.pos];
+                self.pos += 1;
+                Ok(TermPat::Const(self.dict.intern(Term::literal(lit))))
+            }
+            Some(c) if c.is_ascii_alphabetic() => {
+                let ident = self.parse_ident()?;
+                if !self.eat(b':') {
+                    return Err(self.err(format!("expected ':' after prefix '{ident}'")));
+                }
+                let local = self.parse_ident()?;
+                let ns = self
+                    .prefixes
+                    .get(ident.as_str())
+                    .ok_or_else(|| self.err(format!("unknown prefix '{ident}'")))?;
+                let iri = format!("{ns}{local}");
+                Ok(TermPat::Const(self.dict.intern(Term::iri(iri))))
+            }
+            _ => Err(self.err("expected term (?var, <iri>, prefix:name or \"literal\")")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::TermPat;
+
+    #[test]
+    fn parses_transitive_rule() {
+        let mut d = Dictionary::new();
+        let rules = parse_rules(
+            "[t: (?a <http://x/p> ?b) (?b <http://x/p> ?c) -> (?a <http://x/p> ?c)]",
+            &mut d,
+        )
+        .unwrap();
+        assert_eq!(rules.len(), 1);
+        let r = &rules[0];
+        assert_eq!(r.name, "t");
+        assert_eq!(r.body.len(), 2);
+        assert_eq!(r.var_count, 3);
+        // shared variable ?b is var 1 in both atoms
+        assert_eq!(r.body[0].o, r.body[1].s);
+    }
+
+    #[test]
+    fn parses_multiple_rules_and_comments() {
+        let mut d = Dictionary::new();
+        let src = r#"
+            # subclass
+            [sc: (?x rdf:type <http://x/Student>) -> (?x rdf:type <http://x/Person>)]
+            # symmetric
+            [sym: (?a <http://x/near> ?b) -> (?b <http://x/near> ?a)]
+        "#;
+        let rules = parse_rules(src, &mut d).unwrap();
+        assert_eq!(rules.len(), 2);
+        assert_eq!(rules[1].name, "sym");
+    }
+
+    #[test]
+    fn prefixes_expand() {
+        let mut d = Dictionary::new();
+        let rules =
+            parse_rules("[r: (?x rdf:type owl:Class) -> (?x rdf:type rdfs:Class)]", &mut d)
+                .unwrap();
+        let head_o = rules[0].head.o.as_const().unwrap();
+        assert_eq!(
+            d.term(head_o).unwrap(),
+            &Term::iri("http://www.w3.org/2000/01/rdf-schema#Class")
+        );
+    }
+
+    #[test]
+    fn same_var_name_same_index() {
+        let mut d = Dictionary::new();
+        let rules = parse_rules(
+            "[r: (?x <http://x/p> ?x) -> (?x <http://x/q> ?x)]",
+            &mut d,
+        )
+        .unwrap();
+        let r = &rules[0];
+        assert_eq!(r.var_count, 1);
+        assert_eq!(r.body[0].s, TermPat::Var(0));
+        assert_eq!(r.body[0].o, TermPat::Var(0));
+    }
+
+    #[test]
+    fn literal_constants() {
+        let mut d = Dictionary::new();
+        let rules = parse_rules(
+            "[r: (?x <http://x/status> \"active\") -> (?x rdf:type <http://x/Active>)]",
+            &mut d,
+        )
+        .unwrap();
+        let c = rules[0].body[0].o.as_const().unwrap();
+        assert_eq!(d.term(c).unwrap(), &Term::literal("active"));
+    }
+
+    #[test]
+    fn error_on_unknown_prefix() {
+        let mut d = Dictionary::new();
+        let e = parse_rules("[r: (?x foo:bar ?y) -> (?x foo:bar ?y)]", &mut d).unwrap_err();
+        assert!(e.message.contains("unknown prefix"));
+    }
+
+    #[test]
+    fn error_on_missing_arrow_head() {
+        let mut d = Dictionary::new();
+        assert!(parse_rules("[r: (?x rdf:type ?y)]", &mut d).is_err());
+    }
+
+    #[test]
+    fn error_on_two_head_atoms() {
+        let mut d = Dictionary::new();
+        let e = parse_rules(
+            "[r: (?x rdf:type ?y) -> (?x rdf:type ?y) (?y rdf:type ?x)]",
+            &mut d,
+        )
+        .unwrap_err();
+        assert!(e.message.contains("one head"));
+    }
+
+    #[test]
+    fn error_reports_offset() {
+        let mut d = Dictionary::new();
+        let e = parse_rules("   @bogus", &mut d).unwrap_err();
+        assert_eq!(e.offset, 3);
+    }
+
+    #[test]
+    fn empty_input_yields_no_rules() {
+        let mut d = Dictionary::new();
+        assert!(parse_rules("  # only a comment\n", &mut d).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,29 @@
+//! OWL-Horst (pD\*) semantics on top of the datalog engine.
+//!
+//! The paper targets the OWL-Horst fragment (ter Horst 2005): the
+//! RDFS entailment rules plus the pD\* extensions for transitive,
+//! symmetric, (inverse-)functional and inverse properties, equivalence,
+//! `owl:sameAs`, and value restrictions. Rule-based OWL engines (Jena,
+//! OWLIM, Oracle) *compile the ontology into rules*: every schema axiom
+//! becomes a specialized datalog rule over instance triples only. That
+//! compilation step is what makes every resulting rule **single-join**,
+//! which in turn is what makes the paper's data-partitioning approach
+//! correct.
+//!
+//! * [`tbox`] — extract the schema (TBox) from a graph and classify
+//!   triples into schema vs instance.
+//! * [`rules`] — the *generic* pD\* rule set (schema atoms in rule
+//!   bodies), used as a cross-check oracle in tests.
+//! * [`compile`] — the ontology→specialized-rules compiler
+//!   ("compile the ontology into a set of rules").
+//! * [`reasoner`] — a facade tying extraction + compilation + closure
+//!   together.
+
+pub mod compile;
+pub mod reasoner;
+pub mod rules;
+pub mod tbox;
+
+pub use compile::{compile_ontology, CompileOptions};
+pub use reasoner::HorstReasoner;
+pub use tbox::{TBox, TripleKind};

@@ -1,0 +1,90 @@
+//! Hash-based ownership (§III-A-2).
+//!
+//! "A (generic/arbitrary) hash function is used to determine which
+//! processor a node is assigned to. ... it can be implemented as a
+//! streaming algorithm ... On the other hand, the hashing algorithm does
+//! not minimize edge-cuts and therefore the replication in the partitions
+//! could be very high."
+//!
+//! Ownership is a pure function of the node id, so — exactly as the paper
+//! notes — no owner table needs to be materialized or shipped; we expose
+//! both the pure function and a table-producing wrapper so the parallel
+//! layer can treat all policies uniformly.
+
+use owlpar_rdf::NodeId;
+
+/// A 64-bit finalizer (splitmix64) — a cheap, well-mixed "generic hash
+/// function" in the paper's sense.
+#[inline]
+pub fn mix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Owner of `node` among `k` partitions, with a `seed` so experiments can
+/// draw independent hash functions.
+#[inline]
+pub fn hash_owner(node: NodeId, k: usize, seed: u64) -> u32 {
+    debug_assert!(k > 0);
+    (mix(node.0 as u64 ^ seed) % k as u64) as u32
+}
+
+/// Materialize owners for a vertex list (streaming over it once).
+pub fn hash_owners(nodes: &[NodeId], k: usize, seed: u64) -> Vec<u32> {
+    nodes.iter().map(|&n| hash_owner(n, k, seed)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash_owner(NodeId(5), 4, 1), hash_owner(NodeId(5), 4, 1));
+    }
+
+    #[test]
+    fn owner_in_range() {
+        for i in 0..1000 {
+            let o = hash_owner(NodeId(i), 7, 3);
+            assert!(o < 7);
+        }
+    }
+
+    #[test]
+    fn roughly_uniform() {
+        let k = 4;
+        let mut counts = vec![0usize; k];
+        for i in 0..10_000 {
+            counts[hash_owner(NodeId(i), k, 42) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((2000..=3000).contains(&c), "skewed: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a: Vec<u32> = (0..100).map(|i| hash_owner(NodeId(i), 8, 1)).collect();
+        let b: Vec<u32> = (0..100).map(|i| hash_owner(NodeId(i), 8, 2)).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn batch_matches_pointwise() {
+        let nodes: Vec<NodeId> = (0..50).map(NodeId).collect();
+        let owners = hash_owners(&nodes, 3, 9);
+        for (i, &n) in nodes.iter().enumerate() {
+            assert_eq!(owners[i], hash_owner(n, 3, 9));
+        }
+    }
+
+    #[test]
+    fn k_one_maps_everything_to_zero() {
+        for i in 0..100 {
+            assert_eq!(hash_owner(NodeId(i), 1, 7), 0);
+        }
+    }
+}

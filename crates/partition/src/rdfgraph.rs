@@ -1,0 +1,123 @@
+//! Build the ownership graph from instance triples.
+//!
+//! "The input RDF graph, in which each triple is represented by two
+//! vertices, one each for the subject and the object, and an edge
+//! representing the property, is considered for partition. All the
+//! vertices are uniformly weighted." (§III-A-1)
+//!
+//! One deviation, documented in DESIGN.md: objects of `rdf:type` triples
+//! (classes) are **not** vertices. Compiled OWL-Horst rules never join on
+//! a class position (classes are constants in the compiled rules), and
+//! making classes vertices would star-connect every instance of a class,
+//! destroying the community structure the partitioner exploits.
+
+use crate::multilevel::CsrGraph;
+use owlpar_rdf::fx::FxHashMap;
+use owlpar_rdf::{NodeId, Triple};
+
+/// The ownership graph plus its vertex ↔ node maps.
+#[derive(Debug, Clone)]
+pub struct OwnershipGraph {
+    /// The undirected graph handed to the partitioner.
+    pub graph: CsrGraph,
+    /// Vertex index → RDF node.
+    pub vertex_to_node: Vec<NodeId>,
+    /// RDF node → vertex index.
+    pub node_to_vertex: FxHashMap<NodeId, u32>,
+}
+
+impl OwnershipGraph {
+    /// Number of ownable resources.
+    pub fn n(&self) -> usize {
+        self.vertex_to_node.len()
+    }
+}
+
+/// Build the ownership graph over `instance` triples. `rdf_type` (when
+/// present in the dictionary) suppresses class-object vertices.
+pub fn build_ownership_graph(instance: &[Triple], rdf_type: Option<NodeId>) -> OwnershipGraph {
+    let mut node_to_vertex: FxHashMap<NodeId, u32> = FxHashMap::default();
+    let mut vertex_to_node: Vec<NodeId> = Vec::new();
+    let vid = |n: NodeId,
+                   node_to_vertex: &mut FxHashMap<NodeId, u32>,
+                   vertex_to_node: &mut Vec<NodeId>| {
+        *node_to_vertex.entry(n).or_insert_with(|| {
+            vertex_to_node.push(n);
+            (vertex_to_node.len() - 1) as u32
+        })
+    };
+    let mut edges: Vec<(usize, usize, u64)> = Vec::new();
+    for t in instance {
+        let s = vid(t.s, &mut node_to_vertex, &mut vertex_to_node);
+        if Some(t.p) == rdf_type {
+            continue; // subject becomes a vertex; class object does not
+        }
+        let o = vid(t.o, &mut node_to_vertex, &mut vertex_to_node);
+        if s != o {
+            edges.push((s as usize, o as usize, 1));
+        }
+    }
+    OwnershipGraph {
+        graph: CsrGraph::from_edges(vertex_to_node.len(), &edges),
+        vertex_to_node,
+        node_to_vertex,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u32, p: u32, o: u32) -> Triple {
+        Triple::new(NodeId(s), NodeId(p), NodeId(o))
+    }
+
+    #[test]
+    fn builds_vertices_for_subjects_and_objects() {
+        let g = build_ownership_graph(&[t(1, 50, 2), t(2, 50, 3)], None);
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.graph.m(), 2);
+        assert!(g.node_to_vertex.contains_key(&NodeId(1)));
+        assert!(g.node_to_vertex.contains_key(&NodeId(3)));
+        // predicates are not vertices
+        assert!(!g.node_to_vertex.contains_key(&NodeId(50)));
+    }
+
+    #[test]
+    fn type_objects_are_not_vertices() {
+        const TYPE: u32 = 9;
+        let g = build_ownership_graph(&[t(1, TYPE, 100), t(1, 50, 2)], Some(NodeId(TYPE)));
+        assert_eq!(g.n(), 2);
+        assert!(!g.node_to_vertex.contains_key(&NodeId(100)));
+    }
+
+    #[test]
+    fn parallel_triples_merge_into_weighted_edge() {
+        let g = build_ownership_graph(&[t(1, 50, 2), t(1, 51, 2), t(2, 52, 1)], None);
+        assert_eq!(g.graph.m(), 1);
+        let w: u64 = g.graph.neighbors(0).map(|(_, w)| w).sum();
+        assert_eq!(w, 3);
+    }
+
+    #[test]
+    fn self_referencing_triple_is_vertex_without_edge() {
+        let g = build_ownership_graph(&[t(1, 50, 1)], None);
+        assert_eq!(g.n(), 1);
+        assert_eq!(g.graph.m(), 0);
+    }
+
+    #[test]
+    fn vertex_maps_are_inverse() {
+        let g = build_ownership_graph(&[t(1, 50, 2), t(3, 50, 4)], None);
+        for (v, &n) in g.vertex_to_node.iter().enumerate() {
+            assert_eq!(g.node_to_vertex[&n] as usize, v);
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let g = build_ownership_graph(&[], None);
+        assert_eq!(g.n(), 0);
+        assert_eq!(g.graph.m(), 0);
+    }
+}

@@ -1,0 +1,177 @@
+//! Linear Deterministic Greedy (LDG) streaming partitioning.
+//!
+//! The paper positions hash partitioning as the streaming option ("the
+//! whole data graph need not be loaded into the memory") and graph
+//! partitioning as the quality option. The streaming-partitioning
+//! literature that followed (Stanton & Kliot 2012) found a middle point:
+//! assign each vertex, in stream order, to the partition holding most of
+//! its already-seen neighbours, damped by a balance penalty:
+//!
+//! ```text
+//! score(p) = |N(v) ∩ P_p| · (1 − |P_p| / C)      C = capacity per part
+//! ```
+//!
+//! One pass, O(1) state per vertex — streaming like hash, but edge-cut
+//! aware like the graph partitioner. Exposed as
+//! [`crate::OwnershipPolicy::Streaming`] so every experiment can compare
+//! all four policies.
+
+use owlpar_rdf::fx::FxHashMap;
+use owlpar_rdf::{NodeId, Triple};
+
+/// Assign an owner to every node by one LDG pass over the triples.
+///
+/// `rdf_type` objects are skipped exactly like the ownership-graph
+/// construction. Returns the owner table.
+pub fn ldg_owners(
+    instance: &[Triple],
+    rdf_type: Option<NodeId>,
+    k: usize,
+) -> FxHashMap<NodeId, u32> {
+    assert!(k >= 1);
+    // Stream vertices in first-appearance order; edges to already-placed
+    // neighbours vote for their partition.
+    let mut owner: FxHashMap<NodeId, u32> = FxHashMap::default();
+    let mut loads: Vec<u64> = vec![0; k];
+
+    let mut neighbours: FxHashMap<NodeId, Vec<NodeId>> = FxHashMap::default();
+    let mut order: Vec<NodeId> = Vec::new();
+    for t in instance {
+        let skip_object = Some(t.p) == rdf_type;
+        if !neighbours.contains_key(&t.s) {
+            order.push(t.s);
+        }
+        let entry = neighbours.entry(t.s).or_default();
+        if !skip_object {
+            entry.push(t.o);
+        }
+        if !skip_object {
+            if !neighbours.contains_key(&t.o) {
+                order.push(t.o);
+            }
+            neighbours.entry(t.o).or_default().push(t.s);
+        }
+    }
+
+    // LDG capacity: the balanced share per partition — the penalty term
+    // reaches zero exactly when a partition is full.
+    let capacity = (order.len() as f64 / k as f64).max(1.0);
+
+    for v in order {
+        let mut best = 0u32;
+        let mut best_score = f64::NEG_INFINITY;
+        let neigh = &neighbours[&v];
+        for p in 0..k {
+            let placed = neigh
+                .iter()
+                .filter(|n| owner.get(n) == Some(&(p as u32)))
+                .count() as f64;
+            let score = (placed + 1e-9) * (1.0 - loads[p] as f64 / capacity);
+            // deterministic tie-break: lightest partition
+            let score = score - loads[p] as f64 * 1e-12;
+            if score > best_score {
+                best_score = score;
+                best = p as u32;
+            }
+        }
+        owner.insert(v, best);
+        loads[best as usize] += 1;
+    }
+    owner
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u32, p: u32, o: u32) -> Triple {
+        Triple::new(NodeId(s), NodeId(p), NodeId(o))
+    }
+
+    /// Two chains with a single bridge — LDG should keep chains intact.
+    fn two_chains() -> Vec<Triple> {
+        let mut v = Vec::new();
+        for base in [0u32, 100] {
+            for i in 0..20 {
+                v.push(t(base + i, 500, base + i + 1));
+            }
+        }
+        v.push(t(20, 500, 100));
+        v
+    }
+
+    #[test]
+    fn covers_all_nodes() {
+        let triples = two_chains();
+        let owner = ldg_owners(&triples, None, 3);
+        for tr in &triples {
+            assert!(owner.contains_key(&tr.s));
+            assert!(owner.contains_key(&tr.o));
+        }
+        assert!(owner.values().all(|&p| p < 3));
+    }
+
+    #[test]
+    fn balances_loads() {
+        let triples = two_chains();
+        let owner = ldg_owners(&triples, None, 2);
+        let mut loads = [0usize; 2];
+        for &p in owner.values() {
+            loads[p as usize] += 1;
+        }
+        let total: usize = loads.iter().sum();
+        for &l in &loads {
+            assert!(l * 3 >= total, "severely unbalanced: {loads:?}");
+        }
+    }
+
+    #[test]
+    fn cuts_fewer_edges_than_hash() {
+        let triples = two_chains();
+        let k = 2;
+        let ldg = ldg_owners(&triples, None, k);
+        let cut = |owner: &FxHashMap<NodeId, u32>| {
+            triples
+                .iter()
+                .filter(|tr| owner[&tr.s] != owner[&tr.o])
+                .count()
+        };
+        let ldg_cut = cut(&ldg);
+        let mut hash = FxHashMap::default();
+        for tr in &triples {
+            for n in [tr.s, tr.o] {
+                hash.entry(n)
+                    .or_insert_with(|| crate::hash::hash_owner(n, k, 7));
+            }
+        }
+        let hash_cut = cut(&hash);
+        assert!(
+            ldg_cut * 2 < hash_cut.max(1) * 1 + ldg_cut + 20,
+            "LDG {ldg_cut} should beat hash {hash_cut} clearly"
+        );
+        assert!(ldg_cut <= hash_cut, "LDG {ldg_cut} vs hash {hash_cut}");
+    }
+
+    #[test]
+    fn type_objects_not_owned() {
+        const TYPE: u32 = 9;
+        let triples = vec![t(1, TYPE, 999), t(1, 500, 2)];
+        let owner = ldg_owners(&triples, Some(NodeId(TYPE)), 2);
+        assert!(!owner.contains_key(&NodeId(999)));
+        assert!(owner.contains_key(&NodeId(1)));
+        assert!(owner.contains_key(&NodeId(2)));
+    }
+
+    #[test]
+    fn deterministic() {
+        let triples = two_chains();
+        assert_eq!(ldg_owners(&triples, None, 4), ldg_owners(&triples, None, 4));
+    }
+
+    #[test]
+    fn k_one() {
+        let triples = two_chains();
+        let owner = ldg_owners(&triples, None, 1);
+        assert!(owner.values().all(|&p| p == 0));
+    }
+}

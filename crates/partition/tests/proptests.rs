@@ -1,0 +1,74 @@
+//! Property tests for the multilevel partitioner: on arbitrary graphs the
+//! result must be a complete, in-range, balanced assignment, and
+//! refinement must never worsen the cut.
+
+use owlpar_partition::multilevel::{partition_kway, CsrGraph, PartitionOptions};
+use proptest::prelude::*;
+
+fn graph_strategy() -> impl Strategy<Value = CsrGraph> {
+    (2usize..200, prop::collection::vec((any::<u32>(), any::<u32>(), 1u64..5), 0..400))
+        .prop_map(|(n, raw)| {
+            let edges: Vec<(usize, usize, u64)> = raw
+                .into_iter()
+                .map(|(a, b, w)| (a as usize % n, b as usize % n, w))
+                .collect();
+            CsrGraph::from_edges(n, &edges)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn assignment_is_complete_and_in_range(g in graph_strategy(), k in 1usize..8, seed in 0u64..50) {
+        let opts = PartitionOptions { seed, ..PartitionOptions::default() };
+        let part = partition_kway(&g, k, &opts);
+        prop_assert_eq!(part.len(), g.n());
+        prop_assert!(part.iter().all(|&p| (p as usize) < k));
+    }
+
+    #[test]
+    fn parts_reasonably_balanced(g in graph_strategy(), k in 2usize..6, seed in 0u64..50) {
+        let opts = PartitionOptions { seed, ..PartitionOptions::default() };
+        let part = partition_kway(&g, k, &opts);
+        let w = g.part_weights(&part, k);
+        let total: u64 = w.iter().sum();
+        let target = total as f64 / k as f64;
+        for &wp in &w {
+            // recursive bisection compounds epsilon per level (log2 k
+            // levels); allow that plus integrality slack
+            let levels = (k as f64).log2().ceil();
+            let bound = target * (1.0 + 0.06 * levels) + levels + 1.0;
+            prop_assert!(
+                (wp as f64) <= bound,
+                "weights {w:?} vs target {target} (k={k})"
+            );
+        }
+    }
+
+    #[test]
+    fn refinement_never_worsens_cut(g in graph_strategy(), seed in 0u64..30) {
+        let refined = partition_kway(&g, 2, &PartitionOptions {
+            seed, refine: true, ..PartitionOptions::default()
+        });
+        let unrefined = partition_kway(&g, 2, &PartitionOptions {
+            seed, refine: false, ..PartitionOptions::default()
+        });
+        prop_assert!(g.edge_cut(&refined) <= g.edge_cut(&unrefined));
+    }
+
+    #[test]
+    fn edge_cut_bounded_by_total_weight(g in graph_strategy(), k in 2usize..6) {
+        let part = partition_kway(&g, k, &PartitionOptions::default());
+        let total_edge_weight: u64 = (0..g.n())
+            .flat_map(|v| g.neighbors(v).map(|(_, w)| w))
+            .sum::<u64>() / 2;
+        prop_assert!(g.edge_cut(&part) <= total_edge_weight);
+    }
+
+    #[test]
+    fn deterministic_per_seed(g in graph_strategy(), k in 1usize..6, seed in 0u64..20) {
+        let opts = PartitionOptions { seed, ..PartitionOptions::default() };
+        prop_assert_eq!(partition_kway(&g, k, &opts), partition_kway(&g, k, &opts));
+    }
+}

@@ -1,0 +1,83 @@
+//! Query AST: SELECT/ASK over a basic graph pattern.
+//!
+//! Patterns reuse the datalog [`Atom`]/`TermPat` machinery (dense
+//! rule-local variable indices); the query keeps the variable *names* so
+//! results can be projected by name.
+
+use owlpar_datalog::ast::Atom;
+
+/// SELECT (rows) or ASK (boolean).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryForm {
+    /// Return bindings of the projected variables.
+    Select,
+    /// Return whether any solution exists.
+    Ask,
+}
+
+/// A parsed, dictionary-encoded query.
+#[derive(Debug, Clone)]
+pub struct Query {
+    /// SELECT or ASK.
+    pub form: QueryForm,
+    /// Variable names in first-occurrence order; `TermPat::Var(i)` in the
+    /// patterns refers to `var_names[i]`.
+    pub var_names: Vec<String>,
+    /// Indices (into `var_names`) of the projected variables, in SELECT
+    /// order. Empty for `SELECT *` means "all variables".
+    pub projection: Vec<u16>,
+    /// The basic graph pattern.
+    pub patterns: Vec<Atom>,
+    /// Deduplicate result rows.
+    pub distinct: bool,
+    /// Optional row cap.
+    pub limit: Option<usize>,
+}
+
+impl Query {
+    /// Indices actually projected (resolves the `SELECT *` convention).
+    pub fn projected(&self) -> Vec<u16> {
+        if self.projection.is_empty() {
+            (0..self.var_names.len() as u16).collect()
+        } else {
+            self.projection.clone()
+        }
+    }
+
+    /// Names of the projected variables, in order.
+    pub fn projected_names(&self) -> Vec<&str> {
+        self.projected()
+            .into_iter()
+            .map(|i| self.var_names[i as usize].as_str())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use owlpar_datalog::ast::build::{atom, v};
+
+    fn q(projection: Vec<u16>) -> Query {
+        Query {
+            form: QueryForm::Select,
+            var_names: vec!["x".into(), "y".into()],
+            projection,
+            patterns: vec![atom(v(0), v(1), v(0))],
+            distinct: false,
+            limit: None,
+        }
+    }
+
+    #[test]
+    fn star_projects_all() {
+        assert_eq!(q(vec![]).projected(), vec![0, 1]);
+        assert_eq!(q(vec![]).projected_names(), vec!["x", "y"]);
+    }
+
+    #[test]
+    fn explicit_projection_keeps_order() {
+        assert_eq!(q(vec![1, 0]).projected(), vec![1, 0]);
+        assert_eq!(q(vec![1, 0]).projected_names(), vec!["y", "x"]);
+    }
+}

@@ -1,0 +1,251 @@
+//! BGP execution: index-driven nested-loop joins with greedy
+//! most-bound-first ordering (the same join discipline the datalog
+//! engine uses, so query performance matches closure performance).
+
+use crate::ast::{Query, QueryForm};
+use owlpar_datalog::ast::Bindings;
+use owlpar_rdf::fx::FxHashSet;
+use owlpar_rdf::{NodeId, TripleStore};
+
+/// One result row: the values of the projected variables, in projection
+/// order.
+pub type Row = Vec<NodeId>;
+
+/// Evaluate a SELECT query; ASK queries yield zero or one empty row
+/// (prefer [`ask`]).
+pub fn execute(store: &TripleStore, q: &Query) -> Vec<Row> {
+    let projected = q.projected();
+    let mut rows: Vec<Row> = Vec::new();
+    let mut seen: FxHashSet<Row> = FxHashSet::default();
+    let mut remaining: Vec<usize> = (0..q.patterns.len()).collect();
+    let bindings: Bindings = vec![None; q.var_names.len()];
+    let early_exit = q.form == QueryForm::Ask;
+    join(
+        store,
+        q,
+        &mut remaining,
+        bindings,
+        &projected,
+        &mut rows,
+        &mut seen,
+        early_exit,
+    );
+    rows
+}
+
+/// Evaluate an ASK query (or "does this SELECT have any solution").
+pub fn ask(store: &TripleStore, q: &Query) -> bool {
+    let mut probe = q.clone();
+    probe.form = QueryForm::Ask;
+    probe.limit = Some(1);
+    !execute(store, &probe).is_empty()
+}
+
+#[allow(clippy::too_many_arguments)]
+fn join(
+    store: &TripleStore,
+    q: &Query,
+    remaining: &mut Vec<usize>,
+    bindings: Bindings,
+    projected: &[u16],
+    rows: &mut Vec<Row>,
+    seen: &mut FxHashSet<Row>,
+    early_exit: bool,
+) -> bool {
+    if let Some(limit) = q.limit {
+        if rows.len() >= limit {
+            return true; // saturated
+        }
+    }
+    if remaining.is_empty() {
+        let row: Row = projected
+            .iter()
+            .map(|&i| bindings[i as usize].expect("projected var bound by patterns"))
+            .collect();
+        if !q.distinct || seen.insert(row.clone()) {
+            rows.push(row);
+        }
+        return early_exit || q.limit.is_some_and(|l| rows.len() >= l);
+    }
+    // cheapest next pattern: most bound positions under current bindings
+    let (slot, _) = remaining
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, &i)| q.patterns[i].to_pattern(&bindings).bound_count())
+        .expect("non-empty");
+    let atom_idx = remaining.swap_remove(slot);
+    let atom = q.patterns[atom_idx];
+    let pat = atom.to_pattern(&bindings);
+    let mut done = false;
+    let mut matches = Vec::new();
+    store.for_each_match(pat, |t| matches.push(t));
+    for t in matches {
+        if done {
+            break;
+        }
+        if let Some(b) = atom.match_triple(&t, &bindings) {
+            done = join(store, q, remaining, b, projected, rows, seen, early_exit);
+        }
+    }
+    remaining.push(atom_idx);
+    done
+}
+
+/// Decode a result row into display strings via the dictionary.
+pub fn render_row(dict: &owlpar_rdf::Dictionary, row: &Row) -> Vec<String> {
+    row.iter()
+        .map(|&id| {
+            dict.term(id)
+                .map(|t| t.to_string())
+                .unwrap_or_else(|| format!("{id}"))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+    use owlpar_rdf::{Graph, Term};
+
+    fn campus() -> Graph {
+        let mut g = Graph::new();
+        let tr = [
+            ("alice", "type", "Student"),
+            ("bob", "type", "Student"),
+            ("carol", "type", "Professor"),
+            ("alice", "takes", "cs101"),
+            ("alice", "takes", "cs102"),
+            ("bob", "takes", "cs101"),
+            ("carol", "teaches", "cs101"),
+            ("carol", "teaches", "cs102"),
+        ];
+        for (s, p, o) in tr {
+            g.insert_iris(
+                format!("http://x/{s}"),
+                format!("http://x/{p}"),
+                format!("http://x/{o}"),
+            );
+        }
+        g
+    }
+
+    fn run(g: &mut Graph, src: &str) -> Vec<Vec<String>> {
+        let q = parse_query(src, &mut g.dict).unwrap();
+        let mut rows: Vec<Vec<String>> = execute(&g.store, &q)
+            .iter()
+            .map(|r| render_row(&g.dict, r))
+            .collect();
+        rows.sort();
+        rows
+    }
+
+    #[test]
+    fn single_pattern_select() {
+        let mut g = campus();
+        let rows = run(
+            &mut g,
+            "SELECT ?s WHERE { ?s <http://x/type> <http://x/Student> }",
+        );
+        assert_eq!(rows, vec![vec!["<http://x/alice>"], vec!["<http://x/bob>"]]);
+    }
+
+    #[test]
+    fn two_pattern_join() {
+        let mut g = campus();
+        // students in a course carol teaches
+        let rows = run(
+            &mut g,
+            "SELECT DISTINCT ?s WHERE { \
+                ?s <http://x/takes> ?c . \
+                <http://x/carol> <http://x/teaches> ?c . }",
+        );
+        assert_eq!(rows, vec![vec!["<http://x/alice>"], vec!["<http://x/bob>"]]);
+    }
+
+    #[test]
+    fn three_way_join_projects_in_order() {
+        let mut g = campus();
+        let rows = run(
+            &mut g,
+            "SELECT ?c ?s WHERE { \
+                ?s <http://x/type> <http://x/Student> . \
+                ?s <http://x/takes> ?c . \
+                ?t <http://x/teaches> ?c . }",
+        );
+        assert_eq!(rows.len(), 3); // (cs101,alice),(cs101,bob),(cs102,alice)
+        assert!(rows.iter().all(|r| r[0].contains("cs")));
+    }
+
+    #[test]
+    fn distinct_dedupes() {
+        let mut g = campus();
+        let with = run(&mut g, "SELECT DISTINCT ?c WHERE { ?s <http://x/takes> ?c }");
+        let without = run(&mut g, "SELECT ?c WHERE { ?s <http://x/takes> ?c }");
+        assert_eq!(with.len(), 2);
+        assert_eq!(without.len(), 3);
+    }
+
+    #[test]
+    fn limit_caps_rows() {
+        let mut g = campus();
+        let rows = run(&mut g, "SELECT ?s ?p ?o WHERE { ?s ?p ?o } LIMIT 3");
+        assert_eq!(rows.len(), 3);
+    }
+
+    #[test]
+    fn ask_true_and_false() {
+        let mut g = campus();
+        let yes = parse_query(
+            "ASK { <http://x/alice> <http://x/takes> <http://x/cs101> }",
+            &mut g.dict,
+        )
+        .unwrap();
+        assert!(ask(&g.store, &yes));
+        let no = parse_query(
+            "ASK { <http://x/bob> <http://x/teaches> ?c }",
+            &mut g.dict,
+        )
+        .unwrap();
+        assert!(!ask(&g.store, &no));
+    }
+
+    #[test]
+    fn unbound_query_on_empty_store() {
+        let mut g = Graph::new();
+        let q = parse_query("SELECT ?s WHERE { ?s ?p ?o }", &mut g.dict).unwrap();
+        assert!(execute(&g.store, &q).is_empty());
+    }
+
+    #[test]
+    fn shared_variable_within_pattern() {
+        let mut g = campus();
+        g.insert_iris("http://x/n", "http://x/loop", "http://x/n");
+        let rows = run(&mut g, "SELECT ?n WHERE { ?n <http://x/loop> ?n }");
+        assert_eq!(rows, vec![vec!["<http://x/n>"]]);
+    }
+
+    #[test]
+    fn literal_constants_match() {
+        let mut g = campus();
+        g.insert_terms(
+            Term::iri("http://x/alice"),
+            Term::iri("http://x/name"),
+            Term::literal("Alice"),
+        );
+        let rows = run(&mut g, "SELECT ?s WHERE { ?s <http://x/name> \"Alice\" }");
+        assert_eq!(rows, vec![vec!["<http://x/alice>"]]);
+    }
+
+    #[test]
+    fn cross_product_patterns_allowed() {
+        let mut g = campus();
+        let rows = run(
+            &mut g,
+            "SELECT ?a ?b WHERE { \
+               ?a <http://x/type> <http://x/Professor> . \
+               ?b <http://x/type> <http://x/Student> . }",
+        );
+        assert_eq!(rows.len(), 2); // carol × {alice, bob}
+    }
+}

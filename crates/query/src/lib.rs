@@ -1,0 +1,38 @@
+//! A SPARQL-lite query engine over materialized knowledge bases.
+//!
+//! Materialized KBs exist to make queries cheap: "materialized
+//! knowledge-bases trade off space and increased loading time for shorter
+//! query times" (§I). This crate supplies the query side of that
+//! trade-off so the repository is a usable system, not just a closure
+//! computer:
+//!
+//! * [`ast`] — queries as SELECT/ASK over basic graph patterns;
+//! * [`parser`] — a SPARQL-lite surface syntax (`PREFIX`, `SELECT`,
+//!   `ASK`, `WHERE`, `DISTINCT`, `LIMIT`);
+//! * [`exec`] — index-driven BGP evaluation (greedy most-bound-first
+//!   join ordering, the same discipline as the datalog engine);
+//! * [`lubm`] — the 14 LUBM benchmark queries, adapted to the
+//!   `owlpar-datagen` universe.
+//!
+//! ```
+//! use owlpar_rdf::Graph;
+//! use owlpar_query::{execute, parse_query};
+//!
+//! let mut g = Graph::new();
+//! g.insert_iris("http://x/alice", "http://x/knows", "http://x/bob");
+//! let q = parse_query(
+//!     "SELECT ?who WHERE { <http://x/alice> <http://x/knows> ?who . }",
+//!     &mut g.dict,
+//! ).unwrap();
+//! let rows = execute(&g.store, &q);
+//! assert_eq!(rows.len(), 1);
+//! ```
+
+pub mod ast;
+pub mod exec;
+pub mod lubm;
+pub mod parser;
+
+pub use ast::{Query, QueryForm};
+pub use exec::{ask, execute, Row};
+pub use parser::parse_query;

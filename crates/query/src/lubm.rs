@@ -1,0 +1,191 @@
+//! The 14 LUBM benchmark queries, adapted to the `owlpar-datagen`
+//! universe (same class/property vocabulary; the selective constants
+//! reference university 0 / department 0 of the generated world).
+//!
+//! Several queries are *deliberately* empty on the raw data and only
+//! answerable after OWL-Horst materialization — that dependency is the
+//! benchmark's point, and `tests/` plus the `sparql_queries` example
+//! assert it: Q5 (subproperty), Q6/Q10/Q14 (subclass), Q11
+//! (transitivity), Q13 (inverse).
+
+/// The `ub:` prefix declaration shared by all queries.
+pub const PREFIX: &str =
+    "PREFIX ub: <http://swat.lehigh.edu/onto/univ-bench.owl#>\n";
+
+/// `(name, requires_inference, sparql)` for LUBM Q1–Q14.
+pub fn queries() -> Vec<(&'static str, bool, String)> {
+    let dept0 = "<http://www.univ0.edu/dept0>";
+    let univ0 = "<http://www.univ0.edu/university>";
+    let course = "<http://www.univ0.edu/dept0/course0_0>";
+    let prof = "<http://www.univ0.edu/dept0/fullprof0>";
+
+    let q = |body: String| format!("{PREFIX}{body}");
+    vec![
+        (
+            "Q1",
+            false,
+            q(format!(
+                "SELECT ?x WHERE {{ ?x a ub:GraduateStudent . ?x ub:takesCourse {course} . }}"
+            )),
+        ),
+        (
+            "Q2",
+            // in our universe students' memberOf and the dept→university
+            // subOrganizationOf edges are asserted, so Q2 is answerable raw
+            false,
+            q(format!(
+                "SELECT ?x ?y WHERE {{ ?x a ub:GraduateStudent . ?x ub:memberOf ?y . \
+                 ?y ub:subOrganizationOf {univ0} . ?x ub:undergraduateDegreeFrom {univ0} . }}"
+            )),
+        ),
+        (
+            "Q3",
+            false,
+            q(format!(
+                "SELECT ?x WHERE {{ ?x a ub:Publication . ?x ub:publicationAuthor {prof} . }}"
+            )),
+        ),
+        (
+            "Q4",
+            true, // Professor supertype via subclass inference
+            q(format!(
+                "SELECT DISTINCT ?x ?email WHERE {{ ?x a ub:Professor . \
+                 ?x ub:worksFor {dept0} . ?x ub:emailAddress ?email . }}"
+            )),
+        ),
+        (
+            "Q5",
+            true, // memberOf from worksFor/headOf subproperties
+            q(format!(
+                "SELECT DISTINCT ?x WHERE {{ ?x a ub:Person . ?x ub:memberOf {dept0} . }}"
+            )),
+        ),
+        (
+            "Q6",
+            true, // Student supertype
+            q("SELECT ?x WHERE { ?x a ub:Student . }".to_string()),
+        ),
+        (
+            "Q7",
+            false,
+            q(format!(
+                "SELECT DISTINCT ?x ?y WHERE {{ ?x ub:takesCourse ?y . \
+                 {prof} ub:teacherOf ?y . }}"
+            )),
+        ),
+        (
+            "Q8",
+            true, // memberOf + Student supertypes
+            q(format!(
+                "SELECT DISTINCT ?x ?y WHERE {{ ?x a ub:Student . ?x ub:memberOf ?y . \
+                 ?y ub:subOrganizationOf {univ0} . }}"
+            )),
+        ),
+        (
+            "Q9",
+            false,
+            q("SELECT DISTINCT ?x ?y ?z WHERE { ?x ub:advisor ?y . \
+               ?y ub:teacherOf ?z . ?x ub:takesCourse ?z . }"
+                .to_string()),
+        ),
+        (
+            "Q10",
+            true, // Student supertype
+            q(format!(
+                "SELECT ?x WHERE {{ ?x a ub:Student . ?x ub:takesCourse {course} . }}"
+            )),
+        ),
+        (
+            "Q11",
+            true, // subOrganizationOf transitivity (groups → university)
+            q(format!(
+                "SELECT ?x WHERE {{ ?x a ub:ResearchGroup . \
+                 ?x ub:subOrganizationOf {univ0} . }}"
+            )),
+        ),
+        (
+            "Q12",
+            true, // memberOf derived from headOf via two subPropertyOf hops
+            q(format!(
+                "SELECT DISTINCT ?x ?y WHERE {{ ?x ub:headOf ?y . ?x ub:memberOf ?y . \
+                 ?y ub:subOrganizationOf {univ0} . }}"
+            )),
+        ),
+        (
+            "Q13",
+            true, // hasAlumnus = inverseOf(degreeFrom)
+            q(format!(
+                "SELECT ?x WHERE {{ {univ0} ub:hasAlumnus ?x . }}"
+            )),
+        ),
+        (
+            "Q14",
+            false,
+            q("SELECT ?x WHERE { ?x a ub:UndergraduateStudent . }".to_string()),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::execute;
+    use crate::parser::parse_query;
+    use owlpar_datagen::{generate_lubm, LubmConfig};
+    use owlpar_datalog::MaterializationStrategy;
+    use owlpar_horst::HorstReasoner;
+    use owlpar_rdf::Graph;
+
+    fn worlds() -> (Graph, Graph) {
+        let raw = generate_lubm(&LubmConfig {
+            universities: 2,
+            scale: 0.1,
+            seed: 42,
+        });
+        let mut closed = raw.clone();
+        let hr =
+            HorstReasoner::from_graph(&mut closed, MaterializationStrategy::ForwardSemiNaive);
+        hr.materialize(&mut closed);
+        (raw, closed)
+    }
+
+    #[test]
+    fn all_queries_parse() {
+        let mut d = owlpar_rdf::Dictionary::new();
+        for (name, _, src) in queries() {
+            parse_query(&src, &mut d).unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+    }
+
+    #[test]
+    fn queries_answerable_after_materialization() {
+        let (_, mut closed) = worlds();
+        for (name, _, src) in queries() {
+            let q = parse_query(&src, &mut closed.dict).unwrap();
+            let rows = execute(&closed.store, &q);
+            assert!(!rows.is_empty(), "{name} empty on materialized KB");
+        }
+    }
+
+    #[test]
+    fn inference_dependent_queries_need_materialization() {
+        let (mut raw, mut closed) = worlds();
+        for (name, needs_inference, src) in queries() {
+            let q_raw = parse_query(&src, &mut raw.dict).unwrap();
+            let raw_rows = execute(&raw.store, &q_raw).len();
+            let q_closed = parse_query(&src, &mut closed.dict).unwrap();
+            let closed_rows = execute(&closed.store, &q_closed).len();
+            if needs_inference {
+                assert!(
+                    closed_rows > raw_rows,
+                    "{name}: materialization must add answers ({raw_rows} -> {closed_rows})"
+                );
+            } else {
+                assert_eq!(
+                    closed_rows, raw_rows,
+                    "{name}: should not depend on inference"
+                );
+            }
+        }
+    }
+}

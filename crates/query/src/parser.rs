@@ -1,0 +1,378 @@
+//! The SPARQL-lite surface syntax.
+//!
+//! Supported grammar (enough for the whole LUBM query mix):
+//!
+//! ```text
+//! query    := prefix* ( select | ask )
+//! prefix   := 'PREFIX' NAME ':' '<' IRI '>'
+//! select   := 'SELECT' 'DISTINCT'? ( '*' | var+ ) 'WHERE' block limit?
+//! ask      := 'ASK' block
+//! block    := '{' ( pattern '.' )* pattern? '}'
+//! pattern  := term term term
+//! term     := var | '<' IRI '>' | NAME ':' NAME | '"' text '"' | 'a'
+//! limit    := 'LIMIT' INT
+//! ```
+//!
+//! `a` abbreviates `rdf:type` as in Turtle/SPARQL. The builtin prefixes
+//! `rdf:`, `rdfs:`, `owl:`, `xsd:` are predeclared.
+
+use crate::ast::{Query, QueryForm};
+use owlpar_datalog::ast::{Atom, TermPat};
+use owlpar_rdf::{vocab, Dictionary, Term};
+use std::collections::HashMap;
+
+/// Query parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryParseError {
+    /// Byte offset of the failure.
+    pub offset: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl std::fmt::Display for QueryParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "query parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for QueryParseError {}
+
+/// Parse a SPARQL-lite query, interning constants into `dict`.
+pub fn parse_query(src: &str, dict: &mut Dictionary) -> Result<Query, QueryParseError> {
+    let mut p = P {
+        src,
+        bytes: src.as_bytes(),
+        pos: 0,
+        dict,
+        prefixes: [
+            ("rdf".to_string(), vocab::RDF_NS.to_string()),
+            ("rdfs".to_string(), vocab::RDFS_NS.to_string()),
+            ("owl".to_string(), vocab::OWL_NS.to_string()),
+            ("xsd".to_string(), vocab::XSD_NS.to_string()),
+        ]
+        .into_iter()
+        .collect(),
+        vars: Vec::new(),
+    };
+    p.parse()
+}
+
+struct P<'a, 'd> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    dict: &'d mut Dictionary,
+    prefixes: HashMap<String, String>,
+    vars: Vec<String>,
+}
+
+impl P<'_, '_> {
+    fn err(&self, m: impl Into<String>) -> QueryParseError {
+        QueryParseError {
+            offset: self.pos,
+            message: m.into(),
+        }
+    }
+
+    fn ws(&mut self) {
+        loop {
+            while self
+                .bytes
+                .get(self.pos)
+                .is_some_and(|c| c.is_ascii_whitespace())
+            {
+                self.pos += 1;
+            }
+            if self.bytes.get(self.pos) == Some(&b'#') {
+                while !matches!(self.bytes.get(self.pos), None | Some(b'\n')) {
+                    self.pos += 1;
+                }
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn keyword(&mut self, kw: &str) -> bool {
+        self.ws();
+        let rest = &self.src[self.pos..];
+        if rest.len() >= kw.len() && rest[..kw.len()].eq_ignore_ascii_case(kw) {
+            let after = rest.as_bytes().get(kw.len());
+            let boundary = after.map_or(true, |c| !c.is_ascii_alphanumeric());
+            if boundary {
+                self.pos += kw.len();
+                return true;
+            }
+        }
+        false
+    }
+
+    fn ident(&mut self) -> Result<String, QueryParseError> {
+        self.ws();
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|&c| c.is_ascii_alphanumeric() || c == b'_' || c == b'-')
+        {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.err("expected identifier"));
+        }
+        Ok(self.src[start..self.pos].to_string())
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), QueryParseError> {
+        self.ws();
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn parse(&mut self) -> Result<Query, QueryParseError> {
+        while self.keyword("PREFIX") {
+            let name = self.ident()?;
+            self.expect(b':')?;
+            self.expect(b'<')?;
+            let start = self.pos;
+            while self.bytes.get(self.pos).is_some_and(|&c| c != b'>') {
+                self.pos += 1;
+            }
+            let iri = self.src[start..self.pos].to_string();
+            self.expect(b'>')?;
+            self.prefixes.insert(name, iri);
+        }
+
+        let (form, projection, distinct) = if self.keyword("SELECT") {
+            let distinct = self.keyword("DISTINCT");
+            let mut projection: Vec<u16> = Vec::new();
+            self.ws();
+            if self.bytes.get(self.pos) == Some(&b'*') {
+                self.pos += 1;
+            } else {
+                loop {
+                    self.ws();
+                    if self.bytes.get(self.pos) != Some(&b'?') {
+                        break;
+                    }
+                    self.pos += 1;
+                    let name = self.ident()?;
+                    projection.push(self.var_index(name));
+                }
+                if projection.is_empty() {
+                    return Err(self.err("SELECT needs '*' or at least one ?var"));
+                }
+            }
+            (QueryForm::Select, projection, distinct)
+        } else if self.keyword("ASK") {
+            (QueryForm::Ask, Vec::new(), false)
+        } else {
+            return Err(self.err("expected SELECT or ASK"));
+        };
+
+        if form == QueryForm::Select && !self.keyword("WHERE") {
+            return Err(self.err("expected WHERE"));
+        }
+        self.keyword("WHERE"); // optional before ASK's block
+
+        self.expect(b'{')?;
+        let mut patterns = Vec::new();
+        loop {
+            self.ws();
+            if self.bytes.get(self.pos) == Some(&b'}') {
+                self.pos += 1;
+                break;
+            }
+            let s = self.term()?;
+            let p = self.term()?;
+            let o = self.term()?;
+            patterns.push(Atom::new(s, p, o));
+            self.ws();
+            if self.bytes.get(self.pos) == Some(&b'.') {
+                self.pos += 1;
+            }
+        }
+        if patterns.is_empty() {
+            return Err(self.err("empty graph pattern"));
+        }
+
+        let limit = if self.keyword("LIMIT") {
+            self.ws();
+            let start = self.pos;
+            while self.bytes.get(self.pos).is_some_and(u8::is_ascii_digit) {
+                self.pos += 1;
+            }
+            Some(
+                self.src[start..self.pos]
+                    .parse()
+                    .map_err(|_| self.err("LIMIT needs an integer"))?,
+            )
+        } else {
+            None
+        };
+
+        self.ws();
+        if self.pos != self.bytes.len() {
+            return Err(self.err("trailing content after query"));
+        }
+        Ok(Query {
+            form,
+            var_names: std::mem::take(&mut self.vars),
+            projection,
+            patterns,
+            distinct,
+            limit,
+        })
+    }
+
+    fn var_index(&mut self, name: String) -> u16 {
+        if let Some(i) = self.vars.iter().position(|v| *v == name) {
+            return i as u16;
+        }
+        self.vars.push(name);
+        (self.vars.len() - 1) as u16
+    }
+
+    fn term(&mut self) -> Result<TermPat, QueryParseError> {
+        self.ws();
+        match self.bytes.get(self.pos) {
+            Some(b'?') => {
+                self.pos += 1;
+                let name = self.ident()?;
+                Ok(TermPat::Var(self.var_index(name)))
+            }
+            Some(b'<') => {
+                self.pos += 1;
+                let start = self.pos;
+                while self.bytes.get(self.pos).is_some_and(|&c| c != b'>') {
+                    self.pos += 1;
+                }
+                if self.pos >= self.bytes.len() {
+                    return Err(self.err("unterminated IRI"));
+                }
+                let iri = &self.src[start..self.pos];
+                self.pos += 1;
+                Ok(TermPat::Const(self.dict.intern(Term::iri(iri))))
+            }
+            Some(b'"') => {
+                self.pos += 1;
+                let start = self.pos;
+                while self.bytes.get(self.pos).is_some_and(|&c| c != b'"') {
+                    self.pos += 1;
+                }
+                if self.pos >= self.bytes.len() {
+                    return Err(self.err("unterminated literal"));
+                }
+                let lit = &self.src[start..self.pos];
+                self.pos += 1;
+                Ok(TermPat::Const(self.dict.intern(Term::literal(lit))))
+            }
+            Some(c) if c.is_ascii_alphabetic() => {
+                let first = self.ident()?;
+                self.ws();
+                if self.bytes.get(self.pos) == Some(&b':') {
+                    self.pos += 1;
+                    let local = self.ident()?;
+                    let ns = self
+                        .prefixes
+                        .get(&first)
+                        .ok_or_else(|| self.err(format!("unknown prefix '{first}'")))?;
+                    let iri = format!("{ns}{local}");
+                    Ok(TermPat::Const(self.dict.intern(Term::iri(iri))))
+                } else if first == "a" {
+                    Ok(TermPat::Const(self.dict.intern(Term::iri(vocab::RDF_TYPE))))
+                } else {
+                    Err(self.err(format!("bare word '{first}' (did you mean a prefixed name?)")))
+                }
+            }
+            _ => Err(self.err("expected ?var, <iri>, prefix:name, \"literal\" or 'a'")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> Query {
+        let mut d = Dictionary::new();
+        parse_query(src, &mut d).unwrap()
+    }
+
+    #[test]
+    fn parses_simple_select() {
+        let q = parse("SELECT ?x WHERE { ?x a <http://x/C> . }");
+        assert_eq!(q.form, QueryForm::Select);
+        assert_eq!(q.var_names, vec!["x"]);
+        assert_eq!(q.patterns.len(), 1);
+        assert!(!q.distinct);
+        assert_eq!(q.limit, None);
+    }
+
+    #[test]
+    fn parses_multi_pattern_with_prefixes() {
+        let q = parse(
+            "PREFIX ub: <http://u/> \
+             SELECT DISTINCT ?s ?c WHERE { ?s a ub:Student . ?s ub:takes ?c . } LIMIT 10",
+        );
+        assert!(q.distinct);
+        assert_eq!(q.limit, Some(10));
+        assert_eq!(q.patterns.len(), 2);
+        assert_eq!(q.projected_names(), vec!["s", "c"]);
+    }
+
+    #[test]
+    fn select_star_projects_all_vars() {
+        let q = parse("SELECT * WHERE { ?a ?p ?b . }");
+        assert_eq!(q.projected_names(), vec!["a", "p", "b"]);
+    }
+
+    #[test]
+    fn parses_ask() {
+        let q = parse("ASK { <http://x/a> <http://x/p> \"lit\" }");
+        assert_eq!(q.form, QueryForm::Ask);
+        assert!(q.var_names.is_empty());
+    }
+
+    #[test]
+    fn same_var_same_index() {
+        let q = parse("SELECT ?x WHERE { ?x ?p ?x . }");
+        assert_eq!(q.var_names.len(), 2);
+        assert_eq!(q.patterns[0].s, q.patterns[0].o);
+    }
+
+    #[test]
+    fn keyword_case_insensitive_and_comments() {
+        let q = parse("# find them all\nselect ?x where { ?x a <http://x/C> }");
+        assert_eq!(q.var_names, vec!["x"]);
+    }
+
+    #[test]
+    fn builtin_prefixes_work() {
+        let mut d = Dictionary::new();
+        let q = parse_query("SELECT ?x WHERE { ?x rdf:type owl:Class }", &mut d).unwrap();
+        let pat = q.patterns[0];
+        let p = pat.p.as_const().unwrap();
+        assert_eq!(d.term(p).unwrap(), &Term::iri(vocab::RDF_TYPE));
+    }
+
+    #[test]
+    fn errors() {
+        let mut d = Dictionary::new();
+        for (src, why) in [
+            ("SELECT WHERE { ?x a ?y }", "no projection"),
+            ("SELECT ?x { ?x a ?y }", "missing WHERE"),
+            ("SELECT ?x WHERE { }", "empty pattern"),
+            ("SELECT ?x WHERE { ?x a foo:bar }", "unknown prefix"),
+            ("FROB ?x WHERE { ?x a ?y }", "bad form"),
+            ("SELECT ?x WHERE { ?x a ?y } garbage", "trailing"),
+        ] {
+            assert!(parse_query(src, &mut d).is_err(), "{why}");
+        }
+    }
+}

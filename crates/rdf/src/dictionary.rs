@@ -1,0 +1,187 @@
+//! Dictionary encoding: a two-way interner mapping [`Term`]s to dense
+//! `u32` ids.
+//!
+//! All reasoning, partitioning and communication operate on ids; the
+//! dictionary is consulted only at system edges. Ids are allocated densely
+//! from 0, which lets the partitioners use plain vectors indexed by id
+//! instead of hash maps.
+
+use crate::fx::FxHashMap;
+use crate::term::Term;
+use serde::{Deserialize, Serialize};
+
+/// Dense identifier of an interned term. `NodeId(u32)` keeps encoded
+/// triples at 12 bytes, well under the 128-byte memcpy threshold.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The id as a `usize`, for vector indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A two-way `Term` ↔ `NodeId` mapping.
+///
+/// Interning an already-present term returns its existing id; the mapping
+/// is injective in both directions.
+#[derive(Debug, Default, Clone)]
+pub struct Dictionary {
+    terms: Vec<Term>,
+    ids: FxHashMap<Term, NodeId>,
+}
+
+impl Dictionary {
+    /// An empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct interned terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// `true` iff nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Intern a term, returning its (possibly pre-existing) id.
+    pub fn intern(&mut self, term: Term) -> NodeId {
+        if let Some(&id) = self.ids.get(&term) {
+            return id;
+        }
+        let id = NodeId(
+            u32::try_from(self.terms.len()).expect("dictionary overflow: more than 2^32 terms"),
+        );
+        self.terms.push(term.clone());
+        self.ids.insert(term, id);
+        id
+    }
+
+    /// Convenience: intern an IRI given as a string.
+    pub fn intern_iri(&mut self, iri: impl AsRef<str>) -> NodeId {
+        self.intern(Term::iri(iri))
+    }
+
+    /// Look up the id of a term without interning.
+    pub fn id(&self, term: &Term) -> Option<NodeId> {
+        self.ids.get(term).copied()
+    }
+
+    /// Look up the term for an id.
+    pub fn term(&self, id: NodeId) -> Option<&Term> {
+        self.terms.get(id.index())
+    }
+
+    /// Iterate over `(id, term)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &Term)> {
+        self.terms
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (NodeId(i as u32), t))
+    }
+
+    /// Merge another dictionary into this one, returning a remapping table
+    /// `other_id -> self_id`. Used when the master aggregates partition
+    /// outputs that were encoded against per-worker dictionaries.
+    pub fn merge(&mut self, other: &Dictionary) -> Vec<NodeId> {
+        other
+            .terms
+            .iter()
+            .map(|t| self.intern(t.clone()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut d = Dictionary::new();
+        let a = d.intern(Term::iri("http://x/a"));
+        let b = d.intern(Term::iri("http://x/a"));
+        assert_eq!(a, b);
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn ids_are_dense_from_zero() {
+        let mut d = Dictionary::new();
+        for i in 0..100 {
+            let id = d.intern(Term::iri(format!("http://x/{i}")));
+            assert_eq!(id, NodeId(i));
+        }
+    }
+
+    #[test]
+    fn roundtrip_id_term() {
+        let mut d = Dictionary::new();
+        let t = Term::lang_literal("bonjour", "fr");
+        let id = d.intern(t.clone());
+        assert_eq!(d.term(id), Some(&t));
+        assert_eq!(d.id(&t), Some(id));
+        assert_eq!(d.id(&Term::literal("bonjour")), None);
+    }
+
+    #[test]
+    fn term_lookup_out_of_range_is_none() {
+        let d = Dictionary::new();
+        assert_eq!(d.term(NodeId(5)), None);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn distinct_literal_kinds_get_distinct_ids() {
+        let mut d = Dictionary::new();
+        let a = d.intern(Term::literal("x"));
+        let b = d.intern(Term::lang_literal("x", "en"));
+        let c = d.intern(Term::typed_literal("x", "http://dt"));
+        let e = d.intern(Term::iri("x"));
+        let f = d.intern(Term::blank("x"));
+        let all = [a, b, c, e, f];
+        for (i, x) in all.iter().enumerate() {
+            for y in &all[i + 1..] {
+                assert_ne!(x, y);
+            }
+        }
+    }
+
+    #[test]
+    fn merge_produces_correct_remap() {
+        let mut d1 = Dictionary::new();
+        d1.intern_iri("http://x/a");
+        d1.intern_iri("http://x/b");
+
+        let mut d2 = Dictionary::new();
+        d2.intern_iri("http://x/b"); // id 0 in d2, id 1 in d1
+        d2.intern_iri("http://x/c"); // id 1 in d2, new in d1
+
+        let remap = d1.merge(&d2);
+        assert_eq!(remap, vec![NodeId(1), NodeId(2)]);
+        assert_eq!(d1.len(), 3);
+        assert_eq!(d1.term(NodeId(2)), Some(&Term::iri("http://x/c")));
+    }
+
+    #[test]
+    fn iter_yields_in_id_order() {
+        let mut d = Dictionary::new();
+        d.intern_iri("http://x/a");
+        d.intern_iri("http://x/b");
+        let pairs: Vec<_> = d.iter().map(|(id, _)| id).collect();
+        assert_eq!(pairs, vec![NodeId(0), NodeId(1)]);
+    }
+}

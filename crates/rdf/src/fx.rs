@@ -1,0 +1,126 @@
+//! A small, fast, non-cryptographic hasher (the rustc "Fx" multiply-xor
+//! scheme) plus type aliases used throughout the workspace.
+//!
+//! The dictionary and the triple-store indexes hash millions of small
+//! integer keys on the closure hot path; SipHash's HashDoS protection is
+//! unnecessary there (all keys are internally generated dense ids), so we
+//! trade it for raw speed, as recommended by the Rust Performance Book.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant from the Firefox/rustc Fx hash (64-bit).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Multiply-xor hasher; extremely fast for short keys such as `u32`/`u64`
+/// ids and short byte strings.
+#[derive(Default, Clone, Copy)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// Drop-in `HashMap` replacement keyed with the Fx hash.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// Drop-in `HashSet` replacement keyed with the Fx hash.
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(v: T) -> u64 {
+        FxBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        assert_eq!(hash_of(42u32), hash_of(42u32));
+        assert_eq!(hash_of("abc"), hash_of("abc"));
+    }
+
+    #[test]
+    fn distinct_small_integers_hash_distinctly() {
+        let hashes: FxHashSet<u64> = (0u32..1000).map(hash_of).collect();
+        assert_eq!(hashes.len(), 1000, "no collisions expected on tiny range");
+    }
+
+    #[test]
+    fn byte_remainder_paths_differ() {
+        // exercises the chunks_exact remainder handling
+        assert_ne!(hash_of(&b"1234567"[..]), hash_of(&b"12345678"[..]));
+        assert_ne!(hash_of(&b"12345678"[..]), hash_of(&b"123456789"[..]));
+    }
+
+    #[test]
+    fn map_and_set_are_usable() {
+        let mut m: FxHashMap<u32, u32> = FxHashMap::default();
+        m.insert(1, 2);
+        assert_eq!(m.get(&1), Some(&2));
+        let mut s: FxHashSet<(u32, u32, u32)> = FxHashSet::default();
+        assert!(s.insert((1, 2, 3)));
+        assert!(!s.insert((1, 2, 3)));
+    }
+
+    #[test]
+    fn tuple_keys_have_no_trivial_symmetry_collisions() {
+        // (a,b,c) permutations should not collide for typical ids
+        let a = hash_of((1u32, 2u32, 3u32));
+        let b = hash_of((3u32, 2u32, 1u32));
+        let c = hash_of((2u32, 1u32, 3u32));
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,510 @@
+//! A Turtle-lite parser: the pragmatic subset real ontology files use.
+//!
+//! Supported beyond N-Triples:
+//!
+//! * `@prefix p: <iri> .` declarations and prefixed names `p:local`;
+//! * `@base <iri> .` and relative IRI resolution (simple concatenation);
+//! * the keyword `a` for `rdf:type`;
+//! * predicate lists `s p1 o1 ; p2 o2 .` and object lists `s p o1 , o2 .`;
+//! * comments, multi-line statements, and the literal forms N-Triples has.
+//!
+//! Not supported (rejected, never silently misparsed): blank-node
+//! property lists `[...]`, collections `(...)`, and numeric/boolean
+//! abbreviations.
+
+use crate::graph::Graph;
+use crate::term::Term;
+use std::collections::HashMap;
+
+/// Turtle parse error with 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TurtleError {
+    /// Line of the failure.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl std::fmt::Display for TurtleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Turtle parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TurtleError {}
+
+/// Parse a Turtle-lite document into `graph`; returns #new triples.
+pub fn parse_turtle(input: &str, graph: &mut Graph) -> Result<usize, TurtleError> {
+    let mut p = Tp {
+        bytes: input.as_bytes(),
+        src: input,
+        pos: 0,
+        line: 1,
+        base: String::new(),
+        prefixes: HashMap::new(),
+        added: 0,
+    };
+    p.prefixes
+        .insert("rdf".into(), crate::vocab::RDF_NS.into());
+    p.prefixes
+        .insert("rdfs".into(), crate::vocab::RDFS_NS.into());
+    p.prefixes.insert("owl".into(), crate::vocab::OWL_NS.into());
+    p.prefixes.insert("xsd".into(), crate::vocab::XSD_NS.into());
+    p.document(graph)?;
+    Ok(p.added)
+}
+
+struct Tp<'a> {
+    bytes: &'a [u8],
+    src: &'a str,
+    pos: usize,
+    line: usize,
+    base: String,
+    prefixes: HashMap<String, String>,
+    added: usize,
+}
+
+impl Tp<'_> {
+    fn err(&self, m: impl Into<String>) -> TurtleError {
+        TurtleError {
+            line: self.line,
+            message: m.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn ws(&mut self) {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'#') => {
+                    while !matches!(self.peek(), None | Some(b'\n')) {
+                        self.bump();
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.peek() == Some(b) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), TurtleError> {
+        self.ws();
+        if self.eat(b) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn document(&mut self, g: &mut Graph) -> Result<(), TurtleError> {
+        loop {
+            self.ws();
+            if self.peek().is_none() {
+                return Ok(());
+            }
+            if self.src[self.pos..].starts_with("@prefix") {
+                self.pos += "@prefix".len();
+                self.ws();
+                let name = self.pname_prefix()?;
+                self.expect(b':')?;
+                let iri = self.iri_ref()?;
+                self.expect(b'.')?;
+                self.prefixes.insert(name, iri);
+            } else if self.src[self.pos..].starts_with("@base") {
+                self.pos += "@base".len();
+                self.base = self.iri_ref()?;
+                self.expect(b'.')?;
+            } else {
+                self.statement(g)?;
+            }
+        }
+    }
+
+    fn statement(&mut self, g: &mut Graph) -> Result<(), TurtleError> {
+        let subject = self.term(true)?;
+        loop {
+            // predicate-object pairs separated by ';'
+            self.ws();
+            let predicate = self.term_predicate()?;
+            loop {
+                let object = self.term(false)?;
+                if predicate.is_literal() || predicate.is_blank() {
+                    return Err(self.err("predicate must be an IRI"));
+                }
+                if subject.is_literal() {
+                    return Err(self.err("subject must not be a literal"));
+                }
+                if g.insert_terms(subject.clone(), predicate.clone(), object) {
+                    self.added += 1;
+                }
+                self.ws();
+                if !self.eat(b',') {
+                    break;
+                }
+            }
+            self.ws();
+            if self.eat(b';') {
+                // a dangling ';' may be followed directly by '.'
+                self.ws();
+                if self.eat(b'.') {
+                    return Ok(());
+                }
+                continue;
+            }
+            if self.eat(b'.') {
+                return Ok(());
+            }
+            return Err(self.err("expected ';', ',' or '.' after object"));
+        }
+    }
+
+    fn pname_prefix(&mut self) -> Result<String, TurtleError> {
+        self.ws();
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_' || c == b'-')
+        {
+            self.bump();
+        }
+        Ok(self.src[start..self.pos].to_string())
+    }
+
+    fn iri_ref(&mut self) -> Result<String, TurtleError> {
+        self.ws();
+        if !self.eat(b'<') {
+            return Err(self.err("expected '<'"));
+        }
+        let start = self.pos;
+        while self.peek().is_some_and(|c| c != b'>') {
+            self.bump();
+        }
+        if self.peek().is_none() {
+            return Err(self.err("unterminated IRI"));
+        }
+        let raw = &self.src[start..self.pos];
+        self.bump();
+        // resolve against @base when relative (no scheme)
+        Ok(if raw.contains(':') || self.base.is_empty() {
+            raw.to_string()
+        } else {
+            format!("{}{raw}", self.base)
+        })
+    }
+
+    fn term_predicate(&mut self) -> Result<Term, TurtleError> {
+        self.ws();
+        if self.src[self.pos..].starts_with('a')
+            && self
+                .bytes
+                .get(self.pos + 1)
+                .is_some_and(|c| c.is_ascii_whitespace())
+        {
+            self.bump();
+            return Ok(Term::iri(crate::vocab::RDF_TYPE));
+        }
+        self.term(true)
+    }
+
+    fn term(&mut self, subject_position: bool) -> Result<Term, TurtleError> {
+        self.ws();
+        match self.peek() {
+            Some(b'<') => Ok(Term::iri(self.iri_ref()?)),
+            Some(b'_') => {
+                self.bump();
+                if !self.eat(b':') {
+                    return Err(self.err("blank node needs '_:'"));
+                }
+                let start = self.pos;
+                while self
+                    .peek()
+                    .is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_' || c == b'-')
+                {
+                    self.bump();
+                }
+                if self.pos == start {
+                    return Err(self.err("empty blank node label"));
+                }
+                Ok(Term::blank(&self.src[start..self.pos]))
+            }
+            Some(b'"') if !subject_position => self.literal(),
+            Some(b'"') => Err(self.err("literal not allowed here")),
+            Some(b'[') | Some(b'(') => {
+                Err(self.err("blank-node property lists / collections not supported"))
+            }
+            Some(c) if c.is_ascii_alphanumeric() || c == b'_' => {
+                let prefix = self.pname_prefix()?;
+                if !self.eat(b':') {
+                    return Err(self.err(format!("bare word '{prefix}'")));
+                }
+                let local_start = self.pos;
+                while self
+                    .peek()
+                    .is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_' || c == b'-' || c == b'.')
+                {
+                    self.bump();
+                }
+                // trailing '.' is the statement terminator
+                let mut end = self.pos;
+                while end > local_start && self.bytes[end - 1] == b'.' {
+                    end -= 1;
+                }
+                self.pos = end;
+                let ns = self
+                    .prefixes
+                    .get(&prefix)
+                    .ok_or_else(|| self.err(format!("unknown prefix '{prefix}'")))?;
+                Ok(Term::iri(format!("{ns}{}", &self.src[local_start..end])))
+            }
+            Some(c) => Err(self.err(format!("unexpected character '{}'", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn literal(&mut self) -> Result<Term, TurtleError> {
+        debug_assert_eq!(self.peek(), Some(b'"'));
+        self.bump();
+        let mut lex = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated literal")),
+                Some(b'"') => break,
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => lex.push('"'),
+                    Some(b'\\') => lex.push('\\'),
+                    Some(b'n') => lex.push('\n'),
+                    Some(b't') => lex.push('\t'),
+                    Some(b'r') => lex.push('\r'),
+                    _ => return Err(self.err("unknown escape")),
+                },
+                Some(c) if c < 0x80 => lex.push(c as char),
+                Some(first) => {
+                    // re-assemble a multi-byte UTF-8 scalar
+                    let len = match first {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        _ => 4,
+                    };
+                    let start = self.pos - 1;
+                    for _ in 1..len {
+                        self.bump();
+                    }
+                    let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    lex.push_str(s);
+                }
+            }
+        }
+        if self.eat(b'@') {
+            let start = self.pos;
+            while self
+                .peek()
+                .is_some_and(|c| c.is_ascii_alphanumeric() || c == b'-')
+            {
+                self.bump();
+            }
+            return Ok(Term::lang_literal(lex, &self.src[start..self.pos]));
+        }
+        if self.peek() == Some(b'^') {
+            self.bump();
+            if !self.eat(b'^') {
+                return Err(self.err("expected '^^'"));
+            }
+            self.ws();
+            let dt = match self.peek() {
+                Some(b'<') => self.iri_ref()?,
+                _ => {
+                    let t = self.term(true)?;
+                    t.as_iri()
+                        .ok_or_else(|| self.err("datatype must be an IRI"))?
+                        .to_string()
+                }
+            };
+            return Ok(Term::typed_literal(lex, dt));
+        }
+        Ok(Term::literal(lex))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vocab::{OWL_TRANSITIVE, RDF_TYPE, RDFS_SUBCLASSOF};
+
+    fn parse(src: &str) -> Graph {
+        let mut g = Graph::new();
+        parse_turtle(src, &mut g).unwrap();
+        g
+    }
+
+    fn has(g: &Graph, s: &str, p: &str, o: &str) -> bool {
+        g.contains_terms(&Term::iri(s), &Term::iri(p), &Term::iri(o))
+    }
+
+    #[test]
+    fn prefix_declarations_and_pnames() {
+        let g = parse(
+            "@prefix ex: <http://x.org/> .\n\
+             ex:a ex:p ex:b .",
+        );
+        assert!(has(&g, "http://x.org/a", "http://x.org/p", "http://x.org/b"));
+    }
+
+    #[test]
+    fn keyword_a_is_rdf_type() {
+        let g = parse(
+            "@prefix ex: <http://x.org/> .\n\
+             ex:alice a ex:Student .",
+        );
+        assert!(has(&g, "http://x.org/alice", RDF_TYPE, "http://x.org/Student"));
+    }
+
+    #[test]
+    fn builtin_prefixes_predeclared() {
+        let g = parse(
+            "@prefix ex: <http://x.org/> .\n\
+             ex:Student rdfs:subClassOf ex:Person .\n\
+             ex:partOf a owl:TransitiveProperty .",
+        );
+        assert!(has(&g, "http://x.org/Student", RDFS_SUBCLASSOF, "http://x.org/Person"));
+        assert!(has(&g, "http://x.org/partOf", RDF_TYPE, OWL_TRANSITIVE));
+    }
+
+    #[test]
+    fn predicate_and_object_lists() {
+        let g = parse(
+            "@prefix ex: <http://x.org/> .\n\
+             ex:a ex:p ex:b , ex:c ;\n\
+                  ex:q ex:d ;\n\
+                  a ex:Thing .",
+        );
+        assert_eq!(g.len(), 4);
+        assert!(has(&g, "http://x.org/a", "http://x.org/p", "http://x.org/c"));
+        assert!(has(&g, "http://x.org/a", "http://x.org/q", "http://x.org/d"));
+        assert!(has(&g, "http://x.org/a", RDF_TYPE, "http://x.org/Thing"));
+    }
+
+    #[test]
+    fn base_resolution() {
+        let g = parse(
+            "@base <http://base.org/> .\n\
+             <alice> <knows> <bob> .",
+        );
+        assert!(has(&g, "http://base.org/alice", "http://base.org/knows", "http://base.org/bob"));
+    }
+
+    #[test]
+    fn literals_with_lang_and_datatype() {
+        let mut g = Graph::new();
+        parse_turtle(
+            "@prefix ex: <http://x.org/> .\n\
+             ex:a ex:name \"Ada\"@en ; ex:age \"36\"^^xsd:integer ; ex:note \"hi\\nthere ☃\" .",
+            &mut g,
+        )
+        .unwrap();
+        assert!(g.contains_terms(
+            &Term::iri("http://x.org/a"),
+            &Term::iri("http://x.org/name"),
+            &Term::lang_literal("Ada", "en")
+        ));
+        assert!(g.contains_terms(
+            &Term::iri("http://x.org/a"),
+            &Term::iri("http://x.org/age"),
+            &Term::typed_literal("36", "http://www.w3.org/2001/XMLSchema#integer")
+        ));
+        assert!(g.contains_terms(
+            &Term::iri("http://x.org/a"),
+            &Term::iri("http://x.org/note"),
+            &Term::literal("hi\nthere ☃")
+        ));
+    }
+
+    #[test]
+    fn blank_nodes_and_comments() {
+        let g = parse(
+            "# a comment\n\
+             _:b0 <http://x.org/p> _:b1 . # trailing comment\n",
+        );
+        assert!(g.contains_terms(
+            &Term::blank("b0"),
+            &Term::iri("http://x.org/p"),
+            &Term::blank("b1")
+        ));
+    }
+
+    #[test]
+    fn dangling_semicolon_before_dot() {
+        let g = parse(
+            "@prefix ex: <http://x.org/> .\n\
+             ex:a ex:p ex:b ; .",
+        );
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn ntriples_is_valid_turtle_lite() {
+        let nt = "<http://x/a> <http://x/p> <http://x/b> .\n<http://x/a> <http://x/p> \"lit\" .\n";
+        let g = parse(nt);
+        assert_eq!(g.len(), 2);
+    }
+
+    #[test]
+    fn error_cases() {
+        for (src, why) in [
+            ("ex:a ex:p ex:b .", "unknown prefix"),
+            ("@prefix ex: <http://x/> .\nex:a ex:p [ ex:q ex:r ] .", "bnode list"),
+            ("@prefix ex: <http://x/> .\nex:a ex:p ex:b", "missing dot"),
+            ("@prefix ex: <http://x/> .\n\"lit\" ex:p ex:b .", "literal subject"),
+            ("@prefix ex: <http://x/> .\nex:a \"lit\" ex:b .", "literal predicate"),
+        ] {
+            let mut g = Graph::new();
+            assert!(parse_turtle(src, &mut g).is_err(), "{why}");
+        }
+    }
+
+    #[test]
+    fn error_line_numbers() {
+        let mut g = Graph::new();
+        let e = parse_turtle(
+            "@prefix ex: <http://x/> .\nex:a ex:p ex:b .\nbro ken\n",
+            &mut g,
+        )
+        .unwrap_err();
+        assert_eq!(e.line, 3);
+    }
+
+    #[test]
+    fn roundtrip_with_ntriples_writer() {
+        let g = parse(
+            "@prefix ex: <http://x.org/> .\n\
+             ex:a ex:p ex:b , ex:c ; a ex:T .",
+        );
+        let text = crate::ntriples::write_ntriples(&g);
+        let mut back = Graph::new();
+        crate::ntriples::parse_ntriples(&text, &mut back).unwrap();
+        assert_eq!(back.term_fingerprint(), g.term_fingerprint());
+    }
+}

@@ -1,0 +1,102 @@
+//! RDF / RDFS / OWL / XSD vocabulary IRIs used by the OWL-Horst rule set
+//! and by schema/instance triple separation.
+
+/// The `rdf:` namespace.
+pub const RDF_NS: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#";
+/// The `rdfs:` namespace.
+pub const RDFS_NS: &str = "http://www.w3.org/2000/01/rdf-schema#";
+/// The `owl:` namespace.
+pub const OWL_NS: &str = "http://www.w3.org/2002/07/owl#";
+/// The `xsd:` namespace.
+pub const XSD_NS: &str = "http://www.w3.org/2001/XMLSchema#";
+
+/// `rdf:type`
+pub const RDF_TYPE: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+/// `rdf:Property`
+pub const RDF_PROPERTY: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#Property";
+
+/// `rdfs:subClassOf`
+pub const RDFS_SUBCLASSOF: &str = "http://www.w3.org/2000/01/rdf-schema#subClassOf";
+/// `rdfs:subPropertyOf`
+pub const RDFS_SUBPROPERTYOF: &str = "http://www.w3.org/2000/01/rdf-schema#subPropertyOf";
+/// `rdfs:domain`
+pub const RDFS_DOMAIN: &str = "http://www.w3.org/2000/01/rdf-schema#domain";
+/// `rdfs:range`
+pub const RDFS_RANGE: &str = "http://www.w3.org/2000/01/rdf-schema#range";
+/// `rdfs:Class`
+pub const RDFS_CLASS: &str = "http://www.w3.org/2000/01/rdf-schema#Class";
+/// `rdfs:Resource`
+pub const RDFS_RESOURCE: &str = "http://www.w3.org/2000/01/rdf-schema#Resource";
+
+/// `owl:Class`
+pub const OWL_CLASS: &str = "http://www.w3.org/2002/07/owl#Class";
+/// `owl:ObjectProperty`
+pub const OWL_OBJECT_PROPERTY: &str = "http://www.w3.org/2002/07/owl#ObjectProperty";
+/// `owl:DatatypeProperty`
+pub const OWL_DATATYPE_PROPERTY: &str = "http://www.w3.org/2002/07/owl#DatatypeProperty";
+/// `owl:TransitiveProperty`
+pub const OWL_TRANSITIVE: &str = "http://www.w3.org/2002/07/owl#TransitiveProperty";
+/// `owl:SymmetricProperty`
+pub const OWL_SYMMETRIC: &str = "http://www.w3.org/2002/07/owl#SymmetricProperty";
+/// `owl:FunctionalProperty`
+pub const OWL_FUNCTIONAL: &str = "http://www.w3.org/2002/07/owl#FunctionalProperty";
+/// `owl:InverseFunctionalProperty`
+pub const OWL_INVERSE_FUNCTIONAL: &str =
+    "http://www.w3.org/2002/07/owl#InverseFunctionalProperty";
+/// `owl:inverseOf`
+pub const OWL_INVERSE_OF: &str = "http://www.w3.org/2002/07/owl#inverseOf";
+/// `owl:equivalentClass`
+pub const OWL_EQUIVALENT_CLASS: &str = "http://www.w3.org/2002/07/owl#equivalentClass";
+/// `owl:equivalentProperty`
+pub const OWL_EQUIVALENT_PROPERTY: &str = "http://www.w3.org/2002/07/owl#equivalentProperty";
+/// `owl:sameAs`
+pub const OWL_SAME_AS: &str = "http://www.w3.org/2002/07/owl#sameAs";
+/// `owl:Ontology`
+pub const OWL_ONTOLOGY: &str = "http://www.w3.org/2002/07/owl#Ontology";
+/// `owl:Restriction`
+pub const OWL_RESTRICTION: &str = "http://www.w3.org/2002/07/owl#Restriction";
+/// `owl:onProperty`
+pub const OWL_ON_PROPERTY: &str = "http://www.w3.org/2002/07/owl#onProperty";
+/// `owl:someValuesFrom`
+pub const OWL_SOME_VALUES_FROM: &str = "http://www.w3.org/2002/07/owl#someValuesFrom";
+/// `owl:hasValue`
+pub const OWL_HAS_VALUE: &str = "http://www.w3.org/2002/07/owl#hasValue";
+
+/// `xsd:string`
+pub const XSD_STRING: &str = "http://www.w3.org/2001/XMLSchema#string";
+/// `xsd:integer`
+pub const XSD_INTEGER: &str = "http://www.w3.org/2001/XMLSchema#integer";
+
+/// Is `iri` in one of the RDF/RDFS/OWL/XSD builtin namespaces?
+///
+/// Used by Algorithm 1 step 1 ("remove all the tuples involving the schema
+/// elements"): a triple whose predicate is a builtin schema predicate (other
+/// than `rdf:type` pointing at a user class) describes the ontology, not
+/// the instance graph.
+pub fn is_builtin(iri: &str) -> bool {
+    iri.starts_with(RDF_NS)
+        || iri.starts_with(RDFS_NS)
+        || iri.starts_with(OWL_NS)
+        || iri.starts_with(XSD_NS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_detection() {
+        assert!(is_builtin(RDF_TYPE));
+        assert!(is_builtin(RDFS_SUBCLASSOF));
+        assert!(is_builtin(OWL_TRANSITIVE));
+        assert!(is_builtin(XSD_STRING));
+        assert!(!is_builtin("http://example.org/ont#Student"));
+    }
+
+    #[test]
+    fn namespaces_are_prefixes_of_their_terms() {
+        assert!(RDF_TYPE.starts_with(RDF_NS));
+        assert!(RDFS_DOMAIN.starts_with(RDFS_NS));
+        assert!(OWL_SAME_AS.starts_with(OWL_NS));
+    }
+}

@@ -1,0 +1,61 @@
+//! # owlpar — Parallel Inferencing for OWL Knowledge Bases
+//!
+//! A from-scratch Rust reproduction of Soma & Prasanna, *Parallel
+//! Inferencing for OWL Knowledge Bases*, ICPP 2008: rule-based OWL-Horst
+//! materialization parallelized by **data partitioning** (graph / hash /
+//! domain-specific ownership) and **rule partitioning** (dependency-graph
+//! cuts), executed by a round-based message-passing runtime.
+//!
+//! The facade re-exports the workspace crates:
+//!
+//! * [`rdf`] — terms, dictionary encoding, indexed triple store, N-Triples;
+//! * [`datalog`] — the rule engine (semi-naive forward and tabled-SLD
+//!   backward chaining);
+//! * [`horst`] — OWL-Horst TBox extraction and ontology→rule compilation;
+//! * [`partition`] — the multilevel graph partitioner and the paper's
+//!   partitioning algorithms and metrics;
+//! * [`core`] — the parallel reasoner (Algorithm 3) and performance model;
+//! * [`datagen`] — LUBM / UOBM-like / MDC-like benchmark generators;
+//! * [`query`] — a SPARQL-lite engine over materialized KBs, with the
+//!   LUBM query mix.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use owlpar::prelude::*;
+//!
+//! // A small LUBM universe (schema + instance triples).
+//! let mut graph = generate_lubm(&LubmConfig::mini(2));
+//!
+//! // Materialize it on 4 workers with min-cut data partitioning.
+//! let report = run_parallel(
+//!     &mut graph,
+//!     &ParallelConfig { k: 4, ..ParallelConfig::default() }.forward(),
+//! );
+//! assert!(report.derived > 0);
+//! println!("closure: {} triples, {} derived", graph.len(), report.derived);
+//! ```
+
+pub use owlpar_core as core;
+pub use owlpar_datagen as datagen;
+pub use owlpar_datalog as datalog;
+pub use owlpar_horst as horst;
+pub use owlpar_partition as partition;
+pub use owlpar_query as query;
+pub use owlpar_rdf as rdf;
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use owlpar_core::{
+        run_parallel, run_serial, CommMode, ParallelConfig, PartitioningStrategy, RunReport,
+        WireFormat,
+    };
+    pub use owlpar_datagen::{
+        generate_lubm, generate_mdc, generate_uobm, LubmConfig, MdcConfig, UobmConfig,
+    };
+    pub use owlpar_datalog::{MaterializationStrategy, Reasoner};
+    pub use owlpar_horst::{CompileOptions, HorstReasoner};
+    pub use owlpar_partition::{partition_data, partition_rules, OwnershipPolicy};
+    pub use owlpar_query::{ask, execute, parse_query};
+    pub use owlpar_rdf::{parse_ntriples, write_ntriples, Graph, Term, Triple};
+}

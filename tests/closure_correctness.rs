@@ -1,0 +1,129 @@
+//! Cross-crate correctness: the parallel closure must equal the serial
+//! closure — the paper's soundness/completeness claim for single-join
+//! rules — for every partitioning strategy, policy, engine and transport.
+
+use owlpar::datalog::backward::TableScope;
+use owlpar::prelude::*;
+
+fn serial_fingerprint(g0: &Graph) -> (u64, usize) {
+    let mut g = g0.clone();
+    run_serial(&mut g, MaterializationStrategy::ForwardSemiNaive);
+    (g.term_fingerprint(), g.len())
+}
+
+fn check(g0: &Graph, cfg: &ParallelConfig, label: &str) {
+    let (fp, len) = serial_fingerprint(g0);
+    let mut g = g0.clone();
+    let report = run_parallel(&mut g, cfg);
+    assert_eq!(g.len(), len, "{label}: closure size");
+    assert_eq!(g.term_fingerprint(), fp, "{label}: closure content");
+    assert_eq!(report.closure_size, len, "{label}: reported size");
+}
+
+#[test]
+fn all_strategies_on_lubm() {
+    let g = generate_lubm(&LubmConfig::mini(2));
+    for (label, strategy) in [
+        ("graph", PartitioningStrategy::data_graph()),
+        ("hash", PartitioningStrategy::data_hash()),
+        ("domain", PartitioningStrategy::data_domain()),
+        ("rule", PartitioningStrategy::rule()),
+        ("rule-weighted", PartitioningStrategy::Rule { weighted: true }),
+    ] {
+        let cfg = ParallelConfig {
+            k: 3,
+            strategy,
+            ..ParallelConfig::default()
+        }
+        .forward();
+        check(&g, &cfg, label);
+    }
+}
+
+#[test]
+fn all_engines_on_mdc() {
+    let g = generate_mdc(&MdcConfig::mini());
+    for (label, m) in [
+        ("forward", MaterializationStrategy::ForwardSemiNaive),
+        (
+            "backward",
+            MaterializationStrategy::BackwardPerResource(TableScope::PerQuery),
+        ),
+        (
+            "backward-sweep",
+            MaterializationStrategy::BackwardPerResource(TableScope::PerSweep),
+        ),
+        (
+            "jena",
+            MaterializationStrategy::BackwardJena(TableScope::PerQuery),
+        ),
+    ] {
+        let cfg = ParallelConfig {
+            k: 2,
+            materialization: m,
+            ..ParallelConfig::default()
+        };
+        check(&g, &cfg, label);
+    }
+}
+
+#[test]
+fn k_sweep_on_uobm() {
+    let g = generate_uobm(&UobmConfig::mini(2));
+    for k in [1, 2, 3, 5, 8] {
+        let cfg = ParallelConfig {
+            k,
+            ..ParallelConfig::default()
+        }
+        .forward();
+        check(&g, &cfg, &format!("uobm k={k}"));
+    }
+}
+
+#[test]
+fn file_transport_binary_and_text() {
+    let g = generate_lubm(&LubmConfig::mini(2));
+    for format in [WireFormat::Binary, WireFormat::NTriples] {
+        let cfg = ParallelConfig {
+            k: 3,
+            comm: CommMode::SharedFile { dir: None, format },
+            ..ParallelConfig::default()
+        }
+        .forward();
+        check(&g, &cfg, &format!("file-{format:?}"));
+    }
+}
+
+#[test]
+fn parallel_run_is_idempotent() {
+    let mut g = generate_lubm(&LubmConfig::mini(1));
+    let cfg = ParallelConfig::default().forward();
+    let first = run_parallel(&mut g, &cfg);
+    assert!(first.derived > 0);
+    let second = run_parallel(&mut g, &cfg);
+    assert_eq!(second.derived, 0, "closure is a fixpoint");
+}
+
+#[test]
+fn serial_engines_agree_on_all_generators() {
+    for g0 in [
+        generate_lubm(&LubmConfig::mini(2)),
+        generate_uobm(&UobmConfig::mini(2)),
+        generate_mdc(&MdcConfig::mini()),
+    ] {
+        let mut a = g0.clone();
+        run_serial(&mut a, MaterializationStrategy::ForwardSemiNaive);
+        let mut b = g0.clone();
+        run_serial(
+            &mut b,
+            MaterializationStrategy::BackwardPerResource(TableScope::PerQuery),
+        );
+        let mut c = g0.clone();
+        run_serial(
+            &mut c,
+            MaterializationStrategy::BackwardJena(TableScope::PerQuery),
+        );
+        assert_eq!(a.term_fingerprint(), b.term_fingerprint());
+        assert_eq!(a.term_fingerprint(), c.term_fingerprint());
+    }
+}

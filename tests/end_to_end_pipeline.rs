@@ -1,0 +1,158 @@
+//! End-to-end pipeline tests: N-Triples in → parallel materialization →
+//! semantic spot checks → N-Triples out, the way a downstream user would
+//! drive the library.
+
+use owlpar::datagen::lubm::university_iri;
+use owlpar::datagen::ontology::univ;
+use owlpar::prelude::*;
+use owlpar::rdf::vocab::{RDF_TYPE, RDFS_SUBCLASSOF};
+use owlpar::rdf::TriplePattern;
+
+#[test]
+fn ntriples_roundtrip_preserves_closure() {
+    // generate → serialize → parse → materialize → compare with direct
+    let g0 = generate_lubm(&LubmConfig::mini(1));
+    let text = write_ntriples(&g0);
+    let mut parsed = Graph::new();
+    let n = parse_ntriples(&text, &mut parsed).expect("own output parses");
+    assert_eq!(n, g0.len());
+    assert_eq!(parsed.term_fingerprint(), g0.term_fingerprint());
+
+    let mut direct = g0.clone();
+    run_serial(&mut direct, MaterializationStrategy::ForwardSemiNaive);
+    let mut via_text = parsed;
+    run_serial(&mut via_text, MaterializationStrategy::ForwardSemiNaive);
+    assert_eq!(direct.term_fingerprint(), via_text.term_fingerprint());
+}
+
+#[test]
+fn lubm_semantics_hold_after_parallel_run() {
+    let mut g = generate_lubm(&LubmConfig::mini(2));
+    run_parallel(
+        &mut g,
+        &ParallelConfig {
+            k: 4,
+            ..ParallelConfig::default()
+        }
+        .forward(),
+    );
+
+    let id = |iri: &str| g.dict.id(&Term::iri(iri)).expect("interned");
+    let rdf_type = id(RDF_TYPE);
+
+    // every GraduateStudent is also Student and Person (subclass chain)
+    let grad = id(&univ("GraduateStudent"));
+    let student = id(&univ("Student"));
+    let person = id(&univ("Person"));
+    let grads = g.matches(TriplePattern::new(None, Some(rdf_type), Some(grad)));
+    assert!(!grads.is_empty());
+    for t in &grads {
+        assert!(g.store.contains(&Triple::new(t.s, rdf_type, student)));
+        assert!(g.store.contains(&Triple::new(t.s, rdf_type, person)));
+    }
+
+    // subOrganizationOf is transitively closed: research groups reach
+    // their university directly
+    let sub_org = id(&univ("subOrganizationOf"));
+    let group_cls = id(&univ("ResearchGroup"));
+    let uni0 = id(&university_iri(0));
+    let groups = g.matches(TriplePattern::new(None, Some(rdf_type), Some(group_cls)));
+    assert!(!groups.is_empty());
+    let reaching = groups
+        .iter()
+        .filter(|t| g.store.contains(&Triple::new(t.s, sub_org, uni0)))
+        .count();
+    assert!(reaching > 0, "some group must transitively reach university 0");
+
+    // headOf ⊑ worksFor ⊑ memberOf: every head is a member
+    let head_of = id(&univ("headOf"));
+    let member_of = id(&univ("memberOf"));
+    let heads = g.matches(TriplePattern::new(None, Some(head_of), None));
+    assert!(!heads.is_empty());
+    for t in &heads {
+        assert!(
+            g.store.contains(&Triple::new(t.s, member_of, t.o)),
+            "head not lifted to memberOf"
+        );
+    }
+
+    // degreeFrom / hasAlumnus inverse
+    let degree_from = id(&univ("degreeFrom"));
+    let has_alumnus = id(&univ("hasAlumnus"));
+    let degrees = g.matches(TriplePattern::new(None, Some(degree_from), None));
+    assert!(!degrees.is_empty());
+    for t in degrees.iter().take(50) {
+        assert!(g.store.contains(&Triple::new(t.o, has_alumnus, t.s)));
+    }
+}
+
+#[test]
+fn uobm_social_semantics_hold() {
+    let mut g = generate_uobm(&UobmConfig::mini(2));
+    run_parallel(
+        &mut g,
+        &ParallelConfig {
+            k: 3,
+            ..ParallelConfig::default()
+        }
+        .forward(),
+    );
+    let id = |iri: &str| g.dict.id(&Term::iri(iri)).expect("interned");
+    let friend = id(&univ("isFriendOf"));
+    let friends = g.matches(TriplePattern::new(None, Some(friend), None));
+    assert!(!friends.is_empty());
+    // symmetry closed
+    for t in &friends {
+        assert!(g.store.contains(&Triple::new(t.o, friend, t.s)));
+    }
+    // hasSameHomeTownWith is symmetric AND transitive: its closure equals
+    // the union of per-component cliques (spot check symmetry here)
+    let home = id(&univ("hasSameHomeTownWith"));
+    for t in g.matches(TriplePattern::new(None, Some(home), None)) {
+        assert!(g.store.contains(&Triple::new(t.o, home, t.s)));
+    }
+}
+
+#[test]
+fn schema_is_not_duplicated_or_lost() {
+    let g0 = generate_lubm(&LubmConfig::mini(1));
+    let subclass = g0.dict.id(&Term::iri(RDFS_SUBCLASSOF)).unwrap();
+    let schema_before = g0.matches(TriplePattern::new(None, Some(subclass), None)).len();
+    let mut g = g0.clone();
+    run_parallel(&mut g, &ParallelConfig::default().forward());
+    let schema_after = g.matches(TriplePattern::new(None, Some(subclass), None)).len();
+    // compiled rules never derive schema triples, and replication across
+    // workers must collapse in the union
+    assert_eq!(schema_before, schema_after);
+}
+
+#[test]
+fn run_report_or_reflects_replication() {
+    let g0 = generate_lubm(&LubmConfig::mini(2));
+    let mut g_graph = g0.clone();
+    let graph_report = run_parallel(
+        &mut g_graph,
+        &ParallelConfig {
+            k: 4,
+            strategy: PartitioningStrategy::data_graph(),
+            ..ParallelConfig::default()
+        }
+        .forward(),
+    );
+    let mut g_hash = g0.clone();
+    let hash_report = run_parallel(
+        &mut g_hash,
+        &ParallelConfig {
+            k: 4,
+            strategy: PartitioningStrategy::data_hash(),
+            ..ParallelConfig::default()
+        }
+        .forward(),
+    );
+    let g_ir = graph_report.partition_quality.unwrap().ir_excess();
+    let h_ir = hash_report.partition_quality.unwrap().ir_excess();
+    assert!(
+        g_ir < h_ir,
+        "graph policy must replicate less than hash ({g_ir:.3} vs {h_ir:.3})"
+    );
+}
