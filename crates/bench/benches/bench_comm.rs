@@ -44,13 +44,13 @@ fn bench_transports(c: &mut Criterion) {
     ];
     for (name, mode) in modes {
         group.bench_function(name, |b| {
-            let mut fabric = build_fabric(2, &mode, Arc::clone(&d));
+            let mut fabric = build_fabric(2, &mode, Arc::clone(&d)).expect("fabric");
             let mut w1 = fabric.pop().unwrap();
             let mut w0 = fabric.pop().unwrap();
             b.iter(|| {
-                w0.send(1, &msgs);
-                let got = w1.collect();
-                let _ = w0.collect(); // advance w0's round too
+                w0.send(1, &msgs).expect("send");
+                let got = w1.collect().expect("collect");
+                let _ = w0.collect().expect("collect"); // advance w0's round too
                 got.len()
             })
         });

@@ -27,6 +27,7 @@ fn bench_end_to_end(c: &mut Criterion) {
                         }
                         .forward(),
                     )
+                    .expect("clean benchmark run")
                     .derived
                 },
                 BatchSize::LargeInput,

@@ -76,7 +76,7 @@ fn main() {
                 continue;
             }
             let mut g = graph.clone();
-            let report = run_parallel(&mut g, &cfg_v);
+            let report = run_parallel(&mut g, &cfg_v).expect("clean experiment run");
             let p = point_from_report(&report, serial);
             let max_sync = report
                 .workers

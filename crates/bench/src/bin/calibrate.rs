@@ -12,7 +12,8 @@ fn main() {
         .first()
         .map(|s| s.parse().expect("dataset"))
         .unwrap_or(Dataset::Lubm);
-    for scale in [cfg.scale] {
+    {
+        let scale = cfg.scale;
         cfg.scale = scale;
         let g = cfg.generate(dataset);
         let n = g.len();

@@ -50,7 +50,8 @@ fn main() {
                 comm: comm.clone(),
                 ..ParallelConfig::default()
             },
-        );
+        )
+        .expect("clean experiment run");
         let b = &report.breakdown;
         rows.push(vec![
             k.to_string(),

@@ -58,7 +58,7 @@ fn main() {
             "{}",
             table::render(&["k", "speedup", "OR", "rounds"], &rows)
         );
-        for p in points {
+        for _p in points {
             json.push(serde_json::json!({
                 "dataset": dataset.name(), "weighted": weighted, "point": p,
             }));

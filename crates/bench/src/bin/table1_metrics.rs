@@ -49,7 +49,8 @@ fn main() {
                     ..ParallelConfig::default()
                 }
                 .forward(),
-            );
+            )
+            .expect("clean experiment run");
             let q = report.partition_quality.as_ref().expect("data strategy");
             rows.push(vec![
                 k.to_string(),

@@ -42,7 +42,8 @@ pub fn speedup_series(graph: &Graph, base: &ParallelConfig, ks: &[usize]) -> Vec
     ks.iter()
         .map(|&k| {
             let mut g = graph.clone();
-            let report = run_parallel(&mut g, &base.with_k(k));
+            let report =
+                run_parallel(&mut g, &base.with_k(k)).expect("clean benchmark run");
             point_from_report(&report, serial_time)
         })
         .collect()

@@ -1,0 +1,185 @@
+//! A round barrier that survives member loss.
+//!
+//! `std::sync::Barrier` is unusable for a fault-tolerant fabric: when a
+//! worker dies before arriving, every other worker blocks forever. This
+//! barrier adds the two operations crash containment needs:
+//!
+//! * [`RoundBarrier::wait`] takes a timeout — a worker that waits longer
+//!   than the configured round budget gets a [`BarrierTimeout`] back
+//!   instead of hanging, withdraws its arrival, and can report a
+//!   structured `WorkerError`;
+//! * [`RoundBarrier::defect`] permanently removes one member — called by
+//!   the panic-containment wrapper on behalf of a dead worker, it lowers
+//!   the arrival threshold of the current and all future rounds and wakes
+//!   current waiters so survivors proceed.
+//!
+//! Generation counting makes the barrier reusable across rounds (the
+//! worker loop crosses it twice per round).
+
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// The waiting worker's patience ran out before the barrier released.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BarrierTimeout {
+    /// How long the worker waited.
+    pub waited: Duration,
+}
+
+struct State {
+    /// Members still participating (starts at `n`, lowered by `defect`).
+    expected: usize,
+    /// Members arrived in the current generation.
+    arrived: usize,
+    /// Completed barrier generations.
+    generation: u64,
+}
+
+/// A reusable, timeout-aware, defection-tolerant barrier.
+pub struct RoundBarrier {
+    state: Mutex<State>,
+    cvar: Condvar,
+}
+
+impl RoundBarrier {
+    /// Barrier over `n` members.
+    pub fn new(n: usize) -> Self {
+        RoundBarrier {
+            state: Mutex::new(State {
+                expected: n,
+                arrived: 0,
+                generation: 0,
+            }),
+            cvar: Condvar::new(),
+        }
+    }
+
+    /// Lock the state, shrugging off poisoning: the state is a plain
+    /// counter triple, always left consistent, and a panicking worker is
+    /// exactly the situation the barrier must keep working through.
+    fn lock(&self) -> MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Arrive and wait for the rest of the generation, at most `timeout`.
+    ///
+    /// On timeout the arrival is withdrawn, so a subsequent `defect` keeps
+    /// the accounting consistent.
+    pub fn wait(&self, timeout: Duration) -> Result<(), BarrierTimeout> {
+        let start = Instant::now();
+        let mut s = self.lock();
+        s.arrived += 1;
+        if s.arrived >= s.expected {
+            s.arrived = 0;
+            s.generation = s.generation.wrapping_add(1);
+            self.cvar.notify_all();
+            return Ok(());
+        }
+        let gen = s.generation;
+        loop {
+            let elapsed = start.elapsed();
+            if elapsed >= timeout {
+                s.arrived = s.arrived.saturating_sub(1);
+                return Err(BarrierTimeout { waited: elapsed });
+            }
+            let (guard, _) = self
+                .cvar
+                .wait_timeout(s, timeout - elapsed)
+                .unwrap_or_else(|e| e.into_inner());
+            s = guard;
+            if s.generation != gen {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Permanently remove one member (a dead worker). Wakes waiters; if
+    /// the remaining arrivals now satisfy the lowered threshold, the
+    /// current generation completes immediately.
+    pub fn defect(&self) {
+        let mut s = self.lock();
+        s.expected = s.expected.saturating_sub(1);
+        if s.expected > 0 && s.arrived >= s.expected {
+            s.arrived = 0;
+            s.generation = s.generation.wrapping_add(1);
+        }
+        self.cvar.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    const LONG: Duration = Duration::from_secs(10);
+
+    #[test]
+    fn single_member_never_blocks() {
+        let b = RoundBarrier::new(1);
+        for _ in 0..5 {
+            b.wait(Duration::from_millis(1)).unwrap();
+        }
+    }
+
+    #[test]
+    fn releases_all_members_each_round() {
+        let b = Arc::new(RoundBarrier::new(3));
+        let mut handles = Vec::new();
+        for _ in 0..3 {
+            let b = Arc::clone(&b);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..10 {
+                    b.wait(LONG).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn wait_times_out_when_member_missing() {
+        let b = RoundBarrier::new(2);
+        let err = b.wait(Duration::from_millis(20)).unwrap_err();
+        assert!(err.waited >= Duration::from_millis(20));
+    }
+
+    #[test]
+    fn defect_releases_current_waiters() {
+        let b = Arc::new(RoundBarrier::new(3));
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let b = Arc::clone(&b);
+            handles.push(std::thread::spawn(move || b.wait(LONG)));
+        }
+        // let both waiters arrive, then the third member dies
+        std::thread::sleep(Duration::from_millis(50));
+        b.defect();
+        for h in handles {
+            assert!(h.join().unwrap().is_ok());
+        }
+        // the barrier keeps working for the two survivors
+        let b2 = Arc::clone(&b);
+        let h = std::thread::spawn(move || b2.wait(LONG));
+        b.wait(LONG).unwrap();
+        assert!(h.join().unwrap().is_ok());
+    }
+
+    #[test]
+    fn timeout_withdraws_arrival() {
+        let b = Arc::new(RoundBarrier::new(3));
+        assert!(b.wait(Duration::from_millis(10)).is_err());
+        // two fresh arrivals + one defect should now release cleanly
+        let b1 = Arc::clone(&b);
+        let h = std::thread::spawn(move || b1.wait(LONG));
+        std::thread::sleep(Duration::from_millis(30));
+        let b2 = Arc::clone(&b);
+        let h2 = std::thread::spawn(move || b2.wait(LONG));
+        std::thread::sleep(Duration::from_millis(30));
+        b.defect();
+        assert!(h.join().unwrap().is_ok());
+        assert!(h2.join().unwrap().is_ok());
+    }
+}

@@ -16,12 +16,33 @@
 //! Both are round-synchronous: every `send` happens before the round
 //! barrier, every `collect` after it, so `collect` sees exactly the
 //! messages addressed to this worker this round.
+//!
+//! # Fault model
+//!
+//! Message exchange is treated as fallible by design:
+//!
+//! * every file write is **atomic** (temp file + rename), so a crashed
+//!   writer never leaves a half-message where `collect` will find it;
+//! * transient IO errors are retried with bounded exponential backoff
+//!   ([`RETRY_ATTEMPTS`]/[`RETRY_BASE`]); only a *persistent* failure
+//!   surfaces as [`CommError::Io`];
+//! * corrupted, truncated, non-UTF-8 or otherwise undecodable messages
+//!   are **skipped with a report** ([`SkippedMessage`]) instead of
+//!   poisoning the round — one bad file must not take down the fabric;
+//! * auto-created shared directories are removed when the last endpoint
+//!   of the fabric drops;
+//! * a seeded [`FaultPlan`] can inject IO errors, corruption, delays and
+//!   panics at chosen (round, worker) coordinates for testing.
 
+use crate::error::{CommError, SkippedMessage};
+use crate::fault::{FaultPlan, FaultState};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use owlpar_rdf::triple::{decode_batch, encode_batch};
 use owlpar_rdf::{parse_ntriples, Dictionary, Graph, Triple};
+use std::io::ErrorKind;
 use std::path::PathBuf;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Transport selection.
 #[derive(Debug, Clone, Default)]
@@ -31,7 +52,8 @@ pub enum CommMode {
     Channel,
     /// Files in a shared directory (the paper's actual transport).
     SharedFile {
-        /// Directory to exchange through; `None` = fresh temp dir.
+        /// Directory to exchange through; `None` = fresh temp dir,
+        /// removed again when the fabric's last endpoint drops.
         dir: Option<PathBuf>,
         /// On-disk message encoding.
         format: WireFormat,
@@ -48,14 +70,46 @@ pub enum WireFormat {
     Binary,
 }
 
+/// IO attempts per operation (first try + retries).
+pub const RETRY_ATTEMPTS: u32 = 5;
+/// Backoff before the second attempt; doubles per retry, capped at
+/// [`RETRY_CAP`].
+pub const RETRY_BASE: Duration = Duration::from_millis(1);
+/// Upper bound on a single backoff sleep.
+pub const RETRY_CAP: Duration = Duration::from_millis(50);
+
+/// Is this IO error worth retrying?
+fn transient(kind: ErrorKind) -> bool {
+    matches!(
+        kind,
+        ErrorKind::Interrupted | ErrorKind::WouldBlock | ErrorKind::TimedOut
+    )
+}
+
+/// Removes an auto-created shared directory when the last endpoint drops.
+struct CommDirGuard {
+    path: PathBuf,
+}
+
+impl Drop for CommDirGuard {
+    fn drop(&mut self) {
+        // Best-effort: a leftover dir is a leak, not a correctness issue.
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
 /// One worker's endpoint of the fabric.
 pub struct WorkerComm {
     me: usize,
     round: usize,
     backend: Backend,
+    faults: FaultState,
+    skipped: Vec<SkippedMessage>,
     /// Bytes written by this worker (file mode) or triples moved
     /// (channel mode, 12 bytes each).
     pub bytes_sent: u64,
+    /// Transient IO failures absorbed by retrying.
+    pub io_retries: u64,
 }
 
 enum Backend {
@@ -67,12 +121,32 @@ enum Backend {
         dir: PathBuf,
         dict: Arc<Dictionary>,
         format: WireFormat,
+        /// Present iff the fabric auto-created the directory.
+        _cleanup: Option<Arc<CommDirGuard>>,
     },
 }
 
 /// Build the k-worker fabric for a mode. `dict` is the frozen global
 /// dictionary (file mode decodes against it).
-pub fn build_fabric(k: usize, mode: &CommMode, dict: Arc<Dictionary>) -> Vec<WorkerComm> {
+pub fn build_fabric(
+    k: usize,
+    mode: &CommMode,
+    dict: Arc<Dictionary>,
+) -> Result<Vec<WorkerComm>, CommError> {
+    build_fabric_with_faults(k, mode, dict, None)
+}
+
+/// [`build_fabric`], with each endpoint additionally armed with its slice
+/// of a fault-injection plan.
+pub fn build_fabric_with_faults(
+    k: usize,
+    mode: &CommMode,
+    dict: Arc<Dictionary>,
+    plan: Option<&FaultPlan>,
+) -> Result<Vec<WorkerComm>, CommError> {
+    let fault_for = |me: usize| {
+        plan.map(|p| p.for_worker(me)).unwrap_or_default()
+    };
     match mode {
         CommMode::Channel => {
             let mut senders: Vec<Sender<Vec<Triple>>> = Vec::with_capacity(k);
@@ -82,7 +156,7 @@ pub fn build_fabric(k: usize, mode: &CommMode, dict: Arc<Dictionary>) -> Vec<Wor
                 senders.push(s);
                 receivers.push(r);
             }
-            receivers
+            Ok(receivers
                 .into_iter()
                 .enumerate()
                 .map(|(me, receiver)| WorkerComm {
@@ -92,22 +166,36 @@ pub fn build_fabric(k: usize, mode: &CommMode, dict: Arc<Dictionary>) -> Vec<Wor
                         senders: senders.clone(),
                         receiver,
                     },
+                    faults: fault_for(me),
+                    skipped: Vec::new(),
                     bytes_sent: 0,
+                    io_retries: 0,
                 })
-                .collect()
+                .collect())
         }
         CommMode::SharedFile { dir, format } => {
-            let dir = dir.clone().unwrap_or_else(|| {
-                let mut d = std::env::temp_dir();
-                d.push(format!(
-                    "owlpar-comm-{}-{:x}",
-                    std::process::id(),
-                    crate::comm::unique_nonce()
-                ));
-                d
-            });
-            std::fs::create_dir_all(&dir).expect("create comm dir");
-            (0..k)
+            let (dir, cleanup) = match dir {
+                Some(d) => (d.clone(), None),
+                None => {
+                    let mut d = std::env::temp_dir();
+                    d.push(format!(
+                        "owlpar-comm-{}-{:x}",
+                        std::process::id(),
+                        unique_nonce()
+                    ));
+                    let guard = Arc::new(CommDirGuard { path: d.clone() });
+                    (d, Some(guard))
+                }
+            };
+            std::fs::create_dir_all(&dir).map_err(|e| CommError::Io {
+                round: 0,
+                worker: 0,
+                path: Some(dir.clone()),
+                kind: e.kind(),
+                detail: e.to_string(),
+                attempts: 1,
+            })?;
+            Ok((0..k)
                 .map(|me| WorkerComm {
                     me,
                     round: 0,
@@ -115,10 +203,14 @@ pub fn build_fabric(k: usize, mode: &CommMode, dict: Arc<Dictionary>) -> Vec<Wor
                         dir: dir.clone(),
                         dict: Arc::clone(&dict),
                         format: *format,
+                        _cleanup: cleanup.clone(),
                     },
+                    faults: fault_for(me),
+                    skipped: Vec::new(),
                     bytes_sent: 0,
+                    io_retries: 0,
                 })
-                .collect()
+                .collect())
         }
     }
 }
@@ -137,40 +229,187 @@ impl WorkerComm {
         self.me
     }
 
-    /// Send a batch to worker `to`. Must happen before the round barrier.
-    pub fn send(&mut self, to: usize, batch: &[Triple]) {
-        if batch.is_empty() {
-            return;
+    /// Rounds completed so far (= the index of the round in progress).
+    pub fn round(&self) -> usize {
+        self.round
+    }
+
+    /// Messages skipped with a report so far (corrupted/undecodable).
+    pub fn skipped(&self) -> &[SkippedMessage] {
+        &self.skipped
+    }
+
+    /// True when the fault plan schedules a panic for this worker in
+    /// `round` (consulted by the worker loop; the round is explicit
+    /// because the async mode numbers bursts itself).
+    pub fn panic_scheduled(&self, round: usize) -> bool {
+        self.faults.panic_scheduled(round)
+    }
+
+    /// Fire the scheduled panic (separated from the check so the worker
+    /// loop can account the round first).
+    pub fn fire_scheduled_panic(&self, round: usize) {
+        self.faults.fire_panic(round, self.me);
+    }
+
+    /// Injected wall-clock delay before this round's sends, if any.
+    pub fn scheduled_delay(&self, round: usize) -> Option<Duration> {
+        self.faults.send_delay(round)
+    }
+
+    /// Run `op` with bounded retry + exponential backoff on transient IO
+    /// errors; consult the fault plan for injected failures first.
+    fn retry_io<T>(
+        faults: &mut FaultState,
+        io_retries: &mut u64,
+        round: usize,
+        worker: usize,
+        is_send: bool,
+        path: Option<&PathBuf>,
+        mut op: impl FnMut() -> std::io::Result<T>,
+    ) -> Result<T, CommError> {
+        let mut backoff = RETRY_BASE;
+        let mut last: Option<std::io::Error> = None;
+        for attempt in 1..=RETRY_ATTEMPTS {
+            let injected = if is_send {
+                faults.take_send_io(round)
+            } else {
+                faults.take_collect_io(round)
+            };
+            let result = if injected {
+                Err(std::io::Error::new(
+                    ErrorKind::Interrupted,
+                    "injected transient IO fault",
+                ))
+            } else {
+                op()
+            };
+            match result {
+                Ok(v) => return Ok(v),
+                Err(e) if transient(e.kind()) && attempt < RETRY_ATTEMPTS => {
+                    *io_retries += 1;
+                    last = Some(e);
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(RETRY_CAP);
+                }
+                Err(e) => {
+                    return Err(CommError::Io {
+                        round,
+                        worker,
+                        path: path.cloned(),
+                        kind: e.kind(),
+                        detail: e.to_string(),
+                        attempts: attempt,
+                    });
+                }
+            }
         }
+        // All attempts were transient failures.
+        let (kind, detail) = last
+            .map(|e| (e.kind(), e.to_string()))
+            .unwrap_or((ErrorKind::Other, "exhausted retries".to_string()));
+        Err(CommError::Io {
+            round,
+            worker,
+            path: path.cloned(),
+            kind,
+            detail,
+            attempts: RETRY_ATTEMPTS,
+        })
+    }
+
+    /// Send a batch to worker `to`. Must happen before the round barrier.
+    ///
+    /// File mode writes atomically (temp file + rename) and retries
+    /// transient IO errors; a persistent failure comes back as
+    /// [`CommError::Io`]. Channel mode reports a dead receiver as
+    /// [`CommError::Disconnected`].
+    pub fn send(&mut self, to: usize, batch: &[Triple]) -> Result<(), CommError> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let round = self.round;
+        let me = self.me;
         match &mut self.backend {
             Backend::Channel { senders, .. } => {
-                self.bytes_sent += (batch.len() * 12) as u64;
-                senders[to]
-                    .send(batch.to_vec())
-                    .expect("receiver alive until fabric drop");
+                // Injected transient faults exercise the same retry path
+                // the file transport uses.
+                Self::retry_io(
+                    &mut self.faults,
+                    &mut self.io_retries,
+                    round,
+                    me,
+                    true,
+                    None,
+                    || Ok(()),
+                )?;
+                match senders.get(to) {
+                    Some(s) if s.send(batch.to_vec()).is_ok() => {
+                        self.bytes_sent += (batch.len() * 12) as u64;
+                        Ok(())
+                    }
+                    _ => Err(CommError::Disconnected {
+                        round,
+                        from: me,
+                        to,
+                    }),
+                }
             }
-            Backend::File { dir, dict, format } => {
-                let path = dir.join(format!("r{}_f{}_t{}.msg", self.round, self.me, to));
-                let bytes = match format {
+            Backend::File {
+                dir, dict, format, ..
+            } => {
+                let path = dir.join(format!("r{}_f{}_t{}.msg", round, me, to));
+                let mut bytes = match format {
                     WireFormat::Binary => encode_batch(batch),
                     WireFormat::NTriples => {
                         let mut text = String::new();
                         for t in batch {
-                            let term = |id| {
-                                dict.term(id).expect("frozen dictionary covers all ids")
-                            };
-                            text.push_str(&format!(
-                                "{} {} {} .\n",
-                                term(t.s),
-                                term(t.p),
-                                term(t.o)
-                            ));
+                            match (dict.term(t.s), dict.term(t.p), dict.term(t.o)) {
+                                (Some(s), Some(p), Some(o)) => {
+                                    text.push_str(&format!("{s} {p} {o} .\n"));
+                                }
+                                _ => {
+                                    // A triple whose id escaped the frozen
+                                    // dictionary cannot be serialized;
+                                    // skip it with a report rather than
+                                    // poisoning the whole batch.
+                                    self.skipped.push(SkippedMessage {
+                                        round,
+                                        worker: me,
+                                        origin: format!("outbound to {to}"),
+                                        reason: format!(
+                                            "triple {t} has ids outside the frozen dictionary"
+                                        ),
+                                    });
+                                }
+                            }
                         }
                         text.into_bytes()
                     }
                 };
+                if let Some(truncate_only) = self.faults.mangle(round, to) {
+                    let half = bytes.len() / 2;
+                    bytes.truncate(half.max(1));
+                    if !truncate_only {
+                        for b in &mut bytes {
+                            *b ^= 0xa5;
+                        }
+                    }
+                }
                 self.bytes_sent += bytes.len() as u64;
-                std::fs::write(path, bytes).expect("write comm file");
+                let tmp = dir.join(format!("r{}_f{}_t{}.tmp", round, me, to));
+                Self::retry_io(
+                    &mut self.faults,
+                    &mut self.io_retries,
+                    round,
+                    me,
+                    true,
+                    Some(&path),
+                    || {
+                        std::fs::write(&tmp, &bytes)?;
+                        std::fs::rename(&tmp, &path)
+                    },
+                )
             }
         }
     }
@@ -179,25 +418,32 @@ impl WorkerComm {
     /// making a partition not wait till all other partitions finish, but
     /// rather start immediately using all the currently received tuples").
     /// Channel transport only — the file transport is inherently
-    /// round-structured.
-    pub fn try_collect(&mut self) -> Vec<Triple> {
+    /// round-structured, and asking it to drain asynchronously is a
+    /// configuration error ([`CommError::Unsupported`]).
+    pub fn try_collect(&mut self) -> Result<Vec<Triple>, CommError> {
         match &mut self.backend {
             Backend::Channel { receiver, .. } => {
                 let mut out = Vec::new();
                 while let Ok(batch) = receiver.try_recv() {
                     out.extend(batch);
                 }
-                out
+                Ok(out)
             }
-            Backend::File { .. } => {
-                panic!("asynchronous mode requires the channel transport")
-            }
+            Backend::File { .. } => Err(CommError::Unsupported {
+                detail: "asynchronous draining requires the channel transport",
+            }),
         }
     }
 
     /// Drain every message addressed to this worker this round. Must be
     /// called after the round barrier. Advances to the next round.
-    pub fn collect(&mut self) -> Vec<Triple> {
+    ///
+    /// Corrupted, truncated or undecodable messages are skipped with a
+    /// [`SkippedMessage`] report (see [`WorkerComm::skipped`]); only a
+    /// persistent IO failure aborts the collect.
+    pub fn collect(&mut self) -> Result<Vec<Triple>, CommError> {
+        let round = self.round;
+        let me = self.me;
         let out = match &mut self.backend {
             Backend::Channel { receiver, .. } => {
                 let mut out = Vec::new();
@@ -206,46 +452,143 @@ impl WorkerComm {
                 }
                 out
             }
-            Backend::File { dir, dict, format } => {
+            Backend::File {
+                dir, dict, format, ..
+            } => {
                 let mut out = Vec::new();
-                let prefix = format!("r{}_", self.round);
-                let suffix = format!("_t{}.msg", self.me);
-                let entries = std::fs::read_dir(&*dir).expect("read comm dir");
-                for entry in entries.flatten() {
+                let prefix = format!("r{round}_");
+                let suffix = format!("_t{me}.msg");
+                let dir_path = dir.clone();
+                let entries = Self::retry_io(
+                    &mut self.faults,
+                    &mut self.io_retries,
+                    round,
+                    me,
+                    false,
+                    Some(&dir_path),
+                    || {
+                        std::fs::read_dir(&dir_path)
+                            .and_then(|rd| rd.collect::<std::io::Result<Vec<_>>>())
+                    },
+                )?;
+                for entry in entries {
                     let name = entry.file_name();
-                    let name = name.to_string_lossy();
+                    let name = name.to_string_lossy().into_owned();
                     if !name.starts_with(&prefix) || !name.ends_with(&suffix) {
-                        continue;
+                        continue; // foreign file: not ours, not this round
                     }
-                    let bytes = std::fs::read(entry.path()).expect("read comm file");
+                    let path = entry.path();
+                    let bytes = match Self::retry_io(
+                        &mut self.faults,
+                        &mut self.io_retries,
+                        round,
+                        me,
+                        false,
+                        Some(&path),
+                        || std::fs::read(&path),
+                    ) {
+                        Ok(b) => b,
+                        Err(CommError::Io { kind, detail, .. }) => {
+                            // One unreadable message file must not poison
+                            // the round: skip it with a report.
+                            self.skipped.push(SkippedMessage {
+                                round,
+                                worker: me,
+                                origin: name.clone(),
+                                reason: format!("unreadable after retries: {detail} ({kind:?})"),
+                            });
+                            let _ = std::fs::remove_file(&path);
+                            continue;
+                        }
+                        Err(e) => return Err(e),
+                    };
                     match format {
-                        WireFormat::Binary => out.extend(decode_batch(&bytes)),
-                        WireFormat::NTriples => {
-                            let text = String::from_utf8(bytes).expect("utf8 ntriples");
-                            let mut tmp = Graph::new();
-                            parse_ntriples(&text, &mut tmp).expect("well-formed message");
-                            for t in tmp.store.iter() {
-                                let (s, p, o) = tmp.decode(*t);
-                                let id = |term| {
-                                    dict.id(term).expect("terms pre-interned in global dict")
-                                };
-                                out.push(Triple::new(id(&s), id(&p), id(&o)));
+                        WireFormat::Binary => {
+                            if bytes.len() % 12 != 0 {
+                                self.skipped.push(SkippedMessage {
+                                    round,
+                                    worker: me,
+                                    origin: name.clone(),
+                                    reason: format!(
+                                        "truncated binary payload ({} bytes)",
+                                        bytes.len()
+                                    ),
+                                });
+                            }
+                            let n_terms = dict.len() as u32;
+                            for t in decode_batch(&bytes) {
+                                if t.s.0 < n_terms && t.p.0 < n_terms && t.o.0 < n_terms {
+                                    out.push(t);
+                                } else {
+                                    self.skipped.push(SkippedMessage {
+                                        round,
+                                        worker: me,
+                                        origin: name.clone(),
+                                        reason: format!(
+                                            "decoded triple {t} has ids outside the dictionary"
+                                        ),
+                                    });
+                                }
                             }
                         }
+                        WireFormat::NTriples => match String::from_utf8(bytes) {
+                            Err(_) => {
+                                self.skipped.push(SkippedMessage {
+                                    round,
+                                    worker: me,
+                                    origin: name.clone(),
+                                    reason: "payload is not valid UTF-8".into(),
+                                });
+                            }
+                            Ok(text) => {
+                                let mut tmp = Graph::new();
+                                match parse_ntriples(&text, &mut tmp) {
+                                    Err(e) => {
+                                        self.skipped.push(SkippedMessage {
+                                            round,
+                                            worker: me,
+                                            origin: name.clone(),
+                                            reason: format!("malformed N-Triples: {e}"),
+                                        });
+                                    }
+                                    Ok(_) => {
+                                        for t in tmp.store.iter() {
+                                            let (s, p, o) = tmp.decode(*t);
+                                            match (dict.id(&s), dict.id(&p), dict.id(&o)) {
+                                                (Some(s), Some(p), Some(o)) => {
+                                                    out.push(Triple::new(s, p, o));
+                                                }
+                                                _ => {
+                                                    self.skipped.push(SkippedMessage {
+                                                        round,
+                                                        worker: me,
+                                                        origin: name.clone(),
+                                                        reason: format!(
+                                                            "term of ({s} {p} {o}) not in the frozen dictionary"
+                                                        ),
+                                                    });
+                                                }
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                        },
                     }
-                    let _ = std::fs::remove_file(entry.path());
+                    let _ = std::fs::remove_file(&path);
                 }
                 out
             }
         };
         self.round += 1;
-        out
+        Ok(out)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultKind;
     use owlpar_rdf::NodeId;
 
     fn t(s: u32, p: u32, o: u32) -> Triple {
@@ -262,25 +605,35 @@ mod tests {
 
     #[test]
     fn channel_roundtrip() {
-        let mut fabric = build_fabric(2, &CommMode::Channel, dict_with(10));
+        let mut fabric = build_fabric(2, &CommMode::Channel, dict_with(10)).unwrap();
         let mut w1 = fabric.pop().unwrap();
         let mut w0 = fabric.pop().unwrap();
-        w0.send(1, &[t(1, 2, 3), t(4, 5, 6)]);
-        w1.send(0, &[t(7, 8, 9)]);
-        assert_eq!(w1.collect(), vec![t(1, 2, 3), t(4, 5, 6)]);
-        assert_eq!(w0.collect(), vec![t(7, 8, 9)]);
+        w0.send(1, &[t(1, 2, 3), t(4, 5, 6)]).unwrap();
+        w1.send(0, &[t(7, 8, 9)]).unwrap();
+        assert_eq!(w1.collect().unwrap(), vec![t(1, 2, 3), t(4, 5, 6)]);
+        assert_eq!(w0.collect().unwrap(), vec![t(7, 8, 9)]);
         // next round: nothing pending
-        assert!(w0.collect().is_empty());
+        assert!(w0.collect().unwrap().is_empty());
     }
 
     #[test]
     fn channel_empty_batch_not_sent() {
-        let mut fabric = build_fabric(2, &CommMode::Channel, dict_with(1));
+        let mut fabric = build_fabric(2, &CommMode::Channel, dict_with(1)).unwrap();
         let mut w1 = fabric.pop().unwrap();
         let mut w0 = fabric.pop().unwrap();
-        w0.send(1, &[]);
+        w0.send(1, &[]).unwrap();
         assert_eq!(w0.bytes_sent, 0);
-        assert!(w1.collect().is_empty());
+        assert!(w1.collect().unwrap().is_empty());
+    }
+
+    #[test]
+    fn channel_dead_receiver_is_disconnected_not_panic() {
+        let mut fabric = build_fabric(2, &CommMode::Channel, dict_with(10)).unwrap();
+        let w1 = fabric.pop().unwrap();
+        let mut w0 = fabric.pop().unwrap();
+        drop(w1); // worker 1 died
+        let err = w0.send(1, &[t(1, 2, 3)]).unwrap_err();
+        assert!(matches!(err, CommError::Disconnected { to: 1, .. }));
     }
 
     fn file_mode(format: WireFormat) -> CommMode {
@@ -289,55 +642,270 @@ mod tests {
 
     #[test]
     fn file_binary_roundtrip() {
-        let mut fabric = build_fabric(3, &file_mode(WireFormat::Binary), dict_with(10));
+        let mut fabric = build_fabric(3, &file_mode(WireFormat::Binary), dict_with(10)).unwrap();
         let mut w2 = fabric.pop().unwrap();
         let mut w1 = fabric.pop().unwrap();
         let mut w0 = fabric.pop().unwrap();
-        w0.send(2, &[t(1, 2, 3)]);
-        w1.send(2, &[t(4, 5, 6)]);
-        let mut got = w2.collect();
+        w0.send(2, &[t(1, 2, 3)]).unwrap();
+        w1.send(2, &[t(4, 5, 6)]).unwrap();
+        let mut got = w2.collect().unwrap();
         got.sort_unstable();
         assert_eq!(got, vec![t(1, 2, 3), t(4, 5, 6)]);
-        assert!(w0.collect().is_empty());
-        assert!(w1.collect().is_empty());
+        assert!(w0.collect().unwrap().is_empty());
+        assert!(w1.collect().unwrap().is_empty());
     }
 
     #[test]
     fn file_ntriples_roundtrip_via_dictionary() {
         let dict = dict_with(10);
-        let mut fabric = build_fabric(2, &file_mode(WireFormat::NTriples), Arc::clone(&dict));
+        let mut fabric =
+            build_fabric(2, &file_mode(WireFormat::NTriples), Arc::clone(&dict)).unwrap();
         let mut w1 = fabric.pop().unwrap();
         let mut w0 = fabric.pop().unwrap();
-        w0.send(1, &[t(0, 1, 2), t(3, 4, 5)]);
+        w0.send(1, &[t(0, 1, 2), t(3, 4, 5)]).unwrap();
         assert!(w0.bytes_sent > 24, "text encoding is bigger than binary");
-        let mut got = w1.collect();
+        let mut got = w1.collect().unwrap();
         got.sort_unstable();
         assert_eq!(got, vec![t(0, 1, 2), t(3, 4, 5)]);
     }
 
     #[test]
     fn file_rounds_are_isolated() {
-        let mut fabric = build_fabric(2, &file_mode(WireFormat::Binary), dict_with(4));
+        let mut fabric = build_fabric(2, &file_mode(WireFormat::Binary), dict_with(4)).unwrap();
         let mut w1 = fabric.pop().unwrap();
         let mut w0 = fabric.pop().unwrap();
         // round 0
-        w0.send(1, &[t(0, 1, 2)]);
-        assert_eq!(w1.collect(), vec![t(0, 1, 2)]);
-        let _ = w0.collect();
+        w0.send(1, &[t(0, 1, 2)]).unwrap();
+        assert_eq!(w1.collect().unwrap(), vec![t(0, 1, 2)]);
+        let _ = w0.collect().unwrap();
         // round 1: a message from round 0 must not reappear
-        w0.send(1, &[t(1, 2, 3)]);
-        assert_eq!(w1.collect(), vec![t(1, 2, 3)]);
+        w0.send(1, &[t(1, 2, 3)]).unwrap();
+        assert_eq!(w1.collect().unwrap(), vec![t(1, 2, 3)]);
     }
 
     #[test]
     fn ntriples_mode_counts_more_bytes_than_binary() {
         let dict = dict_with(10);
         let batch = [t(0, 1, 2), t(3, 4, 5), t(6, 7, 8)];
-        let mut nt =
-            build_fabric(2, &file_mode(WireFormat::NTriples), Arc::clone(&dict));
-        let mut bin = build_fabric(2, &file_mode(WireFormat::Binary), dict);
-        nt[0].send(1, &batch);
-        bin[0].send(1, &batch);
+        let mut nt = build_fabric(2, &file_mode(WireFormat::NTriples), Arc::clone(&dict)).unwrap();
+        let mut bin = build_fabric(2, &file_mode(WireFormat::Binary), dict).unwrap();
+        nt[0].send(1, &batch).unwrap();
+        bin[0].send(1, &batch).unwrap();
         assert!(nt[0].bytes_sent > bin[0].bytes_sent * 3);
+    }
+
+    /// Shared dir for tests that need to reach into the directory
+    /// themselves (cleaned up manually — explicit dirs are not
+    /// auto-removed).
+    fn explicit_dir() -> PathBuf {
+        let mut d = std::env::temp_dir();
+        d.push(format!(
+            "owlpar-comm-test-{}-{:x}",
+            std::process::id(),
+            unique_nonce()
+        ));
+        d
+    }
+
+    #[test]
+    fn auto_temp_dir_removed_when_last_endpoint_drops() {
+        let dict = dict_with(4);
+        let mut fabric = build_fabric(2, &file_mode(WireFormat::Binary), dict).unwrap();
+        let dir = match &fabric[0].backend {
+            Backend::File { dir, .. } => dir.clone(),
+            _ => unreachable!(),
+        };
+        assert!(dir.exists(), "fabric created its temp dir");
+        fabric[0].send(1, &[t(0, 1, 2)]).unwrap();
+        let w1 = fabric.pop().unwrap();
+        drop(w1);
+        assert!(dir.exists(), "dir survives while an endpoint remains");
+        drop(fabric);
+        assert!(!dir.exists(), "last endpoint removes the dir");
+    }
+
+    #[test]
+    fn explicit_dir_not_removed_on_drop() {
+        let dir = explicit_dir();
+        std::fs::create_dir_all(&dir).unwrap();
+        let mode = CommMode::SharedFile {
+            dir: Some(dir.clone()),
+            format: WireFormat::Binary,
+        };
+        let fabric = build_fabric(2, &mode, dict_with(4)).unwrap();
+        drop(fabric);
+        assert!(dir.exists(), "user-provided dirs are the user's to manage");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn garbage_file_dropped_mid_round_is_skipped_with_report() {
+        // The satellite regression: a garbage file lands in the shared
+        // dir mid-round. collect() must skip it with a report instead of
+        // panicking, and still deliver the well-formed message.
+        let dir = explicit_dir();
+        std::fs::create_dir_all(&dir).unwrap();
+        let mode = CommMode::SharedFile {
+            dir: Some(dir.clone()),
+            format: WireFormat::NTriples,
+        };
+        let dict = dict_with(10);
+        let mut fabric = build_fabric(2, &mode, dict).unwrap();
+        let mut w1 = fabric.pop().unwrap();
+        let mut w0 = fabric.pop().unwrap();
+        w0.send(1, &[t(0, 1, 2)]).unwrap();
+        // mid-round garbage addressed to worker 1: invalid UTF-8 bytes
+        std::fs::write(dir.join("r0_f9_t1.msg"), [0xff, 0xfe, 0x00, 0x80]).unwrap();
+        // and a syntactically broken N-Triples file
+        std::fs::write(dir.join("r0_f8_t1.msg"), "<no closing bracket .\n").unwrap();
+        // and a foreign file that matches no message pattern at all
+        std::fs::write(dir.join("README.txt"), "not a message").unwrap();
+        let got = w1.collect().unwrap();
+        assert_eq!(got, vec![t(0, 1, 2)], "good message still delivered");
+        assert_eq!(w1.skipped().len(), 2, "both garbage files reported");
+        assert!(w1.skipped().iter().any(|s| s.reason.contains("UTF-8")));
+        assert!(w1
+            .skipped()
+            .iter()
+            .any(|s| s.reason.contains("malformed N-Triples")));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unknown_terms_in_ntriples_skipped_with_report() {
+        let dir = explicit_dir();
+        std::fs::create_dir_all(&dir).unwrap();
+        let mode = CommMode::SharedFile {
+            dir: Some(dir.clone()),
+            format: WireFormat::NTriples,
+        };
+        let mut fabric = build_fabric(2, &mode, dict_with(4)).unwrap();
+        let mut w1 = fabric.pop().unwrap();
+        // a well-formed message whose terms the frozen dictionary has
+        // never seen
+        std::fs::write(
+            dir.join("r0_f0_t1.msg"),
+            "<http://alien/a> <http://alien/b> <http://alien/c> .\n",
+        )
+        .unwrap();
+        let got = w1.collect().unwrap();
+        assert!(got.is_empty());
+        assert_eq!(w1.skipped().len(), 1);
+        assert!(w1.skipped()[0].reason.contains("frozen dictionary"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_binary_skipped_with_report_keeps_whole_triples() {
+        let dir = explicit_dir();
+        std::fs::create_dir_all(&dir).unwrap();
+        let mode = CommMode::SharedFile {
+            dir: Some(dir.clone()),
+            format: WireFormat::Binary,
+        };
+        let mut fabric = build_fabric(2, &mode, dict_with(10)).unwrap();
+        let mut w1 = fabric.pop().unwrap();
+        let mut bytes = encode_batch(&[t(0, 1, 2), t(3, 4, 5)]);
+        bytes.truncate(18); // cut the second triple in half
+        std::fs::write(dir.join("r0_f0_t1.msg"), bytes).unwrap();
+        let got = w1.collect().unwrap();
+        assert_eq!(got, vec![t(0, 1, 2)], "intact prefix still delivered");
+        assert_eq!(w1.skipped().len(), 1);
+        assert!(w1.skipped()[0].reason.contains("truncated"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn binary_ids_outside_dictionary_skipped() {
+        let dir = explicit_dir();
+        std::fs::create_dir_all(&dir).unwrap();
+        let mode = CommMode::SharedFile {
+            dir: Some(dir.clone()),
+            format: WireFormat::Binary,
+        };
+        let mut fabric = build_fabric(2, &mode, dict_with(4)).unwrap();
+        let mut w1 = fabric.pop().unwrap();
+        let bytes = encode_batch(&[t(0, 1, 2), t(9999, 1, 2)]);
+        std::fs::write(dir.join("r0_f0_t1.msg"), bytes).unwrap();
+        let got = w1.collect().unwrap();
+        assert_eq!(got, vec![t(0, 1, 2)]);
+        assert_eq!(w1.skipped().len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn injected_transient_send_faults_are_retried_through() {
+        let plan = FaultPlan::new().with(0, 0, FaultKind::SendIo { failures: 2 });
+        let dict = dict_with(10);
+        let mut fabric = build_fabric_with_faults(
+            2,
+            &file_mode(WireFormat::Binary),
+            dict,
+            Some(&plan),
+        )
+        .unwrap();
+        let mut w1 = fabric.pop().unwrap();
+        let mut w0 = fabric.pop().unwrap();
+        w0.send(1, &[t(1, 2, 3)]).unwrap();
+        assert_eq!(w0.io_retries, 2, "two injected failures absorbed");
+        assert_eq!(w1.collect().unwrap(), vec![t(1, 2, 3)]);
+    }
+
+    #[test]
+    fn injected_persistent_send_fault_surfaces_typed_error() {
+        let plan = FaultPlan::new().with(
+            0,
+            0,
+            FaultKind::SendIo {
+                failures: RETRY_ATTEMPTS,
+            },
+        );
+        let dict = dict_with(10);
+        let mut fabric = build_fabric_with_faults(
+            2,
+            &file_mode(WireFormat::Binary),
+            dict,
+            Some(&plan),
+        )
+        .unwrap();
+        let mut w0 = fabric.swap_remove(0);
+        let err = w0.send(1, &[t(1, 2, 3)]).unwrap_err();
+        assert!(matches!(
+            err,
+            CommError::Io {
+                round: 0,
+                worker: 0,
+                attempts: RETRY_ATTEMPTS,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn injected_corruption_is_skipped_with_report() {
+        let plan = FaultPlan::new().with(0, 0, FaultKind::Corrupt { to: 1 });
+        let dict = dict_with(10);
+        let mut fabric = build_fabric_with_faults(
+            2,
+            &file_mode(WireFormat::NTriples),
+            dict,
+            Some(&plan),
+        )
+        .unwrap();
+        let mut w1 = fabric.pop().unwrap();
+        let mut w0 = fabric.pop().unwrap();
+        w0.send(1, &[t(0, 1, 2)]).unwrap();
+        let got = w1.collect().unwrap();
+        assert!(got.is_empty(), "corrupted payload must not decode");
+        assert_eq!(w1.skipped().len(), 1);
+    }
+
+    #[test]
+    fn async_drain_on_file_transport_is_typed_error() {
+        let mut fabric = build_fabric(2, &file_mode(WireFormat::Binary), dict_with(4)).unwrap();
+        assert!(matches!(
+            fabric[0].try_collect(),
+            Err(CommError::Unsupported { .. })
+        ));
     }
 }

@@ -1,9 +1,12 @@
 //! Configuration of a parallel reasoning run.
 
 use crate::comm::CommMode;
+use crate::fault::FaultPlan;
 use owlpar_datalog::backward::TableScope;
 use owlpar_datalog::MaterializationStrategy;
 use owlpar_partition::multilevel::PartitionOptions;
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Which of the paper's two partitioning approaches to use, and with
 /// which policy.
@@ -83,6 +86,19 @@ pub enum RoundMode {
     Async,
 }
 
+/// What the master does when a worker is lost mid-run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FaultRecovery {
+    /// Report the loss as a `RunError::Workers` and produce no closure.
+    Fail,
+    /// Data partitioning only: survivors drain cleanly, the master adopts
+    /// the dead worker's base partition and re-closes serially — the
+    /// recovered closure equals the serial closure (forward closure is
+    /// monotonic). Other strategies fall back to failing.
+    #[default]
+    AdoptAndReclose,
+}
+
 /// Full configuration of a run.
 #[derive(Debug, Clone)]
 pub struct ParallelConfig {
@@ -97,6 +113,13 @@ pub struct ParallelConfig {
     pub comm: CommMode,
     /// Barrier rounds (paper) or the async §VI-B variant.
     pub rounds: RoundMode,
+    /// Injected faults for robustness testing (`None` = run clean).
+    pub fault: Option<Arc<FaultPlan>>,
+    /// Patience at the round barrier and for a round's collect; a worker
+    /// waiting longer reports a structured timeout instead of hanging.
+    pub round_timeout: Duration,
+    /// Reaction to losing a worker.
+    pub recovery: FaultRecovery,
 }
 
 impl Default for ParallelConfig {
@@ -107,6 +130,9 @@ impl Default for ParallelConfig {
             materialization: MaterializationStrategy::BackwardJena(TableScope::PerQuery),
             comm: CommMode::Channel,
             rounds: RoundMode::Barrier,
+            fault: None,
+            round_timeout: Duration::from_secs(30),
+            recovery: FaultRecovery::default(),
         }
     }
 }
@@ -125,6 +151,24 @@ impl ParallelConfig {
     /// default backward engine).
     pub fn forward(mut self) -> Self {
         self.materialization = MaterializationStrategy::ForwardSemiNaive;
+        self
+    }
+
+    /// Convenience: attach a fault-injection plan.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.fault = Some(Arc::new(plan));
+        self
+    }
+
+    /// Convenience: set the round/collect patience.
+    pub fn with_round_timeout(mut self, timeout: Duration) -> Self {
+        self.round_timeout = timeout;
+        self
+    }
+
+    /// Convenience: set the reaction to worker loss.
+    pub fn with_recovery(mut self, recovery: FaultRecovery) -> Self {
+        self.recovery = recovery;
         self
     }
 }

@@ -1,0 +1,356 @@
+//! Deterministic fault injection for the parallel runtime.
+//!
+//! A [`FaultPlan`] is a list of faults pinned to `(round, worker)`
+//! coordinates — transient IO errors, message corruption/truncation,
+//! delays, and worker panics. The plan is attached to a run through
+//! `ParallelConfig::fault`; each communication endpoint consults its
+//! per-worker slice ([`FaultState`]) at every IO attempt, so the same
+//! plan replays the same faults on every run. Plans can be written
+//! explicitly ([`FaultPlan::with`]), scattered pseudo-randomly from a
+//! seed ([`FaultPlan::scattered`]), or parsed from the CLI's
+//! `--fault-plan` spec ([`FaultPlan::parse`]).
+//!
+//! This is the mechanism the robustness tests (and future chaos
+//! benchmarks) drive: inject transient faults and assert the closure is
+//! unchanged; inject a panic and assert the run ends with a structured
+//! error or a recovered closure instead of a hang.
+
+use std::time::Duration;
+
+/// One kind of injectable fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Fail the first `failures` IO attempts of every send this worker
+    /// performs in the round with a transient (retryable) error.
+    SendIo {
+        /// Attempts to fail before letting the operation through.
+        failures: u32,
+    },
+    /// Fail the first `failures` IO attempts of the round's collect.
+    CollectIo {
+        /// Attempts to fail before letting the operation through.
+        failures: u32,
+    },
+    /// Corrupt the payload of messages sent to worker `to` this round
+    /// (bytes are bit-flipped; shared-file transport only).
+    Corrupt {
+        /// Receiving worker whose messages are mangled.
+        to: usize,
+    },
+    /// Truncate messages sent to worker `to` this round to half their
+    /// length (shared-file transport only).
+    Truncate {
+        /// Receiving worker whose messages are cut short.
+        to: usize,
+    },
+    /// Sleep this many milliseconds before the round's sends — delays
+    /// (and therefore reorders) message arrival relative to other
+    /// workers.
+    Delay {
+        /// Wall-clock delay in milliseconds.
+        millis: u64,
+    },
+    /// Panic the worker at the start of the round (contained by the
+    /// runtime's `catch_unwind` wrapper).
+    Panic,
+}
+
+/// A fault pinned to its `(round, worker)` coordinate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Round in which the fault fires (0 = the initial exchange).
+    pub round: usize,
+    /// Worker at which it fires.
+    pub worker: usize,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A deterministic schedule of injected faults.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Every planned fault.
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// The empty plan.
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Builder-style: add one fault at `(round, worker)`.
+    pub fn with(mut self, round: usize, worker: usize, kind: FaultKind) -> Self {
+        self.events.push(FaultEvent {
+            round,
+            worker,
+            kind,
+        });
+        self
+    }
+
+    /// Scatter `n` events drawn round-robin from `kinds` across workers
+    /// `0..k` and rounds `0..max_round`, deterministically from `seed`
+    /// (xorshift64*; same seed → same plan).
+    pub fn scattered(
+        seed: u64,
+        k: usize,
+        max_round: usize,
+        kinds: &[FaultKind],
+        n: usize,
+    ) -> Self {
+        let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state.wrapping_mul(0x2545f4914f6cdd1d)
+        };
+        let mut plan = FaultPlan::new();
+        if kinds.is_empty() || k == 0 || max_round == 0 {
+            return plan;
+        }
+        for i in 0..n {
+            let kind = kinds[i % kinds.len()];
+            let round = (next() % max_round as u64) as usize;
+            let worker = (next() % k as u64) as usize;
+            plan = plan.with(round, worker, kind);
+        }
+        plan
+    }
+
+    /// Parse the CLI spec: comma-separated `kind@round.worker[:param]`
+    /// entries, where `kind` is one of `io` / `collect-io` (param =
+    /// failed attempts, default 2), `corrupt` / `truncate` (param =
+    /// receiving worker, default 0), `delay` (param = milliseconds,
+    /// default 10), `panic` (no param).
+    ///
+    /// Example: `io@1.0:2,corrupt@2.1:0,panic@1.2,delay@0.1:5`.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut plan = FaultPlan::new();
+        for entry in spec.split(',').map(str::trim).filter(|e| !e.is_empty()) {
+            let (kind_str, rest) = entry
+                .split_once('@')
+                .ok_or_else(|| format!("'{entry}': expected kind@round.worker[:param]"))?;
+            let (coord, param) = match rest.split_once(':') {
+                Some((c, p)) => (c, Some(p)),
+                None => (rest, None),
+            };
+            let (round_str, worker_str) = coord
+                .split_once('.')
+                .ok_or_else(|| format!("'{entry}': expected round.worker coordinates"))?;
+            let round: usize = round_str
+                .parse()
+                .map_err(|_| format!("'{entry}': bad round '{round_str}'"))?;
+            let worker: usize = worker_str
+                .parse()
+                .map_err(|_| format!("'{entry}': bad worker '{worker_str}'"))?;
+            let num = |default: u64| -> Result<u64, String> {
+                match param {
+                    None => Ok(default),
+                    Some(p) => p
+                        .parse()
+                        .map_err(|_| format!("'{entry}': bad parameter '{p}'")),
+                }
+            };
+            let kind = match kind_str {
+                "io" => FaultKind::SendIo {
+                    failures: num(2)? as u32,
+                },
+                "collect-io" => FaultKind::CollectIo {
+                    failures: num(2)? as u32,
+                },
+                "corrupt" => FaultKind::Corrupt {
+                    to: num(0)? as usize,
+                },
+                "truncate" => FaultKind::Truncate {
+                    to: num(0)? as usize,
+                },
+                "delay" => FaultKind::Delay { millis: num(10)? },
+                "panic" => FaultKind::Panic,
+                other => return Err(format!("'{entry}': unknown fault kind '{other}'")),
+            };
+            plan = plan.with(round, worker, kind);
+        }
+        Ok(plan)
+    }
+
+    /// This worker's slice of the plan, with live retry budgets.
+    pub(crate) fn for_worker(&self, worker: usize) -> FaultState {
+        FaultState {
+            events: self
+                .events
+                .iter()
+                .filter(|e| e.worker == worker)
+                .map(|e| LiveEvent {
+                    event: *e,
+                    budget_used: 0,
+                })
+                .collect(),
+        }
+    }
+}
+
+struct LiveEvent {
+    event: FaultEvent,
+    /// Injected failures already consumed (for the `*Io` kinds).
+    budget_used: u32,
+}
+
+/// One endpoint's live view of the plan (owned by its `WorkerComm`).
+#[derive(Default)]
+pub(crate) struct FaultState {
+    events: Vec<LiveEvent>,
+}
+
+impl FaultState {
+    /// True when a `Panic` event is scheduled here this round.
+    pub(crate) fn panic_scheduled(&self, round: usize) -> bool {
+        self.events.iter().any(|l| {
+            l.event.round == round && matches!(l.event.kind, FaultKind::Panic)
+        })
+    }
+
+    /// Wall-clock delay to apply before this round's sends.
+    pub(crate) fn send_delay(&self, round: usize) -> Option<Duration> {
+        self.events.iter().find_map(|l| match l.event.kind {
+            FaultKind::Delay { millis } if l.event.round == round => {
+                Some(Duration::from_millis(millis))
+            }
+            _ => None,
+        })
+    }
+
+    /// Consume one injected send-IO failure if budget remains.
+    pub(crate) fn take_send_io(&mut self, round: usize) -> bool {
+        self.take_io(round, true)
+    }
+
+    /// Consume one injected collect-IO failure if budget remains.
+    pub(crate) fn take_collect_io(&mut self, round: usize) -> bool {
+        self.take_io(round, false)
+    }
+
+    fn take_io(&mut self, round: usize, send: bool) -> bool {
+        for l in &mut self.events {
+            if l.event.round != round {
+                continue;
+            }
+            let budget = match (l.event.kind, send) {
+                (FaultKind::SendIo { failures }, true) => failures,
+                (FaultKind::CollectIo { failures }, false) => failures,
+                _ => continue,
+            };
+            if l.budget_used < budget {
+                l.budget_used += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// How to mangle this round's payload to worker `to`, if at all.
+    /// Returns `Some(truncate_only)`.
+    pub(crate) fn mangle(&self, round: usize, to: usize) -> Option<bool> {
+        self.events.iter().find_map(|l| {
+            if l.event.round != round {
+                return None;
+            }
+            match l.event.kind {
+                FaultKind::Corrupt { to: t } if t == to => Some(false),
+                FaultKind::Truncate { to: t } if t == to => Some(true),
+                _ => None,
+            }
+        })
+    }
+
+    /// Fire a scheduled panic. Lives here — not in the worker loop — so
+    /// `worker.rs` stays free of `panic!` on runtime paths; this is the
+    /// one deliberate panic site, and it exists to be caught by the
+    /// containment wrapper.
+    #[allow(clippy::panic)]
+    pub(crate) fn fire_panic(&self, round: usize, worker: usize) {
+        panic!("injected fault: worker {worker} panics at round {round}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_for_worker_filtering() {
+        let plan = FaultPlan::new()
+            .with(1, 0, FaultKind::Panic)
+            .with(2, 1, FaultKind::SendIo { failures: 3 });
+        let s0 = plan.for_worker(0);
+        assert!(s0.panic_scheduled(1));
+        assert!(!s0.panic_scheduled(2));
+        let mut s1 = plan.for_worker(1);
+        assert!(!s1.panic_scheduled(1));
+        assert!(s1.take_send_io(2));
+        assert!(s1.take_send_io(2));
+        assert!(s1.take_send_io(2));
+        assert!(!s1.take_send_io(2), "budget exhausted");
+        assert!(!s1.take_collect_io(2), "send budget is not collect budget");
+    }
+
+    #[test]
+    fn scattered_is_deterministic_and_in_range() {
+        let kinds = [FaultKind::SendIo { failures: 1 }, FaultKind::Delay { millis: 5 }];
+        let a = FaultPlan::scattered(42, 4, 3, &kinds, 10);
+        let b = FaultPlan::scattered(42, 4, 3, &kinds, 10);
+        assert_eq!(a, b);
+        assert_eq!(a.events.len(), 10);
+        for e in &a.events {
+            assert!(e.worker < 4);
+            assert!(e.round < 3);
+        }
+        let c = FaultPlan::scattered(43, 4, 3, &kinds, 10);
+        assert_ne!(a, c, "different seed, different plan");
+    }
+
+    #[test]
+    fn parse_full_grammar() {
+        let plan =
+            FaultPlan::parse("io@1.0:2, collect-io@0.1, corrupt@2.1:0, truncate@2.0:1, delay@0.1:5, panic@1.2")
+                .unwrap();
+        assert_eq!(plan.events.len(), 6);
+        assert_eq!(
+            plan.events[0],
+            FaultEvent {
+                round: 1,
+                worker: 0,
+                kind: FaultKind::SendIo { failures: 2 }
+            }
+        );
+        assert_eq!(plan.events[1].kind, FaultKind::CollectIo { failures: 2 });
+        assert_eq!(plan.events[2].kind, FaultKind::Corrupt { to: 0 });
+        assert_eq!(plan.events[3].kind, FaultKind::Truncate { to: 1 });
+        assert_eq!(plan.events[4].kind, FaultKind::Delay { millis: 5 });
+        assert_eq!(plan.events[5].kind, FaultKind::Panic);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_entries() {
+        assert!(FaultPlan::parse("panic").is_err());
+        assert!(FaultPlan::parse("panic@1").is_err());
+        assert!(FaultPlan::parse("panic@a.b").is_err());
+        assert!(FaultPlan::parse("explode@1.0").is_err());
+        assert!(FaultPlan::parse("io@1.0:x").is_err());
+    }
+
+    #[test]
+    fn parse_empty_is_empty_plan() {
+        assert_eq!(FaultPlan::parse("").unwrap(), FaultPlan::new());
+    }
+
+    #[test]
+    fn mangle_matches_target_only() {
+        let plan = FaultPlan::new().with(2, 0, FaultKind::Corrupt { to: 1 });
+        let s = plan.for_worker(0);
+        assert_eq!(s.mangle(2, 1), Some(false));
+        assert_eq!(s.mangle(2, 0), None);
+        assert_eq!(s.mangle(1, 1), None);
+    }
+}

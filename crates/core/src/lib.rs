@@ -20,6 +20,13 @@
 //! barrier-synchronized rounds and terminate when a round moves no triples
 //! anywhere (the paper's quiescence condition).
 //!
+//! The runtime is fault-tolerant end to end: transport operations return
+//! typed [`error`]s instead of panicking, file writes are atomic with
+//! retried transient failures, corrupted messages are skipped with a
+//! report, worker panics are contained by the master ([`master`]), and a
+//! seeded [`fault::FaultPlan`] can inject failures deterministically for
+//! testing.
+//!
 //! Per-phase timers (reasoning / IO / synchronization / aggregation)
 //! reproduce the Fig. 2 overhead breakdown; [`model`] provides the cubic
 //! performance model of Fig. 4 and the theoretical-maximum speedup of
@@ -34,21 +41,34 @@
 //!     k: 4,
 //!     strategy: PartitioningStrategy::data_graph(),
 //!     ..ParallelConfig::default()
-//! });
+//! }).expect("parallel run");
 //! println!("derived {} triples in {} rounds (max over workers)",
 //!          report.derived, report.max_rounds());
 //! ```
 
+// Runtime code must propagate failures as typed errors, never panic.
+// Test modules are exempt; the one deliberate panic (fault injection)
+// carries its own narrow allow in `fault`.
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
+
+pub mod barrier;
 pub mod comm;
 pub mod config;
 pub mod cputime;
+pub mod error;
+pub mod fault;
 pub mod master;
 pub mod model;
 pub mod stats;
 pub mod worker;
 
 pub use comm::{CommMode, WireFormat};
-pub use config::{ParallelConfig, PartitioningStrategy};
+pub use config::{FaultRecovery, ParallelConfig, PartitioningStrategy};
+pub use error::{CommError, RunError, SkippedMessage, WorkerError};
+pub use fault::{FaultKind, FaultPlan};
 pub use master::{run_parallel, run_serial, RunReport};
 pub use model::{fit_cubic, PolyModel};
 pub use stats::WorkerStats;

@@ -5,11 +5,29 @@
 //! Apart from this, the master node also sends a partition table to each
 //! processor. ... the master node itself has no role to play once the
 //! initial partition is done."
+//!
+//! Unlike the quote, this master has one more job: **containment and
+//! recovery**. Every worker runs inside a `catch_unwind` wrapper; a
+//! panicking worker is converted into a structured
+//! [`WorkerError::Panicked`], the shared failure flag is raised and the
+//! barrier defected on its behalf, so the survivors drain cleanly (see
+//! `worker`). If the run lost workers, the master either reports a
+//! [`RunError::Workers`] or — for data partitioning under
+//! [`FaultRecovery::AdoptAndReclose`] — adopts the loss: the original
+//! graph still holds every base triple and the survivors' stores are
+//! subsets of the closure, so re-closing serially yields *exactly* the
+//! serial closure (forward closure is monotonic in its inputs).
 
-use crate::comm::build_fabric;
-use crate::config::{DataPolicy, ParallelConfig, PartitioningStrategy, RoundMode};
+use crate::barrier::RoundBarrier;
+use crate::comm::{build_fabric_with_faults, CommMode};
+use crate::config::{
+    DataPolicy, FaultRecovery, ParallelConfig, PartitioningStrategy, RoundMode,
+};
+use crate::error::{RunError, WorkerError};
 use crate::stats::{PhaseBreakdown, WorkerStats};
-use crate::worker::{run_worker, run_worker_async, AsyncControl, Routing, WorkerCtx};
+use crate::worker::{
+    run_worker, run_worker_async, AsyncControl, Routing, RunFlags, WorkerCtx,
+};
 use owlpar_datalog::{MaterializationStrategy, Reasoner};
 use owlpar_horst::HorstReasoner;
 use owlpar_partition::metrics::{or_excess, quality, PartitionQuality};
@@ -17,8 +35,9 @@ use owlpar_partition::multilevel::PartitionOptions;
 use owlpar_partition::{partition_data, partition_rules, OwnershipPolicy};
 use owlpar_rdf::vocab::RDF_TYPE;
 use owlpar_rdf::{Graph, Term, Triple, TripleStore};
-use std::sync::atomic::AtomicU64;
-use std::sync::{Arc, Barrier};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Everything measured about one parallel run.
@@ -26,7 +45,8 @@ use std::time::{Duration, Instant};
 pub struct RunReport {
     /// Number of workers.
     pub k: usize,
-    /// Per-worker counters.
+    /// Per-worker counters (a lost worker keeps its slot, with default
+    /// counters — `workers.len() == k` always holds).
     pub workers: Vec<WorkerStats>,
     /// Max-per-phase breakdown (Fig. 2 convention) + aggregation.
     pub breakdown: PhaseBreakdown,
@@ -51,12 +71,23 @@ pub struct RunReport {
     pub partition_quality: Option<PartitionQuality>,
     /// Ownership-graph edge-cut (graph policy only).
     pub edge_cut: Option<u64>,
+    /// Workers lost during the run (empty on a clean run). Non-empty
+    /// only when recovery succeeded — otherwise the run is an `Err`.
+    pub worker_errors: Vec<WorkerError>,
+    /// True when worker losses were recovered by the adopt-and-reclose
+    /// pass (the closure is still exactly the serial closure).
+    pub recovered: bool,
 }
 
 impl RunReport {
     /// Largest round count over the workers.
     pub fn max_rounds(&self) -> usize {
         self.workers.iter().map(|w| w.rounds).max().unwrap_or(0)
+    }
+
+    /// Total messages skipped-with-report across workers.
+    pub fn total_skipped(&self) -> usize {
+        self.workers.iter().map(|w| w.skipped).sum()
     }
 }
 
@@ -69,9 +100,30 @@ pub fn run_serial(graph: &mut Graph, materialization: MaterializationStrategy) -
     (derived, start.elapsed())
 }
 
+/// Render a contained panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string())
+}
+
 /// Run Algorithm 3 over `graph`, materializing it in place.
-pub fn run_parallel(graph: &mut Graph, cfg: &ParallelConfig) -> RunReport {
-    assert!(cfg.k >= 1);
+///
+/// Errors: [`RunError::Config`] for an invalid configuration,
+/// [`RunError::Fabric`] when the transport cannot even be built, and
+/// [`RunError::Workers`] when workers were lost and recovery was
+/// unavailable (non-data strategy) or disabled ([`FaultRecovery::Fail`]).
+pub fn run_parallel(graph: &mut Graph, cfg: &ParallelConfig) -> Result<RunReport, RunError> {
+    if cfg.k < 1 {
+        return Err(RunError::config("k must be at least 1"));
+    }
+    if matches!(cfg.rounds, RoundMode::Async) && !matches!(cfg.comm, CommMode::Channel) {
+        return Err(RunError::config(
+            "asynchronous rounds require the channel transport",
+        ));
+    }
     let start_total = Instant::now();
     let before_len = graph.len();
 
@@ -114,11 +166,12 @@ pub fn run_parallel(graph: &mut Graph, cfg: &ParallelConfig) -> RunReport {
         }
         PartitioningStrategy::Hybrid { rule_groups } => {
             let g = *rule_groups;
-            assert!(
-                g >= 1 && cfg.k % g == 0,
-                "rule_groups ({g}) must divide k ({})",
-                cfg.k
-            );
+            if g < 1 || !cfg.k.is_multiple_of(g) {
+                return Err(RunError::config(format!(
+                    "rule_groups ({g}) must divide k ({})",
+                    cfg.k
+                )));
+            }
             let d = cfg.k / g;
             let dp = partition_data(
                 &hr.instance_triples,
@@ -192,11 +245,15 @@ pub fn run_parallel(graph: &mut Graph, cfg: &ParallelConfig) -> RunReport {
 
     // Freeze the dictionary and build the fabric.
     let dict = Arc::new(graph.dict.clone());
-    let fabric = build_fabric(cfg.k, &cfg.comm, dict);
-    let barrier = Arc::new(Barrier::new(cfg.k));
+    let fabric = build_fabric_with_faults(cfg.k, &cfg.comm, dict, cfg.fault.as_deref())
+        .map_err(|source| RunError::Fabric { source })?;
+    let barrier = Arc::new(RoundBarrier::new(cfg.k));
     let total_sent = Arc::new(AtomicU64::new(0));
+    let flags = Arc::new(RunFlags::new());
+    let progress: Vec<Arc<AtomicUsize>> =
+        (0..cfg.k).map(|_| Arc::new(AtomicUsize::new(0))).collect();
 
-    // Spawn the workers.
+    // Spawn the workers, each inside a panic-containment wrapper.
     let t_par = Instant::now();
     let Plan {
         bases,
@@ -207,61 +264,153 @@ pub fn run_parallel(graph: &mut Graph, cfg: &ParallelConfig) -> RunReport {
     } = plan;
     let schema = &hr.schema_triples;
     let async_control = Arc::new(AsyncControl::default());
-    let mut results: Vec<Option<(TripleStore, WorkerStats)>> =
-        (0..cfg.k).map(|_| None).collect();
-    crossbeam::thread::scope(|scope| {
+    type WorkerOutcome = Result<(TripleStore, WorkerStats), WorkerError>;
+    let mut results: Vec<Option<WorkerOutcome>> = (0..cfg.k).map(|_| None).collect();
+    let scope_ok = crossbeam::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(cfg.k);
         let mut parts_iter = bases.into_iter();
         let mut rules_iter = rules_per_worker.into_iter();
         let mut routing_iter = routing.into_iter();
         let mut fabric_iter = fabric.into_iter();
         for id in 0..cfg.k {
-            let base = parts_iter.next().unwrap();
-            let rules = rules_iter.next().unwrap();
-            let routing = routing_iter.next().unwrap();
-            let comm = fabric_iter.next().unwrap();
+            // the iterators have exactly k elements by construction
+            let (Some(base), Some(rules), Some(routing), Some(comm)) = (
+                parts_iter.next(),
+                rules_iter.next(),
+                routing_iter.next(),
+                fabric_iter.next(),
+            ) else {
+                break;
+            };
             let barrier = Arc::clone(&barrier);
             let total_sent = Arc::clone(&total_sent);
+            let flags = Arc::clone(&flags);
+            let progress = Arc::clone(&progress[id]);
             let async_control = Arc::clone(&async_control);
             let materialization = cfg.materialization;
             let rounds_mode = cfg.rounds;
+            let round_timeout = cfg.round_timeout;
             let schema = schema.clone();
             handles.push(scope.spawn(move |_| {
-                let mut store = TripleStore::new();
-                store.extend(schema);
-                store.extend(base);
-                let ctx = WorkerCtx {
-                    id,
-                    k: cfg.k,
-                    store,
-                    reasoner: Reasoner::new(rules, materialization),
-                    routing,
-                    comm,
-                    barrier,
-                    total_sent,
-                };
-                match rounds_mode {
-                    RoundMode::Barrier => run_worker(ctx),
-                    RoundMode::Async => run_worker_async(ctx, async_control),
+                let contain_barrier = Arc::clone(&barrier);
+                let contain_flags = Arc::clone(&flags);
+                let contain_progress = Arc::clone(&progress);
+                let contain_async = Arc::clone(&async_control);
+                let outcome = std::panic::catch_unwind(AssertUnwindSafe(move || {
+                    let mut store = TripleStore::new();
+                    store.extend(schema);
+                    store.extend(base);
+                    let ctx = WorkerCtx {
+                        id,
+                        k: cfg.k,
+                        store,
+                        reasoner: Reasoner::new(rules, materialization),
+                        routing,
+                        comm,
+                        barrier,
+                        total_sent,
+                        flags,
+                        round_timeout,
+                        progress,
+                    };
+                    match rounds_mode {
+                        RoundMode::Barrier => run_worker(ctx),
+                        RoundMode::Async => run_worker_async(ctx, async_control),
+                    }
+                }));
+                match outcome {
+                    Ok(r) => r,
+                    Err(payload) => {
+                        // Containment: raise the flag *before* defecting,
+                        // then release anyone the dead worker would have
+                        // kept waiting (see worker.rs module docs).
+                        contain_flags.fail();
+                        contain_barrier.defect();
+                        contain_async
+                            .exit
+                            .store(true, Ordering::SeqCst);
+                        Err(WorkerError::Panicked {
+                            worker: id,
+                            round: contain_progress.load(Ordering::Relaxed),
+                            message: panic_message(payload.as_ref()),
+                        })
+                    }
                 }
             }));
         }
         for (id, h) in handles.into_iter().enumerate() {
-            results[id] = Some(h.join().expect("worker panicked"));
+            results[id] = Some(h.join().unwrap_or_else(|_| {
+                Err(WorkerError::Panicked {
+                    worker: id,
+                    round: 0,
+                    message: "worker thread died outside containment".to_string(),
+                })
+            }));
         }
     })
-    .expect("worker scope");
+    .is_ok();
+    if !scope_ok {
+        return Err(RunError::Workers {
+            errors: vec![WorkerError::Panicked {
+                worker: 0,
+                round: 0,
+                message: "worker scope tore down abnormally".to_string(),
+            }],
+        });
+    }
     let host_parallel_time = t_par.elapsed();
 
-    // Aggregate: union the partitions back into the master graph.
+    // Aggregate: union the surviving partitions back into the master
+    // graph; collect structured errors for the rest.
     let t_agg = Instant::now();
     let mut worker_stats = Vec::with_capacity(cfg.k);
     let mut output_sizes = Vec::with_capacity(cfg.k);
-    for r in results {
-        let (store, stats) = r.expect("worker result present");
-        output_sizes.push(store.len());
-        graph.store.union_with(&store);
-        worker_stats.push(stats);
+    let mut worker_errors: Vec<WorkerError> = Vec::new();
+    for (id, r) in results.into_iter().enumerate() {
+        match r {
+            Some(Ok((store, stats))) => {
+                output_sizes.push(store.len());
+                graph.store.union_with(&store);
+                worker_stats.push(stats);
+            }
+            Some(Err(e)) => {
+                worker_errors.push(e);
+                worker_stats.push(WorkerStats {
+                    id,
+                    ..WorkerStats::default()
+                });
+            }
+            None => {
+                worker_errors.push(WorkerError::Panicked {
+                    worker: id,
+                    round: 0,
+                    message: "worker was never spawned".to_string(),
+                });
+                worker_stats.push(WorkerStats {
+                    id,
+                    ..WorkerStats::default()
+                });
+            }
+        }
+    }
+
+    // Recovery. The master graph still holds every base and schema
+    // triple (union_with only ever adds), and each surviving store is a
+    // subset of the closure, so a serial re-close over the union is
+    // exactly the serial closure. Guaranteed for data partitioning,
+    // where every worker ran the complete rule-base; rule/hybrid losses
+    // are reported instead.
+    let mut recovered = false;
+    if !worker_errors.is_empty() {
+        let recoverable = matches!(cfg.recovery, FaultRecovery::AdoptAndReclose)
+            && matches!(cfg.strategy, PartitioningStrategy::Data(_));
+        if !recoverable {
+            return Err(RunError::Workers {
+                errors: worker_errors,
+            });
+        }
+        run_serial(graph, cfg.materialization);
+        recovered = true;
     }
     let aggregation = t_agg.elapsed();
 
@@ -285,7 +434,7 @@ pub fn run_parallel(graph: &mut Graph, cfg: &ParallelConfig) -> RunReport {
     }
 
     let closure_size = graph.len();
-    RunReport {
+    Ok(RunReport {
         k: cfg.k,
         breakdown: PhaseBreakdown::from_workers(&worker_stats, aggregation),
         workers: worker_stats,
@@ -298,13 +447,16 @@ pub fn run_parallel(graph: &mut Graph, cfg: &ParallelConfig) -> RunReport {
         output_replication: or_excess(&output_sizes, closure_size),
         partition_quality,
         edge_cut,
-    }
+        worker_errors,
+        recovered,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::comm::{CommMode, WireFormat};
+    use crate::fault::{FaultKind, FaultPlan};
     use owlpar_datagen::{generate_lubm, generate_mdc, generate_uobm, LubmConfig, MdcConfig, UobmConfig};
 
     fn serial_closure(mut g: Graph) -> (u64, usize) {
@@ -315,7 +467,7 @@ mod tests {
     fn assert_parallel_matches_serial(g0: &Graph, cfg: &ParallelConfig) {
         let (want_fp, want_len) = serial_closure(g0.clone());
         let mut g = g0.clone();
-        let report = run_parallel(&mut g, cfg);
+        let report = run_parallel(&mut g, cfg).expect("run succeeds");
         assert_eq!(g.len(), want_len, "closure size mismatch ({cfg:?})");
         assert_eq!(g.term_fingerprint(), want_fp, "closure mismatch ({cfg:?})");
         assert!(report.derived > 0);
@@ -434,15 +586,19 @@ mod tests {
                 ..ParallelConfig::default()
             }
             .forward(),
-        );
+        )
+        .expect("run succeeds");
         assert_eq!(report.workers.len(), 4);
         assert!(report.max_rounds() >= 1);
         assert!(report.closure_size > g0.len());
+        assert_eq!(report.total_skipped(), 0);
         let q = report.partition_quality.expect("data strategy has quality");
         assert_eq!(q.node_counts.len(), 4);
         assert!(q.ir >= 1.0);
         assert!(report.edge_cut.is_some());
         assert!(report.output_replication >= 0.0);
+        assert!(report.worker_errors.is_empty());
+        assert!(!report.recovered);
     }
 
     #[test]
@@ -474,10 +630,9 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "must divide")]
     fn hybrid_rejects_indivisible_k() {
         let mut g = generate_lubm(&LubmConfig::mini(1));
-        run_parallel(
+        let err = run_parallel(
             &mut g,
             &ParallelConfig {
                 k: 5,
@@ -485,7 +640,35 @@ mod tests {
                 ..ParallelConfig::default()
             }
             .forward(),
-        );
+        )
+        .unwrap_err();
+        assert!(matches!(err, RunError::Config { .. }));
+        assert!(err.to_string().contains("must divide"));
+    }
+
+    #[test]
+    fn zero_k_is_config_error() {
+        let mut g = generate_lubm(&LubmConfig::mini(1));
+        let err = run_parallel(&mut g, &ParallelConfig::default().with_k(0)).unwrap_err();
+        assert!(matches!(err, RunError::Config { .. }));
+    }
+
+    #[test]
+    fn async_over_files_is_config_error() {
+        let mut g = generate_lubm(&LubmConfig::mini(1));
+        let err = run_parallel(
+            &mut g,
+            &ParallelConfig {
+                rounds: RoundMode::Async,
+                comm: CommMode::SharedFile {
+                    dir: None,
+                    format: WireFormat::Binary,
+                },
+                ..ParallelConfig::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, RunError::Config { .. }));
     }
 
     #[test]
@@ -515,7 +698,8 @@ mod tests {
                 ..ParallelConfig::default()
             }
             .forward(),
-        );
+        )
+        .expect("run succeeds");
         assert!(report.workers.iter().all(|w| w.sync_time == Duration::ZERO));
         assert!(report.parallel_time > Duration::ZERO);
     }
@@ -524,12 +708,68 @@ mod tests {
     fn k1_equals_serial_with_no_comm() {
         let g0 = generate_lubm(&LubmConfig::mini(1));
         let mut g = g0.clone();
-        let report = run_parallel(&mut g, &ParallelConfig::default().with_k(1).forward());
+        let report = run_parallel(&mut g, &ParallelConfig::default().with_k(1).forward())
+            .expect("run succeeds");
         assert_eq!(report.workers[0].sent, 0);
         assert_eq!(report.workers[0].received, 0);
         assert_eq!(report.max_rounds(), 1);
         let (fp, len) = serial_closure(g0);
         assert_eq!(g.len(), len);
         assert_eq!(g.term_fingerprint(), fp);
+    }
+
+    #[test]
+    fn worker_panic_is_contained_and_recovered() {
+        // Data partitioning + AdoptAndReclose (the default): a worker
+        // panicking at round 1 must yield a *recovered* run whose
+        // closure equals the serial closure.
+        let g0 = generate_mdc(&MdcConfig::mini());
+        let (want_fp, want_len) = serial_closure(g0.clone());
+        let mut g = g0.clone();
+        let cfg = ParallelConfig {
+            k: 4,
+            strategy: PartitioningStrategy::data_graph(),
+            ..ParallelConfig::default()
+        }
+        .forward()
+        .with_round_timeout(Duration::from_secs(300))
+        .with_faults(FaultPlan::new().with(1, 2, FaultKind::Panic));
+        let report = run_parallel(&mut g, &cfg).expect("recovered run succeeds");
+        assert!(report.recovered, "panic at round 1 triggers recovery");
+        assert!(report
+            .worker_errors
+            .iter()
+            .any(|e| matches!(e, WorkerError::Panicked { worker: 2, .. })));
+        assert_eq!(report.workers.len(), 4, "dead worker keeps its slot");
+        assert_eq!(g.len(), want_len);
+        assert_eq!(g.term_fingerprint(), want_fp);
+    }
+
+    #[test]
+    fn worker_panic_without_recovery_is_structured_error() {
+        let mut g = generate_mdc(&MdcConfig::mini());
+        let cfg = ParallelConfig {
+            k: 4,
+            strategy: PartitioningStrategy::data_graph(),
+            ..ParallelConfig::default()
+        }
+        .forward()
+        .with_round_timeout(Duration::from_secs(300))
+        .with_recovery(FaultRecovery::Fail)
+        .with_faults(FaultPlan::new().with(1, 1, FaultKind::Panic));
+        let err = run_parallel(&mut g, &cfg).unwrap_err();
+        match err {
+            RunError::Workers { errors } => {
+                assert!(errors.iter().any(|e| matches!(
+                    e,
+                    WorkerError::Panicked {
+                        worker: 1,
+                        round: 1,
+                        ..
+                    }
+                )));
+            }
+            other => panic!("expected Workers error, got {other}"),
+        }
     }
 }

@@ -101,8 +101,8 @@ fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Vec<f64> {
     for col in 0..n {
         // pivot
         let pivot = (col..n)
-            .max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).unwrap())
-            .unwrap();
+            .max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))
+            .unwrap_or(col);
         a.swap(col, pivot);
         b.swap(col, pivot);
         let diag = a[col][col];
@@ -112,8 +112,10 @@ fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Vec<f64> {
         );
         for row in (col + 1)..n {
             let f = a[row][col] / diag;
-            for c in col..n {
-                a[row][c] -= f * a[col][c];
+            let (head, tail) = a.split_at_mut(row);
+            let pivot_row = &head[col];
+            for (dst, src) in tail[0][col..n].iter_mut().zip(&pivot_row[col..n]) {
+                *dst -= f * src;
             }
             b[row] -= f * b[col];
         }

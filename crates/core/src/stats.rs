@@ -36,6 +36,11 @@ pub struct WorkerStats {
     pub sent: usize,
     /// Triples received from other workers (pre-dedup).
     pub received: usize,
+    /// Messages skipped with a report (corrupted/truncated/undecodable;
+    /// see `owlpar_core::error::SkippedMessage`).
+    pub skipped: usize,
+    /// Transient IO failures absorbed by retrying.
+    pub io_retries: usize,
     /// Final size of the worker's local store (base + schema + derived).
     pub output_size: usize,
 }

@@ -6,16 +6,40 @@
 //! Termination: a round in which *no* worker sent anything (detected via
 //! a shared cumulative send counter read between the two round barriers,
 //! so every worker reaches the same verdict in the same round).
+//!
+//! # Fault containment
+//!
+//! The loop returns `Result` instead of panicking. A worker that fails —
+//! persistent IO error, barrier timeout, contained panic — marks the
+//! shared [`RunFlags`] as failed **before** defecting from the
+//! [`RoundBarrier`], so by the time the barrier membership shrinks the
+//! failure is already visible, and survivors drain with their
+//! (monotonically correct, partial) stores intact for the master's
+//! recovery pass. Sends to an already-dead peer come back `Disconnected`
+//! and are skipped — the run's outcome is decided by the dead worker's
+//! own structured error, not by a cascade.
+//!
+//! The failure flag is racy by nature: it can be raised between a
+//! barrier's release and a survivor's flag check, so two survivors may
+//! observe it one round apart (one breaks now, the other only after
+//! another barrier crossing). The liveness rule that makes this safe is
+//! that **every** exit from the round loop — failure drain, normal
+//! quiescence, or structured error — defects from the barrier, so a
+//! worker that leaves can never strand a slower peer mid-round; the
+//! peer's next barrier releases against the shrunken membership and its
+//! own flag check ends its loop.
 
+use crate::barrier::RoundBarrier;
 use crate::comm::WorkerComm;
 use crate::cputime::CpuTimer;
+use crate::error::{CommError, WorkerError};
 use crate::stats::WorkerStats;
 use owlpar_datalog::{Reasoner, Rule};
 use owlpar_partition::RulePartitions;
 use owlpar_rdf::fx::FxHashMap;
 use owlpar_rdf::{NodeId, Triple, TripleStore};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Barrier};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// How a worker decides where a freshly derived triple must travel.
@@ -97,6 +121,33 @@ impl Routing {
     }
 }
 
+/// Run-wide failure flag shared by all workers and the master.
+///
+/// Set by a failing worker *before* it defects from the barrier, so the
+/// barrier's release order guarantees every survivor observes it at the
+/// same round's exit check.
+#[derive(Default)]
+pub struct RunFlags {
+    failed: AtomicBool,
+}
+
+impl RunFlags {
+    /// Fresh, un-failed flags.
+    pub fn new() -> Self {
+        RunFlags::default()
+    }
+
+    /// Mark the run as having lost a worker.
+    pub fn fail(&self) {
+        self.failed.store(true, Ordering::SeqCst);
+    }
+
+    /// Has any worker been lost?
+    pub fn failed(&self) -> bool {
+        self.failed.load(Ordering::SeqCst)
+    }
+}
+
 /// Shared state for distributed termination detection in the
 /// asynchronous mode: exit when every worker is idle and every sent
 /// triple has been processed.
@@ -107,7 +158,9 @@ pub struct AsyncControl {
     pub total_done: AtomicU64,
     /// Workers currently idle (inbox empty, nothing to derive).
     pub idle: std::sync::atomic::AtomicUsize,
-    /// Latched once global quiescence is observed.
+    /// Latched once global quiescence is observed (or a worker is lost —
+    /// the async mode has no barrier, so the exit flag doubles as its
+    /// failure broadcast).
     pub exit: std::sync::atomic::AtomicBool,
 }
 
@@ -138,14 +191,47 @@ pub struct WorkerCtx {
     pub routing: Routing,
     /// Communication endpoint.
     pub comm: WorkerComm,
-    /// Round barrier shared by all workers.
-    pub barrier: Arc<Barrier>,
+    /// Round barrier shared by all workers (timeout- and
+    /// defection-aware).
+    pub barrier: Arc<RoundBarrier>,
     /// Cumulative count of triples sent by anyone (termination detector).
     pub total_sent: Arc<AtomicU64>,
+    /// Run-wide failure flag.
+    pub flags: Arc<RunFlags>,
+    /// Patience at each barrier crossing.
+    pub round_timeout: Duration,
+    /// Last round this worker entered — read by the master's panic
+    /// containment to report *where* a worker died.
+    pub progress: Arc<AtomicUsize>,
 }
 
-/// Run the worker to quiescence. Returns the final local store and stats.
-pub fn run_worker(mut ctx: WorkerCtx) -> (TripleStore, WorkerStats) {
+/// Record the failure, leave the barrier, and hand back the error.
+/// The flag **must** be set before the defection — see the module docs.
+fn abort(flags: &RunFlags, barrier: &RoundBarrier, err: WorkerError) -> WorkerError {
+    flags.fail();
+    barrier.defect();
+    err
+}
+
+/// Cross the barrier or fail with a structured timeout.
+fn cross_barrier(ctx: &WorkerCtx, round: usize) -> Result<(), WorkerError> {
+    match ctx.barrier.wait(ctx.round_timeout) {
+        Ok(()) => Ok(()),
+        Err(t) => Err(abort(
+            &ctx.flags,
+            &ctx.barrier,
+            WorkerError::BarrierTimeout {
+                worker: ctx.id,
+                round,
+                waited: t.waited,
+            },
+        )),
+    }
+}
+
+/// Run the worker to quiescence. Returns the final local store and stats,
+/// or a structured error if this worker dropped out of the run.
+pub fn run_worker(mut ctx: WorkerCtx) -> Result<(TripleStore, WorkerStats), WorkerError> {
     let mut stats = WorkerStats {
         id: ctx.id,
         ..WorkerStats::default()
@@ -168,6 +254,16 @@ pub fn run_worker(mut ctx: WorkerCtx) -> (TripleStore, WorkerStats) {
     let mut dests: Vec<u32> = Vec::with_capacity(2);
     loop {
         stats.rounds += 1;
+        let round = ctx.comm.round();
+        ctx.progress.store(round, Ordering::Relaxed);
+
+        // injected faults pinned to the start of this round
+        if ctx.comm.panic_scheduled(round) {
+            ctx.comm.fire_scheduled_panic(round); // contained by the master
+        }
+        if let Some(d) = ctx.comm.scheduled_delay(round) {
+            std::thread::sleep(d);
+        }
 
         // route + send
         let t = CpuTimer::start();
@@ -180,8 +276,23 @@ pub fn run_worker(mut ctx: WorkerCtx) -> (TripleStore, WorkerStats) {
         }
         let mut sent_now = 0u64;
         for (to, batch) in outbox.iter().enumerate() {
-            sent_now += batch.len() as u64;
-            ctx.comm.send(to, batch);
+            match ctx.comm.send(to, batch) {
+                Ok(()) => sent_now += batch.len() as u64,
+                // A hung-up peer is already dead; its own structured
+                // error decides the run. Dropping the message is safe:
+                // recovery re-closes from the surviving stores.
+                Err(CommError::Disconnected { .. }) => {}
+                Err(source) => {
+                    return Err(abort(
+                        &ctx.flags,
+                        &ctx.barrier,
+                        WorkerError::Comm {
+                            worker: ctx.id,
+                            source,
+                        },
+                    ));
+                }
+            }
         }
         stats.sent += sent_now as usize;
         ctx.total_sent.fetch_add(sent_now, Ordering::SeqCst);
@@ -193,11 +304,23 @@ pub fn run_worker(mut ctx: WorkerCtx) -> (TripleStore, WorkerStats) {
         // account (sync time is reconstructed by the master afterwards)
         stats.round_cpu.push(round_cpu);
         round_cpu = Duration::ZERO;
-        ctx.barrier.wait();
+        cross_barrier(&ctx, round)?;
 
         // receive (charged to the next round)
         let t = CpuTimer::start();
-        let received = ctx.comm.collect();
+        let received = match ctx.comm.collect() {
+            Ok(r) => r,
+            Err(source) => {
+                return Err(abort(
+                    &ctx.flags,
+                    &ctx.barrier,
+                    WorkerError::Comm {
+                        worker: ctx.id,
+                        source,
+                    },
+                ));
+            }
+        };
         stats.received += received.len();
         let dt = t.elapsed();
         stats.io_time += dt;
@@ -205,7 +328,11 @@ pub fn run_worker(mut ctx: WorkerCtx) -> (TripleStore, WorkerStats) {
 
         // read the verdict inside the [A, B] window, then barrier B
         let now_total = ctx.total_sent.load(Ordering::SeqCst);
-        ctx.barrier.wait();
+        cross_barrier(&ctx, round)?;
+        if ctx.flags.failed() {
+            break; // a worker was lost: drain cleanly, in the same round
+                   // as every other survivor (see module docs)
+        }
         if now_total == last_total {
             break; // nobody moved a triple this round: global quiescence
         }
@@ -223,22 +350,33 @@ pub fn run_worker(mut ctx: WorkerCtx) -> (TripleStore, WorkerStats) {
         round_cpu += dt;
         stats.derived += derived.len();
     }
+    // Leaving the run — on drain *or* quiescence — must shrink the
+    // barrier membership: a peer that raced past our flag check may
+    // already be waiting on the next barrier, and without this defection
+    // it would stall there until its round timeout (see module docs).
+    ctx.barrier.defect();
     if round_cpu > Duration::ZERO {
         stats.round_cpu.push(round_cpu); // trailing collect work
     }
 
+    stats.skipped = ctx.comm.skipped().len();
+    stats.io_retries = ctx.comm.io_retries as usize;
     stats.output_size = ctx.store.len();
-    (ctx.store, stats)
+    Ok((ctx.store, stats))
 }
 
 /// The asynchronous variant of Algorithm 3 proposed in §VI-B: no round
 /// barrier — a worker consumes whatever has arrived and keeps deriving.
 /// Termination: every worker idle ∧ every sent triple processed
 /// (`AsyncControl`). Requires the channel transport.
+///
+/// With no barrier to defect from, a failing worker broadcasts through
+/// `AsyncControl::exit` instead, so no survivor spins forever waiting
+/// for a quiescence that can no longer be reached.
 pub fn run_worker_async(
     mut ctx: WorkerCtx,
     control: Arc<AsyncControl>,
-) -> (TripleStore, WorkerStats) {
+) -> Result<(TripleStore, WorkerStats), WorkerError> {
     use std::sync::atomic::Ordering::SeqCst;
     let mut stats = WorkerStats {
         id: ctx.id,
@@ -258,6 +396,14 @@ pub fn run_worker_async(
     let mut dests: Vec<u32> = Vec::with_capacity(2);
     'outer: loop {
         stats.rounds += 1; // one burst = one "round" for accounting
+        let burst = stats.rounds - 1;
+        ctx.progress.store(burst, Ordering::Relaxed);
+        if ctx.comm.panic_scheduled(burst) {
+            ctx.comm.fire_scheduled_panic(burst); // contained by the master
+        }
+        if let Some(d) = ctx.comm.scheduled_delay(burst) {
+            std::thread::sleep(d);
+        }
 
         // route + send whatever the last burst derived
         let t = CpuTimer::start();
@@ -271,7 +417,22 @@ pub fn run_worker_async(
         let sent_now: u64 = outbox.iter().map(|b| b.len() as u64).sum();
         control.total_sent.fetch_add(sent_now, SeqCst);
         for (to, batch) in outbox.iter().enumerate() {
-            ctx.comm.send(to, batch);
+            match ctx.comm.send(to, batch) {
+                Ok(()) => {}
+                Err(CommError::Disconnected { .. }) => {
+                    // dead peer; account its share as done so the in-flight
+                    // counter can still reach quiescence
+                    control.total_done.fetch_add(batch.len() as u64, SeqCst);
+                }
+                Err(source) => {
+                    ctx.flags.fail();
+                    control.exit.store(true, SeqCst);
+                    return Err(WorkerError::Comm {
+                        worker: ctx.id,
+                        source,
+                    });
+                }
+            }
         }
         stats.sent += sent_now as usize;
         let dt = t.elapsed();
@@ -283,7 +444,17 @@ pub fn run_worker_async(
         // grab whatever has arrived; if nothing, go idle and watch for
         // quiescence
         let t = CpuTimer::start();
-        let mut received = ctx.comm.try_collect();
+        let mut received = match ctx.comm.try_collect() {
+            Ok(r) => r,
+            Err(source) => {
+                ctx.flags.fail();
+                control.exit.store(true, SeqCst);
+                return Err(WorkerError::Comm {
+                    worker: ctx.id,
+                    source,
+                });
+            }
+        };
         let dt = t.elapsed();
         stats.io_time += dt;
         burst_cpu += dt;
@@ -293,7 +464,17 @@ pub fn run_worker_async(
                 if control.exit.load(SeqCst) {
                     break 'outer;
                 }
-                received = ctx.comm.try_collect();
+                received = match ctx.comm.try_collect() {
+                    Ok(r) => r,
+                    Err(source) => {
+                        ctx.flags.fail();
+                        control.exit.store(true, SeqCst);
+                        return Err(WorkerError::Comm {
+                            worker: ctx.id,
+                            source,
+                        });
+                    }
+                };
                 if !received.is_empty() {
                     control.idle.fetch_sub(1, SeqCst);
                     break;
@@ -328,8 +509,10 @@ pub fn run_worker_async(
         stats.round_cpu.push(burst_cpu);
     }
 
+    stats.skipped = ctx.comm.skipped().len();
+    stats.io_retries = ctx.comm.io_retries as usize;
     stats.output_size = ctx.store.len();
-    (ctx.store, stats)
+    Ok((ctx.store, stats))
 }
 
 #[cfg(test)]
@@ -415,5 +598,15 @@ mod tests {
         let q_home = parts.assignment[1];
         routing.destinations(&t(5, 20, 6), 1 - q_home, &mut out);
         assert_eq!(out, vec![q_home]);
+    }
+
+    #[test]
+    fn run_flags_latch() {
+        let f = RunFlags::new();
+        assert!(!f.failed());
+        f.fail();
+        assert!(f.failed());
+        f.fail();
+        assert!(f.failed());
     }
 }

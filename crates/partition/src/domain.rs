@@ -44,7 +44,7 @@ pub fn domain_owners(
     let mut group_ids: FxHashMap<String, u32> = FxHashMap::default();
     let mut group_sizes: Vec<u64> = Vec::new();
     for &n in nodes {
-        let g = dict.term(n).and_then(|t| key(t)).map(|s| {
+        let g = dict.term(n).and_then(key).map(|s| {
             let next = group_ids.len() as u32;
             let id = *group_ids.entry(s).or_insert(next);
             if id as usize == group_sizes.len() {

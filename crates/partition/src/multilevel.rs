@@ -277,7 +277,7 @@ fn coarsen(graph: &CsrGraph, rng: &mut StdRng) -> (CsrGraph, Vec<usize>) {
         let mut best: Option<(u32, u64)> = None;
         for (u, w) in graph.neighbors(v) {
             if map[u as usize] == usize::MAX
-                && best.map_or(true, |(_, bw)| w > bw)
+                && best.is_none_or(|(_, bw)| w > bw)
             {
                 best = Some((u, w));
             }
@@ -327,7 +327,7 @@ fn best_direct_bisect(
             fm_refine(graph, &mut side, ratio, opts.epsilon, rng);
         }
         let cut = graph.edge_cut(&side);
-        if best.as_ref().map_or(true, |(bc, _)| cut < *bc) {
+        if best.as_ref().is_none_or(|(bc, _)| cut < *bc) {
             best = Some((cut, side));
         }
     }

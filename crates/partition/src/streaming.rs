@@ -61,14 +61,14 @@ pub fn ldg_owners(
         let mut best = 0u32;
         let mut best_score = f64::NEG_INFINITY;
         let neigh = &neighbours[&v];
-        for p in 0..k {
+        for (p, &load) in loads.iter().enumerate().take(k) {
             let placed = neigh
                 .iter()
                 .filter(|n| owner.get(n) == Some(&(p as u32)))
                 .count() as f64;
-            let score = (placed + 1e-9) * (1.0 - loads[p] as f64 / capacity);
+            let score = (placed + 1e-9) * (1.0 - load as f64 / capacity);
             // deterministic tie-break: lightest partition
-            let score = score - loads[p] as f64 * 1e-12;
+            let score = score - load as f64 * 1e-12;
             if score > best_score {
                 best_score = score;
                 best = p as u32;

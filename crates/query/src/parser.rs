@@ -99,7 +99,7 @@ impl P<'_, '_> {
         let rest = &self.src[self.pos..];
         if rest.len() >= kw.len() && rest[..kw.len()].eq_ignore_ascii_case(kw) {
             let after = rest.as_bytes().get(kw.len());
-            let boundary = after.map_or(true, |c| !c.is_ascii_alphanumeric());
+            let boundary = after.is_none_or(|c| !c.is_ascii_alphanumeric());
             if boundary {
                 self.pos += kw.len();
                 return true;

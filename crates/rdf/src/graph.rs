@@ -114,14 +114,12 @@ impl Graph {
     /// A deterministic fingerprint of the triple set *as terms* (not ids),
     /// usable to compare closures computed with different dictionaries.
     pub fn term_fingerprint(&self) -> u64 {
-        use std::hash::{BuildHasher, Hash, Hasher};
+        use std::hash::BuildHasher;
         let bh = crate::fx::FxBuildHasher::default();
         let mut acc: u64 = 0;
         for t in self.store.iter() {
-            let mut h = bh.build_hasher();
-            self.decode(*t).hash(&mut h);
             // XOR-fold so the fingerprint is order independent.
-            acc ^= h.finish();
+            acc ^= bh.hash_one(self.decode(*t));
         }
         acc ^ (self.store.len() as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
     }

@@ -31,7 +31,8 @@ fn main() {
             strategy: PartitioningStrategy::data_domain(), // cluster by field
             ..ParallelConfig::default()
         },
-    );
+    )
+    .expect("clean run");
     println!(
         "oilfield KB: {before} base triples, {} derived, {} rounds",
         report.derived,

@@ -36,7 +36,8 @@ fn main() {
             k: 2,
             ..ParallelConfig::default()
         },
-    );
+    )
+    .expect("clean run");
 
     println!(
         "derived {} new triples in {} round(s) across {} workers:\n",

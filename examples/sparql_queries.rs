@@ -22,7 +22,8 @@ fn main() {
             ..ParallelConfig::default()
         }
         .forward(),
-    );
+    )
+    .expect("clean run");
     println!(
         "KB: {} base triples, {} derived by the parallel reasoner\n",
         raw.len(),

@@ -51,7 +51,8 @@ fn main() {
                 strategy,
                 ..ParallelConfig::default()
             },
-        );
+        )
+        .expect("clean run");
         assert_eq!(g.term_fingerprint(), serial.term_fingerprint());
         let q = report.partition_quality.as_ref().unwrap();
         println!(

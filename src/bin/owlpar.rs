@@ -3,14 +3,19 @@
 //!
 //! ```text
 //! owlpar materialize <in.nt> <out.nt> [--k 4] [--strategy graph|hash|domain|rule|hybrid] [--async]
+//!                    [--fault-plan 'io@1.0:2,panic@1.2,...']
 //! owlpar query <kb.nt> '<SPARQL>'
 //! owlpar partition <in.nt> [--k 4]
 //! owlpar snapshot <in.nt> <out.owlpar>
 //! owlpar restore <in.owlpar> <out.nt>
 //! owlpar gen <lubm|uobm|mdc> <out.nt> [--universities 2] [--scale 0.1]
 //! ```
+//!
+//! Exit codes: 0 success, 1 usage/IO error, 3 the parallel run itself
+//! failed (a `RunError` — lost workers without recovery, bad config).
 
 use owlpar::core::config::RoundMode;
+use owlpar::core::{FaultPlan, RunError};
 use owlpar::horst::HorstReasoner;
 use owlpar::partition::metrics::quality;
 use owlpar::partition::multilevel::PartitionOptions;
@@ -20,13 +25,43 @@ use owlpar::rdf::snapshot;
 use owlpar::rdf::vocab::RDF_TYPE;
 use std::process::ExitCode;
 
+/// What went wrong, split by exit code.
+enum CliError {
+    /// Bad arguments or IO trouble — exit code 1.
+    Usage(String),
+    /// The parallel run failed with a structured error — exit code 3.
+    Run(RunError),
+}
+
+impl From<String> for CliError {
+    fn from(s: String) -> Self {
+        CliError::Usage(s)
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(s: &str) -> Self {
+        CliError::Usage(s.to_string())
+    }
+}
+
+impl From<RunError> for CliError {
+    fn from(e: RunError) -> Self {
+        CliError::Run(e)
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(args) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
+        Err(CliError::Usage(e)) => {
             eprintln!("owlpar: {e}");
             ExitCode::FAILURE
+        }
+        Err(CliError::Run(e)) => {
+            eprintln!("owlpar: run failed: {e}");
+            ExitCode::from(3)
         }
     }
 }
@@ -48,54 +83,57 @@ fn save_graph(g: &Graph, path: &str) -> Result<(), String> {
     std::fs::write(path, write_ntriples(g)).map_err(|e| format!("writing {path}: {e}"))
 }
 
-fn run(args: Vec<String>) -> Result<(), String> {
+fn run(args: Vec<String>) -> Result<(), CliError> {
     let cmd = args.first().cloned().unwrap_or_default();
     let rest = &args[args.len().min(1)..];
     match cmd.as_str() {
         "materialize" => materialize(rest),
-        "query" => query(rest),
-        "partition" => partition_info(rest),
-        "snapshot" => snapshot_cmd(rest),
-        "restore" => restore(rest),
-        "gen" => gen(rest),
-        _ => Err(format!(
+        "query" => query(rest).map_err(CliError::Usage),
+        "partition" => partition_info(rest).map_err(CliError::Usage),
+        "snapshot" => snapshot_cmd(rest).map_err(CliError::Usage),
+        "restore" => restore(rest).map_err(CliError::Usage),
+        "gen" => gen(rest).map_err(CliError::Usage),
+        _ => Err(CliError::Usage(format!(
             "usage: owlpar <materialize|query|partition|snapshot|restore|gen> ... (got '{cmd}')"
-        )),
+        ))),
     }
 }
 
-fn materialize(args: &[String]) -> Result<(), String> {
+fn materialize(args: &[String]) -> Result<(), CliError> {
     let [input, output, ..] = args else {
         return Err("materialize needs <in.nt> <out.nt>".into());
     };
-    let k: usize = flag_value(args, "--k").map_or(Ok(2), |v| v.parse().map_err(|_| "--k"))?;
+    let k: usize = flag_value(args, "--k")
+        .map_or(Ok(2), |v| v.parse().map_err(|_| "--k".to_string()))?;
     let strategy = match flag_value(args, "--strategy").as_deref() {
         None | Some("graph") => PartitioningStrategy::data_graph(),
         Some("hash") => PartitioningStrategy::data_hash(),
         Some("domain") => PartitioningStrategy::data_domain(),
         Some("rule") => PartitioningStrategy::rule(),
         Some("hybrid") => PartitioningStrategy::Hybrid {
-            rule_groups: if k % 2 == 0 { 2 } else { 1 },
+            rule_groups: if k.is_multiple_of(2) { 2 } else { 1 },
         },
-        Some(other) => return Err(format!("unknown strategy '{other}'")),
+        Some(other) => return Err(format!("unknown strategy '{other}'").into()),
     };
     let rounds = if args.iter().any(|a| a == "--async") {
         RoundMode::Async
     } else {
         RoundMode::Barrier
     };
+    let mut cfg = ParallelConfig {
+        k,
+        strategy,
+        rounds,
+        ..ParallelConfig::default()
+    }
+    .forward();
+    if let Some(spec) = flag_value(args, "--fault-plan") {
+        let plan = FaultPlan::parse(&spec).map_err(|e| format!("--fault-plan: {e}"))?;
+        cfg = cfg.with_faults(plan);
+    }
     let mut g = load_graph(input)?;
     let before = g.len();
-    let report = run_parallel(
-        &mut g,
-        &ParallelConfig {
-            k,
-            strategy,
-            rounds,
-            ..ParallelConfig::default()
-        }
-        .forward(),
-    );
+    let report = run_parallel(&mut g, &cfg)?;
     save_graph(&g, output)?;
     println!(
         "{before} base triples -> {} total ({} derived) on {k} workers in {} round(s); simulated cluster time {:.3}s",
@@ -104,6 +142,21 @@ fn materialize(args: &[String]) -> Result<(), String> {
         report.max_rounds(),
         report.parallel_time.as_secs_f64()
     );
+    if report.recovered {
+        for e in &report.worker_errors {
+            eprintln!("owlpar: recovered from: {e}");
+        }
+        eprintln!(
+            "owlpar: {} worker(s) lost; closure re-derived serially (still exact)",
+            report.worker_errors.len()
+        );
+    }
+    if report.total_skipped() > 0 {
+        eprintln!(
+            "owlpar: {} corrupted/foreign message(s) skipped with a report",
+            report.total_skipped()
+        );
+    }
     Ok(())
 }
 

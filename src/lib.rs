@@ -31,7 +31,7 @@
 //! let report = run_parallel(
 //!     &mut graph,
 //!     &ParallelConfig { k: 4, ..ParallelConfig::default() }.forward(),
-//! );
+//! ).expect("clean run");
 //! assert!(report.derived > 0);
 //! println!("closure: {} triples, {} derived", graph.len(), report.derived);
 //! ```
@@ -47,8 +47,8 @@ pub use owlpar_rdf as rdf;
 /// One-stop imports for applications.
 pub mod prelude {
     pub use owlpar_core::{
-        run_parallel, run_serial, CommMode, ParallelConfig, PartitioningStrategy, RunReport,
-        WireFormat,
+        run_parallel, run_serial, CommMode, CommError, FaultKind, FaultPlan, FaultRecovery,
+        ParallelConfig, PartitioningStrategy, RunError, RunReport, WireFormat, WorkerError,
     };
     pub use owlpar_datagen::{
         generate_lubm, generate_mdc, generate_uobm, LubmConfig, MdcConfig, UobmConfig,

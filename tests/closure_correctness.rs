@@ -14,7 +14,7 @@ fn serial_fingerprint(g0: &Graph) -> (u64, usize) {
 fn check(g0: &Graph, cfg: &ParallelConfig, label: &str) {
     let (fp, len) = serial_fingerprint(g0);
     let mut g = g0.clone();
-    let report = run_parallel(&mut g, cfg);
+    let report = run_parallel(&mut g, cfg).expect("clean run");
     assert_eq!(g.len(), len, "{label}: closure size");
     assert_eq!(g.term_fingerprint(), fp, "{label}: closure content");
     assert_eq!(report.closure_size, len, "{label}: reported size");
@@ -98,9 +98,9 @@ fn file_transport_binary_and_text() {
 fn parallel_run_is_idempotent() {
     let mut g = generate_lubm(&LubmConfig::mini(1));
     let cfg = ParallelConfig::default().forward();
-    let first = run_parallel(&mut g, &cfg);
+    let first = run_parallel(&mut g, &cfg).expect("clean run");
     assert!(first.derived > 0);
-    let second = run_parallel(&mut g, &cfg);
+    let second = run_parallel(&mut g, &cfg).expect("clean run");
     assert_eq!(second.derived, 0, "closure is a fixpoint");
 }
 

@@ -35,7 +35,8 @@ fn lubm_semantics_hold_after_parallel_run() {
             ..ParallelConfig::default()
         }
         .forward(),
-    );
+    )
+    .expect("clean run");
 
     let id = |iri: &str| g.dict.id(&Term::iri(iri)).expect("interned");
     let rdf_type = id(RDF_TYPE);
@@ -96,7 +97,8 @@ fn uobm_social_semantics_hold() {
             ..ParallelConfig::default()
         }
         .forward(),
-    );
+    )
+    .expect("clean run");
     let id = |iri: &str| g.dict.id(&Term::iri(iri)).expect("interned");
     let friend = id(&univ("isFriendOf"));
     let friends = g.matches(TriplePattern::new(None, Some(friend), None));
@@ -119,7 +121,7 @@ fn schema_is_not_duplicated_or_lost() {
     let subclass = g0.dict.id(&Term::iri(RDFS_SUBCLASSOF)).unwrap();
     let schema_before = g0.matches(TriplePattern::new(None, Some(subclass), None)).len();
     let mut g = g0.clone();
-    run_parallel(&mut g, &ParallelConfig::default().forward());
+    run_parallel(&mut g, &ParallelConfig::default().forward()).expect("clean run");
     let schema_after = g.matches(TriplePattern::new(None, Some(subclass), None)).len();
     // compiled rules never derive schema triples, and replication across
     // workers must collapse in the union
@@ -138,7 +140,8 @@ fn run_report_or_reflects_replication() {
             ..ParallelConfig::default()
         }
         .forward(),
-    );
+    )
+    .expect("clean run");
     let mut g_hash = g0.clone();
     let hash_report = run_parallel(
         &mut g_hash,
@@ -148,7 +151,8 @@ fn run_report_or_reflects_replication() {
             ..ParallelConfig::default()
         }
         .forward(),
-    );
+    )
+    .expect("clean run");
     let g_ir = graph_report.partition_quality.unwrap().ir_excess();
     let h_ir = hash_report.partition_quality.unwrap().ir_excess();
     assert!(

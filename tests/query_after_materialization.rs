@@ -15,7 +15,8 @@ fn close_with(g0: &Graph, strategy: PartitioningStrategy, k: usize) -> Graph {
             ..ParallelConfig::default()
         }
         .forward(),
-    );
+    )
+    .expect("clean run");
     g
 }
 
@@ -46,7 +47,7 @@ fn query_answers_independent_of_partitioning() {
 #[test]
 fn ask_queries_on_materialized_kb() {
     let mut g = generate_lubm(&LubmConfig::mini(1));
-    run_parallel(&mut g, &ParallelConfig::default().forward());
+    run_parallel(&mut g, &ParallelConfig::default().forward()).expect("clean run");
     let yes = parse_query(
         &format!(
             "{}ASK {{ ?x a ub:Person }}",
@@ -67,7 +68,7 @@ fn ask_queries_on_materialized_kb() {
 #[test]
 fn snapshot_of_materialized_kb_is_queryable() {
     let mut g = generate_lubm(&LubmConfig::mini(1));
-    run_parallel(&mut g, &ParallelConfig::default().forward());
+    run_parallel(&mut g, &ParallelConfig::default().forward()).expect("clean run");
 
     let mut buf = Vec::new();
     owlpar::rdf::snapshot::save(&g, &mut buf).unwrap();
