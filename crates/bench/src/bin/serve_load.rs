@@ -1,0 +1,185 @@
+//! Load generator for `owlpar-serve`: spins up an in-process server on a
+//! generated LUBM KB, drives it with N concurrent clients at several
+//! concurrency levels, and emits `BENCH_serve.json` with throughput and
+//! latency percentiles per level.
+//!
+//! ```text
+//! serve_load [--requests 300] [--levels 1,2,4] [--universities 1]
+//!            [--threads 4] [--out BENCH_serve.json]
+//! ```
+//!
+//! Every 10th request per client is an INSERT (a fresh unique triple,
+//! exercising the delta-closure write path); the rest are queries mixed
+//! over a full-scan-with-LIMIT and a type scan. Latencies are recorded
+//! exactly and percentiles computed from the sorted samples.
+
+use owlpar_core::{ParallelConfig, PartitioningStrategy};
+use owlpar_datagen::{generate_lubm, LubmConfig};
+use owlpar_serve::{run_info, serve, Client, ServeConfig, ServingKb};
+use std::time::{Duration, Instant};
+
+const QUERIES: [&str; 2] = [
+    "SELECT ?s ?o WHERE { ?s ?p ?o } LIMIT 50",
+    "SELECT ?s WHERE { ?s rdf:type ?c } LIMIT 20",
+];
+
+struct LevelResult {
+    concurrency: usize,
+    requests: usize,
+    elapsed: Duration,
+    query_lat: Vec<Duration>,
+    insert_lat: Vec<Duration>,
+}
+
+fn percentile_us(sorted: &[Duration], q: f64) -> u128 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1].as_micros()
+}
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let requests: usize = flag_value(&args, "--requests")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(300);
+    let levels: Vec<usize> = flag_value(&args, "--levels")
+        .unwrap_or_else(|| "1,2,4".to_string())
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .collect();
+    let universities: usize = flag_value(&args, "--universities")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    let threads: usize = flag_value(&args, "--threads")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let out_path =
+        flag_value(&args, "--out").unwrap_or_else(|| "BENCH_serve.json".to_string());
+    assert!(levels.len() >= 3, "need at least 3 concurrency levels");
+
+    let graph = generate_lubm(&LubmConfig::mini(universities));
+    let base = graph.len();
+    let cfg = ParallelConfig {
+        k: 2,
+        strategy: PartitioningStrategy::data_hash(),
+        ..ParallelConfig::default()
+    }
+    .forward();
+    let (kb, report) = ServingKb::materialize(graph, &cfg).expect("materialize KB");
+    println!("materialized: {}", report.summary());
+
+    let handle = serve(
+        kb,
+        run_info(&report),
+        &ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads,
+        },
+    )
+    .expect("start server");
+    let addr = handle.addr();
+    println!(
+        "serving {} triples ({} base) on {addr}, {threads} server thread(s)",
+        report.closure_size, base
+    );
+
+    let mut results = Vec::new();
+    for &concurrency in &levels {
+        let started = Instant::now();
+        let mut workers = Vec::new();
+        for client_id in 0..concurrency {
+            workers.push(std::thread::spawn(move || {
+                let mut c = Client::connect(addr).expect("connect");
+                let mut query_lat = Vec::with_capacity(requests);
+                let mut insert_lat = Vec::new();
+                for i in 0..requests {
+                    let t0 = Instant::now();
+                    if i % 10 == 9 {
+                        c.insert(&format!(
+                            "<http://load/c{client_id}x{concurrency}r{i}> \
+                             <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> \
+                             <http://load/Probe> .\n"
+                        ))
+                        .expect("insert");
+                        insert_lat.push(t0.elapsed());
+                    } else {
+                        c.query(QUERIES[i % QUERIES.len()]).expect("query");
+                        query_lat.push(t0.elapsed());
+                    }
+                }
+                (query_lat, insert_lat)
+            }));
+        }
+        let mut query_lat = Vec::new();
+        let mut insert_lat = Vec::new();
+        for w in workers {
+            let (q, i) = w.join().expect("client thread");
+            query_lat.extend(q);
+            insert_lat.extend(i);
+        }
+        let elapsed = started.elapsed();
+        query_lat.sort_unstable();
+        insert_lat.sort_unstable();
+        let total = query_lat.len() + insert_lat.len();
+        println!(
+            "concurrency {concurrency:>2}: {total} requests in {:.3}s \
+             ({:.0} req/s), query p50 {}us p99 {}us, insert p50 {}us p99 {}us",
+            elapsed.as_secs_f64(),
+            total as f64 / elapsed.as_secs_f64(),
+            percentile_us(&query_lat, 0.50),
+            percentile_us(&query_lat, 0.99),
+            percentile_us(&insert_lat, 0.50),
+            percentile_us(&insert_lat, 0.99),
+        );
+        results.push(LevelResult {
+            concurrency,
+            requests: total,
+            elapsed,
+            query_lat,
+            insert_lat,
+        });
+    }
+
+    let mut c = Client::connect(addr).expect("connect for shutdown");
+    let stats_json = c.stats().expect("stats");
+    c.shutdown().expect("shutdown");
+    handle.join().expect("server drain");
+
+    let levels_json: Vec<String> = results
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"concurrency\":{},\"requests\":{},\"elapsed_s\":{:.6},\
+                 \"throughput_rps\":{:.1},\
+                 \"query_p50_us\":{},\"query_p99_us\":{},\
+                 \"insert_p50_us\":{},\"insert_p99_us\":{}}}",
+                r.concurrency,
+                r.requests,
+                r.elapsed.as_secs_f64(),
+                r.requests as f64 / r.elapsed.as_secs_f64(),
+                percentile_us(&r.query_lat, 0.50),
+                percentile_us(&r.query_lat, 0.99),
+                percentile_us(&r.insert_lat, 0.50),
+                percentile_us(&r.insert_lat, 0.99),
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\"bench\":\"serve_load\",\"kb_base_triples\":{base},\
+         \"kb_closure_triples\":{},\"server_threads\":{threads},\
+         \"requests_per_client\":{requests},\
+         \"levels\":[{}],\"server_stats\":{stats_json}}}\n",
+        report.closure_size,
+        levels_json.join(","),
+    );
+    std::fs::write(&out_path, &json).expect("write BENCH_serve.json");
+    println!("wrote {out_path}");
+}

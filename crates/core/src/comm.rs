@@ -70,6 +70,57 @@ pub enum WireFormat {
     Binary,
 }
 
+/// Upper bound on a single message or frame payload the runtime accepts.
+/// Shared between the shared-file transport and the serving wire codec
+/// (`owlpar-serve`), so every length-prefixed byte stream in the system
+/// rejects the same degenerate inputs.
+pub const MAX_PAYLOAD_BYTES: u64 = 64 * 1024 * 1024;
+
+/// Why a payload length was rejected by [`check_payload_bounds`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PayloadBoundsError {
+    /// Zero-length payloads are never produced by a healthy peer — the
+    /// transports skip empty batches at the sender.
+    Empty,
+    /// The payload exceeds [`MAX_PAYLOAD_BYTES`].
+    Oversized {
+        /// Claimed or observed length.
+        len: u64,
+        /// The bound that was exceeded.
+        max: u64,
+    },
+}
+
+impl std::fmt::Display for PayloadBoundsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PayloadBoundsError::Empty => write!(f, "zero-length payload"),
+            PayloadBoundsError::Oversized { len, max } => {
+                write!(f, "payload of {len} bytes exceeds the {max}-byte bound")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PayloadBoundsError {}
+
+/// Validate a message/frame payload length *before* allocating or
+/// decoding it. Both the shared-file decoder ([`WorkerComm::collect`])
+/// and the `owlpar-serve` wire codec route their length fields through
+/// this single check.
+pub fn check_payload_bounds(len: u64) -> Result<(), PayloadBoundsError> {
+    if len == 0 {
+        Err(PayloadBoundsError::Empty)
+    } else if len > MAX_PAYLOAD_BYTES {
+        Err(PayloadBoundsError::Oversized {
+            len,
+            max: MAX_PAYLOAD_BYTES,
+        })
+    } else {
+        Ok(())
+    }
+}
+
 /// IO attempts per operation (first try + retries).
 pub const RETRY_ATTEMPTS: u32 = 5;
 /// Backoff before the second attempt; doubles per retry, capped at
@@ -396,6 +447,12 @@ impl WorkerComm {
                         }
                     }
                 }
+                if bytes.is_empty() {
+                    // Every triple of the batch was skipped during
+                    // serialization; a healthy peer never writes a
+                    // zero-length message (collect rejects them).
+                    return Ok(());
+                }
                 self.bytes_sent += bytes.len() as u64;
                 let tmp = dir.join(format!("r{}_f{}_t{}.tmp", round, me, to));
                 Self::retry_io(
@@ -478,6 +535,22 @@ impl WorkerComm {
                         continue; // foreign file: not ours, not this round
                     }
                     let path = entry.path();
+                    // Bounds-check the file length before reading: the
+                    // same check the serving wire codec applies to its
+                    // length prefix. A zero-length or oversized message
+                    // is skipped with a report, not read into memory.
+                    if let Ok(meta) = entry.metadata() {
+                        if let Err(bounds) = check_payload_bounds(meta.len()) {
+                            self.skipped.push(SkippedMessage {
+                                round,
+                                worker: me,
+                                origin: name.clone(),
+                                reason: bounds.to_string(),
+                            });
+                            let _ = std::fs::remove_file(&path);
+                            continue;
+                        }
+                    }
                     let bytes = match Self::retry_io(
                         &mut self.faults,
                         &mut self.io_retries,
@@ -831,6 +904,59 @@ mod tests {
         assert_eq!(got, vec![t(0, 1, 2)]);
         assert_eq!(w1.skipped().len(), 1);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn zero_length_message_skipped_with_report() {
+        let dir = explicit_dir();
+        std::fs::create_dir_all(&dir).unwrap();
+        let mode = CommMode::SharedFile {
+            dir: Some(dir.clone()),
+            format: WireFormat::Binary,
+        };
+        let mut fabric = build_fabric(2, &mode, dict_with(10)).unwrap();
+        let mut w1 = fabric.pop().unwrap();
+        let mut w0 = fabric.pop().unwrap();
+        w0.send(1, &[t(0, 1, 2)]).unwrap();
+        std::fs::write(dir.join("r0_f9_t1.msg"), []).unwrap();
+        let got = w1.collect().unwrap();
+        assert_eq!(got, vec![t(0, 1, 2)], "good message still delivered");
+        assert_eq!(w1.skipped().len(), 1);
+        assert!(w1.skipped()[0].reason.contains("zero-length"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn oversized_message_skipped_without_reading_it() {
+        let dir = explicit_dir();
+        std::fs::create_dir_all(&dir).unwrap();
+        let mode = CommMode::SharedFile {
+            dir: Some(dir.clone()),
+            format: WireFormat::Binary,
+        };
+        let mut fabric = build_fabric(2, &mode, dict_with(10)).unwrap();
+        let mut w1 = fabric.pop().unwrap();
+        // A sparse file one byte over the bound — created instantly,
+        // never read by collect.
+        let f = std::fs::File::create(dir.join("r0_f0_t1.msg")).unwrap();
+        f.set_len(MAX_PAYLOAD_BYTES + 1).unwrap();
+        drop(f);
+        let got = w1.collect().unwrap();
+        assert!(got.is_empty());
+        assert_eq!(w1.skipped().len(), 1);
+        assert!(w1.skipped()[0].reason.contains("exceeds"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn payload_bounds_shared_check() {
+        assert_eq!(check_payload_bounds(0), Err(PayloadBoundsError::Empty));
+        assert!(check_payload_bounds(1).is_ok());
+        assert!(check_payload_bounds(MAX_PAYLOAD_BYTES).is_ok());
+        assert!(matches!(
+            check_payload_bounds(MAX_PAYLOAD_BYTES + 1),
+            Err(PayloadBoundsError::Oversized { .. })
+        ));
     }
 
     #[test]

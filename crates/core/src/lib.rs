@@ -65,7 +65,7 @@ pub mod model;
 pub mod stats;
 pub mod worker;
 
-pub use comm::{CommMode, WireFormat};
+pub use comm::{check_payload_bounds, CommMode, PayloadBoundsError, WireFormat, MAX_PAYLOAD_BYTES};
 pub use config::{FaultRecovery, ParallelConfig, PartitioningStrategy};
 pub use error::{CommError, RunError, SkippedMessage, WorkerError};
 pub use fault::{FaultKind, FaultPlan};

@@ -89,6 +89,23 @@ impl RunReport {
     pub fn total_skipped(&self) -> usize {
         self.workers.iter().map(|w| w.skipped).sum()
     }
+
+    /// One-line human summary — what the CLI and the serving layer
+    /// print. Deliberately includes the skipped-message total (even when
+    /// zero) so transport trouble is visible, not buried in per-worker
+    /// counters.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} worker(s), {} round(s), {} derived, closure {} triples, \
+             {} message(s) skipped, simulated cluster time {:.3}s",
+            self.k,
+            self.max_rounds(),
+            self.derived,
+            self.closure_size,
+            self.total_skipped(),
+            self.parallel_time.as_secs_f64(),
+        )
+    }
 }
 
 /// Materialize `graph` serially; returns (derived count, CPU time of the
@@ -592,6 +609,9 @@ mod tests {
         assert!(report.max_rounds() >= 1);
         assert!(report.closure_size > g0.len());
         assert_eq!(report.total_skipped(), 0);
+        let line = report.summary();
+        assert!(line.contains("0 message(s) skipped"), "summary surfaces skipped: {line}");
+        assert!(line.contains("4 worker(s)"));
         let q = report.partition_quality.expect("data strategy has quality");
         assert_eq!(q.node_counts.len(), 4);
         assert!(q.ir >= 1.0);

@@ -25,5 +25,5 @@ pub mod rules;
 pub mod tbox;
 
 pub use compile::{compile_ontology, CompileOptions};
-pub use reasoner::HorstReasoner;
+pub use reasoner::{DeltaOutcome, HorstReasoner};
 pub use tbox::{TBox, TripleKind};

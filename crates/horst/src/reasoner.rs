@@ -6,9 +6,29 @@
 //! wrapper over an existing reasoner."
 
 use crate::compile::{compile_ontology, CompileOptions};
-use crate::tbox::TBox;
+use crate::tbox::{TBox, TripleKind};
+use owlpar_datalog::forward::forward_closure_delta;
 use owlpar_datalog::{MaterializationStrategy, Reasoner, Rule};
-use owlpar_rdf::{Graph, Triple};
+use owlpar_rdf::{Graph, Triple, TripleStore};
+
+/// What [`HorstReasoner::materialize_delta`] did with an insert batch.
+///
+/// The incremental path is only sound while the schema (and therefore the
+/// compiled rule-base) is unchanged: rules are specialized to the TBox, so
+/// a schema triple in the batch invalidates the compilation. The caller
+/// must then recompile ([`HorstReasoner::from_graph`]) and re-close.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeltaOutcome {
+    /// The batch was pure instance data; `derived` lists every new
+    /// consequence (cascades included) that was inserted into the store.
+    Incremental {
+        /// Consequences derived from the batch, in derivation order.
+        derived: Vec<Triple>,
+    },
+    /// The batch contains schema triples; nothing was inserted. The
+    /// caller must recompile the ontology and re-materialize.
+    SchemaChanged,
+}
 
 /// A compiled OWL-Horst reasoner for a specific ontology.
 #[derive(Debug, Clone)]
@@ -55,6 +75,39 @@ impl HorstReasoner {
     /// Materialize `graph` in place; returns the number of derived triples.
     pub fn materialize(&self, graph: &mut Graph) -> usize {
         self.reasoner.materialize(&mut graph.store)
+    }
+
+    /// Incrementally maintain a store that is already closed under this
+    /// reasoner's rules: insert `batch` and derive only its consequences
+    /// (semi-naive evaluation seeded with the batch — O(delta), not
+    /// O(store)).
+    ///
+    /// Soundness: forward closure is monotonic and confluent, so seeding
+    /// the semi-naive rounds with exactly the *new* triples over an
+    /// already-closed store yields the same fixpoint as re-closing
+    /// `store ∪ batch` from scratch — provided the rule-base itself still
+    /// matches the schema. A batch containing schema triples therefore
+    /// returns [`DeltaOutcome::SchemaChanged`] without touching the
+    /// store; the caller recompiles and re-closes.
+    pub fn materialize_delta(
+        &self,
+        store: &mut TripleStore,
+        batch: &[Triple],
+    ) -> DeltaOutcome {
+        if batch
+            .iter()
+            .any(|t| self.tbox.classify(t) == TripleKind::Schema)
+        {
+            return DeltaOutcome::SchemaChanged;
+        }
+        let mut fresh = Vec::with_capacity(batch.len());
+        for &t in batch {
+            if store.insert(t) {
+                fresh.push(t);
+            }
+        }
+        let derived = forward_closure_delta(store, self.rules(), fresh);
+        DeltaOutcome::Incremental { derived }
     }
 }
 
@@ -103,6 +156,74 @@ mod tests {
             &Term::iri(RDF_TYPE),
             &Term::iri(uc("Person"))
         ));
+    }
+
+    #[test]
+    fn delta_matches_full_reclose() {
+        let mut g = workload();
+        let hr = HorstReasoner::from_graph(&mut g, MaterializationStrategy::ForwardSemiNaive);
+        hr.materialize(&mut g);
+
+        // bob shows up, and a new partOf edge extends the chain.
+        let bob = g.intern(Term::iri(ud("bob")));
+        let student = g.intern(Term::iri(uc("Student")));
+        let rdf_type = g.intern(Term::iri(RDF_TYPE));
+        let part_of = g.intern(Term::iri(uc("partOf")));
+        let c = g.intern(Term::iri(ud("c")));
+        let d = g.intern(Term::iri(ud("d")));
+        let batch = vec![
+            owlpar_rdf::Triple::new(bob, rdf_type, student),
+            owlpar_rdf::Triple::new(c, part_of, d),
+        ];
+
+        let mut incremental = g.store.clone();
+        let outcome = hr.materialize_delta(&mut incremental, &batch);
+        let DeltaOutcome::Incremental { derived } = outcome else {
+            panic!("pure instance batch must stay incremental");
+        };
+        // bob:Person plus a/b partOf d cascades.
+        assert_eq!(derived.len(), 3);
+
+        // Oracle: close base ∪ batch from scratch.
+        let mut scratch = g.clone();
+        for &t in &batch {
+            scratch.store.insert(t);
+        }
+        let hr2 =
+            HorstReasoner::from_graph(&mut scratch, MaterializationStrategy::ForwardSemiNaive);
+        hr2.materialize(&mut scratch);
+        assert_eq!(incremental.iter_sorted(), scratch.store.iter_sorted());
+    }
+
+    #[test]
+    fn delta_with_schema_triple_reports_schema_changed() {
+        let mut g = workload();
+        let hr = HorstReasoner::from_graph(&mut g, MaterializationStrategy::ForwardSemiNaive);
+        hr.materialize(&mut g);
+        let person = g.intern(Term::iri(uc("Person")));
+        let agent = g.intern(Term::iri(uc("Agent")));
+        let subclass = g.intern(Term::iri(RDFS_SUBCLASSOF));
+        let before = g.store.len();
+        let outcome = hr.materialize_delta(
+            &mut g.store,
+            &[owlpar_rdf::Triple::new(person, subclass, agent)],
+        );
+        assert_eq!(outcome, DeltaOutcome::SchemaChanged);
+        assert_eq!(g.store.len(), before, "store untouched on schema change");
+    }
+
+    #[test]
+    fn delta_of_known_triples_is_empty() {
+        let mut g = workload();
+        let hr = HorstReasoner::from_graph(&mut g, MaterializationStrategy::ForwardSemiNaive);
+        hr.materialize(&mut g);
+        let existing: Vec<owlpar_rdf::Triple> = hr.instance_triples.clone();
+        let outcome = hr.materialize_delta(&mut g.store, &existing);
+        assert_eq!(
+            outcome,
+            DeltaOutcome::Incremental { derived: vec![] },
+            "re-inserting closed triples derives nothing"
+        );
     }
 
     #[test]

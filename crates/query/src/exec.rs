@@ -238,6 +238,54 @@ mod tests {
     }
 
     #[test]
+    fn unbound_predicate_pattern() {
+        let mut g = campus();
+        let rows = run(
+            &mut g,
+            "SELECT ?p WHERE { <http://x/alice> ?p <http://x/cs101> }",
+        );
+        assert_eq!(rows, vec![vec!["<http://x/takes>"]]);
+    }
+
+    #[test]
+    fn predicate_variable_joined_across_patterns() {
+        let mut g = campus();
+        // same predicate relating two subjects to the same object
+        let rows = run(
+            &mut g,
+            "SELECT DISTINCT ?p WHERE { \
+               <http://x/alice> ?p ?c . \
+               <http://x/bob> ?p ?c . }",
+        );
+        assert_eq!(
+            rows,
+            vec![vec!["<http://x/takes>"], vec!["<http://x/type>"]]
+        );
+    }
+
+    #[test]
+    fn frozen_parse_executes_like_mutable_parse() {
+        let mut g = campus();
+        let src = "SELECT ?s WHERE { ?s <http://x/type> <http://x/Student> }";
+        let q_mut = parse_query(src, &mut g.dict).unwrap();
+        let q_frozen = crate::parser::parse_query_frozen(src, &g.dict).unwrap();
+        assert_eq!(execute(&g.store, &q_mut), execute(&g.store, &q_frozen));
+    }
+
+    #[test]
+    fn frozen_query_with_unknown_constant_matches_nothing() {
+        let g = campus();
+        let before = g.dict.len();
+        let q = crate::parser::parse_query_frozen(
+            "SELECT ?s WHERE { ?s <http://x/type> <http://x/Dean> }",
+            &g.dict,
+        )
+        .unwrap();
+        assert!(execute(&g.store, &q).is_empty());
+        assert_eq!(g.dict.len(), before);
+    }
+
+    #[test]
     fn cross_product_patterns_allowed() {
         let mut g = campus();
         let rows = run(

@@ -34,5 +34,5 @@ pub mod lubm;
 pub mod parser;
 
 pub use ast::{Query, QueryForm};
-pub use exec::{ask, execute, Row};
-pub use parser::parse_query;
+pub use exec::{ask, execute, render_row, Row};
+pub use parser::{parse_query, parse_query_frozen, QueryParseError};

@@ -18,7 +18,7 @@
 
 use crate::ast::{Query, QueryForm};
 use owlpar_datalog::ast::{Atom, TermPat};
-use owlpar_rdf::{vocab, Dictionary, Term};
+use owlpar_rdf::{vocab, Dictionary, NodeId, Term};
 use std::collections::HashMap;
 
 /// Query parse error.
@@ -40,11 +40,34 @@ impl std::error::Error for QueryParseError {}
 
 /// Parse a SPARQL-lite query, interning constants into `dict`.
 pub fn parse_query(src: &str, dict: &mut Dictionary) -> Result<Query, QueryParseError> {
+    parse_with(src, Interner::Mut(dict))
+}
+
+/// Parse a SPARQL-lite query against a *read-only* dictionary.
+///
+/// This is the serving-path variant: concurrent readers hold shared
+/// snapshots whose dictionary must not grow. Constants already present in
+/// `dict` resolve to their ids; constants the dictionary has never seen
+/// get distinct synthetic ids at or above `dict.len()`. Every id a store
+/// built against `dict` can contain is below `dict.len()`, so a synthetic
+/// id matches nothing — the pattern simply yields no solutions, exactly
+/// as an unknown IRI should.
+pub fn parse_query_frozen(src: &str, dict: &Dictionary) -> Result<Query, QueryParseError> {
+    parse_with(
+        src,
+        Interner::Frozen {
+            dict,
+            next_synthetic: dict.len() as u32,
+        },
+    )
+}
+
+fn parse_with(src: &str, interner: Interner<'_>) -> Result<Query, QueryParseError> {
     let mut p = P {
         src,
         bytes: src.as_bytes(),
         pos: 0,
-        dict,
+        interner,
         prefixes: [
             ("rdf".to_string(), vocab::RDF_NS.to_string()),
             ("rdfs".to_string(), vocab::RDFS_NS.to_string()),
@@ -58,11 +81,45 @@ pub fn parse_query(src: &str, dict: &mut Dictionary) -> Result<Query, QueryParse
     p.parse()
 }
 
+/// How the parser maps constant terms to [`NodeId`]s.
+enum Interner<'d> {
+    /// Grow the dictionary as needed (the materialization path).
+    Mut(&'d mut Dictionary),
+    /// Never mutate the dictionary; unknown constants get fresh ids
+    /// beyond `dict.len()` that cannot occur in any store encoded with
+    /// this dictionary (the concurrent serving path).
+    Frozen {
+        dict: &'d Dictionary,
+        next_synthetic: u32,
+    },
+}
+
+impl Interner<'_> {
+    fn resolve(&mut self, term: Term) -> NodeId {
+        match self {
+            Interner::Mut(dict) => dict.intern(term),
+            Interner::Frozen {
+                dict,
+                next_synthetic,
+            } => match dict.id(&term) {
+                Some(id) => id,
+                None => {
+                    // Distinct per unknown constant: two different unknown
+                    // IRIs must not accidentally compare equal in a join.
+                    let id = NodeId(*next_synthetic);
+                    *next_synthetic += 1;
+                    id
+                }
+            },
+        }
+    }
+}
+
 struct P<'a, 'd> {
     src: &'a str,
     bytes: &'a [u8],
     pos: usize,
-    dict: &'d mut Dictionary,
+    interner: Interner<'d>,
     prefixes: HashMap<String, String>,
     vars: Vec<String>,
 }
@@ -220,6 +277,21 @@ impl P<'_, '_> {
         if self.pos != self.bytes.len() {
             return Err(self.err("trailing content after query"));
         }
+        // Every projected variable must be bound by at least one pattern,
+        // or execution could never produce a value for it.
+        for &i in &projection {
+            let bound = patterns.iter().any(|a| {
+                [a.s, a.p, a.o]
+                    .into_iter()
+                    .any(|t| t == TermPat::Var(i))
+            });
+            if !bound {
+                return Err(self.err(format!(
+                    "projected variable ?{} does not appear in any pattern",
+                    self.vars[i as usize]
+                )));
+            }
+        }
         Ok(Query {
             form,
             var_names: std::mem::take(&mut self.vars),
@@ -257,7 +329,7 @@ impl P<'_, '_> {
                 }
                 let iri = &self.src[start..self.pos];
                 self.pos += 1;
-                Ok(TermPat::Const(self.dict.intern(Term::iri(iri))))
+                Ok(TermPat::Const(self.interner.resolve(Term::iri(iri))))
             }
             Some(b'"') => {
                 self.pos += 1;
@@ -270,7 +342,7 @@ impl P<'_, '_> {
                 }
                 let lit = &self.src[start..self.pos];
                 self.pos += 1;
-                Ok(TermPat::Const(self.dict.intern(Term::literal(lit))))
+                Ok(TermPat::Const(self.interner.resolve(Term::literal(lit))))
             }
             Some(c) if c.is_ascii_alphabetic() => {
                 let first = self.ident()?;
@@ -283,9 +355,11 @@ impl P<'_, '_> {
                         .get(&first)
                         .ok_or_else(|| self.err(format!("unknown prefix '{first}'")))?;
                     let iri = format!("{ns}{local}");
-                    Ok(TermPat::Const(self.dict.intern(Term::iri(iri))))
+                    Ok(TermPat::Const(self.interner.resolve(Term::iri(iri))))
                 } else if first == "a" {
-                    Ok(TermPat::Const(self.dict.intern(Term::iri(vocab::RDF_TYPE))))
+                    Ok(TermPat::Const(
+                        self.interner.resolve(Term::iri(vocab::RDF_TYPE)),
+                    ))
                 } else {
                     Err(self.err(format!("bare word '{first}' (did you mean a prefixed name?)")))
                 }
@@ -374,5 +448,60 @@ mod tests {
         ] {
             assert!(parse_query(src, &mut d).is_err(), "{why}");
         }
+    }
+
+    #[test]
+    fn empty_bgp_is_a_typed_error_for_both_forms() {
+        let mut d = Dictionary::new();
+        for src in ["SELECT * WHERE { }", "ASK { }"] {
+            let e = parse_query(src, &mut d).unwrap_err();
+            assert!(e.message.contains("empty graph pattern"), "{src}: {e}");
+        }
+    }
+
+    #[test]
+    fn projected_var_missing_from_patterns_is_rejected() {
+        let mut d = Dictionary::new();
+        let e = parse_query("SELECT ?ghost WHERE { ?s ?p ?o }", &mut d).unwrap_err();
+        assert!(e.message.contains("?ghost"), "{e}");
+        // ...but projecting a subset that *is* bound stays fine.
+        assert!(parse_query("SELECT ?s WHERE { ?s ?p ?o }", &mut d).is_ok());
+    }
+
+    #[test]
+    fn frozen_parse_matches_mutable_parse_on_known_terms() {
+        let mut d = Dictionary::new();
+        let src = "SELECT ?x WHERE { ?x rdf:type <http://x/C> . ?x <http://x/p> \"v\" }";
+        let q_mut = parse_query(src, &mut d).unwrap();
+        let before = d.len();
+        let q_frozen = parse_query_frozen(src, &d).unwrap();
+        assert_eq!(d.len(), before, "frozen parse must not grow the dict");
+        assert_eq!(q_mut.patterns, q_frozen.patterns);
+        assert_eq!(q_mut.var_names, q_frozen.var_names);
+    }
+
+    #[test]
+    fn frozen_parse_gives_unknown_constants_distinct_out_of_range_ids() {
+        let mut d = Dictionary::new();
+        d.intern(Term::iri("http://x/known"));
+        let n = d.len() as u32;
+        let q = parse_query_frozen(
+            "ASK { <http://x/unknownA> <http://x/known> <http://x/unknownB> }",
+            &d,
+        )
+        .unwrap();
+        assert_eq!(d.len() as u32, n, "dictionary untouched");
+        let pat = q.patterns[0];
+        let s = pat.s.as_const().unwrap();
+        let o = pat.o.as_const().unwrap();
+        assert!(s.0 >= n && o.0 >= n, "synthetic ids sit beyond the dict");
+        assert_ne!(s, o, "distinct unknowns get distinct ids");
+        assert_eq!(pat.p.as_const().unwrap().0, 0, "known term keeps its id");
+    }
+
+    #[test]
+    fn frozen_parse_reports_syntax_errors_too() {
+        let d = Dictionary::new();
+        assert!(parse_query_frozen("SELECT ?x WHERE { }", &d).is_err());
     }
 }

@@ -1,0 +1,215 @@
+//! The `owlpar-serve` command-line tool: run a KB server, or talk to
+//! one.
+//!
+//! ```text
+//! owlpar-serve run <kb.nt|kb.owlpar> [--addr 127.0.0.1:7878] [--k 2]
+//!                  [--threads 4] [--strategy graph|hash|domain|rule]
+//! owlpar-serve query <addr> '<SPARQL>'
+//! owlpar-serve insert <addr> <batch.nt|->
+//! owlpar-serve stats <addr>
+//! owlpar-serve ping <addr>
+//! owlpar-serve shutdown <addr>
+//! ```
+//!
+//! Exit codes mirror `owlpar`: 0 success, 1 usage/IO/remote error, 3 the
+//! initial parallel materialization failed.
+
+use owlpar_core::{ParallelConfig, PartitioningStrategy};
+use owlpar_rdf::{parse_ntriples, snapshot, Graph};
+use owlpar_serve::{run_info, serve, Client, ServeConfig, ServeError, ServingKb};
+use std::io::Read;
+use std::process::ExitCode;
+
+enum CliError {
+    Usage(String),
+    Run(String),
+}
+
+impl From<String> for CliError {
+    fn from(s: String) -> Self {
+        CliError::Usage(s)
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(s: &str) -> Self {
+        CliError::Usage(s.to_string())
+    }
+}
+
+impl From<ServeError> for CliError {
+    fn from(e: ServeError) -> Self {
+        match e {
+            ServeError::Run(r) => CliError::Run(r.to_string()),
+            other => CliError::Usage(other.to_string()),
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(CliError::Usage(e)) => {
+            eprintln!("owlpar-serve: {e}");
+            ExitCode::FAILURE
+        }
+        Err(CliError::Run(e)) => {
+            eprintln!("owlpar-serve: materialization failed: {e}");
+            ExitCode::from(3)
+        }
+    }
+}
+
+fn run(args: Vec<String>) -> Result<(), CliError> {
+    let cmd = args.first().cloned().unwrap_or_default();
+    let rest = &args[args.len().min(1)..];
+    match cmd.as_str() {
+        "run" => run_server(rest),
+        "query" => query(rest),
+        "insert" => insert(rest),
+        "stats" => stats(rest),
+        "ping" => ping(rest),
+        "shutdown" => shutdown(rest),
+        _ => Err(format!(
+            "usage: owlpar-serve <run|query|insert|stats|ping|shutdown> ... (got '{cmd}')"
+        )
+        .into()),
+    }
+}
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn load_kb(path: &str) -> Result<Graph, CliError> {
+    if path.ends_with(".owlpar") {
+        let mut f =
+            std::fs::File::open(path).map_err(|e| format!("opening {path}: {e}"))?;
+        return snapshot::load(&mut f).map_err(|e| format!("loading {path}: {e}").into());
+    }
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let mut g = Graph::new();
+    parse_ntriples(&text, &mut g).map_err(|e| format!("parsing {path}: {e}"))?;
+    Ok(g)
+}
+
+fn run_server(args: &[String]) -> Result<(), CliError> {
+    let [input, ..] = args else {
+        return Err("run needs <kb.nt|kb.owlpar>".into());
+    };
+    let addr = flag_value(args, "--addr").unwrap_or_else(|| "127.0.0.1:7878".to_string());
+    let k: usize = flag_value(args, "--k")
+        .map_or(Ok(2), |v| v.parse().map_err(|_| "--k".to_string()))?;
+    let threads: usize = flag_value(args, "--threads")
+        .map_or(Ok(4), |v| v.parse().map_err(|_| "--threads".to_string()))?;
+    let strategy = match flag_value(args, "--strategy").as_deref() {
+        None | Some("graph") => PartitioningStrategy::data_graph(),
+        Some("hash") => PartitioningStrategy::data_hash(),
+        Some("domain") => PartitioningStrategy::data_domain(),
+        Some("rule") => PartitioningStrategy::rule(),
+        Some(other) => return Err(format!("unknown strategy '{other}'").into()),
+    };
+
+    let graph = load_kb(input)?;
+    let base = graph.len();
+    let cfg = ParallelConfig {
+        k,
+        strategy,
+        ..ParallelConfig::default()
+    }
+    .forward();
+    let (kb, report) = ServingKb::materialize(graph, &cfg)?;
+    println!("materialized: {}", report.summary());
+
+    let handle = serve(
+        kb,
+        run_info(&report),
+        &ServeConfig {
+            addr,
+            threads,
+        },
+    )?;
+    println!(
+        "serving {} triples ({base} base) on {} with {threads} thread(s); \
+         epoch {}",
+        report.closure_size,
+        handle.addr(),
+        handle.epoch()
+    );
+    handle.join()?;
+    println!("shut down cleanly");
+    Ok(())
+}
+
+fn connect(args: &[String], what: &str) -> Result<(Client, Vec<String>), CliError> {
+    let [addr, rest @ ..] = args else {
+        return Err(format!("{what} needs <addr>").into());
+    };
+    Ok((Client::connect(addr.as_str())?, rest.to_vec()))
+}
+
+fn query(args: &[String]) -> Result<(), CliError> {
+    let (mut client, rest) = connect(args, "query")?;
+    let [sparql, ..] = &rest[..] else {
+        return Err("query needs <addr> '<SPARQL>'".into());
+    };
+    let result = client.query(sparql)?;
+    println!("{}", result.columns.join("\t"));
+    for row in &result.rows {
+        println!("{}", row.join("\t"));
+    }
+    eprintln!("{} row(s) @ epoch {}", result.rows.len(), result.epoch);
+    Ok(())
+}
+
+fn insert(args: &[String]) -> Result<(), CliError> {
+    let (mut client, rest) = connect(args, "insert")?;
+    let [source, ..] = &rest[..] else {
+        return Err("insert needs <addr> <batch.nt|->".into());
+    };
+    let nt = if source == "-" {
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .map_err(|e| format!("reading stdin: {e}"))?;
+        buf
+    } else {
+        std::fs::read_to_string(source).map_err(|e| format!("reading {source}: {e}"))?
+    };
+    let out = client.insert(&nt)?;
+    println!(
+        "epoch {}: +{} base triple(s), {} derived{}",
+        out.epoch,
+        out.added,
+        out.derived,
+        if out.schema_changed {
+            " (schema changed; rules recompiled)"
+        } else {
+            ""
+        }
+    );
+    Ok(())
+}
+
+fn stats(args: &[String]) -> Result<(), CliError> {
+    let (mut client, _) = connect(args, "stats")?;
+    println!("{}", client.stats()?);
+    Ok(())
+}
+
+fn ping(args: &[String]) -> Result<(), CliError> {
+    let (mut client, _) = connect(args, "ping")?;
+    client.ping()?;
+    println!("pong");
+    Ok(())
+}
+
+fn shutdown(args: &[String]) -> Result<(), CliError> {
+    let (mut client, _) = connect(args, "shutdown")?;
+    client.shutdown()?;
+    println!("server shutting down");
+    Ok(())
+}

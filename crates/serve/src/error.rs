@@ -1,0 +1,88 @@
+//! Typed failures of the serving subsystem.
+//!
+//! Same discipline as `owlpar_core::error`: every runtime path returns a
+//! structured error; panics are denied crate-wide outside tests.
+
+use owlpar_core::{PayloadBoundsError, RunError};
+
+/// Anything that can go wrong serving a KB.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Socket/stream trouble.
+    Io(std::io::Error),
+    /// A frame violated the shared payload bounds (zero-length or
+    /// oversized) — same check the shared-file transport applies.
+    Frame(PayloadBoundsError),
+    /// A frame decoded to something that is not a valid message
+    /// (unknown opcode, truncated field, non-UTF-8 text).
+    Protocol(String),
+    /// The server answered a request with an error report.
+    Remote(String),
+    /// The initial materialization run failed.
+    Run(RunError),
+    /// An insert batch failed to parse as N-Triples.
+    BadBatch(String),
+    /// A query failed to parse.
+    BadQuery(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "io: {e}"),
+            ServeError::Frame(e) => write!(f, "bad frame: {e}"),
+            ServeError::Protocol(m) => write!(f, "protocol violation: {m}"),
+            ServeError::Remote(m) => write!(f, "server error: {m}"),
+            ServeError::Run(e) => write!(f, "materialization failed: {e}"),
+            ServeError::BadBatch(m) => write!(f, "bad insert batch: {m}"),
+            ServeError::BadQuery(m) => write!(f, "bad query: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Io(e) => Some(e),
+            ServeError::Frame(e) => Some(e),
+            ServeError::Run(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+impl From<PayloadBoundsError> for ServeError {
+    fn from(e: PayloadBoundsError) -> Self {
+        ServeError::Frame(e)
+    }
+}
+
+impl From<RunError> for ServeError {
+    fn from(e: RunError) -> Self {
+        ServeError::Run(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_prefixed_by_kind() {
+        assert!(ServeError::Protocol("x".into()).to_string().contains("protocol"));
+        assert!(ServeError::Remote("x".into()).to_string().contains("server"));
+        assert!(ServeError::BadQuery("x".into()).to_string().contains("query"));
+    }
+
+    #[test]
+    fn frame_errors_carry_the_shared_bounds_error() {
+        let e = ServeError::from(owlpar_core::check_payload_bounds(0).unwrap_err());
+        assert!(e.to_string().contains("zero-length"));
+    }
+}

@@ -1,0 +1,256 @@
+//! [`ServingKb`]: a materialized KB published through epochs and
+//! maintained incrementally.
+//!
+//! The write path owns a private mutable [`Graph`] (dictionary + closed
+//! store) plus the compiled [`HorstReasoner`]. An INSERT batch is parsed,
+//! re-interned, pushed through the semi-naive **delta closure**
+//! ([`HorstReasoner::materialize_delta`] — O(batch + consequences), not
+//! O(store)), and then published as a brand-new snapshot. Readers keep
+//! draining queries from the previous snapshot the whole time; they only
+//! see the new epoch once it is complete.
+//!
+//! A batch containing schema triples invalidates the compiled rule-base;
+//! the writer then recompiles and re-closes from scratch (correct, just
+//! not O(delta)) before publishing.
+
+use crate::epoch::{EpochHandle, KbSnapshot};
+use crate::error::ServeError;
+use owlpar_core::{run_parallel, ParallelConfig, RunReport};
+use owlpar_datalog::MaterializationStrategy;
+use owlpar_horst::{DeltaOutcome, HorstReasoner};
+use owlpar_rdf::{parse_ntriples, Graph, Triple};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Duration;
+
+/// What an insert did, as reported to the client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InsertOutcome {
+    /// The epoch this insert published.
+    pub epoch: u64,
+    /// Batch triples that were actually new.
+    pub added: usize,
+    /// Consequences derived from them.
+    pub derived: usize,
+    /// Whether the batch carried schema triples and forced a
+    /// recompile + full re-close instead of the delta path.
+    pub schema_changed: bool,
+}
+
+struct WriterState {
+    graph: Graph,
+    reasoner: HorstReasoner,
+}
+
+/// A concurrently servable knowledge base.
+pub struct ServingKb {
+    epochs: EpochHandle,
+    writer: Mutex<WriterState>,
+    /// Test hook: sleep this long *after* building the next snapshot but
+    /// *before* publishing it, to make the "readers never block on
+    /// writers" property observable in tests.
+    debug_publish_delay: Duration,
+}
+
+impl ServingKb {
+    /// Materialize `graph` with the parallel runtime, then wrap the
+    /// closed result for serving (epoch 0).
+    pub fn materialize(
+        mut graph: Graph,
+        cfg: &ParallelConfig,
+    ) -> Result<(Self, RunReport), ServeError> {
+        let report = run_parallel(&mut graph, cfg)?;
+        let reasoner =
+            HorstReasoner::from_graph(&mut graph, MaterializationStrategy::ForwardSemiNaive);
+        Ok((Self::from_closed(graph, reasoner), report))
+    }
+
+    /// Serve a graph that is *already closed* under `reasoner`'s rules.
+    pub fn from_closed(graph: Graph, reasoner: HorstReasoner) -> Self {
+        let snapshot = KbSnapshot {
+            epoch: 0,
+            store: Arc::new(graph.store.clone()),
+            dict: Arc::new(graph.dict.clone()),
+        };
+        ServingKb {
+            epochs: EpochHandle::new(snapshot),
+            writer: Mutex::new(WriterState { graph, reasoner }),
+            debug_publish_delay: Duration::ZERO,
+        }
+    }
+
+    /// Set the publish-delay test hook (see field docs).
+    pub fn with_debug_publish_delay(mut self, d: Duration) -> Self {
+        self.debug_publish_delay = d;
+        self
+    }
+
+    /// The current snapshot (cheap; see [`EpochHandle::load`]).
+    pub fn snapshot(&self) -> Arc<KbSnapshot> {
+        self.epochs.load()
+    }
+
+    /// The current epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epochs.epoch()
+    }
+
+    fn lock_writer(&self) -> MutexGuard<'_, WriterState> {
+        match self.writer.lock() {
+            Ok(g) => g,
+            // The writer never unwinds while holding the lock (all
+            // fallible steps return typed errors), but stay total.
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Parse `nt` as N-Triples, apply it through the delta-closure path,
+    /// and publish the result as a new epoch.
+    ///
+    /// Serialized with other inserts by the writer mutex; concurrent
+    /// readers are *not* blocked at any point — they read the previous
+    /// snapshot until the new one is fully built and swapped in.
+    pub fn insert_ntriples(&self, nt: &str) -> Result<InsertOutcome, ServeError> {
+        // Parse into a scratch graph first so a syntax error cannot
+        // leave partial state anywhere.
+        let mut scratch = Graph::new();
+        parse_ntriples(nt, &mut scratch).map_err(|e| ServeError::BadBatch(e.to_string()))?;
+
+        let mut guard = self.lock_writer();
+        let w: &mut WriterState = &mut *guard;
+
+        // Re-intern the batch against the serving dictionary.
+        let batch: Vec<Triple> = scratch
+            .store
+            .iter()
+            .map(|&t| {
+                let (s, p, o) = scratch.decode(t);
+                Triple::new(w.graph.intern(s), w.graph.intern(p), w.graph.intern(o))
+            })
+            .collect();
+
+        let before = w.graph.store.len();
+        let (derived, schema_changed) =
+            match w.reasoner.materialize_delta(&mut w.graph.store, &batch) {
+                DeltaOutcome::Incremental { derived } => (derived.len(), false),
+                DeltaOutcome::SchemaChanged => {
+                    // The compiled rule-base is stale: insert the batch,
+                    // recompile against the new schema, re-close fully.
+                    for &t in &batch {
+                        w.graph.store.insert(t);
+                    }
+                    let mid = w.graph.store.len();
+                    w.reasoner = HorstReasoner::from_graph(
+                        &mut w.graph,
+                        MaterializationStrategy::ForwardSemiNaive,
+                    );
+                    w.reasoner.materialize(&mut w.graph);
+                    (w.graph.store.len() - mid, true)
+                }
+            };
+        let added = w.graph.store.len() - before - derived;
+
+        // Build the complete next snapshot before touching the handle.
+        let next = KbSnapshot {
+            epoch: self.epochs.epoch() + 1,
+            store: Arc::new(w.graph.store.clone()),
+            dict: Arc::new(w.graph.dict.clone()),
+        };
+        if !self.debug_publish_delay.is_zero() {
+            std::thread::sleep(self.debug_publish_delay);
+        }
+        let epoch = next.epoch;
+        self.epochs.publish(next);
+        Ok(InsertOutcome {
+            epoch,
+            added,
+            derived,
+            schema_changed,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use owlpar_datalog::MaterializationStrategy;
+
+    fn base() -> (Graph, HorstReasoner) {
+        let mut g = Graph::new();
+        g.insert_iris(
+            "http://x/Student",
+            owlpar_rdf::vocab::RDFS_SUBCLASSOF,
+            "http://x/Person",
+        );
+        g.insert_iris("http://x/alice", owlpar_rdf::vocab::RDF_TYPE, "http://x/Student");
+        let hr = HorstReasoner::from_graph(&mut g, MaterializationStrategy::ForwardSemiNaive);
+        hr.materialize(&mut g);
+        (g, hr)
+    }
+
+    #[test]
+    fn insert_publishes_new_epoch_with_consequences() {
+        let (g, hr) = base();
+        let kb = ServingKb::from_closed(g, hr);
+        assert_eq!(kb.epoch(), 0);
+        let out = kb
+            .insert_ntriples(
+                "<http://x/bob> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> \
+                 <http://x/Student> .\n",
+            )
+            .unwrap();
+        assert_eq!(out.epoch, 1);
+        assert_eq!(out.added, 1);
+        assert_eq!(out.derived, 1, "bob:Person follows");
+        assert!(!out.schema_changed);
+        assert_eq!(kb.epoch(), 1);
+    }
+
+    #[test]
+    fn old_snapshot_is_immutable_across_inserts() {
+        let (g, hr) = base();
+        let kb = ServingKb::from_closed(g, hr);
+        let old = kb.snapshot();
+        let n = old.store.len();
+        kb.insert_ntriples(
+            "<http://x/carol> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> \
+             <http://x/Student> .\n",
+        )
+        .unwrap();
+        assert_eq!(old.store.len(), n, "reader's snapshot unchanged");
+        assert!(kb.snapshot().store.len() > n);
+    }
+
+    #[test]
+    fn schema_triple_takes_the_recompile_path() {
+        let (g, hr) = base();
+        let kb = ServingKb::from_closed(g, hr);
+        let out = kb
+            .insert_ntriples(
+                "<http://x/Person> \
+                 <http://www.w3.org/2000/01/rdf-schema#subClassOf> \
+                 <http://x/Agent> .\n",
+            )
+            .unwrap();
+        assert!(out.schema_changed);
+        // alice (and her derived Person membership) now cascades to Agent.
+        assert!(out.derived >= 1, "derived={}", out.derived);
+        // New rule-base answers follow-up instance inserts incrementally.
+        let out2 = kb
+            .insert_ntriples(
+                "<http://x/dan> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> \
+                 <http://x/Student> .\n",
+            )
+            .unwrap();
+        assert!(!out2.schema_changed);
+        assert_eq!(out2.derived, 2, "dan:Person and dan:Agent");
+    }
+
+    #[test]
+    fn bad_ntriples_is_a_typed_error_and_publishes_nothing() {
+        let (g, hr) = base();
+        let kb = ServingKb::from_closed(g, hr);
+        let err = kb.insert_ntriples("this is not ntriples").unwrap_err();
+        assert!(matches!(err, ServeError::BadBatch(_)), "{err}");
+        assert_eq!(kb.epoch(), 0);
+    }
+}

@@ -1,0 +1,46 @@
+//! `owlpar-serve`: the concurrent KB-serving subsystem.
+//!
+//! The paper's pipeline is batch-shaped: load, partition, materialize in
+//! parallel, write the closure out. This crate turns the materialized
+//! result into a *long-running service* — the deployment shape the
+//! paper's §I motivates ("materialized knowledge-bases trade off space
+//! and increased loading time for shorter query times"):
+//!
+//! * [`kb`] — [`ServingKb`]: materialize once with the parallel
+//!   runtime, then maintain the closure **incrementally**: INSERT
+//!   batches run a semi-naive delta closure seeded with just the new
+//!   triples (O(batch + consequences)), falling back to a full
+//!   recompile + re-close only when the batch touches the schema.
+//! * [`epoch`] — lock-free-for-readers snapshot publication: readers
+//!   clone an `Arc` to the current immutable snapshot and never wait on
+//!   writers; writers build the complete next snapshot before a
+//!   pointer-swap publish.
+//! * [`wire`] — the length-prefixed TCP protocol; frame lengths are
+//!   validated through the same `owlpar_core::check_payload_bounds` the
+//!   shared-file transport uses.
+//! * [`server`] / [`client`] — a thread-pooled TCP server with graceful
+//!   shutdown, and the matching blocking client.
+//! * [`stats`] — lock-free latency histograms and counters behind the
+//!   STATS request.
+
+// Serving code must propagate failures as typed errors, never panic
+// (same discipline as owlpar-core; enforced in CI by clippy).
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
+
+pub mod client;
+pub mod epoch;
+pub mod error;
+pub mod kb;
+pub mod server;
+pub mod stats;
+pub mod wire;
+
+pub use client::{Client, InsertResult, QueryResult};
+pub use epoch::{EpochHandle, KbSnapshot};
+pub use error::ServeError;
+pub use kb::{InsertOutcome, ServingKb};
+pub use server::{run_info, serve, ServeConfig, ServerHandle};
+pub use stats::{LatencyHistogram, RunInfo, ServerStats};

@@ -1,0 +1,285 @@
+//! The TCP server: accept loop + fixed thread pool + request dispatch.
+//!
+//! One acceptor thread hands connections to a fixed pool of worker
+//! threads over an mpsc channel. Each worker speaks the framed protocol
+//! of [`crate::wire`] until the peer hangs up. Queries run entirely
+//! against an epoch snapshot ([`ServingKb::snapshot`]) — they never
+//! touch the writer lock — so any number of in-flight queries proceed
+//! while an insert is recomputing the closure.
+//!
+//! Shutdown is graceful and typed: a SHUTDOWN request (or
+//! [`ServerHandle::request_shutdown`]) raises a flag, wakes the acceptor
+//! with a loopback connection, and lets every worker drain its current
+//! connection before exiting.
+
+use crate::error::ServeError;
+use crate::kb::ServingKb;
+use crate::stats::{RunInfo, ServerStats};
+use crate::wire::{self, Request, Response};
+use owlpar_core::RunReport;
+use owlpar_query::exec::render_row;
+use owlpar_query::{execute, parse_query_frozen};
+use std::io::{BufReader, BufWriter, ErrorKind};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address (use port 0 for an ephemeral port).
+    pub addr: String,
+    /// Worker threads answering requests.
+    pub threads: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 4,
+        }
+    }
+}
+
+struct Inner {
+    kb: ServingKb,
+    stats: ServerStats,
+    run: RunInfo,
+    shutdown: AtomicBool,
+    addr: SocketAddr,
+}
+
+/// A running server; dropping the handle does *not* stop it — call
+/// [`ServerHandle::request_shutdown`] + [`ServerHandle::join`].
+pub struct ServerHandle {
+    inner: Arc<Inner>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.inner.addr
+    }
+
+    /// Current epoch of the served KB.
+    pub fn epoch(&self) -> u64 {
+        self.inner.kb.epoch()
+    }
+
+    /// Raise the shutdown flag and wake the acceptor.
+    pub fn request_shutdown(&self) {
+        initiate_shutdown(&self.inner);
+    }
+
+    /// Wait for the acceptor and all workers to drain and exit.
+    pub fn join(mut self) -> Result<(), ServeError> {
+        if let Some(a) = self.acceptor.take() {
+            a.join()
+                .map_err(|_| ServeError::Protocol("acceptor thread panicked".into()))?;
+        }
+        for w in self.workers.drain(..) {
+            w.join()
+                .map_err(|_| ServeError::Protocol("worker thread panicked".into()))?;
+        }
+        Ok(())
+    }
+}
+
+/// Derive the STATS run section from the materialization report.
+pub fn run_info(report: &RunReport) -> RunInfo {
+    RunInfo {
+        workers: report.k,
+        rounds: report.max_rounds(),
+        derived: report.derived,
+        skipped: report.total_skipped(),
+        summary: report.summary(),
+    }
+}
+
+/// Bind, spawn the acceptor + worker pool, and return immediately.
+pub fn serve(kb: ServingKb, run: RunInfo, cfg: &ServeConfig) -> Result<ServerHandle, ServeError> {
+    let listener = TcpListener::bind(&cfg.addr)?;
+    let addr = listener.local_addr()?;
+    let inner = Arc::new(Inner {
+        kb,
+        stats: ServerStats::default(),
+        run,
+        shutdown: AtomicBool::new(false),
+        addr,
+    });
+
+    let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = channel();
+    let rx = Arc::new(Mutex::new(rx));
+
+    let threads = cfg.threads.max(1);
+    let mut workers = Vec::with_capacity(threads);
+    for i in 0..threads {
+        let rx = Arc::clone(&rx);
+        let inner = Arc::clone(&inner);
+        workers.push(
+            std::thread::Builder::new()
+                .name(format!("owlpar-serve-{i}"))
+                .spawn(move || worker_loop(&rx, &inner))?,
+        );
+    }
+
+    let acceptor = {
+        let inner = Arc::clone(&inner);
+        std::thread::Builder::new()
+            .name("owlpar-serve-accept".to_string())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if inner.shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    if let Ok(stream) = conn {
+                        if tx.send(stream).is_err() {
+                            break;
+                        }
+                    }
+                }
+                // tx drops here; workers drain the queue and exit.
+            })?
+    };
+
+    Ok(ServerHandle {
+        inner,
+        acceptor: Some(acceptor),
+        workers,
+    })
+}
+
+fn worker_loop(rx: &Arc<Mutex<Receiver<TcpStream>>>, inner: &Arc<Inner>) {
+    loop {
+        let next = {
+            let guard = match rx.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            guard.recv()
+        };
+        match next {
+            Ok(stream) => {
+                // Connection-level failures only affect that peer.
+                let _ = handle_connection(stream, inner);
+            }
+            Err(_) => return, // acceptor gone and queue drained
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, inner: &Arc<Inner>) -> Result<(), ServeError> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    loop {
+        let body = match wire::read_frame(&mut reader) {
+            Ok(b) => b,
+            Err(ServeError::Io(e)) if e.kind() == ErrorKind::UnexpectedEof => {
+                return Ok(()); // peer closed between requests
+            }
+            Err(e) => {
+                // Bad frame: report it if the socket still works, then
+                // drop the connection — framing is unrecoverable.
+                inner.stats.errors.fetch_add(1, Ordering::Relaxed);
+                let _ = wire::write_frame(&mut writer, &Response::Error(e.to_string()).encode());
+                return Err(e);
+            }
+        };
+        let response = match Request::decode(&body) {
+            Ok(req) => dispatch(req, inner),
+            Err(e) => {
+                inner.stats.errors.fetch_add(1, Ordering::Relaxed);
+                Response::Error(e.to_string())
+            }
+        };
+        let closing = matches!(response, Response::ShuttingDown);
+        wire::write_frame(&mut writer, &response.encode())?;
+        if closing {
+            initiate_shutdown(inner);
+            return Ok(());
+        }
+    }
+}
+
+fn dispatch(req: Request, inner: &Arc<Inner>) -> Response {
+    match req {
+        Request::Query(src) => {
+            let started = Instant::now();
+            // The whole query runs against one frozen snapshot: parsing
+            // against its dictionary (read-only), executing against its
+            // store. Updates published meanwhile are invisible — the
+            // client learns which epoch answered via the response.
+            let snapshot = inner.kb.snapshot();
+            match parse_query_frozen(&src, &snapshot.dict) {
+                Ok(q) => {
+                    let rows = execute(&snapshot.store, &q);
+                    let columns: Vec<String> =
+                        q.projected_names().iter().map(|s| s.to_string()).collect();
+                    let rendered: Vec<Vec<String>> = rows
+                        .iter()
+                        .map(|r| render_row(&snapshot.dict, r))
+                        .collect();
+                    inner.stats.queries.fetch_add(1, Ordering::Relaxed);
+                    inner.stats.query_latency.record(started.elapsed());
+                    Response::Rows {
+                        epoch: snapshot.epoch,
+                        columns,
+                        rows: rendered,
+                    }
+                }
+                Err(e) => {
+                    inner.stats.errors.fetch_add(1, Ordering::Relaxed);
+                    Response::Error(ServeError::BadQuery(e.to_string()).to_string())
+                }
+            }
+        }
+        Request::Insert(nt) => {
+            let started = Instant::now();
+            match inner.kb.insert_ntriples(&nt) {
+                Ok(out) => {
+                    inner.stats.inserts.fetch_add(1, Ordering::Relaxed);
+                    inner.stats.insert_latency.record(started.elapsed());
+                    Response::Inserted {
+                        epoch: out.epoch,
+                        added: out.added as u32,
+                        derived: out.derived as u32,
+                        schema_changed: out.schema_changed,
+                    }
+                }
+                Err(e) => {
+                    inner.stats.errors.fetch_add(1, Ordering::Relaxed);
+                    Response::Error(e.to_string())
+                }
+            }
+        }
+        Request::Stats => {
+            let snapshot = inner.kb.snapshot();
+            Response::Stats(inner.stats.to_json(
+                snapshot.epoch,
+                snapshot.store.len(),
+                snapshot.dict.len(),
+                &inner.run,
+            ))
+        }
+        Request::Ping => Response::Pong,
+        Request::Shutdown => Response::ShuttingDown,
+    }
+}
+
+fn initiate_shutdown(inner: &Arc<Inner>) {
+    if inner.shutdown.swap(true, Ordering::SeqCst) {
+        return; // already shutting down
+    }
+    // Wake the acceptor, which is parked in accept(2).
+    if let Ok(addrs) = inner.addr.to_socket_addrs() {
+        for a in addrs {
+            let _ = TcpStream::connect(a);
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! Server-side instrumentation: request counters and latency
+//! histograms, exported as hand-rolled JSON (the wire protocol is
+//! dependency-free, so no serde here).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of power-of-two latency buckets (covers 1µs .. ~584000 years).
+const BUCKETS: usize = 64;
+
+/// A lock-free log-scale latency histogram: bucket *i* counts
+/// observations in `[2^(i-1), 2^i)` microseconds (bucket 0: `< 1µs`).
+/// Quantiles report the upper bound of the bucket the quantile falls
+/// into — exact enough for p50/p99 dashboards at ~2x resolution, and
+/// recordable from any number of threads without coordination.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Record one observation.
+    pub fn record(&self, d: Duration) {
+        let us = u64::try_from(d.as_micros()).unwrap_or(u64::MAX);
+        let idx = if us == 0 {
+            0
+        } else {
+            (BUCKETS as u32 - us.leading_zeros()) as usize
+        }
+        .min(BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Upper bound (µs) of the bucket holding quantile `q` (0 < q ≤ 1).
+    /// Zero when empty.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return if i == 0 { 1 } else { 1u64 << i.min(63) };
+            }
+        }
+        1u64 << (BUCKETS - 1)
+    }
+}
+
+/// Counters for one running server.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Queries answered (successfully).
+    pub queries: AtomicU64,
+    /// Insert batches applied.
+    pub inserts: AtomicU64,
+    /// Requests answered with an error.
+    pub errors: AtomicU64,
+    /// Query latency (parse + execute + render).
+    pub query_latency: LatencyHistogram,
+    /// Insert latency (parse + delta closure + publish).
+    pub insert_latency: LatencyHistogram,
+}
+
+/// The numbers of the initial materialization run, frozen at startup
+/// and reported by STATS alongside the live counters.
+#[derive(Debug, Clone, Default)]
+pub struct RunInfo {
+    /// Workers of the materialization run.
+    pub workers: usize,
+    /// Rounds (max over workers).
+    pub rounds: usize,
+    /// Triples derived by the run.
+    pub derived: usize,
+    /// Messages skipped-with-report during the run.
+    pub skipped: usize,
+    /// `RunReport::summary()` of the run.
+    pub summary: String,
+}
+
+impl ServerStats {
+    /// Render the stats JSON the STATS request returns.
+    pub fn to_json(&self, epoch: u64, triples: usize, terms: usize, run: &RunInfo) -> String {
+        format!(
+            "{{\"epoch\":{epoch},\"triples\":{triples},\"terms\":{terms},\
+             \"queries\":{},\"inserts\":{},\"errors\":{},\
+             \"query_p50_us\":{},\"query_p99_us\":{},\
+             \"insert_p50_us\":{},\"insert_p99_us\":{},\
+             \"run\":{{\"workers\":{},\"rounds\":{},\"derived\":{},\
+             \"skipped\":{},\"summary\":\"{}\"}}}}",
+            self.queries.load(Ordering::Relaxed),
+            self.inserts.load(Ordering::Relaxed),
+            self.errors.load(Ordering::Relaxed),
+            self.query_latency.quantile_us(0.50),
+            self.query_latency.quantile_us(0.99),
+            self.insert_latency.quantile_us(0.50),
+            self.insert_latency.quantile_us(0.99),
+            run.workers,
+            run.rounds,
+            run.derived,
+            run.skipped,
+            escape_json(&run.summary),
+        )
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile_us(0.5), 0);
+    }
+
+    #[test]
+    fn quantiles_bracket_observations() {
+        let h = LatencyHistogram::default();
+        for _ in 0..99 {
+            h.record(Duration::from_micros(100)); // bucket [64,128)
+        }
+        h.record(Duration::from_millis(50)); // bucket [32768,65536)
+        assert_eq!(h.count(), 100);
+        let p50 = h.quantile_us(0.50);
+        assert!((100..=256).contains(&p50), "p50={p50}");
+        let p99 = h.quantile_us(0.99);
+        assert!(p99 <= 256, "99 of 100 samples are ~100us, p99={p99}");
+        let p100 = h.quantile_us(1.0);
+        assert!(p100 >= 50_000, "max sample is 50ms, p100={p100}");
+    }
+
+    #[test]
+    fn sub_microsecond_and_huge_samples_stay_in_range() {
+        let h = LatencyHistogram::default();
+        h.record(Duration::ZERO);
+        h.record(Duration::from_secs(1 << 40));
+        assert_eq!(h.count(), 2);
+        assert!(h.quantile_us(0.1) >= 1);
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape_json("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn stats_json_is_wellformed_enough() {
+        let s = ServerStats::default();
+        s.queries.fetch_add(3, Ordering::Relaxed);
+        let j = s.to_json(
+            2,
+            100,
+            40,
+            &RunInfo {
+                workers: 4,
+                rounds: 3,
+                derived: 17,
+                skipped: 0,
+                summary: "4 worker(s)".into(),
+            },
+        );
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        for key in [
+            "\"epoch\":2",
+            "\"triples\":100",
+            "\"queries\":3",
+            "\"query_p50_us\":",
+            "\"workers\":4",
+            "\"summary\":\"4 worker(s)\"",
+        ] {
+            assert!(j.contains(key), "missing {key} in {j}");
+        }
+    }
+}

@@ -135,13 +135,9 @@ fn materialize(args: &[String]) -> Result<(), CliError> {
     let before = g.len();
     let report = run_parallel(&mut g, &cfg)?;
     save_graph(&g, output)?;
-    println!(
-        "{before} base triples -> {} total ({} derived) on {k} workers in {} round(s); simulated cluster time {:.3}s",
-        g.len(),
-        report.derived,
-        report.max_rounds(),
-        report.parallel_time.as_secs_f64()
-    );
+    // The one-line run summary includes the skipped-message count, so a
+    // lossy-but-recovered run is visible at a glance.
+    println!("{before} base triples -> {} total: {}", g.len(), report.summary());
     if report.recovered {
         for e in &report.worker_errors {
             eprintln!("owlpar: recovered from: {e}");

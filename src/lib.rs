@@ -17,7 +17,9 @@
 //! * [`core`] — the parallel reasoner (Algorithm 3) and performance model;
 //! * [`datagen`] — LUBM / UOBM-like / MDC-like benchmark generators;
 //! * [`query`] — a SPARQL-lite engine over materialized KBs, with the
-//!   LUBM query mix.
+//!   LUBM query mix;
+//! * [`serve`] — a concurrent KB server: epoch-published snapshots,
+//!   incremental delta-closure inserts, framed TCP protocol.
 //!
 //! ## Quickstart
 //!
@@ -43,6 +45,7 @@ pub use owlpar_horst as horst;
 pub use owlpar_partition as partition;
 pub use owlpar_query as query;
 pub use owlpar_rdf as rdf;
+pub use owlpar_serve as serve;
 
 /// One-stop imports for applications.
 pub mod prelude {
@@ -56,6 +59,7 @@ pub mod prelude {
     pub use owlpar_datalog::{MaterializationStrategy, Reasoner};
     pub use owlpar_horst::{CompileOptions, HorstReasoner};
     pub use owlpar_partition::{partition_data, partition_rules, OwnershipPolicy};
-    pub use owlpar_query::{ask, execute, parse_query};
+    pub use owlpar_query::{ask, execute, parse_query, parse_query_frozen};
     pub use owlpar_rdf::{parse_ntriples, write_ntriples, Graph, Term, Triple};
+    pub use owlpar_serve::{ServeError, ServingKb};
 }
