@@ -7,14 +7,13 @@ use owlpar_datalog::backward::TableScope;
 use owlpar_datalog::MaterializationStrategy;
 
 fn main() {
-    let (mut cfg, rest) = DatasetConfig::from_args(std::env::args().skip(1));
+    let (cfg, rest) = DatasetConfig::from_args(std::env::args().skip(1));
     let dataset: Dataset = rest
         .first()
         .map(|s| s.parse().expect("dataset"))
         .unwrap_or(Dataset::Lubm);
     {
         let scale = cfg.scale;
-        cfg.scale = scale;
         let g = cfg.generate(dataset);
         let n = g.len();
         let (d_fwd, t_fwd) =

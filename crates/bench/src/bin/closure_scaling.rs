@@ -1,0 +1,126 @@
+//! In-node parallel closure scaling: closure throughput (triples/sec)
+//! of the multi-threaded semi-naive engine at 1/2/4/8 threads against
+//! the serial engine, on a generated LUBM universe. Emits
+//! `BENCH_closure.json` (uploaded as a CI artifact).
+//!
+//! ```text
+//! closure_scaling [--universities 2] [--scale 1.0] [--threads 1,2,4,8]
+//!                 [--repeat 3] [--out BENCH_closure.json]
+//! ```
+//!
+//! Throughput counts *derived* triples per second of wall-clock closure
+//! time; the best of `--repeat` runs is reported per configuration.
+
+use owlpar_datagen::{generate_lubm, LubmConfig};
+use owlpar_datalog::forward::forward_closure;
+use owlpar_datalog::parallel_closure;
+use owlpar_datalog::MaterializationStrategy;
+use owlpar_horst::HorstReasoner;
+use owlpar_rdf::TripleStore;
+use std::time::{Duration, Instant};
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Best-of-`repeat` wall-clock time of `f` on a fresh clone of `store`.
+fn time_closure(
+    store: &TripleStore,
+    repeat: usize,
+    mut f: impl FnMut(&mut TripleStore) -> usize,
+) -> (usize, Duration) {
+    let mut best = Duration::MAX;
+    let mut derived = 0;
+    for _ in 0..repeat.max(1) {
+        let mut s = store.clone();
+        let t0 = Instant::now();
+        derived = f(&mut s);
+        best = best.min(t0.elapsed());
+    }
+    (derived, best)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let universities: usize = flag_value(&args, "--universities")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2);
+    let scale: f64 = flag_value(&args, "--scale")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.0);
+    let thread_counts: Vec<usize> = flag_value(&args, "--threads")
+        .unwrap_or_else(|| "1,2,4,8".to_string())
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .collect();
+    let repeat: usize = flag_value(&args, "--repeat")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    let out_path =
+        flag_value(&args, "--out").unwrap_or_else(|| "BENCH_closure.json".to_string());
+
+    let mut graph = generate_lubm(&LubmConfig {
+        universities,
+        seed: 42,
+        scale,
+    });
+    let hr = HorstReasoner::from_graph(&mut graph, MaterializationStrategy::ForwardSemiNaive);
+    let rules = hr.rules().to_vec();
+    let base = graph.store.clone();
+    println!(
+        "closure_scaling: LUBM-{universities} (scale {scale}), {} base triples, {} rules",
+        base.len(),
+        rules.len()
+    );
+
+    let (serial_derived, serial_time) =
+        time_closure(&base, repeat, |s| forward_closure(s, &rules));
+    let serial_tps = serial_derived as f64 / serial_time.as_secs_f64();
+    println!(
+        "serial:      {serial_derived} derived in {:.3}s  ({:.0} triples/s)",
+        serial_time.as_secs_f64(),
+        serial_tps,
+    );
+
+    let mut rows = Vec::new();
+    for &threads in &thread_counts {
+        let (derived, time) =
+            time_closure(&base, repeat, |s| parallel_closure(s, &rules, threads));
+        assert_eq!(
+            derived, serial_derived,
+            "parallel closure (threads={threads}) diverged from serial"
+        );
+        let tps = derived as f64 / time.as_secs_f64();
+        let speedup = serial_time.as_secs_f64() / time.as_secs_f64();
+        println!(
+            "threads={threads}:   {derived} derived in {:.3}s  ({:.0} triples/s, {:.2}x serial)",
+            time.as_secs_f64(),
+            tps,
+            speedup,
+        );
+        rows.push(format!(
+            "{{\"threads\":{threads},\"derived\":{derived},\"elapsed_s\":{:.6},\
+             \"triples_per_sec\":{:.1},\"speedup_vs_serial\":{:.3}}}",
+            time.as_secs_f64(),
+            tps,
+            speedup,
+        ));
+    }
+
+    let json = format!(
+        "{{\"bench\":\"closure_scaling\",\"dataset\":\"lubm-{universities}-scale{scale}\",\
+         \"base_triples\":{},\"rules\":{},\"repeat\":{repeat},\
+         \"serial\":{{\"derived\":{serial_derived},\"elapsed_s\":{:.6},\
+         \"triples_per_sec\":{:.1}}},\
+         \"parallel\":[{}]}}\n",
+        base.len(),
+        rules.len(),
+        serial_time.as_secs_f64(),
+        serial_tps,
+        rows.join(","),
+    );
+    std::fs::write(&out_path, &json).expect("write BENCH_closure.json");
+    println!("wrote {out_path}");
+}

@@ -45,7 +45,7 @@ fn main() {
             "{}",
             table::render(&["k", "serial(s)", "parallel(s)", "speedup", "rounds", "IR"], &rows)
         );
-        for _p in points {
+        for p in points {
             all_rows.push(serde_json::json!({
                 "dataset": dataset.name(),
                 "point": p,

@@ -90,7 +90,7 @@ fn main() {
     );
     let json: Vec<_> = points
         .iter()
-        .map(|_p| {
+        .map(|p| {
             serde_json::json!({
                 "k": p.k,
                 "measured": p.speedup,

@@ -63,7 +63,7 @@ fn main() {
         "cubic fit: t(n) = {:.3e} + {:.3e}·n + {:.3e}·n² + {:.3e}·n³   (R² = {:.4})",
         model.coeffs[0], model.coeffs[1], model.coeffs[2], model.coeffs[3], model.r_squared
     );
-    for &(_u, _n, _t) in &rows {
+    for &(u, n, t) in &rows {
         json.push(serde_json::json!({
             "universities": u, "triples": n, "measured_s": t,
             "predicted_s": model.predict(n),

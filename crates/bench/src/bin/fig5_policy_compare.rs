@@ -60,7 +60,7 @@ fn main() {
             "{}",
             table::render(&["k", "speedup", "IR", "OR", "rounds"], &rows)
         );
-        for _p in points {
+        for p in points {
             json.push(serde_json::json!({"policy": name, "point": p}));
         }
     }

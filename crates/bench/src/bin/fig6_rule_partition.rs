@@ -58,7 +58,7 @@ fn main() {
             "{}",
             table::render(&["k", "speedup", "OR", "rounds"], &rows)
         );
-        for _p in points {
+        for p in points {
             json.push(serde_json::json!({
                 "dataset": dataset.name(), "weighted": weighted, "point": p,
             }));

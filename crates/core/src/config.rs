@@ -154,6 +154,14 @@ impl ParallelConfig {
         self
     }
 
+    /// Convenience: in-node parallel forward closure in every worker.
+    /// `threads == 0` lets the master split the machine's parallelism
+    /// evenly across the `k` workers at spawn time.
+    pub fn forward_parallel(mut self, threads: usize) -> Self {
+        self.materialization = MaterializationStrategy::ForwardParallel { threads };
+        self
+    }
+
     /// Convenience: attach a fault-injection plan.
     pub fn with_faults(mut self, plan: FaultPlan) -> Self {
         self.fault = Some(Arc::new(plan));

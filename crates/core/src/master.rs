@@ -117,6 +117,22 @@ pub fn run_serial(graph: &mut Graph, materialization: MaterializationStrategy) -
     (derived, start.elapsed())
 }
 
+/// Resolve the per-worker in-node thread budget before spawning: an
+/// auto (`threads == 0`) [`MaterializationStrategy::ForwardParallel`]
+/// splits the machine's parallelism evenly across the `k` workers so the
+/// run does not oversubscribe cores. Every other strategy passes through.
+fn resolve_materialization(m: MaterializationStrategy, k: usize) -> MaterializationStrategy {
+    match m {
+        MaterializationStrategy::ForwardParallel { threads: 0 } => {
+            let avail = std::thread::available_parallelism().map_or(1, usize::from);
+            MaterializationStrategy::ForwardParallel {
+                threads: (avail / k.max(1)).max(1),
+            }
+        }
+        other => other,
+    }
+}
+
 /// Render a contained panic payload.
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     payload
@@ -304,7 +320,7 @@ pub fn run_parallel(graph: &mut Graph, cfg: &ParallelConfig) -> Result<RunReport
             let flags = Arc::clone(&flags);
             let progress = Arc::clone(&progress[id]);
             let async_control = Arc::clone(&async_control);
-            let materialization = cfg.materialization;
+            let materialization = resolve_materialization(cfg.materialization, cfg.k);
             let rounds_mode = cfg.rounds;
             let round_timeout = cfg.round_timeout;
             let schema = schema.clone();

@@ -49,6 +49,29 @@ pub struct Atom {
 /// Variable bindings for one rule instantiation, indexed by variable id.
 pub type Bindings = Vec<Option<NodeId>>;
 
+/// Undo record for [`Atom::match_triple_in_place`]: the (at most three)
+/// variable indices that call newly bound, to be cleared when the caller
+/// backtracks past the match.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct MatchUndo {
+    vars: [u16; 3],
+    len: u8,
+}
+
+impl MatchUndo {
+    fn push(&mut self, var: u16) {
+        self.vars[self.len as usize] = var;
+        self.len += 1;
+    }
+
+    /// Clear the bindings this match introduced.
+    pub fn undo(&self, bindings: &mut Bindings) {
+        for &v in &self.vars[..self.len as usize] {
+            bindings[v as usize] = None;
+        }
+    }
+}
+
 impl Atom {
     /// Construct an atom.
     pub fn new(s: TermPat, p: TermPat, o: TermPat) -> Self {
@@ -110,6 +133,38 @@ impl Atom {
         } else {
             None
         }
+    }
+
+    /// Allocation-free variant of [`Atom::match_triple`]: extend
+    /// `bindings` in place. On success returns the undo record for the
+    /// variables this call newly bound; on conflict rolls back its own
+    /// partial bindings and returns `None`. Either way `bindings` is
+    /// consistent when this returns.
+    pub fn match_triple_in_place(&self, t: &Triple, bindings: &mut Bindings) -> Option<MatchUndo> {
+        let mut undo = MatchUndo::default();
+        for (pat, val) in self.positions().into_iter().zip(t.as_array()) {
+            match pat {
+                TermPat::Const(c) => {
+                    if c != val {
+                        undo.undo(bindings);
+                        return None;
+                    }
+                }
+                TermPat::Var(v) => match bindings[v as usize] {
+                    None => {
+                        bindings[v as usize] = Some(val);
+                        undo.push(v);
+                    }
+                    Some(existing) => {
+                        if existing != val {
+                            undo.undo(bindings);
+                            return None;
+                        }
+                    }
+                },
+            }
+        }
+        Some(undo)
     }
 
     /// Instantiate this atom into a ground triple; `None` if any variable

@@ -8,6 +8,7 @@
 use crate::ast::Rule;
 use crate::backward::{BackwardEngine, TableScope};
 use crate::forward::{forward_closure, forward_closure_delta};
+use crate::parallel::{parallel_closure, parallel_closure_delta};
 use owlpar_rdf::{Triple, TripleStore};
 
 /// How a [`Reasoner`] computes the closure.
@@ -17,6 +18,14 @@ pub enum MaterializationStrategy {
     /// size of the output.
     #[default]
     ForwardSemiNaive,
+    /// Semi-naive bottom-up evaluation with each round's delta sharded
+    /// across `threads` in-node worker threads joining against a frozen
+    /// CSR base (`threads == 0` ⇒ all available parallelism). Identical
+    /// fixpoint to [`ForwardSemiNaive`](Self::ForwardSemiNaive).
+    ForwardParallel {
+        /// In-node thread budget; `0` means auto-detect.
+        threads: usize,
+    },
     /// Jena emulation: per-resource queries through a tabled SLD engine.
     /// Super-linear in KB size; the strategy behind the paper's Fig. 1/4.
     BackwardPerResource(TableScope),
@@ -59,6 +68,9 @@ impl Reasoner {
     pub fn materialize(&self, store: &mut TripleStore) -> usize {
         match self.strategy {
             MaterializationStrategy::ForwardSemiNaive => forward_closure(store, &self.rules),
+            MaterializationStrategy::ForwardParallel { threads } => {
+                parallel_closure(store, &self.rules, threads)
+            }
             MaterializationStrategy::BackwardPerResource(scope) => {
                 BackwardEngine::new(&self.rules, scope).materialize(store)
             }
@@ -81,6 +93,9 @@ impl Reasoner {
         let scope = match self.strategy {
             MaterializationStrategy::ForwardSemiNaive => {
                 return forward_closure_delta(store, &self.rules, delta);
+            }
+            MaterializationStrategy::ForwardParallel { threads } => {
+                return parallel_closure_delta(store, &self.rules, delta, threads);
             }
             MaterializationStrategy::BackwardPerResource(scope)
             | MaterializationStrategy::BackwardJena(scope) => scope,

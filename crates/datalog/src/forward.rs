@@ -12,7 +12,7 @@
 //! propagate consequences of that batch.
 
 use crate::ast::{Bindings, Rule};
-use owlpar_rdf::{Triple, TripleStore};
+use owlpar_rdf::{Triple, TripleSource, TripleStore};
 
 /// Compute the closure of `store` under `rules`. Returns the number of
 /// derived (new) triples. Semi-naive: cost proportional to work actually
@@ -67,6 +67,10 @@ fn run_rounds(store: &mut TripleStore, rules: &[Rule], seed: Vec<Triple>) -> Vec
         for rule in rules {
             apply_rule_delta(store, &delta_store, rule, &mut candidates);
         }
+        // On transitive-heavy workloads most candidates are duplicates;
+        // deduping here saves a 4-index hash probe per duplicate.
+        candidates.sort_unstable();
+        candidates.dedup();
         let mut next_delta = TripleStore::new();
         for t in candidates {
             if store.insert(t) {
@@ -83,21 +87,30 @@ fn run_rounds(store: &mut TripleStore, rules: &[Rule], seed: Vec<Triple>) -> Vec
 /// the remaining atoms are joined against the full `store`. Candidate head
 /// instantiations are appended to `out` (duplicates possible; the caller
 /// dedupes via store insertion).
-fn apply_rule_delta(
-    store: &TripleStore,
-    delta: &TripleStore,
-    rule: &Rule,
-    out: &mut Vec<Triple>,
-) {
+///
+/// Generic over the store representation so the same join runs against a
+/// mutable [`TripleStore`], a frozen base, or a frozen-base + overlay view
+/// (the parallel engine shares it across threads).
+pub(crate) fn apply_rule_delta<S, D>(store: &S, delta: &D, rule: &Rule, out: &mut Vec<Triple>)
+where
+    S: TripleSource + ?Sized,
+    D: TripleSource + ?Sized,
+{
+    let mut bindings = rule.empty_bindings();
+    let mut remaining: Vec<usize> = Vec::with_capacity(rule.body.len());
     for pivot in 0..rule.body.len() {
         let atom = &rule.body[pivot];
-        let empty = rule.empty_bindings();
-        let pat = atom.to_pattern(&empty);
+        let pat = atom.to_pattern(&bindings);
+        // `join_remaining` restores `remaining` to the same set on return,
+        // so one buffer serves every match of this pivot. Likewise every
+        // match undoes its bindings, so `bindings` is all-unbound between
+        // pivots and no per-match frame is ever allocated.
+        remaining.clear();
+        remaining.extend((0..rule.body.len()).filter(|&i| i != pivot));
         delta.for_each_match(pat, |t| {
-            if let Some(b) = atom.match_triple(&t, &empty) {
-                let mut remaining: Vec<usize> =
-                    (0..rule.body.len()).filter(|&i| i != pivot).collect();
-                join_remaining(store, rule, &mut remaining, b, out);
+            if let Some(undo) = atom.match_triple_in_place(&t, &mut bindings) {
+                join_remaining(store, rule, &mut remaining, &mut bindings, out);
+                undo.undo(&mut bindings);
             }
         });
     }
@@ -105,33 +118,43 @@ fn apply_rule_delta(
 
 /// Recursively join the remaining body atoms against `store`, most-bound
 /// atom first (greedy index selection), emitting head instantiations.
-fn join_remaining(
-    store: &TripleStore,
+///
+/// Backtracking is push/pop on the shared `remaining` buffer and
+/// bind/undo on the shared `bindings` frame: the chosen atom is
+/// swap-removed before recursing and pushed back after, and each match
+/// clears exactly the variables it bound — so no per-match allocation
+/// happens anywhere on the join spine.
+fn join_remaining<S>(
+    store: &S,
     rule: &Rule,
     remaining: &mut Vec<usize>,
-    bindings: Bindings,
+    bindings: &mut Bindings,
     out: &mut Vec<Triple>,
-) {
+) where
+    S: TripleSource + ?Sized,
+{
     if remaining.is_empty() {
-        if let Some(t) = rule.head.instantiate(&bindings) {
+        if let Some(t) = rule.head.instantiate(bindings) {
             out.push(t);
         }
         return;
     }
     // Pick the atom with the most bound positions under current bindings:
     // the store lookup for it is cheapest.
-    let (slot, _) = remaining
+    let Some((slot, _)) = remaining
         .iter()
         .enumerate()
-        .max_by_key(|(_, &i)| rule.body[i].to_pattern(&bindings).bound_count())
-        .expect("non-empty");
+        .max_by_key(|(_, &i)| rule.body[i].to_pattern(bindings).bound_count())
+    else {
+        return;
+    };
     let atom_idx = remaining.swap_remove(slot);
     let atom = &rule.body[atom_idx];
-    let pat = atom.to_pattern(&bindings);
+    let pat = atom.to_pattern(bindings);
     store.for_each_match(pat, |t| {
-        if let Some(b) = atom.match_triple(&t, &bindings) {
-            let mut rest = remaining.clone();
-            join_remaining(store, rule, &mut rest, b, out);
+        if let Some(undo) = atom.match_triple_in_place(&t, bindings) {
+            join_remaining(store, rule, remaining, bindings, out);
+            undo.undo(bindings);
         }
     });
     remaining.push(atom_idx); // restore for the caller's other branches

@@ -38,7 +38,9 @@ pub mod ast;
 pub mod backward;
 pub mod engine;
 pub mod forward;
+pub mod parallel;
 pub mod parser;
 
 pub use ast::{Atom, Rule, TermPat};
 pub use engine::{MaterializationStrategy, Reasoner};
+pub use parallel::{parallel_closure, parallel_closure_delta};

@@ -1,0 +1,291 @@
+//! Multi-threaded semi-naive evaluation over a frozen base store.
+//!
+//! The serial engine in [`forward`](crate::forward) spends each round
+//! joining the delta against the store. Those joins are independent per
+//! delta triple, so this module shards the round's delta across a scoped
+//! thread pool: every thread joins its shard against a shared, immutable
+//! [`FrozenStore`] base (plus a small mutable overlay of recent
+//! derivations) into a thread-local candidate buffer, then a single
+//! merge + dedup + insert step on the coordinating thread produces the
+//! next delta. The fixpoint is identical to the serial engine's — only
+//! derivation order differs — because semi-naive evaluation is confluent:
+//! any instantiation with at least one body atom in the delta has a pivot
+//! in exactly the shards holding that atom's triple, and the remaining
+//! atoms are joined against the full base ∪ overlay ∪ delta view.
+//!
+//! The base is maintained LSM-style: rounds insert into the overlay, and
+//! once the overlay outgrows a fraction of the base the two are merged
+//! into a fresh frozen store (a linear merge of sorted runs, not a
+//! rebuild). Reads stay lock-free throughout — threads only ever see the
+//! frozen base and an overlay that is not mutated during a round.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
+
+use crate::ast::Rule;
+use crate::forward::{apply_rule_delta, forward_closure_delta};
+use owlpar_rdf::{FrozenStore, Triple, TripleStore};
+
+/// Below this delta size a round is evaluated on the calling thread:
+/// spawn + merge overhead dwarfs the join work.
+const MIN_PARALLEL_DELTA: usize = 256;
+
+/// Resolve a configured thread budget: `0` means "all available
+/// parallelism" (clamped to at least 1).
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism().map_or(1, usize::from)
+    } else {
+        threads
+    }
+}
+
+/// Compute the closure of `store` under `rules` using up to `threads`
+/// worker threads (0 = auto). Returns the number of derived triples.
+///
+/// Produces exactly the same fixpoint as
+/// [`forward_closure`](crate::forward::forward_closure).
+pub fn parallel_closure(store: &mut TripleStore, rules: &[Rule], threads: usize) -> usize {
+    let threads = resolve_threads(threads);
+    if threads <= 1 || store.len() < MIN_PARALLEL_DELTA {
+        let seed: Vec<Triple> = store.iter().copied().collect();
+        return forward_closure_delta(store, rules, seed).len();
+    }
+    let base = FrozenStore::from_store(store);
+    // Seed in SPO order: shard chunks are then sorted runs, so the
+    // per-shard index builds are near-linear (and chunking is
+    // deterministic, independent of hash iteration order).
+    let seed = base.iter_sorted();
+    let (_, derived) = closure_delta_over(base, rules, seed, threads);
+    for &t in &derived {
+        store.insert(t);
+    }
+    derived.len()
+}
+
+/// `store` is closed under `rules` except that the triples in `delta`
+/// were just inserted. Derives all consequences with up to `threads`
+/// worker threads (0 = auto), inserts them, and returns them (cascades
+/// included). Same contract as
+/// [`forward_closure_delta`](crate::forward::forward_closure_delta).
+pub fn parallel_closure_delta(
+    store: &mut TripleStore,
+    rules: &[Rule],
+    delta: Vec<Triple>,
+    threads: usize,
+) -> Vec<Triple> {
+    let threads = resolve_threads(threads);
+    if threads <= 1 || delta.len() < MIN_PARALLEL_DELTA {
+        return forward_closure_delta(store, rules, delta);
+    }
+    let base = FrozenStore::from_store(store);
+    let (_, derived) = closure_delta_over(base, rules, delta, threads);
+    for &t in &derived {
+        store.insert(t);
+    }
+    derived
+}
+
+/// Core round loop over a frozen base store.
+///
+/// `seed` must already be contained in `base`. Each round joins the delta
+/// shards against the frozen base, then folds the round's new triples
+/// into it with a linear merge of sorted runs (LSM-style: freezing is a
+/// merge, never a rebuild) — no per-triple hash maintenance anywhere on
+/// the hot path. Returns the final frozen store (the closure) and every
+/// newly derived triple.
+pub fn closure_delta_over(
+    mut base: FrozenStore,
+    rules: &[Rule],
+    seed: Vec<Triple>,
+    threads: usize,
+) -> (FrozenStore, Vec<Triple>) {
+    let threads = resolve_threads(threads).max(1);
+    let mut all_derived: Vec<Triple> = Vec::new();
+    let mut delta = seed;
+    while !delta.is_empty() {
+        // Sorted, deduplicated, *novel* heads from the sharded joins
+        // (each shard filters against the frozen base before returning).
+        let new = round_candidates(&base, rules, &delta, threads);
+        if !new.is_empty() {
+            base = base.merge_triples(&new);
+            all_derived.extend_from_slice(&new);
+        }
+        delta = new;
+    }
+    (base, all_derived)
+}
+
+/// One round: shard `delta`, join each shard against the frozen `view`
+/// on its own thread, and return the sorted, deduplicated triples that
+/// are *not yet* in `view`.
+///
+/// Each shard sorts, dedupes and novelty-filters its own candidates
+/// before handing them to the coordinator, so the per-candidate
+/// `contains` probes run in parallel and walk the base coherently
+/// (ascending probes). The coordinator only resolves cross-shard
+/// duplicates.
+fn round_candidates(
+    view: &FrozenStore,
+    rules: &[Rule],
+    delta: &[Triple],
+    threads: usize,
+) -> Vec<Triple> {
+    let join_shard = |shard: &[Triple]| {
+        // CSR shard: sorting a slice is much cheaper than building hash
+        // indexes, and pivot scans are cache-local.
+        let shard_store = FrozenStore::from_triples(shard.iter().copied());
+        let mut out = Vec::new();
+        for rule in rules {
+            apply_rule_delta(view, &shard_store, rule, &mut out);
+        }
+        out.sort_unstable();
+        out.dedup();
+        out.retain(|t| !view.contains(t));
+        out
+    };
+
+    let shards = threads.min(delta.len().div_ceil(MIN_PARALLEL_DELTA / 4)).max(1);
+    if shards <= 1 {
+        return join_shard(delta);
+    }
+    let chunk = delta.len().div_ceil(shards);
+    let mut locals: Vec<Vec<Triple>> = Vec::with_capacity(shards);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(shards);
+        for shard in delta.chunks(chunk) {
+            handles.push(scope.spawn(move || join_shard(shard)));
+        }
+        for handle in handles {
+            match handle.join() {
+                Ok(out) => locals.push(out),
+                // A panicking shard (rule bug, OOM abort path) must not
+                // silently drop derivations: re-raise on the coordinator
+                // so callers see the original panic.
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    let total = locals.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(total);
+    for mut local in locals {
+        out.append(&mut local);
+    }
+    // Per-shard runs are sorted and duplicate-free; one more sort + dedup
+    // resolves cross-shard duplicates (pdqsort is near-linear on
+    // concatenated sorted runs).
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::build::*;
+    use crate::forward::forward_closure;
+    use owlpar_rdf::NodeId;
+
+    const P: u32 = 100;
+    const Q: u32 = 101;
+
+    fn t(s: u32, p: u32, o: u32) -> Triple {
+        Triple::new(NodeId(s), NodeId(p), NodeId(o))
+    }
+
+    fn trans_rule(p: u32) -> Rule {
+        Rule::new(
+            "trans",
+            atom(v(0), c(NodeId(p)), v(2)),
+            vec![atom(v(0), c(NodeId(p)), v(1)), atom(v(1), c(NodeId(p)), v(2))],
+        )
+        .unwrap()
+    }
+
+    fn chain(n: u32) -> Vec<Triple> {
+        (0..n).map(|i| t(i, P, i + 1)).collect()
+    }
+
+    #[test]
+    fn matches_serial_on_transitive_chain() {
+        for threads in [1, 2, 4, 8] {
+            let mut serial: TripleStore = chain(60).into_iter().collect();
+            forward_closure(&mut serial, &[trans_rule(P)]);
+
+            let mut par: TripleStore = chain(60).into_iter().collect();
+            let n = parallel_closure(&mut par, &[trans_rule(P)], threads);
+            assert_eq!(par.iter_sorted(), serial.iter_sorted(), "threads={threads}");
+            assert_eq!(n, 60 * 61 / 2 - 60, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn delta_matches_serial_delta() {
+        let rules = [trans_rule(P)];
+        // close a chain, then extend it with a batch of fresh links
+        let mut serial: TripleStore = chain(40).into_iter().collect();
+        forward_closure(&mut serial, &rules);
+        let mut par = serial.clone();
+
+        let fresh: Vec<Triple> = (41..80).map(|i| t(i, P, i + 1)).collect();
+        for &f in &fresh {
+            serial.insert(f);
+            par.insert(f);
+        }
+        let mut a = forward_closure_delta(&mut serial, &rules, fresh.clone());
+        let mut b = parallel_closure_delta(&mut par, &rules, fresh, 4);
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+        assert_eq!(par.iter_sorted(), serial.iter_sorted());
+    }
+
+    #[test]
+    fn small_deltas_fall_back_to_serial_and_agree() {
+        let rules = [trans_rule(P)];
+        let mut s: TripleStore = [t(0, P, 1), t(1, P, 2)].into_iter().collect();
+        let n = parallel_closure(&mut s, &rules, 8);
+        assert_eq!(n, 1);
+        assert!(s.contains(&t(0, P, 2)));
+    }
+
+    #[test]
+    fn cascading_rule_mix_matches_serial() {
+        // q(x,y) -> p(x,y), p transitive: cascades across rounds
+        let promote = Rule::new(
+            "promote",
+            atom(v(0), c(NodeId(P)), v(1)),
+            vec![atom(v(0), c(NodeId(Q)), v(1))],
+        )
+        .unwrap();
+        let rules = [promote, trans_rule(P)];
+        let facts: Vec<Triple> = (0..400).map(|i| t(i % 37, Q, (i * 7) % 37)).collect();
+
+        let mut serial: TripleStore = facts.iter().copied().collect();
+        forward_closure(&mut serial, &rules);
+        for threads in [2, 8] {
+            let mut par: TripleStore = facts.iter().copied().collect();
+            parallel_closure(&mut par, &rules, threads);
+            assert_eq!(par.iter_sorted(), serial.iter_sorted(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn closure_delta_over_returns_closed_frozen_store() {
+        let rules = [trans_rule(P)];
+        let facts = chain(150);
+        let mut serial: TripleStore = facts.iter().copied().collect();
+        forward_closure(&mut serial, &rules);
+
+        let base = FrozenStore::from_triples(facts.iter().copied());
+        let (closed, derived) = closure_delta_over(base, &rules, facts.clone(), 4);
+        let expected = 150 * 151 / 2 - 150;
+        assert_eq!(derived.len(), expected);
+        assert_eq!(closed.iter_sorted(), serial.iter_sorted());
+    }
+
+    #[test]
+    fn zero_threads_resolves_to_available_parallelism() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(3), 3);
+    }
+}

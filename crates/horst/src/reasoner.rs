@@ -7,7 +7,6 @@
 
 use crate::compile::{compile_ontology, CompileOptions};
 use crate::tbox::{TBox, TripleKind};
-use owlpar_datalog::forward::forward_closure_delta;
 use owlpar_datalog::{MaterializationStrategy, Reasoner, Rule};
 use owlpar_rdf::{Graph, Triple, TripleStore};
 
@@ -106,7 +105,7 @@ impl HorstReasoner {
                 fresh.push(t);
             }
         }
-        let derived = forward_closure_delta(store, self.rules(), fresh);
+        let derived = self.reasoner.materialize_delta(store, fresh);
         DeltaOutcome::Incremental { derived }
     }
 }

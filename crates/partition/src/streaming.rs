@@ -146,7 +146,7 @@ mod tests {
         }
         let hash_cut = cut(&hash);
         assert!(
-            ldg_cut * 2 < hash_cut.max(1) * 1 + ldg_cut + 20,
+            ldg_cut * 2 < hash_cut.max(1) + ldg_cut + 20,
             "LDG {ldg_cut} should beat hash {hash_cut} clearly"
         );
         assert!(ldg_cut <= hash_cut, "LDG {ldg_cut} vs hash {hash_cut}");

@@ -5,15 +5,17 @@
 use crate::ast::{Query, QueryForm};
 use owlpar_datalog::ast::Bindings;
 use owlpar_rdf::fx::FxHashSet;
-use owlpar_rdf::{NodeId, TripleStore};
+use owlpar_rdf::{NodeId, TripleSource};
 
 /// One result row: the values of the projected variables, in projection
 /// order.
 pub type Row = Vec<NodeId>;
 
 /// Evaluate a SELECT query; ASK queries yield zero or one empty row
-/// (prefer [`ask`]).
-pub fn execute(store: &TripleStore, q: &Query) -> Vec<Row> {
+/// (prefer [`ask`]). Generic over [`TripleSource`] so queries run
+/// identically against a mutable `TripleStore`, a frozen store, or the
+/// serving layer's base+delta overlay snapshots.
+pub fn execute<S: TripleSource + ?Sized>(store: &S, q: &Query) -> Vec<Row> {
     let projected = q.projected();
     let mut rows: Vec<Row> = Vec::new();
     let mut seen: FxHashSet<Row> = FxHashSet::default();
@@ -34,7 +36,7 @@ pub fn execute(store: &TripleStore, q: &Query) -> Vec<Row> {
 }
 
 /// Evaluate an ASK query (or "does this SELECT have any solution").
-pub fn ask(store: &TripleStore, q: &Query) -> bool {
+pub fn ask<S: TripleSource + ?Sized>(store: &S, q: &Query) -> bool {
     let mut probe = q.clone();
     probe.form = QueryForm::Ask;
     probe.limit = Some(1);
@@ -42,8 +44,8 @@ pub fn ask(store: &TripleStore, q: &Query) -> bool {
 }
 
 #[allow(clippy::too_many_arguments)]
-fn join(
-    store: &TripleStore,
+fn join<S: TripleSource + ?Sized>(
+    store: &S,
     q: &Query,
     remaining: &mut Vec<usize>,
     bindings: Bindings,

@@ -1,0 +1,628 @@
+//! Frozen, read-optimized triple storage for lock-free parallel joins.
+//!
+//! The mutable [`TripleStore`](crate::TripleStore) is built for cheap
+//! inserts: three nested hash maps. That shape is hostile to the parallel
+//! closure engine — hash maps scatter the posting lists across the heap,
+//! and sharing `&TripleStore` from many threads still pays pointer-chasing
+//! on every probe. [`FrozenStore`] is the read path's answer: the triples
+//! laid out **three times as sorted flat columns** (SPO, POS, OSP order)
+//! with CSR-style offset indexes over the leading component. Every one of
+//! the eight [`TriplePattern`] shapes resolves to a contiguous slice scan
+//! (plus at most one in-row binary search), the whole structure is
+//! immutable and `Sync`, and concurrent `for_each_match` from any number
+//! of threads is wait-free.
+//!
+//! Mutation is layered on top, LSM-style, instead of in place:
+//!
+//! * [`FrozenView`] — a borrowed overlay `frozen base ∪ small mutable
+//!   delta` used inside a closure round (the base is shared read-only by
+//!   the worker threads; the delta is the around-the-loop accumulator).
+//! * [`OverlayStore`] — the owned, cheaply-clonable variant
+//!   (`Arc<FrozenStore>` + `Arc<TripleStore>`) that the serving layer
+//!   publishes as a snapshot: publishing no longer clones the whole KB,
+//!   only the small delta.
+//! * [`FrozenStore::merge`] — compaction: folding a delta into the base is
+//!   a linear merge of already-sorted runs, not a rebuild.
+//!
+//! The [`TripleSource`] trait abstracts over all of these (and the mutable
+//! store), so the datalog joins and the query engine run unchanged against
+//! whichever representation holds the data.
+
+// Shared read path of the parallel closure: never panic (same discipline
+// as owlpar-core; enforced in CI by clippy).
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
+
+use crate::dictionary::NodeId;
+use crate::store::{TriplePattern, TripleStore};
+use crate::triple::Triple;
+use std::sync::Arc;
+
+/// Read access to an indexed set of triples: the interface the datalog
+/// joins and the query engine actually need. Implemented by the mutable
+/// [`TripleStore`], the immutable [`FrozenStore`], and the overlay types.
+pub trait TripleSource {
+    /// Invoke `f` for every triple matching `pat`.
+    fn for_each_match(&self, pat: TriplePattern, f: impl FnMut(Triple));
+
+    /// Membership test.
+    fn contains(&self, t: &Triple) -> bool;
+
+    /// Number of distinct triples.
+    fn len(&self) -> usize;
+
+    /// `true` iff no triples are held.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Collect all matches of `pat` into a vector.
+    fn matches(&self, pat: TriplePattern) -> Vec<Triple> {
+        let mut out = Vec::new();
+        self.for_each_match(pat, |t| out.push(t));
+        out
+    }
+}
+
+impl TripleSource for TripleStore {
+    fn for_each_match(&self, pat: TriplePattern, f: impl FnMut(Triple)) {
+        TripleStore::for_each_match(self, pat, f);
+    }
+
+    fn contains(&self, t: &Triple) -> bool {
+        TripleStore::contains(self, t)
+    }
+
+    fn len(&self) -> usize {
+        TripleStore::len(self)
+    }
+}
+
+/// One sorted column family: the triples permuted into `(k0, k1, k2)`
+/// order plus a CSR index over the distinct leading keys.
+#[derive(Debug, Clone, Default)]
+struct SortedIndex {
+    /// Triples as `(k0, k1, k2)` key tuples, sorted lexicographically.
+    rows: Vec<[NodeId; 3]>,
+    /// Distinct leading keys, ascending.
+    keys: Vec<NodeId>,
+    /// `keys.len() + 1` offsets into `rows`: the triples whose leading
+    /// key is `keys[i]` live in `rows[offs[i] .. offs[i + 1]]`.
+    offs: Vec<u32>,
+}
+
+impl SortedIndex {
+    /// Build from rows already sorted in `(k0, k1, k2)` order.
+    fn from_sorted(rows: Vec<[NodeId; 3]>) -> Self {
+        let mut keys = Vec::new();
+        let mut offs = Vec::new();
+        for (i, row) in rows.iter().enumerate() {
+            if keys.last() != Some(&row[0]) {
+                keys.push(row[0]);
+                offs.push(i as u32);
+            }
+        }
+        offs.push(rows.len() as u32);
+        SortedIndex { rows, keys, offs }
+    }
+
+    /// The contiguous row block for leading key `k0` (empty if absent).
+    fn row(&self, k0: NodeId) -> &[[NodeId; 3]] {
+        match self.keys.binary_search(&k0) {
+            Ok(i) => {
+                let a = self.offs[i] as usize;
+                let b = self.offs[i + 1] as usize;
+                &self.rows[a..b]
+            }
+            Err(_) => &[],
+        }
+    }
+
+    /// The sub-block of `row(k0)` whose second component equals `k1`.
+    fn row2(&self, k0: NodeId, k1: NodeId) -> &[[NodeId; 3]] {
+        let row = self.row(k0);
+        let a = row.partition_point(|r| r[1] < k1);
+        let b = row.partition_point(|r| r[1] <= k1);
+        &row[a..b]
+    }
+
+    /// Is the exact key tuple present?
+    fn contains(&self, key: [NodeId; 3]) -> bool {
+        self.row(key[0]).binary_search(&[key[0], key[1], key[2]]).is_ok()
+    }
+}
+
+/// An immutable triple store: sorted flat columns + CSR offset indexes in
+/// SPO, POS and OSP order. `Send + Sync`; see the module docs.
+#[derive(Debug, Clone, Default)]
+pub struct FrozenStore {
+    spo: SortedIndex,
+    pos: SortedIndex,
+    osp: SortedIndex,
+}
+
+fn spo_key(t: &Triple) -> [NodeId; 3] {
+    [t.s, t.p, t.o]
+}
+
+fn pos_key(t: &Triple) -> [NodeId; 3] {
+    [t.p, t.o, t.s]
+}
+
+fn osp_key(t: &Triple) -> [NodeId; 3] {
+    [t.o, t.s, t.p]
+}
+
+/// Merge two sorted, duplicate-free runs into one.
+fn merge_sorted(a: &[[NodeId; 3]], b: &[[NodeId; 3]]) -> Vec<[NodeId; 3]> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+impl FrozenStore {
+    /// An empty frozen store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Freeze the contents of a mutable store.
+    ///
+    /// Exploits the store's nested indexes: each column family is emitted
+    /// key-run by key-run, so only the (much smaller) key sets and the
+    /// per-run posting lists get sorted — never the full triple set.
+    pub fn from_store(store: &TripleStore) -> Self {
+        let build = |nested: &crate::store::Nested| {
+            let mut k0s: Vec<NodeId> = nested.keys().copied().collect();
+            k0s.sort_unstable();
+            let mut rows: Vec<[NodeId; 3]> = Vec::with_capacity(store.len());
+            for k0 in k0s {
+                let Some(inner) = nested.get(&k0) else { continue };
+                let mut k1s: Vec<NodeId> = inner.keys().copied().collect();
+                k1s.sort_unstable();
+                for k1 in k1s {
+                    let Some(k2s) = inner.get(&k1) else { continue };
+                    let start = rows.len();
+                    for &k2 in k2s {
+                        rows.push([k0, k1, k2]);
+                    }
+                    // within a (k0, k1) run only k2 varies, and posting
+                    // lists are duplicate-free by store invariant
+                    rows[start..].sort_unstable();
+                }
+            }
+            SortedIndex::from_sorted(rows)
+        };
+        let [spo_n, pos_n, osp_n] = store.nested_indexes();
+        Self::build_families(store.len(), || build(spo_n), || build(pos_n), || {
+            build(osp_n)
+        })
+    }
+
+    /// Freeze an arbitrary collection of triples (duplicates tolerated).
+    pub fn from_triples(triples: impl IntoIterator<Item = Triple>) -> Self {
+        let triples: Vec<Triple> = triples.into_iter().collect();
+        let build = |key: fn(&Triple) -> [NodeId; 3]| {
+            let mut rows: Vec<[NodeId; 3]> = triples.iter().map(key).collect();
+            rows.sort_unstable();
+            rows.dedup();
+            SortedIndex::from_sorted(rows)
+        };
+        Self::build_families(triples.len(), || build(spo_key), || build(pos_key), || {
+            build(osp_key)
+        })
+    }
+
+    /// Compaction: fold `delta` into a new frozen store. Each column
+    /// family is a linear merge of two sorted runs — O(n + |delta| log
+    /// |delta|), not a full rebuild's O(n log n).
+    pub fn merge(&self, delta: &TripleStore) -> FrozenStore {
+        let triples: Vec<Triple> = delta.iter().copied().collect();
+        self.merge_triples(&triples)
+    }
+
+    /// [`FrozenStore::merge`] for a plain batch of triples (any order,
+    /// duplicates tolerated).
+    pub fn merge_triples(&self, delta: &[Triple]) -> FrozenStore {
+        let merge_one = |idx: &SortedIndex, key: fn(&Triple) -> [NodeId; 3]| {
+            let mut rows: Vec<[NodeId; 3]> = delta.iter().map(key).collect();
+            rows.sort_unstable();
+            rows.dedup();
+            SortedIndex::from_sorted(merge_sorted(&idx.rows, &rows))
+        };
+        Self::build_families(
+            self.len() + delta.len(),
+            || merge_one(&self.spo, spo_key),
+            || merge_one(&self.pos, pos_key),
+            || merge_one(&self.osp, osp_key),
+        )
+    }
+
+    /// Build the three column families, on three threads when the row
+    /// count makes the sorts/merges worth a spawn. The families are
+    /// independent, so this is the freeze path's free parallelism.
+    fn build_families(
+        rows: usize,
+        spo: impl FnOnce() -> SortedIndex + Send,
+        pos: impl FnOnce() -> SortedIndex + Send,
+        osp: impl FnOnce() -> SortedIndex + Send,
+    ) -> FrozenStore {
+        /// Below this size, spawn overhead beats the sort work saved.
+        const PARALLEL_BUILD_FLOOR: usize = 1 << 14;
+        let cores = std::thread::available_parallelism().map_or(1, usize::from);
+        if rows < PARALLEL_BUILD_FLOOR || cores < 2 {
+            return FrozenStore {
+                spo: spo(),
+                pos: pos(),
+                osp: osp(),
+            };
+        }
+        std::thread::scope(|scope| {
+            let pos = scope.spawn(pos);
+            let osp = scope.spawn(osp);
+            let spo = spo();
+            match (pos.join(), osp.join()) {
+                (Ok(pos), Ok(osp)) => FrozenStore { spo, pos, osp },
+                (Err(payload), _) | (_, Err(payload)) => std::panic::resume_unwind(payload),
+            }
+        })
+    }
+
+    /// Number of distinct triples.
+    pub fn len(&self) -> usize {
+        self.spo.rows.len()
+    }
+
+    /// `true` iff the store holds no triples.
+    pub fn is_empty(&self) -> bool {
+        self.spo.rows.is_empty()
+    }
+
+    /// Membership test (binary search inside one CSR row).
+    #[inline]
+    pub fn contains(&self, t: &Triple) -> bool {
+        self.spo.contains(spo_key(t))
+    }
+
+    /// Iterate all triples in SPO order.
+    pub fn iter(&self) -> impl Iterator<Item = Triple> + '_ {
+        self.spo.rows.iter().map(|r| Triple::new(r[0], r[1], r[2]))
+    }
+
+    /// All triples, sorted SPO (already the storage order).
+    pub fn iter_sorted(&self) -> Vec<Triple> {
+        self.iter().collect()
+    }
+
+    /// Thaw back into a mutable store (used by the schema-recompile path
+    /// of the serving layer; O(n)).
+    pub fn to_store(&self) -> TripleStore {
+        self.iter().collect()
+    }
+
+    /// Invoke `f` for every triple matching `pat`. Every pattern shape is
+    /// a contiguous slice scan; no locks, no hashing.
+    pub fn for_each_match(&self, pat: TriplePattern, mut f: impl FnMut(Triple)) {
+        match (pat.s, pat.p, pat.o) {
+            (Some(s), Some(p), Some(o)) => {
+                let t = Triple::new(s, p, o);
+                if self.contains(&t) {
+                    f(t);
+                }
+            }
+            (Some(s), Some(p), None) => {
+                for r in self.spo.row2(s, p) {
+                    f(Triple::new(r[0], r[1], r[2]));
+                }
+            }
+            (Some(s), None, None) => {
+                for r in self.spo.row(s) {
+                    f(Triple::new(r[0], r[1], r[2]));
+                }
+            }
+            (None, Some(p), Some(o)) => {
+                for r in self.pos.row2(p, o) {
+                    f(Triple::new(r[2], r[0], r[1]));
+                }
+            }
+            (None, Some(p), None) => {
+                for r in self.pos.row(p) {
+                    f(Triple::new(r[2], r[0], r[1]));
+                }
+            }
+            (Some(s), None, Some(o)) => {
+                for r in self.osp.row2(o, s) {
+                    f(Triple::new(r[1], r[2], r[0]));
+                }
+            }
+            (None, None, Some(o)) => {
+                for r in self.osp.row(o) {
+                    f(Triple::new(r[1], r[2], r[0]));
+                }
+            }
+            (None, None, None) => {
+                for r in &self.spo.rows {
+                    f(Triple::new(r[0], r[1], r[2]));
+                }
+            }
+        }
+    }
+
+    /// Number of matches — pure index arithmetic, no iteration.
+    pub fn count_matches(&self, pat: TriplePattern) -> usize {
+        match (pat.s, pat.p, pat.o) {
+            (Some(s), Some(p), Some(o)) => usize::from(self.contains(&Triple::new(s, p, o))),
+            (Some(s), Some(p), None) => self.spo.row2(s, p).len(),
+            (Some(s), None, None) => self.spo.row(s).len(),
+            (None, Some(p), Some(o)) => self.pos.row2(p, o).len(),
+            (None, Some(p), None) => self.pos.row(p).len(),
+            (Some(s), None, Some(o)) => self.osp.row2(o, s).len(),
+            (None, None, Some(o)) => self.osp.row(o).len(),
+            (None, None, None) => self.len(),
+        }
+    }
+}
+
+impl TripleSource for FrozenStore {
+    fn for_each_match(&self, pat: TriplePattern, f: impl FnMut(Triple)) {
+        FrozenStore::for_each_match(self, pat, f);
+    }
+
+    fn contains(&self, t: &Triple) -> bool {
+        FrozenStore::contains(self, t)
+    }
+
+    fn len(&self) -> usize {
+        FrozenStore::len(self)
+    }
+}
+
+impl FromIterator<Triple> for FrozenStore {
+    fn from_iter<I: IntoIterator<Item = Triple>>(iter: I) -> Self {
+        FrozenStore::from_triples(iter)
+    }
+}
+
+/// A borrowed LSM-style overlay: a frozen base plus a small mutable-side
+/// delta, read as their union. Invariant (maintained by the closure
+/// engine): `delta` holds no triple already in `base`, so match callbacks
+/// fire exactly once per distinct triple.
+#[derive(Debug, Clone, Copy)]
+pub struct FrozenView<'a> {
+    /// The frozen bulk of the data.
+    pub base: &'a FrozenStore,
+    /// Recent insertions not yet compacted into `base`.
+    pub delta: &'a TripleStore,
+}
+
+impl TripleSource for FrozenView<'_> {
+    fn for_each_match(&self, pat: TriplePattern, mut f: impl FnMut(Triple)) {
+        self.base.for_each_match(pat, &mut f);
+        self.delta.for_each_match(pat, f);
+    }
+
+    fn contains(&self, t: &Triple) -> bool {
+        self.base.contains(t) || self.delta.contains(t)
+    }
+
+    fn len(&self) -> usize {
+        self.base.len() + self.delta.len()
+    }
+}
+
+/// The owned, cheaply-clonable overlay the serving layer publishes as a
+/// snapshot: two `Arc`s. Same disjointness invariant as [`FrozenView`].
+#[derive(Debug, Clone)]
+pub struct OverlayStore {
+    /// The frozen bulk of the data.
+    pub base: Arc<FrozenStore>,
+    /// Recent insertions not yet compacted into `base`.
+    pub delta: Arc<TripleStore>,
+}
+
+impl OverlayStore {
+    /// Wrap a fully-frozen store with an empty delta.
+    pub fn frozen(base: Arc<FrozenStore>) -> Self {
+        OverlayStore {
+            base,
+            delta: Arc::new(TripleStore::new()),
+        }
+    }
+
+    /// Build from base and delta parts.
+    pub fn new(base: Arc<FrozenStore>, delta: Arc<TripleStore>) -> Self {
+        OverlayStore { base, delta }
+    }
+
+    /// All triples, sorted SPO.
+    pub fn iter_sorted(&self) -> Vec<Triple> {
+        let mut v: Vec<Triple> = self.base.iter().chain(self.delta.iter().copied()).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// All triples (base then delta), unordered.
+    pub fn iter(&self) -> impl Iterator<Item = Triple> + '_ {
+        self.base.iter().chain(self.delta.iter().copied())
+    }
+
+    /// Total triple count (exact: base and delta are disjoint).
+    pub fn len(&self) -> usize {
+        self.base.len() + self.delta.len()
+    }
+
+    /// Whether both layers are empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Membership across both layers.
+    pub fn contains(&self, t: &Triple) -> bool {
+        self.base.contains(t) || self.delta.contains(t)
+    }
+}
+
+impl TripleSource for OverlayStore {
+    fn for_each_match(&self, pat: TriplePattern, mut f: impl FnMut(Triple)) {
+        self.base.for_each_match(pat, &mut f);
+        self.delta.for_each_match(pat, f);
+    }
+
+    fn contains(&self, t: &Triple) -> bool {
+        self.base.contains(t) || self.delta.contains(t)
+    }
+
+    fn len(&self) -> usize {
+        self.base.len() + self.delta.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u32, p: u32, o: u32) -> Triple {
+        Triple::new(NodeId(s), NodeId(p), NodeId(o))
+    }
+
+    fn sample() -> Vec<Triple> {
+        vec![t(0, 1, 2), t(0, 1, 3), t(0, 2, 2), t(4, 1, 2), t(4, 2, 0), t(7, 9, 7)]
+    }
+
+    fn pat(s: Option<u32>, p: Option<u32>, o: Option<u32>) -> TriplePattern {
+        TriplePattern::new(s.map(NodeId), p.map(NodeId), o.map(NodeId))
+    }
+
+    /// Every pattern over every sample subset must agree with a linear
+    /// scan of the frozen contents.
+    fn assert_matches_scan(fs: &FrozenStore, all: &[Triple], p: TriplePattern) {
+        let mut via_index = fs.matches(p);
+        via_index.sort_unstable();
+        let mut via_scan: Vec<Triple> = all.iter().copied().filter(|t| p.matches(t)).collect();
+        via_scan.sort_unstable();
+        assert_eq!(via_index, via_scan, "pattern {p:?}");
+        assert_eq!(fs.count_matches(p), via_scan.len(), "count for {p:?}");
+    }
+
+    #[test]
+    fn all_eight_shapes_agree_with_scan() {
+        let all = sample();
+        let fs: FrozenStore = all.iter().copied().collect();
+        let opts = [None, Some(0), Some(1), Some(2), Some(4), Some(7), Some(9)];
+        for s in opts {
+            for p in opts {
+                for o in opts {
+                    assert_matches_scan(&fs, &all, pat(s, p, o));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dedup_on_construction() {
+        let fs = FrozenStore::from_triples(vec![t(1, 2, 3), t(1, 2, 3), t(1, 2, 4)]);
+        assert_eq!(fs.len(), 2);
+        assert!(fs.contains(&t(1, 2, 3)));
+        assert!(!fs.contains(&t(1, 2, 5)));
+    }
+
+    #[test]
+    fn roundtrips_through_mutable_store() {
+        let all = sample();
+        let ts: TripleStore = all.iter().copied().collect();
+        let fs = FrozenStore::from_store(&ts);
+        assert_eq!(fs.iter_sorted(), ts.iter_sorted());
+        assert_eq!(fs.to_store().iter_sorted(), ts.iter_sorted());
+    }
+
+    #[test]
+    fn merge_equals_rebuild() {
+        let base: FrozenStore = sample().into_iter().collect();
+        let delta: TripleStore =
+            [t(9, 9, 9), t(0, 1, 2), t(5, 5, 5)].into_iter().collect();
+        let merged = base.merge(&delta);
+        let mut expect: Vec<Triple> = sample();
+        expect.extend([t(9, 9, 9), t(5, 5, 5)]);
+        expect.sort_unstable();
+        assert_eq!(merged.iter_sorted(), expect);
+        // merged store still answers every pattern correctly
+        assert_matches_scan(&merged, &expect, pat(Some(9), None, None));
+        assert_matches_scan(&merged, &expect, pat(None, Some(1), None));
+        assert_matches_scan(&merged, &expect, pat(None, None, None));
+    }
+
+    #[test]
+    fn frozen_view_unions_base_and_delta() {
+        let base: FrozenStore = sample().into_iter().collect();
+        let delta: TripleStore = [t(8, 1, 2)].into_iter().collect();
+        let view = FrozenView {
+            base: &base,
+            delta: &delta,
+        };
+        assert_eq!(view.len(), 7);
+        assert!(TripleSource::contains(&view, &t(8, 1, 2)));
+        assert!(TripleSource::contains(&view, &t(0, 1, 2)));
+        let mut m = view.matches(pat(None, Some(1), Some(2)));
+        m.sort_unstable();
+        assert_eq!(m, vec![t(0, 1, 2), t(4, 1, 2), t(8, 1, 2)]);
+    }
+
+    #[test]
+    fn overlay_store_iter_sorted_is_union() {
+        let base = Arc::new(sample().into_iter().collect::<FrozenStore>());
+        let delta: TripleStore = [t(9, 1, 1)].into_iter().collect();
+        let ov = OverlayStore::new(base, Arc::new(delta));
+        let v = ov.iter_sorted();
+        assert_eq!(v.len(), 7);
+        assert!(v.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn empty_store_is_well_behaved() {
+        let fs = FrozenStore::new();
+        assert!(fs.is_empty());
+        assert_eq!(fs.count_matches(TriplePattern::any()), 0);
+        assert!(fs.matches(pat(Some(1), None, None)).is_empty());
+        assert!(!fs.contains(&t(1, 2, 3)));
+        let merged = fs.merge(&[t(1, 2, 3)].into_iter().collect());
+        assert_eq!(merged.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_reads_are_consistent() {
+        let all: Vec<Triple> = (0..200u32).map(|i| t(i % 17, i % 5, i % 23)).collect();
+        let fs: FrozenStore = all.iter().copied().collect();
+        let expect = fs.count_matches(pat(None, Some(1), None));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..100 {
+                        assert_eq!(fs.count_matches(pat(None, Some(1), None)), expect);
+                    }
+                });
+            }
+        });
+    }
+}

@@ -26,6 +26,7 @@
 //! ```
 
 pub mod dictionary;
+pub mod frozen;
 pub mod fx;
 pub mod graph;
 pub mod ntriples;
@@ -37,6 +38,7 @@ pub mod triple;
 pub mod vocab;
 
 pub use dictionary::{Dictionary, NodeId};
+pub use frozen::{FrozenStore, FrozenView, OverlayStore, TripleSource};
 pub use graph::Graph;
 pub use ntriples::{parse_ntriples, write_ntriples, NtError};
 pub use store::{TriplePattern, TripleStore};

@@ -10,7 +10,7 @@ use crate::dictionary::NodeId;
 use crate::fx::{FxHashMap, FxHashSet};
 use crate::triple::Triple;
 
-type Nested = FxHashMap<NodeId, FxHashMap<NodeId, Vec<NodeId>>>;
+pub(crate) type Nested = FxHashMap<NodeId, FxHashMap<NodeId, Vec<NodeId>>>;
 
 /// A match pattern: `None` positions are wildcards.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -180,11 +180,40 @@ impl TripleStore {
         out
     }
 
-    /// Number of matches without materializing them.
+    /// Number of matches without materializing them. Patterns with at
+    /// least one bound position are answered from posting-list lengths —
+    /// no iteration, no callback.
     pub fn count_matches(&self, pat: TriplePattern) -> usize {
-        let mut n = 0;
-        self.for_each_match(pat, |_| n += 1);
-        n
+        fn row_len(nested: &Nested, k0: NodeId) -> usize {
+            nested
+                .get(&k0)
+                .map_or(0, |m| m.values().map(Vec::len).sum())
+        }
+        fn list_len(nested: &Nested, k0: NodeId, k1: NodeId) -> usize {
+            nested
+                .get(&k0)
+                .and_then(|m| m.get(&k1))
+                .map_or(0, Vec::len)
+        }
+        match (pat.s, pat.p, pat.o) {
+            (Some(s), Some(p), Some(o)) => {
+                usize::from(self.all.contains(&Triple::new(s, p, o)))
+            }
+            (Some(s), Some(p), None) => list_len(&self.spo, s, p),
+            (None, Some(p), Some(o)) => list_len(&self.pos, p, o),
+            (Some(s), None, Some(o)) => list_len(&self.osp, o, s),
+            (Some(s), None, None) => row_len(&self.spo, s),
+            (None, Some(p), None) => row_len(&self.pos, p),
+            (None, None, Some(o)) => row_len(&self.osp, o),
+            (None, None, None) => self.all.len(),
+        }
+    }
+
+    /// The three nested indexes in `(spo, pos, osp)` order — the freeze
+    /// path walks them to emit each column family in nearly-sorted runs
+    /// instead of fully re-sorting the triple set.
+    pub(crate) fn nested_indexes(&self) -> [&Nested; 3] {
+        [&self.spo, &self.pos, &self.osp]
     }
 
     /// Every distinct node appearing in subject or object position.
@@ -357,9 +386,21 @@ mod tests {
     }
 
     #[test]
-    fn count_matches_equals_matches_len() {
+    fn count_matches_equals_matches_len_for_all_shapes() {
         let s = sample();
-        let pat = TriplePattern::new(None, Some(NodeId(1)), None);
-        assert_eq!(s.count_matches(pat), s.matches(pat).len());
+        let opts = [None, Some(0), Some(1), Some(2), Some(4), Some(9)];
+        for a in opts {
+            for b in opts {
+                for c in opts {
+                    let pat =
+                        TriplePattern::new(a.map(NodeId), b.map(NodeId), c.map(NodeId));
+                    assert_eq!(
+                        s.count_matches(pat),
+                        s.matches(pat).len(),
+                        "pattern {pat:?}"
+                    );
+                }
+            }
+        }
     }
 }

@@ -14,7 +14,7 @@
 //! This is the textbook read-copy-update shape, built from `std` parts
 //! only.
 
-use owlpar_rdf::{Dictionary, TripleStore};
+use owlpar_rdf::{Dictionary, OverlayStore};
 use std::sync::{Arc, RwLock};
 
 /// One immutable published state of the KB.
@@ -23,8 +23,9 @@ pub struct KbSnapshot {
     /// Publication sequence number; starts at 0 for the initial
     /// materialization and increases by 1 per published update.
     pub epoch: u64,
-    /// The closed triple store as of this epoch.
-    pub store: Arc<TripleStore>,
+    /// The closed triple store as of this epoch: a frozen base shared
+    /// across epochs plus a small per-epoch delta, read as their union.
+    pub store: OverlayStore,
     /// The dictionary the store is encoded against. Queries against this
     /// snapshot must be parsed read-only against *this* dictionary
     /// (`owlpar_query::parse_query_frozen`), never a newer one.
@@ -76,7 +77,7 @@ impl EpochHandle {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use owlpar_rdf::{Graph, Triple};
+    use owlpar_rdf::{FrozenStore, Graph, Triple};
 
     fn snap(epoch: u64, ntriples: u32) -> KbSnapshot {
         let mut g = Graph::new();
@@ -88,7 +89,7 @@ mod tests {
         }
         KbSnapshot {
             epoch,
-            store: Arc::new(g.store),
+            store: OverlayStore::frozen(Arc::new(FrozenStore::from_store(&g.store))),
             dict: Arc::new(g.dict),
         }
     }

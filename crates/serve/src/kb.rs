@@ -18,9 +18,15 @@ use crate::error::ServeError;
 use owlpar_core::{run_parallel, ParallelConfig, RunReport};
 use owlpar_datalog::MaterializationStrategy;
 use owlpar_horst::{DeltaOutcome, HorstReasoner};
-use owlpar_rdf::{parse_ntriples, Graph, Triple};
+use owlpar_rdf::{parse_ntriples, FrozenStore, Graph, OverlayStore, Triple, TripleStore};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Duration;
+
+/// Keep the writer's mutable overlay small relative to the frozen base:
+/// past this bound it is merged into a fresh frozen base (linear merge of
+/// sorted runs), so per-insert snapshot publication stays O(overlay), not
+/// O(store).
+const COMPACT_FLOOR: usize = 4096;
 
 /// What an insert did, as reported to the client.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -39,6 +45,45 @@ pub struct InsertOutcome {
 struct WriterState {
     graph: Graph,
     reasoner: HorstReasoner,
+    /// Frozen bulk of `graph.store`, shared (by `Arc`) with every
+    /// published snapshot — the cheap part of publication.
+    base: Arc<FrozenStore>,
+    /// `graph.store` minus `base`: the recent, not-yet-compacted inserts.
+    /// Cloned (it is small) into each published snapshot.
+    overlay: TripleStore,
+}
+
+impl WriterState {
+    fn from_closed(graph: Graph, reasoner: HorstReasoner) -> Self {
+        let base = Arc::new(FrozenStore::from_store(&graph.store));
+        WriterState {
+            graph,
+            reasoner,
+            base,
+            overlay: TripleStore::new(),
+        }
+    }
+
+    /// Rebuild the frozen base from the authoritative store (schema
+    /// change: the overlay bookkeeping is no longer a strict delta).
+    fn refreeze(&mut self) {
+        self.base = Arc::new(FrozenStore::from_store(&self.graph.store));
+        self.overlay = TripleStore::new();
+    }
+
+    /// Fold an oversized overlay into the frozen base.
+    fn maybe_compact(&mut self) {
+        if self.overlay.len() > COMPACT_FLOOR.max(self.base.len() / 4) {
+            self.base = Arc::new(self.base.merge(&self.overlay));
+            self.overlay = TripleStore::new();
+        }
+    }
+
+    /// The published view of the current state: shared frozen base plus a
+    /// clone of the small overlay. O(overlay) — the point of the design.
+    fn published_store(&self) -> OverlayStore {
+        OverlayStore::new(Arc::clone(&self.base), Arc::new(self.overlay.clone()))
+    }
 }
 
 /// A concurrently servable knowledge base.
@@ -66,14 +111,15 @@ impl ServingKb {
 
     /// Serve a graph that is *already closed* under `reasoner`'s rules.
     pub fn from_closed(graph: Graph, reasoner: HorstReasoner) -> Self {
+        let writer = WriterState::from_closed(graph, reasoner);
         let snapshot = KbSnapshot {
             epoch: 0,
-            store: Arc::new(graph.store.clone()),
-            dict: Arc::new(graph.dict.clone()),
+            store: writer.published_store(),
+            dict: Arc::new(writer.graph.dict.clone()),
         };
         ServingKb {
             epochs: EpochHandle::new(snapshot),
-            writer: Mutex::new(WriterState { graph, reasoner }),
+            writer: Mutex::new(writer),
             debug_publish_delay: Duration::ZERO,
         }
     }
@@ -116,7 +162,7 @@ impl ServingKb {
         parse_ntriples(nt, &mut scratch).map_err(|e| ServeError::BadBatch(e.to_string()))?;
 
         let mut guard = self.lock_writer();
-        let w: &mut WriterState = &mut *guard;
+        let w: &mut WriterState = &mut guard;
 
         // Re-intern the batch against the serving dictionary.
         let batch: Vec<Triple> = scratch
@@ -129,12 +175,27 @@ impl ServingKb {
             .collect();
 
         let before = w.graph.store.len();
+        // Batch triples that are actually new (the delta path will insert
+        // exactly these): they join the overlay alongside the derivations.
+        let fresh: Vec<Triple> = batch
+            .iter()
+            .copied()
+            .filter(|t| !w.graph.store.contains(t))
+            .collect();
         let (derived, schema_changed) =
             match w.reasoner.materialize_delta(&mut w.graph.store, &batch) {
-                DeltaOutcome::Incremental { derived } => (derived.len(), false),
+                DeltaOutcome::Incremental { derived } => {
+                    for t in fresh.iter().chain(derived.iter()) {
+                        w.overlay.insert(*t);
+                    }
+                    w.maybe_compact();
+                    (derived.len(), false)
+                }
                 DeltaOutcome::SchemaChanged => {
                     // The compiled rule-base is stale: insert the batch,
-                    // recompile against the new schema, re-close fully.
+                    // recompile against the new schema, re-close fully,
+                    // and refreeze the base (the overlay bookkeeping no
+                    // longer describes a strict delta).
                     for &t in &batch {
                         w.graph.store.insert(t);
                     }
@@ -144,15 +205,17 @@ impl ServingKb {
                         MaterializationStrategy::ForwardSemiNaive,
                     );
                     w.reasoner.materialize(&mut w.graph);
+                    w.refreeze();
                     (w.graph.store.len() - mid, true)
                 }
             };
         let added = w.graph.store.len() - before - derived;
 
         // Build the complete next snapshot before touching the handle.
+        // Publication cost is O(overlay): the frozen base is shared.
         let next = KbSnapshot {
             epoch: self.epochs.epoch() + 1,
-            store: Arc::new(w.graph.store.clone()),
+            store: w.published_store(),
             dict: Arc::new(w.graph.dict.clone()),
         };
         if !self.debug_publish_delay.is_zero() {

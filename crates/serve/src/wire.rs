@@ -225,7 +225,7 @@ impl Response {
                 // carry no bytes at all, so they get an explicit cap.
                 let remaining = c.remaining();
                 let min_bytes = ncols
-                    .checked_add(ncols.checked_mul(nrows).unwrap_or(usize::MAX))
+                    .checked_add(ncols.saturating_mul(nrows))
                     .and_then(|strings| strings.checked_mul(4));
                 if min_bytes.is_none_or(|min| min > remaining)
                     || (ncols == 0 && nrows > MAX_ZERO_COLUMN_ROWS)

@@ -6,7 +6,7 @@
 use owlpar_core::run_serial;
 use owlpar_datalog::MaterializationStrategy;
 use owlpar_horst::HorstReasoner;
-use owlpar_rdf::{parse_ntriples, Dictionary, Graph, TripleStore};
+use owlpar_rdf::{parse_ntriples, Dictionary, Graph};
 use owlpar_serve::ServingKb;
 
 /// Deterministic xorshift64* generator (no external deps).
@@ -69,10 +69,10 @@ fn base_nt(rng: &mut Rng) -> String {
     nt
 }
 
-/// Dictionary-independent canonical form of a store.
-fn canon(store: &TripleStore, dict: &Dictionary) -> Vec<String> {
-    let mut out: Vec<String> = store
-        .iter()
+/// Dictionary-independent canonical form of a triple set.
+fn canon(triples: impl IntoIterator<Item = owlpar_rdf::Triple>, dict: &Dictionary) -> Vec<String> {
+    let mut out: Vec<String> = triples
+        .into_iter()
         .map(|t| {
             let term = |id| {
                 dict.term(id)
@@ -90,7 +90,7 @@ fn oracle_closure(all_nt: &str) -> Vec<String> {
     let mut g = Graph::new();
     parse_ntriples(all_nt, &mut g).expect("oracle parse");
     run_serial(&mut g, MaterializationStrategy::ForwardSemiNaive);
-    canon(&g.store, &g.dict)
+    canon(g.store.iter().copied(), &g.dict)
 }
 
 fn check_seed(seed: u64, allow_schema: bool) {
@@ -115,7 +115,7 @@ fn check_seed(seed: u64, allow_schema: bool) {
         let snapshot = kb.snapshot();
         assert_eq!(snapshot.epoch, batch_no + 1);
         assert_eq!(
-            canon(&snapshot.store, &snapshot.dict),
+            canon(snapshot.store.iter(), &snapshot.dict),
             oracle_closure(&accumulated),
             "seed {seed} batch {batch_no}: delta closure diverged from \
              the from-scratch run_serial closure"
