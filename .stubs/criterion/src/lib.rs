@@ -1,0 +1,140 @@
+//! Minimal offline stand-in for `criterion`: same macros and types, but
+//! measurement is a fixed-budget timing loop with a mean-ns report — no
+//! statistics, plots or state. Good enough to keep the bench bins
+//! compiling and to give ballpark numbers when run by hand.
+
+use std::time::{Duration, Instant};
+
+/// How batched inputs are grouped; ignored by the stub.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+pub struct Bencher {
+    iters: u64,
+    mean_ns: f64,
+}
+
+impl Bencher {
+    fn run(budget: Duration, mut once: impl FnMut()) -> (u64, f64) {
+        // warmup
+        once();
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < budget || iters == 0 {
+            once();
+            iters += 1;
+        }
+        let total = start.elapsed().as_nanos() as f64;
+        (iters, total / iters as f64)
+    }
+
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let (iters, mean) = Self::run(Duration::from_millis(200), || {
+            std::hint::black_box(routine());
+        });
+        self.iters = iters;
+        self.mean_ns = mean;
+    }
+
+    pub fn iter_batched<S, O>(
+        &mut self,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S) -> O,
+        _size: BatchSize,
+    ) {
+        // setup cost is excluded by timing only the routine
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        while total < Duration::from_millis(200) || iters == 0 {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+            iters += 1;
+        }
+        self.iters = iters;
+        self.mean_ns = total.as_nanos() as f64 / iters as f64;
+    }
+}
+
+fn report(name: &str, b: &Bencher) {
+    if b.mean_ns >= 1_000_000.0 {
+        println!("{name:<40} {:>12.3} ms/iter ({} iters)", b.mean_ns / 1e6, b.iters);
+    } else if b.mean_ns >= 1_000.0 {
+        println!("{name:<40} {:>12.3} us/iter ({} iters)", b.mean_ns / 1e3, b.iters);
+    } else {
+        println!("{name:<40} {:>12.1} ns/iter ({} iters)", b.mean_ns, b.iters);
+    }
+}
+
+#[derive(Default)]
+pub struct Criterion;
+
+impl Criterion {
+    pub fn bench_function(&mut self, name: impl AsRef<str>, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(name.as_ref(), f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_owned(),
+        }
+    }
+}
+
+fn run_one(name: &str, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        iters: 0,
+        mean_ns: 0.0,
+    };
+    f(&mut b);
+    report(name, &b);
+}
+
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function(&mut self, id: impl AsRef<str>, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id.as_ref()), f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Prevent the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,127 @@
+//! Minimal offline stand-in for `crossbeam`, built on std primitives:
+//! `crossbeam::thread::scope` maps onto `std::thread::scope`, and
+//! `crossbeam::channel` wraps `std::sync::mpsc` (unbounded only).
+
+pub mod thread {
+    use std::any::Any;
+
+    /// Transparent wrapper around [`std::thread::Scope`] exposing
+    /// crossbeam's shape (`spawn` closures receive a scope argument,
+    /// which callers may ignore or use for nested spawns).
+    #[repr(transparent)]
+    pub struct Scope<'scope, 'env: 'scope>(std::thread::Scope<'scope, 'env>);
+
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        pub fn spawn<F, T>(&'scope self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&'scope Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle {
+                inner: self.0.spawn(move || f(self)),
+            }
+        }
+    }
+
+    /// Run `f` with a scope handle; all spawned threads are joined before
+    /// this returns. Unlike crossbeam we never return `Err`: joined child
+    /// panics are surfaced through each `join()` result, and `f`'s own
+    /// panics propagate.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&'scope Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| {
+            // SAFETY: Scope is repr(transparent) over std::thread::Scope,
+            // so casting the reference only relabels the type.
+            let wrapper = unsafe {
+                &*(s as *const std::thread::Scope<'_, 'env> as *const Scope<'_, 'env>)
+            };
+            f(wrapper)
+        }))
+    }
+}
+
+pub mod channel {
+    use std::sync::mpsc;
+
+    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+
+    #[derive(Debug)]
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value)
+        }
+    }
+
+    #[derive(Debug)]
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv()
+        }
+
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv()
+        }
+
+        pub fn iter(&self) -> mpsc::Iter<'_, T> {
+            self.0.iter()
+        }
+    }
+
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (s, r) = mpsc::channel();
+        (Sender(s), Receiver(r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_channels_deliver() {
+        let (s, r) = crate::channel::unbounded();
+        let ok = crate::thread::scope(|scope| {
+            let h = scope.spawn(move |_| {
+                s.send(41usize).unwrap();
+                1usize
+            });
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(ok + r.recv().unwrap(), 42);
+        assert!(matches!(
+            r.try_recv(),
+            Err(crate::channel::TryRecvError::Disconnected)
+        ));
+    }
+
+    #[test]
+    fn joined_child_panic_is_reported_not_propagated() {
+        let res = crate::thread::scope(|scope| {
+            let h = scope.spawn(|_| panic!("boom"));
+            h.join()
+        })
+        .unwrap();
+        assert!(res.is_err());
+    }
+}

@@ -1,0 +1,29 @@
+//! Minimal offline stand-in for the `libc` crate.
+//!
+//! The workspace builds hermetically (no registry access), so external
+//! dependencies are vendored as API-compatible stubs under `.stubs/`.
+//! This one declares exactly the clock symbols `owlpar-core::cputime`
+//! binds; they link against the system C library.
+
+#![allow(non_camel_case_types)]
+
+pub type c_int = i32;
+pub type c_long = i64;
+pub type time_t = i64;
+pub type clockid_t = c_int;
+
+/// Per-thread CPU-time clock (Linux value).
+pub const CLOCK_THREAD_CPUTIME_ID: clockid_t = 3;
+/// Monotonic clock (Linux value).
+pub const CLOCK_MONOTONIC: clockid_t = 1;
+
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct timespec {
+    pub tv_sec: time_t,
+    pub tv_nsec: c_long,
+}
+
+extern "C" {
+    pub fn clock_gettime(clk_id: clockid_t, tp: *mut timespec) -> c_int;
+}

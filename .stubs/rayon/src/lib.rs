@@ -1,0 +1,31 @@
+//! Minimal offline stand-in for `rayon`: `par_iter()` degrades to the
+//! sequential iterator, which is semantically identical (and the only
+//! call site is a metrics computation, not a hot path).
+
+pub mod prelude {
+    /// `par_iter()` on slices/vecs, returning the plain sequential
+    /// iterator so the full `Iterator` adapter surface is available.
+    pub trait IntoParallelRefIterator<'data> {
+        type Item: 'data;
+        type Iter: Iterator<Item = Self::Item>;
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+        type Item = &'data T;
+        type Iter = std::slice::Iter<'data, T>;
+
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+        type Item = &'data T;
+        type Iter = std::slice::Iter<'data, T>;
+
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Hand-rolled `#[derive(Serialize, Deserialize)]` for the serde stub.
+//!
+//! No syn/quote (the build is offline): the input token stream is walked
+//! directly. Named and tuple structs serialize field-by-field; enums fall
+//! back to their `Debug` rendering — no enum in this workspace is ever
+//! serialized onto a wire, the impls only need to exist and compile.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+    Enum,
+}
+
+fn parse(input: TokenStream) -> (String, Shape) {
+    let mut iter = input.into_iter().peekable();
+    loop {
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // attribute: swallow the bracket group
+                iter.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {
+                let name = match iter.next() {
+                    Some(TokenTree::Ident(n)) => n.to_string(),
+                    other => panic!("serde stub derive: expected struct name, got {other:?}"),
+                };
+                return match iter.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        (name, Shape::Named(named_fields(g.stream())))
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        (name, Shape::Tuple(tuple_arity(g.stream())))
+                    }
+                    Some(TokenTree::Punct(p)) if p.as_char() == ';' => (name, Shape::Unit),
+                    Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                        panic!("serde stub derive: generic type {name} not supported")
+                    }
+                    other => panic!("serde stub derive: unexpected token after struct name: {other:?}"),
+                };
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                let name = match iter.next() {
+                    Some(TokenTree::Ident(n)) => n.to_string(),
+                    other => panic!("serde stub derive: expected enum name, got {other:?}"),
+                };
+                return (name, Shape::Enum);
+            }
+            Some(_) => {}
+            None => panic!("serde stub derive: no struct/enum found"),
+        }
+    }
+}
+
+/// Collect field names of a named-struct body, splitting on commas that
+/// sit outside any `<...>` nesting.
+fn named_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    let mut angle = 0i32;
+    let mut expect_name = true;
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' && angle == 0 => {
+                iter.next(); // attribute body
+            }
+            TokenTree::Ident(id) if expect_name && angle == 0 => {
+                let word = id.to_string();
+                if word == "pub" {
+                    if let Some(TokenTree::Group(g)) = iter.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            iter.next();
+                        }
+                    }
+                } else {
+                    fields.push(word);
+                    expect_name = false;
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' && angle > 0 => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => expect_name = true,
+            _ => {}
+        }
+    }
+    fields
+}
+
+fn tuple_arity(body: TokenStream) -> usize {
+    let mut angle = 0i32;
+    let mut commas = 0usize;
+    let mut any = false;
+    let mut trailing_comma = false;
+    for tt in body {
+        any = true;
+        trailing_comma = false;
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' if angle > 0 => angle -= 1,
+                ',' if angle == 0 => {
+                    commas += 1;
+                    trailing_comma = true;
+                }
+                _ => {}
+            }
+        }
+    }
+    if !any {
+        0
+    } else if trailing_comma {
+        commas
+    } else {
+        commas + 1
+    }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse(input);
+    let body = match shape {
+        Shape::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_json_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "::serde::json_value::Value::Object(::std::vec![{}])",
+                entries.join(", ")
+            )
+        }
+        Shape::Tuple(1) => "::serde::Serialize::to_json_value(&self.0)".to_owned(),
+        Shape::Tuple(n) => {
+            let entries: Vec<String> = (0..n)
+                .map(|i| format!("::serde::Serialize::to_json_value(&self.{i})"))
+                .collect();
+            format!(
+                "::serde::json_value::Value::Array(::std::vec![{}])",
+                entries.join(", ")
+            )
+        }
+        Shape::Unit => "::serde::json_value::Value::Null".to_owned(),
+        // Enums: no enum here is ever serialized for real; a Debug
+        // rendering keeps the derive compiling without a full data model.
+        Shape::Enum => {
+            "::serde::json_value::Value::Str(::std::format!(\"{:?}\", self))".to_owned()
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+           fn to_json_value(&self) -> ::serde::json_value::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde stub derive: generated impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, _) = parse(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("serde stub derive: generated impl parses")
+}

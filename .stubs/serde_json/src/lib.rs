@@ -1,0 +1,64 @@
+//! Minimal offline stand-in for `serde_json`: re-exports the serde stub's
+//! JSON [`Value`], a `json!` macro covering the literal shapes the bench
+//! bins use (flat objects, arrays, scalars), and `to_string`.
+
+use std::fmt;
+
+pub use serde::json_value::Value;
+
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serialize any `Serialize` value to a compact JSON string.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(value.to_json_value().to_string())
+}
+
+/// Convert any `Serialize` value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Result<Value> {
+    Ok(value.to_json_value())
+}
+
+#[doc(hidden)]
+pub fn __value_of<T: serde::Serialize + ?Sized>(value: &T) -> Value {
+    value.to_json_value()
+}
+
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($elem:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::__value_of(&$elem) ),* ])
+    };
+    ({ $($key:literal : $val:expr),* $(,)? }) => {
+        $crate::Value::Object(vec![
+            $( (::std::string::String::from($key), $crate::__value_of(&$val)) ),*
+        ])
+    };
+    ($other:expr) => { $crate::__value_of(&$other) };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn object_renders_compact_json() {
+        let v = json!({"k": 4usize, "x": 1.5f64, "name": "a\"b", "none": (None::<u32>)});
+        assert_eq!(
+            v.to_string(),
+            r#"{"k":4,"x":1.5,"name":"a\"b","none":null}"#
+        );
+        let arr = json!([1u32, 2u32]);
+        assert_eq!(arr.to_string(), "[1,2]");
+        assert_eq!(json!(null).to_string(), "null");
+    }
+}
