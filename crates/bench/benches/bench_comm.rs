@@ -1,6 +1,9 @@
 //! Communication-backend benchmarks: the channel-vs-file ablation behind
 //! Fig. 2's "use MPI instead of files" recommendation.
 
+// Benchmarks and experiment binaries abort loudly on failure.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use owlpar_core::comm::{build_fabric, CommMode, WireFormat};
 use owlpar_rdf::{Dictionary, NodeId, Triple};

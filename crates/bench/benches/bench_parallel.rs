@@ -1,6 +1,9 @@
 //! End-to-end parallel materialization benchmark (forward engine so the
 //! numbers isolate the runtime, not the deliberately slow Jena model).
 
+// Benchmarks and experiment binaries abort loudly on failure.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use owlpar_core::{run_parallel, ParallelConfig, PartitioningStrategy};
 use owlpar_datagen::{generate_lubm, LubmConfig};

@@ -10,6 +10,9 @@
 //! cargo run --release -p owlpar-bench --bin ablation_extensions [-- --scale 0.15 --ks 4,8]
 //! ```
 
+// Benchmarks and experiment binaries abort loudly on failure.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use owlpar_bench::datasets::{Dataset, DatasetConfig};
 use owlpar_bench::runner::{point_from_report, record_jsonl};
 use owlpar_bench::table;

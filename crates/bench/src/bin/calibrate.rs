@@ -1,6 +1,9 @@
 //! Timing probe: serial reasoning time vs dataset size for both engines.
 //! Used to pick laptop-scale defaults; not one of the paper's figures.
 
+// Benchmarks and experiment binaries abort loudly on failure.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use owlpar_bench::datasets::{Dataset, DatasetConfig};
 use owlpar_core::run_serial;
 use owlpar_datalog::backward::TableScope;

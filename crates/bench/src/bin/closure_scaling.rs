@@ -11,6 +11,9 @@
 //! Throughput counts *derived* triples per second of wall-clock closure
 //! time; the best of `--repeat` runs is reported per configuration.
 
+// Benchmarks and experiment binaries abort loudly on failure.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use owlpar_datagen::{generate_lubm, LubmConfig};
 use owlpar_datalog::forward::forward_closure;
 use owlpar_datalog::parallel_closure;

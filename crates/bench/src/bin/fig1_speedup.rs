@@ -10,6 +10,9 @@
 //! cargo run --release -p owlpar-bench --bin fig1_speedup [-- --scale 0.3 --universities 4 --ks 1,2,4,8,16]
 //! ```
 
+// Benchmarks and experiment binaries abort loudly on failure.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use owlpar_bench::datasets::{Dataset, DatasetConfig};
 use owlpar_bench::runner::{record_jsonl, speedup_series};
 use owlpar_bench::table;

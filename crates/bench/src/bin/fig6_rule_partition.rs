@@ -11,6 +11,9 @@
 //! cargo run --release -p owlpar-bench --bin fig6_rule_partition [-- --ks 2,3,4 --weighted]
 //! ```
 
+// Benchmarks and experiment binaries abort loudly on failure.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use owlpar_bench::datasets::{Dataset, DatasetConfig};
 use owlpar_bench::runner::{record_jsonl, speedup_series};
 use owlpar_bench::table;

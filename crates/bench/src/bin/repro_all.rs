@@ -5,6 +5,9 @@
 //! cargo run --release -p owlpar-bench --bin repro_all [-- --scale 0.3 --universities 4]
 //! ```
 
+// Benchmarks and experiment binaries abort loudly on failure.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use std::process::Command;
 
 fn main() {

@@ -13,6 +13,9 @@
 //! over a full-scan-with-LIMIT and a type scan. Latencies are recorded
 //! exactly and percentiles computed from the sorted samples.
 
+// Benchmarks and experiment binaries abort loudly on failure.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use owlpar_core::{ParallelConfig, PartitioningStrategy};
 use owlpar_datagen::{generate_lubm, LubmConfig};
 use owlpar_serve::{run_info, serve, Client, ServeConfig, ServingKb};

@@ -109,6 +109,7 @@ impl RoundBarrier {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
     use super::*;
     use std::sync::Arc;
 

@@ -660,6 +660,7 @@ impl WorkerComm {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
     use super::*;
     use crate::fault::FaultKind;
     use owlpar_rdf::NodeId;

@@ -3,7 +3,7 @@
 use crate::comm::CommMode;
 use crate::fault::FaultPlan;
 use owlpar_datalog::backward::TableScope;
-use owlpar_datalog::MaterializationStrategy;
+use owlpar_datalog::{MaterializationStrategy, Rule};
 use owlpar_partition::multilevel::PartitionOptions;
 use std::sync::Arc;
 use std::time::Duration;
@@ -86,6 +86,21 @@ pub enum RoundMode {
     Async,
 }
 
+/// What the master does when the pre-spawn lint gate finds a rule that is
+/// not safe under the configured partitioning (a deny finding).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum UnsafeRulePolicy {
+    /// Refuse the run with [`RunError::Lint`](crate::error::RunError::Lint)
+    /// before any worker spawns.
+    #[default]
+    Refuse,
+    /// Fall back to full data replication (rule partitioning): every
+    /// worker holds the complete data, so any join shape is evaluable.
+    /// Structural denials (broken rules) still refuse — replication cannot
+    /// fix a rule that is wrong everywhere.
+    ReplicateData,
+}
+
 /// What the master does when a worker is lost mid-run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum FaultRecovery {
@@ -120,6 +135,13 @@ pub struct ParallelConfig {
     pub round_timeout: Duration,
     /// Reaction to losing a worker.
     pub recovery: FaultRecovery,
+    /// User-supplied rules evaluated alongside the compiled ontology
+    /// rules. They pass through the same pre-spawn lint gate — this is
+    /// how a rule-base that is *not* provably partition-safe reaches the
+    /// master, since the compiler only emits single-join rules.
+    pub extra_rules: Vec<Rule>,
+    /// Reaction to a deny-level lint finding at startup.
+    pub unsafe_rules: UnsafeRulePolicy,
 }
 
 impl Default for ParallelConfig {
@@ -133,6 +155,8 @@ impl Default for ParallelConfig {
             fault: None,
             round_timeout: Duration::from_secs(30),
             recovery: FaultRecovery::default(),
+            extra_rules: Vec::new(),
+            unsafe_rules: UnsafeRulePolicy::default(),
         }
     }
 }
@@ -177,6 +201,19 @@ impl ParallelConfig {
     /// Convenience: set the reaction to worker loss.
     pub fn with_recovery(mut self, recovery: FaultRecovery) -> Self {
         self.recovery = recovery;
+        self
+    }
+
+    /// Convenience: evaluate `rules` alongside the compiled ontology
+    /// rules (they must be interned against the run's dictionary).
+    pub fn with_extra_rules(mut self, rules: Vec<Rule>) -> Self {
+        self.extra_rules = rules;
+        self
+    }
+
+    /// Convenience: set the reaction to a deny-level lint finding.
+    pub fn with_unsafe_rules(mut self, policy: UnsafeRulePolicy) -> Self {
+        self.unsafe_rules = policy;
         self
     }
 }

@@ -18,6 +18,7 @@
 //! one bad message must not take down a round that every other message
 //! completed (see `comm`).
 
+use owlpar_lint::LintReport;
 use std::fmt;
 use std::path::PathBuf;
 use std::time::Duration;
@@ -187,6 +188,14 @@ pub enum RunError {
         /// The underlying transport failure.
         source: CommError,
     },
+    /// The pre-spawn lint gate found deny-level problems in the effective
+    /// rule-base (compiled + extra rules): running it under the configured
+    /// partitioning could silently produce an incomplete closure, so the
+    /// master refuses before any worker spawns.
+    Lint {
+        /// The full lint report (render or serialize it for the user).
+        report: LintReport,
+    },
     /// One or more workers were lost and the run could not recover
     /// (recovery is only guaranteed for data partitioning; see
     /// `FaultRecovery`).
@@ -210,6 +219,21 @@ impl fmt::Display for RunError {
         match self {
             RunError::Config { detail } => write!(f, "invalid configuration: {detail}"),
             RunError::Fabric { source } => write!(f, "building comm fabric failed: {source}"),
+            RunError::Lint { report } => write!(
+                f,
+                "rule-base rejected by the lint gate ({} deny finding(s)): {}",
+                report.deny_count(),
+                report
+                    .deny_findings()
+                    .map(|d| format!(
+                        "{}{}: {}",
+                        d.code.id(),
+                        d.rule.as_deref().map(|r| format!(" [{r}]")).unwrap_or_default(),
+                        d.message
+                    ))
+                    .collect::<Vec<_>>()
+                    .join("; ")
+            ),
             RunError::Workers { errors } => {
                 write!(f, "{} worker(s) lost without recovery: ", errors.len())?;
                 for (i, e) in errors.iter().enumerate() {

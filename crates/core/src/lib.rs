@@ -46,13 +46,14 @@
 //!          report.derived, report.max_rounds());
 //! ```
 
-// Runtime code must propagate failures as typed errors, never panic.
-// Test modules are exempt; the one deliberate panic (fault injection)
-// carries its own narrow allow in `fault`.
-#![cfg_attr(
-    not(test),
-    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
-)]
+// Runtime code must propagate failures as typed errors, never panic;
+// the unwrap/expect/panic deny gates come from `[workspace.lints]` in the
+// workspace manifest. The one deliberate panic (fault injection) carries
+// its own narrow allow in `fault`.
+//
+// `deny` rather than `forbid`: the thread-CPU-time probe in [`cputime`]
+// needs one scoped `#[allow(unsafe_code)]` for its libc syscall.
+#![deny(unsafe_code)]
 
 pub mod barrier;
 pub mod comm;

@@ -21,15 +21,16 @@
 use crate::barrier::RoundBarrier;
 use crate::comm::{build_fabric_with_faults, CommMode};
 use crate::config::{
-    DataPolicy, FaultRecovery, ParallelConfig, PartitioningStrategy, RoundMode,
+    DataPolicy, FaultRecovery, ParallelConfig, PartitioningStrategy, RoundMode, UnsafeRulePolicy,
 };
 use crate::error::{RunError, WorkerError};
 use crate::stats::{PhaseBreakdown, WorkerStats};
 use crate::worker::{
     run_worker, run_worker_async, AsyncControl, Routing, RunFlags, WorkerCtx,
 };
-use owlpar_datalog::{MaterializationStrategy, Reasoner};
+use owlpar_datalog::{MaterializationStrategy, Reasoner, Rule};
 use owlpar_horst::HorstReasoner;
+use owlpar_lint::{lint_rules, LintOptions, PartitionContext};
 use owlpar_partition::metrics::{or_excess, quality, PartitionQuality};
 use owlpar_partition::multilevel::PartitionOptions;
 use owlpar_partition::{partition_data, partition_rules, OwnershipPolicy};
@@ -165,6 +166,39 @@ pub fn run_parallel(graph: &mut Graph, cfg: &ParallelConfig) -> Result<RunReport
     let hr = HorstReasoner::from_graph(graph, cfg.materialization);
     let rdf_type = graph.dict.id(&Term::iri(RDF_TYPE));
 
+    // Static partition-safety gate: lint the *effective* rule-base
+    // (compiled ontology rules plus any user-supplied extras) against the
+    // deployment context before any worker spawns. A deny finding means a
+    // distributed run could silently miss derivations.
+    let mut all_rules: Vec<Rule> = hr.rules().to_vec();
+    all_rules.extend(cfg.extra_rules.iter().cloned());
+    let mut strategy = cfg.strategy.clone();
+    let context = match &strategy {
+        PartitioningStrategy::Data(_) | PartitioningStrategy::Hybrid { .. } => {
+            PartitionContext::DataPartitioned
+        }
+        PartitioningStrategy::Rule { .. } => PartitionContext::RulePartitioned,
+    };
+    let lint = lint_rules(&all_rules, &LintOptions::for_context(context));
+    if lint.has_deny() {
+        match cfg.unsafe_rules {
+            UnsafeRulePolicy::Refuse => return Err(RunError::Lint { report: lint }),
+            UnsafeRulePolicy::ReplicateData => {
+                // Replication makes every join shape evaluable; verify the
+                // deny findings actually clear under it (structural
+                // problems — broken rules — don't, and still refuse).
+                let fallback = lint_rules(
+                    &all_rules,
+                    &LintOptions::for_context(PartitionContext::RulePartitioned),
+                );
+                if fallback.has_deny() {
+                    return Err(RunError::Lint { report: fallback });
+                }
+                strategy = PartitioningStrategy::Rule { weighted: false };
+            }
+        }
+    }
+
     // Partition.
     let t_part = Instant::now();
     struct Plan {
@@ -174,7 +208,7 @@ pub fn run_parallel(graph: &mut Graph, cfg: &ParallelConfig) -> Result<RunReport
         quality: Option<PartitionQuality>,
         edge_cut: Option<u64>,
     }
-    let plan = match &cfg.strategy {
+    let plan = match &strategy {
         PartitioningStrategy::Data(policy) => {
             let ownership = match policy {
                 DataPolicy::Graph(o) => OwnershipPolicy::Graph(*o),
@@ -192,7 +226,7 @@ pub fn run_parallel(graph: &mut Graph, cfg: &ParallelConfig) -> Result<RunReport
                     })
                     .collect(),
                 bases: dp.parts,
-                rules_per_worker: (0..cfg.k).map(|_| hr.rules().to_vec()).collect(),
+                rules_per_worker: (0..cfg.k).map(|_| all_rules.clone()).collect(),
                 quality: Some(q),
                 edge_cut: dp.edge_cut,
             }
@@ -215,13 +249,13 @@ pub fn run_parallel(graph: &mut Graph, cfg: &ParallelConfig) -> Result<RunReport
             );
             let q = quality(&dp.parts, rdf_type);
             let rp = Arc::new(partition_rules(
-                hr.rules(),
+                &all_rules,
                 g,
                 None,
                 &PartitionOptions::default(),
             ));
             let owner = Arc::new(dp.owner);
-            let all_rules = Arc::new(hr.rules().to_vec());
+            let shared_rules = Arc::new(all_rules.clone());
             Plan {
                 // worker w = group (w / d) × shard (w % d)
                 bases: (0..cfg.k).map(|w| dp.parts[w % d].clone()).collect(),
@@ -229,7 +263,7 @@ pub fn run_parallel(graph: &mut Graph, cfg: &ParallelConfig) -> Result<RunReport
                     .map(|w| {
                         rp.parts[w / d]
                             .iter()
-                            .map(|&i| hr.rules()[i].clone())
+                            .map(|&i| all_rules[i].clone())
                             .collect()
                     })
                     .collect(),
@@ -237,7 +271,7 @@ pub fn run_parallel(graph: &mut Graph, cfg: &ParallelConfig) -> Result<RunReport
                     .map(|_| Routing::Hybrid {
                         owner: Arc::clone(&owner),
                         groups: Arc::clone(&rp),
-                        all_rules: Arc::clone(&all_rules),
+                        all_rules: Arc::clone(&shared_rules),
                         data_shards: d as u32,
                     })
                     .collect(),
@@ -253,20 +287,20 @@ pub fn run_parallel(graph: &mut Graph, cfg: &ParallelConfig) -> Result<RunReport
             } else {
                 None
             };
-            let rp = partition_rules(hr.rules(), cfg.k, weights, &PartitionOptions::default());
-            let all_rules = Arc::new(hr.rules().to_vec());
+            let rp = partition_rules(&all_rules, cfg.k, weights, &PartitionOptions::default());
+            let shared_rules = Arc::new(all_rules.clone());
             let rp = Arc::new(rp);
             Plan {
                 bases: (0..cfg.k).map(|_| hr.instance_triples.clone()).collect(),
                 rules_per_worker: (0..cfg.k)
                     .map(|p| {
-                        rp.parts[p].iter().map(|&i| hr.rules()[i].clone()).collect()
+                        rp.parts[p].iter().map(|&i| all_rules[i].clone()).collect()
                     })
                     .collect(),
                 routing: (0..cfg.k)
                     .map(|_| Routing::Rule {
                         partitions: Arc::clone(&rp),
-                        all_rules: Arc::clone(&all_rules),
+                        all_rules: Arc::clone(&shared_rules),
                     })
                     .collect(),
                 quality: None,
@@ -436,13 +470,19 @@ pub fn run_parallel(graph: &mut Graph, cfg: &ParallelConfig) -> Result<RunReport
     let mut recovered = false;
     if !worker_errors.is_empty() {
         let recoverable = matches!(cfg.recovery, FaultRecovery::AdoptAndReclose)
-            && matches!(cfg.strategy, PartitioningStrategy::Data(_));
+            && matches!(strategy, PartitioningStrategy::Data(_));
         if !recoverable {
             return Err(RunError::Workers {
                 errors: worker_errors,
             });
         }
-        run_serial(graph, cfg.materialization);
+        // Re-close with the *effective* rule-base: recompiling via
+        // run_serial would silently drop cfg.extra_rules.
+        if cfg.extra_rules.is_empty() {
+            run_serial(graph, cfg.materialization);
+        } else {
+            Reasoner::new(all_rules.clone(), cfg.materialization).materialize(&mut graph.store);
+        }
         recovered = true;
     }
     let aggregation = t_agg.elapsed();
@@ -487,6 +527,7 @@ pub fn run_parallel(graph: &mut Graph, cfg: &ParallelConfig) -> Result<RunReport
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
     use super::*;
     use crate::comm::{CommMode, WireFormat};
     use crate::fault::{FaultKind, FaultPlan};
@@ -779,6 +820,129 @@ mod tests {
         assert_eq!(report.workers.len(), 4, "dead worker keeps its slot");
         assert_eq!(g.len(), want_len);
         assert_eq!(g.term_fingerprint(), want_fp);
+    }
+
+    /// A LUBM graph carrying a 3-cycle over a fresh predicate, plus the
+    /// multi-join rule `(?a p ?b)(?b p ?c)(?c p ?a) -> (?a q ?c)` that
+    /// fires on it. The rule is NOT single-join, so the compiled-rulebase
+    /// safety proof does not cover it.
+    fn graph_with_multi_join_rule() -> (Graph, owlpar_datalog::Rule) {
+        use owlpar_datalog::ast::build::{atom, c, v};
+        let mut g = generate_lubm(&LubmConfig::mini(1));
+        g.insert_iris("http://x/a", "http://x/p", "http://x/b");
+        g.insert_iris("http://x/b", "http://x/p", "http://x/c");
+        g.insert_iris("http://x/c", "http://x/p", "http://x/a");
+        let p = g.intern(Term::iri("http://x/p"));
+        let q = g.intern(Term::iri("http://x/q"));
+        let rule = owlpar_datalog::Rule::new(
+            "tri",
+            atom(v(0), c(q), v(2)),
+            vec![
+                atom(v(0), c(p), v(1)),
+                atom(v(1), c(p), v(2)),
+                atom(v(2), c(p), v(0)),
+            ],
+        )
+        .expect("tri rule is well-formed");
+        (g, rule)
+    }
+
+    /// Serial oracle for the effective (compiled + extra) rule-base.
+    fn serial_closure_with_extra(g0: &Graph, extra: &owlpar_datalog::Rule) -> (u64, usize) {
+        let mut g = g0.clone();
+        let hr = HorstReasoner::from_graph(&mut g, MaterializationStrategy::ForwardSemiNaive);
+        let mut rules = hr.rules().to_vec();
+        rules.push(extra.clone());
+        Reasoner::new(rules, MaterializationStrategy::ForwardSemiNaive)
+            .materialize(&mut g.store);
+        (g.term_fingerprint(), g.len())
+    }
+
+    #[test]
+    fn lint_gate_refuses_multi_join_rule_under_data_partitioning() {
+        let (g0, rule) = graph_with_multi_join_rule();
+        let mut g = g0.clone();
+        let before = g.len();
+        let cfg = ParallelConfig {
+            k: 3,
+            strategy: PartitioningStrategy::data_graph(),
+            ..ParallelConfig::default()
+        }
+        .forward()
+        .with_extra_rules(vec![rule]);
+        let err = run_parallel(&mut g, &cfg).unwrap_err();
+        let RunError::Lint { report } = err else {
+            panic!("expected Lint error, got {err}");
+        };
+        assert!(report.has_deny());
+        assert_eq!(report.unsafe_rule_names(), vec!["tri".to_string()]);
+        assert!(report
+            .deny_findings()
+            .any(|d| d.code == owlpar_lint::LintCode::NonSingleJoin));
+        // Refused before any worker spawned: the graph is untouched.
+        assert_eq!(g.len(), before, "no partial closure on refusal");
+    }
+
+    #[test]
+    fn lint_gate_replication_fallback_matches_serial() {
+        let (g0, rule) = graph_with_multi_join_rule();
+        let (want_fp, want_len) = serial_closure_with_extra(&g0, &rule);
+        let mut g = g0.clone();
+        let cfg = ParallelConfig {
+            k: 3,
+            strategy: PartitioningStrategy::data_graph(),
+            ..ParallelConfig::default()
+        }
+        .forward()
+        .with_extra_rules(vec![rule])
+        .with_unsafe_rules(UnsafeRulePolicy::ReplicateData);
+        let report = run_parallel(&mut g, &cfg).expect("fallback run succeeds");
+        assert_eq!(report.k, 3);
+        assert_eq!(g.len(), want_len);
+        assert_eq!(g.term_fingerprint(), want_fp);
+    }
+
+    #[test]
+    fn multi_join_extra_rule_is_fine_under_rule_partitioning() {
+        let (g0, rule) = graph_with_multi_join_rule();
+        let (want_fp, want_len) = serial_closure_with_extra(&g0, &rule);
+        let mut g = g0.clone();
+        let cfg = ParallelConfig {
+            k: 3,
+            strategy: PartitioningStrategy::rule(),
+            ..ParallelConfig::default()
+        }
+        .forward()
+        .with_extra_rules(vec![rule]);
+        let report = run_parallel(&mut g, &cfg).expect("rule partitioning accepts any join shape");
+        assert_eq!(report.k, 3);
+        assert_eq!(g.len(), want_len);
+        assert_eq!(g.term_fingerprint(), want_fp);
+    }
+
+    #[test]
+    fn broken_extra_rule_refuses_even_with_replication_fallback() {
+        use owlpar_datalog::ast::build::{atom, c, v};
+        let mut g = generate_lubm(&LubmConfig::mini(1));
+        let p = g.intern(Term::iri("http://x/p"));
+        // Head variable ?1 never bound in the body: not range-restricted.
+        let broken = owlpar_datalog::Rule {
+            name: "broken".to_string(),
+            head: atom(v(0), c(p), v(1)),
+            body: vec![atom(v(0), c(p), v(0))],
+            var_count: 2,
+        };
+        let cfg = ParallelConfig::default()
+            .forward()
+            .with_extra_rules(vec![broken])
+            .with_unsafe_rules(UnsafeRulePolicy::ReplicateData);
+        let err = run_parallel(&mut g, &cfg).unwrap_err();
+        let RunError::Lint { report } = err else {
+            panic!("expected Lint error, got {err}");
+        };
+        assert!(report
+            .deny_findings()
+            .any(|d| d.code == owlpar_lint::LintCode::NotRangeRestricted));
     }
 
     #[test]

@@ -517,6 +517,7 @@ pub fn run_worker_async(
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
     use super::*;
     use owlpar_datalog::ast::build::*;
 

@@ -21,6 +21,8 @@
 //! (TBox) triples alongside instance data, exactly like loading an OWL
 //! file plus its ontology into a real KB.
 
+#![forbid(unsafe_code)]
+
 pub mod lubm;
 pub mod mdc;
 pub mod ontology;

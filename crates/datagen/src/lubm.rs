@@ -282,6 +282,7 @@ fn generate_department(
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
     use super::*;
     use owlpar_rdf::TriplePattern;
 

@@ -145,6 +145,7 @@ pub fn generate_mdc(cfg: &MdcConfig) -> Graph {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
     use super::*;
     use owlpar_rdf::TriplePattern;
 

@@ -64,7 +64,7 @@ pub fn generate_uobm(cfg: &UobmConfig) -> Graph {
     generate_lubm_into(&mut g, &cfg.lubm);
 
     let mut rng = StdRng::seed_from_u64(cfg.lubm.seed ^ 0x0b_0b);
-    let rdf_type = g.dict.id(&Term::iri(RDF_TYPE)).expect("typed data present");
+    let rdf_type = g.intern(Term::iri(RDF_TYPE));
 
     // Collect people grouped by university (from the IRI authority).
     let person_classes = ["UndergraduateStudent", "GraduateStudent", "FullProfessor",
@@ -132,6 +132,7 @@ fn university_of(iri: &str) -> usize {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
     use super::*;
 
     #[test]

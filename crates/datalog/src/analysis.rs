@@ -21,6 +21,10 @@ use owlpar_rdf::NodeId;
 /// Join-structure classification of a rule body.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum JoinClass {
+    /// No body atoms at all. [`Rule::new`] rejects this, but `Rule`'s
+    /// fields are public, so a hand-built rule can still carry an empty
+    /// body; classify it explicitly instead of lumping it with multi-joins.
+    EmptyBody,
     /// One body atom — no join at all.
     SingleAtom,
     /// Exactly two body atoms sharing at least one variable.
@@ -37,6 +41,7 @@ pub enum JoinClass {
 /// Classify a rule's body join structure.
 pub fn classify(rule: &Rule) -> JoinClass {
     match rule.body.len() {
+        0 => JoinClass::EmptyBody,
         1 => JoinClass::SingleAtom,
         2 => {
             let a = rule.body[0].variables();
@@ -54,11 +59,11 @@ pub fn classify(rule: &Rule) -> JoinClass {
 
 /// `true` iff the rule is evaluable under the paper's data-partitioning
 /// scheme without communication beyond the ownership protocol (single atom
-/// or single join).
+/// or single join; an empty body joins nothing and is trivially local).
 pub fn is_single_join(rule: &Rule) -> bool {
     matches!(
         classify(rule),
-        JoinClass::SingleAtom | JoinClass::SingleJoin { .. }
+        JoinClass::EmptyBody | JoinClass::SingleAtom | JoinClass::SingleJoin { .. }
     )
 }
 
@@ -162,14 +167,18 @@ pub fn sccs(graph: &RuleDependencyGraph) -> Vec<usize> {
             self.stack.push(v);
             self.on_stack[v] = true;
             for &(w, _) in &self.g.edges[v] {
-                if self.index[w].is_none() {
-                    self.visit(w);
-                    self.low[v] = self.low[v].min(self.low[w]);
-                } else if self.on_stack[w] {
-                    self.low[v] = self.low[v].min(self.index[w].unwrap());
+                match self.index[w] {
+                    None => {
+                        self.visit(w);
+                        self.low[v] = self.low[v].min(self.low[w]);
+                    }
+                    Some(iw) if self.on_stack[w] => {
+                        self.low[v] = self.low[v].min(iw);
+                    }
+                    Some(_) => {}
                 }
             }
-            if self.low[v] == self.index[v].unwrap() {
+            if Some(self.low[v]) == self.index[v] {
                 while let Some(w) = self.stack.pop() {
                     self.on_stack[w] = false;
                     self.comp[w] = self.next_comp;
@@ -202,6 +211,7 @@ pub fn sccs(graph: &RuleDependencyGraph) -> Vec<usize> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
     use super::*;
     use crate::ast::build::*;
 
@@ -318,6 +328,66 @@ mod tests {
         assert!(und.iter().any(|&(a, b, _)| (a, b) == (0, 1)));
     }
 
+    mod random_rules {
+        use super::*;
+        use crate::ast::Atom;
+        use proptest::prelude::*;
+
+        fn term_strategy() -> impl Strategy<Value = TermPat> {
+            prop_oneof![
+                (0u16..4).prop_map(TermPat::Var),
+                (1u32..6).prop_map(|i| TermPat::Const(NodeId(i))),
+            ]
+        }
+
+        fn atom_strategy() -> impl Strategy<Value = Atom> {
+            (term_strategy(), term_strategy(), term_strategy())
+                .prop_map(|(s, p, o)| Atom::new(s, p, o))
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(256))]
+
+            #[test]
+            fn classify_agrees_with_is_single_join(
+                head in atom_strategy(),
+                body in prop::collection::vec(atom_strategy(), 0..5),
+            ) {
+                // Hand-built on purpose: random rules need not be dense
+                // or range-restricted, and classify must not care.
+                let r = Rule { name: "rand".to_string(), head, body, var_count: 4 };
+                let class = classify(&r);
+                prop_assert_eq!(
+                    is_single_join(&r),
+                    matches!(
+                        class,
+                        JoinClass::EmptyBody
+                            | JoinClass::SingleAtom
+                            | JoinClass::SingleJoin { .. }
+                    )
+                );
+                match r.body.len() {
+                    0 => prop_assert_eq!(class, JoinClass::EmptyBody),
+                    1 => prop_assert_eq!(class, JoinClass::SingleAtom),
+                    2 => {
+                        let a = r.body[0].variables();
+                        let b = r.body[1].variables();
+                        let shares = a.iter().any(|v| b.contains(v));
+                        prop_assert_eq!(
+                            shares,
+                            matches!(class, JoinClass::SingleJoin { .. })
+                        );
+                        prop_assert_eq!(
+                            !shares,
+                            matches!(class, JoinClass::CrossProduct)
+                        );
+                    }
+                    _ => prop_assert_eq!(class, JoinClass::MultiJoin),
+                }
+            }
+        }
+    }
+
     #[test]
     fn sccs_group_mutually_recursive_rules() {
         // p -> q and q -> p are mutually recursive; r -> r alone.
@@ -326,6 +396,61 @@ mod tests {
         let comp = sccs(&g);
         assert_eq!(comp[0], comp[1], "mutual recursion in one SCC");
         assert_ne!(comp[0], comp[2]);
+    }
+
+    #[test]
+    fn classify_empty_body() {
+        // Rule::new rejects empty bodies, but the fields are public.
+        let r = Rule {
+            name: "fact".to_string(),
+            head: atom(c(nid(P)), c(nid(Q)), c(nid(R))),
+            body: vec![],
+            var_count: 0,
+        };
+        assert_eq!(classify(&r), JoinClass::EmptyBody);
+        assert!(is_single_join(&r), "an empty body joins nothing");
+    }
+
+    #[test]
+    fn classify_head_only_variables() {
+        // A head variable with no body occurrence (not range-restricted;
+        // again only constructible by hand). Classification looks at the
+        // body alone, so this is still a single atom.
+        let r = Rule {
+            name: "unrestricted".to_string(),
+            head: atom(v(0), c(nid(P)), v(1)),
+            body: vec![atom(v(0), c(nid(P)), v(0))],
+            var_count: 2,
+        };
+        assert_eq!(classify(&r), JoinClass::SingleAtom);
+        assert!(is_single_join(&r));
+    }
+
+    #[test]
+    fn self_dependent_rule_has_self_loop() {
+        // trans(P)'s head (?0 P ?2) unifies with both of its own body
+        // atoms: the dependency graph must carry the self-loop, and the
+        // rule must be its own (singleton) SCC.
+        let rules = [trans(P)];
+        let g = dependency_graph(&rules);
+        assert!(g.edges[0].iter().any(|&(j, _)| j == 0), "self-loop");
+        let comp = sccs(&g);
+        assert_eq!(comp, vec![0]);
+    }
+
+    #[test]
+    fn two_atom_duplicate_body_is_single_join() {
+        // Both body atoms identical: every variable is shared.
+        let r = Rule::new(
+            "dup",
+            atom(v(0), c(nid(P)), v(1)),
+            vec![atom(v(0), c(nid(P)), v(1)), atom(v(0), c(nid(P)), v(1))],
+        )
+        .unwrap();
+        match classify(&r) {
+            JoinClass::SingleJoin { join_vars } => assert_eq!(join_vars, vec![0, 1]),
+            other => panic!("expected SingleJoin, got {other:?}"),
+        }
     }
 
     #[test]

@@ -314,6 +314,7 @@ pub mod build {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
     use super::build::*;
     use super::*;
 

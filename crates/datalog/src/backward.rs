@@ -376,6 +376,7 @@ fn bind_head(head: &Atom, pat: TriplePattern, bindings: &mut Bindings) -> bool {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
     use super::*;
     use crate::ast::build::*;
     use crate::forward::forward_closure;

@@ -128,6 +128,7 @@ impl Reasoner {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
     use super::*;
     use crate::ast::build::*;
     use owlpar_rdf::NodeId;

@@ -162,6 +162,7 @@ fn join_remaining<S>(
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
     use super::*;
     use crate::ast::build::*;
     use crate::ast::Rule;

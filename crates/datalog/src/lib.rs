@@ -33,6 +33,8 @@
 //! assert_eq!(derived, 1); // a knows c
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod analysis;
 pub mod ast;
 pub mod backward;
@@ -44,3 +46,4 @@ pub mod parser;
 pub use ast::{Atom, Rule, TermPat};
 pub use engine::{MaterializationStrategy, Reasoner};
 pub use parallel::{parallel_closure, parallel_closure_delta};
+pub use parser::{parse_rules, parse_rules_annotated, ParsedRule};

@@ -180,6 +180,7 @@ fn round_candidates(
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
     use super::*;
     use crate::ast::build::*;
     use crate::forward::forward_closure;

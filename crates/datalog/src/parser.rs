@@ -15,6 +15,14 @@
 //!
 //! Parsing interns constants into the supplied [`Dictionary`], so rules are
 //! immediately evaluable against stores sharing that dictionary.
+//!
+//! ## Lint annotations
+//!
+//! A comment of the form `# lint: allow(OWL007, OWL008)` immediately
+//! before a rule suppresses those lint codes for that rule only
+//! (consumed by `owlpar-lint`). [`parse_rules_annotated`] surfaces the
+//! annotations and the source variable names; [`parse_rules`] ignores
+//! them. Any other comment text is skipped as before.
 
 use crate::ast::{Atom, Rule, TermPat};
 use owlpar_rdf::vocab;
@@ -38,8 +46,32 @@ impl std::fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
+/// A parsed rule plus the source-level metadata the linter consumes.
+#[derive(Debug, Clone)]
+pub struct ParsedRule {
+    /// The rule itself.
+    pub rule: Rule,
+    /// Lint codes suppressed for this rule via `# lint: allow(...)`
+    /// annotations directly above it.
+    pub suppress: Vec<String>,
+    /// Source variable names, indexed by the rule's dense variable ids
+    /// (`var_names[i]` named `?v{i}` in the normalized rule).
+    pub var_names: Vec<String>,
+}
+
 /// Parse a rule document into a rule set, interning constants in `dict`.
 pub fn parse_rules(input: &str, dict: &mut Dictionary) -> Result<Vec<Rule>, ParseError> {
+    Ok(parse_rules_annotated(input, dict)?
+        .into_iter()
+        .map(|p| p.rule)
+        .collect())
+}
+
+/// [`parse_rules`] keeping per-rule lint suppressions and variable names.
+pub fn parse_rules_annotated(
+    input: &str,
+    dict: &mut Dictionary,
+) -> Result<Vec<ParsedRule>, ParseError> {
     Parser::new(input, dict).parse_all()
 }
 
@@ -101,18 +133,71 @@ impl<'a, 'd> Parser<'a, 'd> {
         }
     }
 
-    fn parse_all(&mut self) -> Result<Vec<Rule>, ParseError> {
+    fn parse_all(&mut self) -> Result<Vec<ParsedRule>, ParseError> {
         let mut rules = Vec::new();
         loop {
-            self.skip_trivia();
+            let suppress = self.collect_annotations()?;
             if self.pos >= self.bytes.len() {
+                // Trailing annotations with no rule to attach to.
+                if !suppress.is_empty() {
+                    return Err(self.err("lint annotation not followed by a rule"));
+                }
                 return Ok(rules);
             }
-            rules.push(self.parse_rule()?);
+            let (rule, var_names) = self.parse_rule()?;
+            rules.push(ParsedRule {
+                rule,
+                suppress,
+                var_names,
+            });
         }
     }
 
-    fn parse_rule(&mut self) -> Result<Rule, ParseError> {
+    /// Skip trivia ahead of a rule, collecting `# lint: allow(...)`
+    /// annotation comments into a suppression list for that rule.
+    fn collect_annotations(&mut self) -> Result<Vec<String>, ParseError> {
+        let mut suppress = Vec::new();
+        loop {
+            while matches!(
+                self.bytes.get(self.pos),
+                Some(b' ') | Some(b'\t') | Some(b'\n') | Some(b'\r') | Some(b',')
+            ) {
+                self.pos += 1;
+            }
+            if self.bytes.get(self.pos) != Some(&b'#') {
+                return Ok(suppress);
+            }
+            let start = self.pos + 1;
+            while !matches!(self.bytes.get(self.pos), None | Some(b'\n')) {
+                self.pos += 1;
+            }
+            let comment = self.src[start..self.pos].trim();
+            if let Some(directive) = comment.strip_prefix("lint:") {
+                let directive = directive.trim();
+                let codes = directive
+                    .strip_prefix("allow(")
+                    .and_then(|r| r.strip_suffix(')'))
+                    .ok_or_else(|| {
+                        self.err(format!(
+                            "malformed lint annotation '{comment}' (expected 'lint: allow(CODE, ...)')"
+                        ))
+                    })?;
+                for code in codes.split(',') {
+                    let code = code.trim();
+                    if code.is_empty()
+                        || !code.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'_')
+                    {
+                        return Err(self.err(format!(
+                            "malformed lint code '{code}' in annotation '{comment}'"
+                        )));
+                    }
+                    suppress.push(code.to_string());
+                }
+            }
+        }
+    }
+
+    fn parse_rule(&mut self) -> Result<(Rule, Vec<String>), ParseError> {
         if !self.eat(b'[') {
             return Err(self.err("expected '[' starting a rule"));
         }
@@ -139,7 +224,12 @@ impl<'a, 'd> Parser<'a, 'd> {
         if !self.eat(b']') {
             return Err(self.err("expected ']' closing the rule (exactly one head atom)"));
         }
-        Rule::new(name, head, body).map_err(|m| self.err(m))
+        let mut var_names = vec![String::new(); vars.len()];
+        for (name, idx) in &vars {
+            var_names[*idx as usize] = name.clone();
+        }
+        let rule = Rule::new(name, head, body).map_err(|m| self.err(m))?;
+        Ok((rule, var_names))
     }
 
     fn parse_ident(&mut self) -> Result<String, ParseError> {
@@ -227,6 +317,7 @@ impl<'a, 'd> Parser<'a, 'd> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
     use super::*;
     use crate::ast::TermPat;
 
@@ -335,5 +426,79 @@ mod tests {
     fn empty_input_yields_no_rules() {
         let mut d = Dictionary::new();
         assert!(parse_rules("  # only a comment\n", &mut d).unwrap().is_empty());
+    }
+
+    #[test]
+    fn annotation_attaches_to_next_rule_only() {
+        let mut d = Dictionary::new();
+        let src = r#"
+            # lint: allow(OWL007)
+            [a: (?x rdf:type ?y) -> (?x rdf:type ?y)]
+            [b: (?x rdf:type ?y) -> (?x rdf:type ?y)]
+        "#;
+        let parsed = parse_rules_annotated(src, &mut d).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].suppress, vec!["OWL007".to_string()]);
+        assert!(parsed[1].suppress.is_empty());
+    }
+
+    #[test]
+    fn annotations_accumulate_and_split_on_commas() {
+        let mut d = Dictionary::new();
+        let src = r#"
+            # ordinary comment, ignored
+            # lint: allow(OWL007, OWL008)
+            # lint: allow(OWL003)
+            [a: (?x rdf:type ?y) -> (?x rdf:type ?y)]
+        "#;
+        let parsed = parse_rules_annotated(src, &mut d).unwrap();
+        assert_eq!(parsed[0].suppress, vec!["OWL007", "OWL008", "OWL003"]);
+    }
+
+    #[test]
+    fn var_names_follow_dense_indices() {
+        let mut d = Dictionary::new();
+        let parsed = parse_rules_annotated(
+            "[t: (?sub <http://x/p> ?mid) (?mid <http://x/p> ?obj) -> (?sub <http://x/p> ?obj)]",
+            &mut d,
+        )
+        .unwrap();
+        assert_eq!(parsed[0].var_names, vec!["sub", "mid", "obj"]);
+        assert_eq!(parsed[0].rule.var_count, 3);
+    }
+
+    #[test]
+    fn malformed_annotation_is_an_error() {
+        let mut d = Dictionary::new();
+        let e = parse_rules_annotated(
+            "# lint: deny(OWL001)\n[a: (?x rdf:type ?y) -> (?x rdf:type ?y)]",
+            &mut d,
+        )
+        .unwrap_err();
+        assert!(e.message.contains("malformed lint annotation"), "{e}");
+        let e = parse_rules_annotated(
+            "# lint: allow(OWL 001)\n[a: (?x rdf:type ?y) -> (?x rdf:type ?y)]",
+            &mut d,
+        )
+        .unwrap_err();
+        assert!(e.message.contains("malformed lint code"), "{e}");
+    }
+
+    #[test]
+    fn dangling_annotation_is_an_error() {
+        let mut d = Dictionary::new();
+        let e = parse_rules_annotated("# lint: allow(OWL007)\n", &mut d).unwrap_err();
+        assert!(e.message.contains("not followed by a rule"), "{e}");
+    }
+
+    #[test]
+    fn plain_parse_rules_ignores_annotations() {
+        let mut d = Dictionary::new();
+        let rules = parse_rules(
+            "# lint: allow(OWL007)\n[a: (?x rdf:type ?y) -> (?x rdf:type ?y)]",
+            &mut d,
+        )
+        .unwrap();
+        assert_eq!(rules.len(), 1);
     }
 }

@@ -11,7 +11,6 @@
 //! rules can \[be\] used to represent all but one of the rules").
 
 use crate::tbox::TBox;
-use owlpar_datalog::analysis::is_single_join;
 use owlpar_datalog::ast::build::{atom, c, v};
 use owlpar_datalog::Rule;
 use owlpar_rdf::{vocab, Dictionary, NodeId, Term};
@@ -47,6 +46,10 @@ impl Default for CompileOptions {
 ///
 /// `dict` must be the dictionary the TBox ids refer to; the compiler
 /// interns `owl:sameAs` if identity rules are requested.
+// Every rule below is built from constant atom shapes, so `Rule::new`
+// cannot reject them; the expects are structural invariants, not error
+// handling (and `owlpar-lint` re-verifies the output independently).
+#[allow(clippy::expect_used)]
 pub fn compile_ontology(tbox: &TBox, dict: &mut Dictionary, opts: CompileOptions) -> Vec<Rule> {
     let mut rules = Vec::new();
     let rdf_type = dict.intern(Term::iri(vocab::RDF_TYPE));
@@ -250,12 +253,11 @@ pub fn compile_ontology(tbox: &TBox, dict: &mut Dictionary, opts: CompileOptions
 
 /// Assert the paper's key structural claim: every compiled rule is
 /// single-join. Returns the offending rule names (empty = claim holds).
+///
+/// Delegates to the `owlpar-lint` partition-safety pass so there is one
+/// source of truth for what "safe under data partitioning" means.
 pub fn verify_single_join(rules: &[Rule]) -> Vec<String> {
-    rules
-        .iter()
-        .filter(|r| !is_single_join(r))
-        .map(|r| r.name.clone())
-        .collect()
+    owlpar_lint::lint_rules(rules, &owlpar_lint::LintOptions::default()).unsafe_rule_names()
 }
 
 #[cfg(test)]

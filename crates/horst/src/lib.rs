@@ -19,6 +19,8 @@
 //! * [`reasoner`] — a facade tying extraction + compilation + closure
 //!   together.
 
+#![forbid(unsafe_code)]
+
 pub mod compile;
 pub mod reasoner;
 pub mod rules;

@@ -8,7 +8,9 @@
 use crate::compile::{compile_ontology, CompileOptions};
 use crate::tbox::{TBox, TripleKind};
 use owlpar_datalog::{MaterializationStrategy, Reasoner, Rule};
-use owlpar_rdf::{Graph, Triple, TripleStore};
+use owlpar_lint::{lint_rules, LintOptions, LintReport, PartitionContext};
+use owlpar_rdf::fx::{FxHashMap, FxHashSet};
+use owlpar_rdf::{Graph, NodeId, Triple, TripleStore};
 
 /// What [`HorstReasoner::materialize_delta`] did with an insert batch.
 ///
@@ -40,6 +42,11 @@ pub struct HorstReasoner {
     pub instance_triples: Vec<Triple>,
     /// The compiled single-join rule-base.
     pub reasoner: Reasoner,
+    /// Static lint report over the compiled rule-base, checked against the
+    /// data-partitioned deployment context (the strictest one). The master
+    /// consults it before spawning workers; a deny finding means the
+    /// rule-base is not safe to evaluate over partitioned data.
+    pub lint: LintReport,
 }
 
 impl HorstReasoner {
@@ -58,11 +65,25 @@ impl HorstReasoner {
         let tbox = TBox::extract(graph);
         let rules = compile_ontology(&tbox, &mut graph.dict, opts);
         let (schema_triples, instance_triples) = tbox.split(graph.store.iter().copied());
+        // Lint against the data the rule-base will meet: the predicate
+        // histogram weights rule-partitioning edges, and the base
+        // vocabulary enables dead-rule detection.
+        let mut hist: FxHashMap<NodeId, usize> = FxHashMap::default();
+        let mut base: FxHashSet<NodeId> = FxHashSet::default();
+        for t in graph.store.iter() {
+            *hist.entry(t.p).or_default() += 1;
+            base.insert(t.p);
+        }
+        let mut lint_opts = LintOptions::for_context(PartitionContext::DataPartitioned);
+        lint_opts.predicate_counts = Some(hist);
+        lint_opts.base_predicates = Some(base);
+        let lint = lint_rules(&rules, &lint_opts);
         HorstReasoner {
             tbox,
             schema_triples,
             instance_triples,
             reasoner: Reasoner::new(rules, strategy),
+            lint,
         }
     }
 
@@ -112,6 +133,7 @@ impl HorstReasoner {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
     use super::*;
     use owlpar_datalog::backward::TableScope;
     use owlpar_rdf::vocab::*;

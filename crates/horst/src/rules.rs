@@ -66,6 +66,9 @@ pub const PD_STAR_RULES: &str = r#"
 "#;
 
 /// Parse [`PD_STAR_RULES`] against `dict`.
+// The rule text is a compile-time constant; the unit tests below parse it,
+// so the expect can only fire if the constant itself is edited and broken.
+#[allow(clippy::expect_used)]
 pub fn pd_star_rules(dict: &mut Dictionary) -> Vec<Rule> {
     parse_rules(PD_STAR_RULES, dict).expect("builtin pD* rule set parses")
 }

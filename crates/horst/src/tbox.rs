@@ -294,9 +294,10 @@ fn transitive_closure(edges: &[(NodeId, NodeId)]) -> Vec<(NodeId, NodeId)> {
             }
         }
         seen.remove(&start); // drop identity
-        let entry = succ.get_mut(&start).unwrap();
-        entry.extend(seen);
-        entry.remove(&start);
+        if let Some(entry) = succ.get_mut(&start) {
+            entry.extend(seen);
+            entry.remove(&start);
+        }
     }
     let mut out: Vec<(NodeId, NodeId)> = succ
         .into_iter()
@@ -309,6 +310,7 @@ fn transitive_closure(edges: &[(NodeId, NodeId)]) -> Vec<(NodeId, NodeId)> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
     use super::*;
     use owlpar_rdf::vocab::*;
     use owlpar_rdf::Term;

@@ -1,0 +1,109 @@
+//! Human-readable and JSON renderers for [`LintReport`].
+
+use crate::LintReport;
+use serde_json::{json, Value};
+use std::fmt::Write as _;
+
+pub(crate) fn render_human(report: &LintReport) -> String {
+    let mut out = String::new();
+    let suppressed = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.suppressed)
+        .count();
+    let single_join = report
+        .rules
+        .iter()
+        .filter(|r| matches!(r.join_class.as_str(), "single-join" | "single-atom"))
+        .count();
+    let _ = writeln!(
+        out,
+        "linted {} rule(s) under the {} context: {} locally evaluable, {} deny, {} warn, {} suppressed",
+        report.rules.len(),
+        report.context.label(),
+        single_join,
+        report.deny_count(),
+        report.warn_count(),
+        suppressed,
+    );
+    for d in &report.diagnostics {
+        let at = d
+            .rule
+            .as_deref()
+            .map(|n| format!(" [{n}]"))
+            .unwrap_or_default();
+        let tail = if d.suppressed { " (suppressed)" } else { "" };
+        let _ = writeln!(
+            out,
+            "{:>5} {}{}: {}{}",
+            d.severity.label(),
+            d.code.id(),
+            at,
+            d.message,
+            tail
+        );
+    }
+    if !report.rules.is_empty() {
+        let _ = writeln!(out, "rules:");
+        for r in &report.rules {
+            let witness = match &r.witness {
+                Some(w) => format!(", witness {w}"),
+                None => String::new(),
+            };
+            let _ = writeln!(
+                out,
+                "  {}: {}{}, weight {}, scc {}",
+                r.name, r.join_class, witness, r.weight, r.scc
+            );
+        }
+    }
+    let _ = write!(
+        out,
+        "verdict: {}",
+        if report.has_deny() { "DENY" } else { "ok" }
+    );
+    out
+}
+
+pub(crate) fn to_json(report: &LintReport) -> Value {
+    let rules: Vec<Value> = report
+        .rules
+        .iter()
+        .map(|r| {
+            json!({
+                "name": r.name,
+                "join_class": r.join_class,
+                "witness": r.witness,
+                "weight": r.weight,
+                "scc": r.scc,
+            })
+        })
+        .collect();
+    let diagnostics: Vec<Value> = report
+        .diagnostics
+        .iter()
+        .map(|d| {
+            json!({
+                "code": d.code.id(),
+                "title": d.code.title(),
+                "severity": d.severity.label(),
+                "rule": d.rule,
+                "rule_index": (d.rule_index.map(|i| i as u64)),
+                "message": d.message,
+                "violation": (d.violation.as_ref().map(|v| v.label())),
+                "suppressed": d.suppressed,
+            })
+        })
+        .collect();
+    json!({
+        "context": (report.context.label()),
+        "summary": (json!({
+            "rules": (report.rules.len() as u64),
+            "deny": (report.deny_count() as u64),
+            "warn": (report.warn_count() as u64),
+            "ok": (!report.has_deny()),
+        })),
+        "rules": (Value::Array(rules)),
+        "diagnostics": (Value::Array(diagnostics)),
+    })
+}

@@ -182,6 +182,7 @@ pub fn partition_data(
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
     use super::*;
     use owlpar_rdf::Graph;
 

@@ -22,6 +22,8 @@
 //! replication `IR`, output replication `OR`, and partitioning time
 //! (Table I).
 
+#![forbid(unsafe_code)]
+
 pub mod data;
 pub mod domain;
 pub mod hash;

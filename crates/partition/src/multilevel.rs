@@ -320,18 +320,22 @@ fn best_direct_bisect(
     opts: &PartitionOptions,
     rng: &mut StdRng,
 ) -> Vec<u32> {
-    let mut best: Option<(u64, Vec<u32>)> = None;
-    for _ in 0..INITIAL_TRIES {
+    let one_try = |rng: &mut StdRng| {
         let mut side = greedy_grow_bisect(graph, ratio, rng);
         if opts.refine {
             fm_refine(graph, &mut side, ratio, opts.epsilon, rng);
         }
         let cut = graph.edge_cut(&side);
-        if best.as_ref().is_none_or(|(bc, _)| cut < *bc) {
-            best = Some((cut, side));
+        (cut, side)
+    };
+    let mut best = one_try(rng);
+    for _ in 1..INITIAL_TRIES {
+        let (cut, side) = one_try(rng);
+        if cut < best.0 {
+            best = (cut, side);
         }
     }
-    best.expect("INITIAL_TRIES > 0").1
+    best.1
 }
 
 /// Greedy graph-growing bisection: BFS-grow side 0 from a random seed,
@@ -473,6 +477,7 @@ fn fm_refine(graph: &CsrGraph, side: &mut [u32], ratio: f64, epsilon: f64, _rng:
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
     use super::*;
 
     fn opts(seed: u64) -> PartitionOptions {

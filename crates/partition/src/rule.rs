@@ -109,6 +109,7 @@ pub fn partition_rules(
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
     use super::*;
     use owlpar_datalog::ast::build::*;
 

@@ -60,21 +60,30 @@ fn join<S: TripleSource + ?Sized>(
         }
     }
     if remaining.is_empty() {
-        let row: Row = projected
+        // The parser rejects projections of variables that appear in no
+        // pattern, so every projected slot is bound once all patterns
+        // matched; an unbound slot would mean a parser bug — emit nothing.
+        let Some(row) = projected
             .iter()
-            .map(|&i| bindings[i as usize].expect("projected var bound by patterns"))
-            .collect();
+            .map(|&i| bindings[i as usize])
+            .collect::<Option<Row>>()
+        else {
+            return false;
+        };
         if !q.distinct || seen.insert(row.clone()) {
             rows.push(row);
         }
         return early_exit || q.limit.is_some_and(|l| rows.len() >= l);
     }
     // cheapest next pattern: most bound positions under current bindings
-    let (slot, _) = remaining
+    // (`remaining` is non-empty here, so the max always exists).
+    let Some((slot, _)) = remaining
         .iter()
         .enumerate()
         .max_by_key(|(_, &i)| q.patterns[i].to_pattern(&bindings).bound_count())
-        .expect("non-empty");
+    else {
+        return false;
+    };
     let atom_idx = remaining.swap_remove(slot);
     let atom = q.patterns[atom_idx];
     let pat = atom.to_pattern(&bindings);
@@ -106,6 +115,7 @@ pub fn render_row(dict: &owlpar_rdf::Dictionary, row: &Row) -> Vec<String> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
     use super::*;
     use crate::parser::parse_query;
     use owlpar_rdf::{Graph, Term};

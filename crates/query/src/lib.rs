@@ -28,6 +28,8 @@
 //! assert_eq!(rows.len(), 1);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod ast;
 pub mod exec;
 pub mod lubm;

@@ -128,6 +128,7 @@ pub fn queries() -> Vec<(&'static str, bool, String)> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
     use super::*;
     use crate::exec::execute;
     use crate::parser::parse_query;

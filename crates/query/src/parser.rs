@@ -371,6 +371,7 @@ impl P<'_, '_> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
     use super::*;
 
     fn parse(src: &str) -> Query {

@@ -58,6 +58,11 @@ impl Dictionary {
     }
 
     /// Intern a term, returning its (possibly pre-existing) id.
+    ///
+    /// Panics if the dictionary would exceed 2^32 terms — ids are `u32`
+    /// by design (three-word triples), and no supported dataset comes
+    /// within two orders of magnitude of that.
+    #[allow(clippy::expect_used)]
     pub fn intern(&mut self, term: Term) -> NodeId {
         if let Some(&id) = self.ids.get(&term) {
             return id;

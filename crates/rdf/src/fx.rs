@@ -33,6 +33,8 @@ impl Hasher for FxHasher {
     }
 
     #[inline]
+    // `chunks_exact(8)` guarantees every chunk converts to [u8; 8].
+    #[allow(clippy::unwrap_used)]
     fn write(&mut self, bytes: &[u8]) {
         let mut chunks = bytes.chunks_exact(8);
         for chunk in &mut chunks {

@@ -86,6 +86,7 @@ impl Graph {
 
     /// Decode a triple back into terms (panics if ids are foreign to this
     /// graph's dictionary — a programming error).
+    #[allow(clippy::expect_used)]
     pub fn decode(&self, t: Triple) -> (Term, Term, Term) {
         (
             self.dict.term(t.s).expect("unknown subject id").clone(),
@@ -127,6 +128,7 @@ impl Graph {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
     use super::*;
 
     #[test]

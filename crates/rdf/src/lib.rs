@@ -25,6 +25,8 @@
 //! assert_eq!(g.term(s), Some(&Term::iri("http://example.org/alice")));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod dictionary;
 pub mod frozen;
 pub mod fx;

@@ -206,7 +206,8 @@ impl<'a> Cursor<'a> {
         if end == start {
             return Err(err(self.line, "empty blank node label"));
         }
-        let label = std::str::from_utf8(&self.bytes[start..end]).unwrap();
+        let label = std::str::from_utf8(&self.bytes[start..end])
+            .map_err(|_| err(self.line, "invalid UTF-8 in blank node label"))?;
         Ok(Term::blank(label))
     }
 
@@ -254,7 +255,10 @@ impl<'a> Cursor<'a> {
                     // copy one UTF-8 scalar
                     let rest = std::str::from_utf8(&self.bytes[self.pos..])
                         .map_err(|_| err(self.line, "invalid UTF-8 in literal"))?;
-                    let c = rest.chars().next().unwrap();
+                    let c = rest
+                        .chars()
+                        .next()
+                        .ok_or_else(|| err(self.line, "truncated literal"))?;
                     lex.push(c);
                     self.pos += c.len_utf8();
                 }
@@ -273,7 +277,8 @@ impl<'a> Cursor<'a> {
             if self.pos == start {
                 return Err(err(self.line, "empty language tag"));
             }
-            let lang = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+            let lang = std::str::from_utf8(&self.bytes[start..self.pos])
+                .map_err(|_| err(self.line, "invalid UTF-8 in language tag"))?;
             return Ok(Term::lang_literal(lex, lang));
         }
         if self.peek() == Some(b'^') {
@@ -295,6 +300,7 @@ impl<'a> Cursor<'a> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
     use super::*;
 
     fn roundtrip(src: &str) -> String {

@@ -184,6 +184,7 @@ fn read_str(r: &mut impl Read) -> Result<String, SnapshotError> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
     use super::*;
 
     fn sample() -> Graph {

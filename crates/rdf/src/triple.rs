@@ -86,6 +86,7 @@ pub fn decode_batch(mut bytes: &[u8]) -> Vec<Triple> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
     use super::*;
 
     fn t(s: u32, p: u32, o: u32) -> Triple {

@@ -351,6 +351,7 @@ impl Tp<'_> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
     use super::*;
     use crate::vocab::{OWL_TRANSITIVE, RDF_TYPE, RDFS_SUBCLASSOF};
 

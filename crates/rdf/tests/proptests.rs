@@ -1,6 +1,9 @@
 //! Property tests for the RDF substrate: the store against a naive model,
 //! N-Triples and snapshot round-trips over arbitrary graphs.
 
+// Tests assert on infallible setup; unwrap/expect failures are test failures.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use owlpar_rdf::snapshot;
 use owlpar_rdf::{parse_ntriples, write_ntriples, Graph, NodeId, Term, Triple, TriplePattern, TripleStore};
 use proptest::prelude::*;

@@ -76,6 +76,7 @@ impl EpochHandle {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
     use super::*;
     use owlpar_rdf::{FrozenStore, Graph, Triple};
 

@@ -234,6 +234,7 @@ impl ServingKb {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
     use super::*;
     use owlpar_datalog::MaterializationStrategy;
 

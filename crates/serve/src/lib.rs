@@ -23,12 +23,10 @@
 //! * [`stats`] — lock-free latency histograms and counters behind the
 //!   STATS request.
 
-// Serving code must propagate failures as typed errors, never panic
-// (same discipline as owlpar-core; enforced in CI by clippy).
-#![cfg_attr(
-    not(test),
-    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
-)]
+// Serving code must propagate failures as typed errors, never panic;
+// the unwrap/expect/panic deny gates come from `[workspace.lints]` in the
+// workspace manifest (enforced in CI by clippy).
+#![forbid(unsafe_code)]
 
 pub mod client;
 pub mod epoch;

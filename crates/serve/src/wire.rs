@@ -360,6 +360,7 @@ impl<'a> Cursor<'a> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
     use super::*;
     use owlpar_core::MAX_PAYLOAD_BYTES;
 

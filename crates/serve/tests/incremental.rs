@@ -3,6 +3,9 @@
 //! `owlpar_core::run_serial` computes from scratch over the accumulated
 //! triples — including sequences that mutate the schema mid-stream.
 
+// Tests assert on infallible setup; unwrap/expect failures are test failures.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use owlpar_core::run_serial;
 use owlpar_datalog::MaterializationStrategy;
 use owlpar_horst::HorstReasoner;

@@ -2,6 +2,9 @@
 //! the client — including the headline concurrency property: readers
 //! never block on writers and always see a consistent epoch.
 
+// Tests assert on infallible setup; unwrap/expect failures are test failures.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use owlpar_datalog::MaterializationStrategy;
 use owlpar_horst::HorstReasoner;
 use owlpar_rdf::Graph;

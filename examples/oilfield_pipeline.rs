@@ -9,6 +9,9 @@
 //! transitively part of field 0" — which only works because the
 //! `partOf` transitive closure was materialized.
 
+// Examples favour directness over error plumbing.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use owlpar::datagen::ontology::mdc;
 use owlpar::prelude::*;
 use owlpar::rdf::TriplePattern;

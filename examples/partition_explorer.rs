@@ -9,6 +9,9 @@
 //! policy, which is how the paper recommends choosing a policy for a new
 //! dataset.
 
+// Examples favour directness over error plumbing.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use owlpar::horst::HorstReasoner;
 use owlpar::partition::metrics::quality;
 use owlpar::partition::multilevel::PartitionOptions;

@@ -7,6 +7,9 @@
 //! Builds a tiny family ontology by hand (N-Triples), closes it with the
 //! parallel reasoner, and prints what was inferred.
 
+// Examples favour directness over error plumbing.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use owlpar::prelude::*;
 
 const DATA: &str = r#"

@@ -5,6 +5,9 @@
 //! cargo run --release --example sparql_queries
 //! ```
 
+// Examples favour directness over error plumbing.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use owlpar::prelude::*;
 use owlpar::query::lubm::queries;
 

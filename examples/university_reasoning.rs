@@ -8,6 +8,9 @@
 //! with all three data-partitioning policies, and reports speedups and
 //! partition quality — a miniature of the paper's Figure 5.
 
+// Examples favour directness over error plumbing.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use owlpar::prelude::*;
 
 fn main() {

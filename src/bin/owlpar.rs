@@ -5,6 +5,8 @@
 //! owlpar materialize <in.nt> <out.nt> [--k 4] [--strategy graph|hash|domain|rule|hybrid] [--async]
 //!                    [--fault-plan 'io@1.0:2,panic@1.2,...']
 //! owlpar query <kb.nt> '<SPARQL>'
+//! owlpar lint <rules-file> [--context data|rule|replicated] [--json]
+//! owlpar lint --compiled [<in.nt>] [--json]
 //! owlpar partition <in.nt> [--k 4]
 //! owlpar snapshot <in.nt> <out.owlpar>
 //! owlpar restore <in.owlpar> <out.nt>
@@ -12,17 +14,21 @@
 //! ```
 //!
 //! Exit codes: 0 success, 1 usage/IO error, 3 the parallel run itself
-//! failed (a `RunError` — lost workers without recovery, bad config).
+//! failed (a `RunError` — lost workers without recovery, bad config) or
+//! the linted rule-base has deny-level findings.
 
 use owlpar::core::config::RoundMode;
 use owlpar::core::{FaultPlan, RunError};
+use owlpar::datalog::parse_rules_annotated;
 use owlpar::horst::HorstReasoner;
+use owlpar::lint::{lint_parsed, lint_rules, LintOptions, PartitionContext};
 use owlpar::partition::metrics::quality;
 use owlpar::partition::multilevel::PartitionOptions;
 use owlpar::prelude::*;
 use owlpar::query::exec::render_row;
 use owlpar::rdf::snapshot;
 use owlpar::rdf::vocab::RDF_TYPE;
+use owlpar::rdf::Dictionary;
 use std::process::ExitCode;
 
 /// What went wrong, split by exit code.
@@ -31,6 +37,12 @@ enum CliError {
     Usage(String),
     /// The parallel run failed with a structured error — exit code 3.
     Run(RunError),
+    /// The linted rule-base has deny findings — exit code 3. The report
+    /// itself was already printed to stdout.
+    Lint {
+        /// Number of deny findings.
+        deny: usize,
+    },
 }
 
 impl From<String> for CliError {
@@ -63,6 +75,10 @@ fn main() -> ExitCode {
             eprintln!("owlpar: run failed: {e}");
             ExitCode::from(3)
         }
+        Err(CliError::Lint { deny }) => {
+            eprintln!("owlpar: lint failed with {deny} deny finding(s)");
+            ExitCode::from(3)
+        }
     }
 }
 
@@ -89,12 +105,13 @@ fn run(args: Vec<String>) -> Result<(), CliError> {
     match cmd.as_str() {
         "materialize" => materialize(rest),
         "query" => query(rest).map_err(CliError::Usage),
+        "lint" => lint_cmd(rest),
         "partition" => partition_info(rest).map_err(CliError::Usage),
         "snapshot" => snapshot_cmd(rest).map_err(CliError::Usage),
         "restore" => restore(rest).map_err(CliError::Usage),
         "gen" => gen(rest).map_err(CliError::Usage),
         _ => Err(CliError::Usage(format!(
-            "usage: owlpar <materialize|query|partition|snapshot|restore|gen> ... (got '{cmd}')"
+            "usage: owlpar <materialize|query|lint|partition|snapshot|restore|gen> ... (got '{cmd}')"
         ))),
     }
 }
@@ -154,6 +171,122 @@ fn materialize(args: &[String]) -> Result<(), CliError> {
         );
     }
     Ok(())
+}
+
+/// `owlpar lint` — run the static analyses over a rule file (with `#
+/// lint: allow(...)` annotations honoured) or over the rule-base compiled
+/// from an ontology (`--compiled [<in.nt>]`; no path lints the bundled
+/// demo ontology exercising every rule template). Deny findings exit 3.
+fn lint_cmd(args: &[String]) -> Result<(), CliError> {
+    let json = args.iter().any(|a| a == "--json");
+    let context = match flag_value(args, "--context").as_deref() {
+        None | Some("data") => PartitionContext::DataPartitioned,
+        Some("rule") => PartitionContext::RulePartitioned,
+        Some("replicated") => PartitionContext::Replicated,
+        Some(other) => return Err(CliError::Usage(format!("unknown context '{other}'"))),
+    };
+    // Positional arguments: everything that is neither a flag nor the
+    // value of --context.
+    let mut positionals: Vec<&String> = Vec::new();
+    let mut skip_next = false;
+    for a in args {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        if a == "--context" {
+            skip_next = true;
+            continue;
+        }
+        if a.starts_with("--") {
+            continue;
+        }
+        positionals.push(a);
+    }
+    let report = if args.iter().any(|a| a == "--compiled") {
+        let mut g = match positionals.first() {
+            Some(path) => load_graph(path)?,
+            None => demo_ontology(),
+        };
+        let hr = HorstReasoner::from_graph(&mut g, MaterializationStrategy::ForwardSemiNaive);
+        if context == PartitionContext::DataPartitioned {
+            // Already linted at construction, against the actual data
+            // (histogram weights + dead-rule vocabulary).
+            hr.lint.clone()
+        } else {
+            lint_rules(hr.rules(), &LintOptions::for_context(context))
+        }
+    } else {
+        let Some(path) = positionals.first() else {
+            return Err("lint needs <rules-file> or --compiled [<in.nt>]".into());
+        };
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        let mut dict = Dictionary::new();
+        let parsed = parse_rules_annotated(&text, &mut dict)
+            .map_err(|e| format!("parsing {path}: {e}"))?;
+        lint_parsed(&parsed, LintOptions::for_context(context))
+    };
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        println!("{report}");
+    }
+    if report.has_deny() {
+        Err(CliError::Lint {
+            deny: report.deny_count(),
+        })
+    } else {
+        Ok(())
+    }
+}
+
+/// A small ontology exercising every rule template the compiler knows:
+/// class/property hierarchies, transitive/symmetric/inverse(-functional)
+/// characteristics, equivalence, domain/range and both restriction kinds —
+/// what `owlpar lint --compiled` verifies when no ontology is given.
+fn demo_ontology() -> Graph {
+    use owlpar::rdf::vocab::{
+        OWL_EQUIVALENT_CLASS, OWL_HAS_VALUE, OWL_INVERSE_FUNCTIONAL, OWL_INVERSE_OF,
+        OWL_ON_PROPERTY, OWL_RESTRICTION, OWL_SOME_VALUES_FROM, OWL_SYMMETRIC, OWL_TRANSITIVE,
+        RDFS_DOMAIN, RDFS_RANGE, RDFS_SUBCLASSOF, RDFS_SUBPROPERTYOF,
+    };
+    let u = |n: &str| format!("http://ex.org/ont#{n}");
+    let d = |n: &str| format!("http://ex.org/d/{n}");
+    let mut g = Graph::new();
+    g.insert_iris(u("GradStudent"), RDFS_SUBCLASSOF, u("Student"));
+    g.insert_iris(u("Student"), RDFS_SUBCLASSOF, u("Person"));
+    g.insert_iris(u("Person"), OWL_EQUIVALENT_CLASS, u("Human"));
+    g.insert_iris(u("headOf"), RDFS_SUBPROPERTYOF, u("worksFor"));
+    g.insert_iris(u("partOf"), RDF_TYPE, OWL_TRANSITIVE);
+    g.insert_iris(u("near"), RDF_TYPE, OWL_SYMMETRIC);
+    g.insert_iris(u("advises"), OWL_INVERSE_OF, u("advisedBy"));
+    g.insert_iris(u("teaches"), RDFS_DOMAIN, u("Professor"));
+    g.insert_iris(u("teaches"), RDFS_RANGE, u("Course"));
+    g.insert_iris(u("email"), RDF_TYPE, OWL_INVERSE_FUNCTIONAL);
+    g.insert_iris(u("Grouped"), RDF_TYPE, OWL_RESTRICTION);
+    g.insert_iris(u("Grouped"), OWL_ON_PROPERTY, u("memberOf"));
+    g.insert_iris(u("Grouped"), OWL_SOME_VALUES_FROM, u("Group"));
+    g.insert_iris(u("Answered"), RDF_TYPE, OWL_RESTRICTION);
+    g.insert_iris(u("Answered"), OWL_ON_PROPERTY, u("hasId"));
+    g.insert_terms(
+        Term::iri(u("Answered")),
+        Term::iri(OWL_HAS_VALUE),
+        Term::literal("42"),
+    );
+    // A little instance data, so the production-weight histogram and the
+    // dead-rule base vocabulary have something to look at.
+    g.insert_iris(d("alice"), RDF_TYPE, u("GradStudent"));
+    g.insert_iris(d("a"), u("partOf"), d("b"));
+    g.insert_iris(d("b"), u("partOf"), d("c"));
+    g.insert_iris(d("x"), u("near"), d("y"));
+    g.insert_iris(d("bob"), u("headOf"), d("dept"));
+    g.insert_iris(d("carol"), u("advises"), d("alice"));
+    g.insert_iris(d("prof"), u("teaches"), d("cs101"));
+    g.insert_iris(d("p1"), u("email"), d("e1"));
+    g.insert_iris(d("gina"), u("memberOf"), d("g1"));
+    g.insert_iris(d("g1"), RDF_TYPE, u("Group"));
+    g
 }
 
 fn query(args: &[String]) -> Result<(), String> {

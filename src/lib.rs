@@ -11,6 +11,8 @@
 //! * [`rdf`] — terms, dictionary encoding, indexed triple store, N-Triples;
 //! * [`datalog`] — the rule engine (semi-naive forward and tabled-SLD
 //!   backward chaining);
+//! * [`lint`] — static partition-safety verification and rule-base
+//!   analysis with a deny/warn diagnostics framework;
 //! * [`horst`] — OWL-Horst TBox extraction and ontology→rule compilation;
 //! * [`partition`] — the multilevel graph partitioner and the paper's
 //!   partitioning algorithms and metrics;
@@ -38,10 +40,13 @@
 //! println!("closure: {} triples, {} derived", graph.len(), report.derived);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use owlpar_core as core;
 pub use owlpar_datagen as datagen;
 pub use owlpar_datalog as datalog;
 pub use owlpar_horst as horst;
+pub use owlpar_lint as lint;
 pub use owlpar_partition as partition;
 pub use owlpar_query as query;
 pub use owlpar_rdf as rdf;
@@ -58,6 +63,7 @@ pub mod prelude {
     };
     pub use owlpar_datalog::{MaterializationStrategy, Reasoner};
     pub use owlpar_horst::{CompileOptions, HorstReasoner};
+    pub use owlpar_lint::{lint_parsed, lint_rules, LintOptions, LintReport, PartitionContext};
     pub use owlpar_partition::{partition_data, partition_rules, OwnershipPolicy};
     pub use owlpar_query::{ask, execute, parse_query, parse_query_frozen};
     pub use owlpar_rdf::{parse_ntriples, write_ntriples, Graph, Term, Triple};

@@ -2,6 +2,9 @@
 //! closure — the paper's soundness/completeness claim for single-join
 //! rules — for every partitioning strategy, policy, engine and transport.
 
+// Tests assert on infallible setup; unwrap/expect failures are test failures.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use owlpar::datalog::backward::TableScope;
 use owlpar::prelude::*;
 

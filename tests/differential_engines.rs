@@ -2,6 +2,9 @@
 //! single-join rule sets and random data — forward semi-naive is the
 //! oracle; both backward engines must agree with it.
 
+// Tests assert on infallible setup; unwrap/expect failures are test failures.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use owlpar::datalog::ast::build::{atom, c, v};
 use owlpar::datalog::backward::{BackwardEngine, TableScope};
 use owlpar::datalog::forward::forward_closure;

@@ -2,6 +2,9 @@
 //! semantic spot checks → N-Triples out, the way a downstream user would
 //! drive the library.
 
+// Tests assert on infallible setup; unwrap/expect failures are test failures.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use owlpar::datagen::lubm::university_iri;
 use owlpar::datagen::ontology::univ;
 use owlpar::prelude::*;

@@ -16,6 +16,9 @@
 //! Every test body runs under a wall-clock guard so a termination bug
 //! fails the test instead of hanging the suite.
 
+// Tests assert on infallible setup; unwrap/expect failures are test failures.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use owlpar::prelude::*;
 use owlpar::core::config::RoundMode;
 use owlpar::core::WorkerError;

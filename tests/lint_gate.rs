@@ -1,0 +1,129 @@
+//! End-to-end tests of the lint gate: the `owlpar lint` CLI (exit codes,
+//! JSON diagnostics, suppression round-trip) and the master's refusal to
+//! spawn workers over an unsafe rule-base.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use owlpar::datalog::ast::build::{atom, c, v};
+use owlpar::prelude::*;
+use std::process::Command;
+
+fn owlpar_bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_owlpar"))
+}
+
+fn fixture(name: &str) -> String {
+    format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+fn example(name: &str) -> String {
+    format!("{}/examples/rules/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn cli_rejects_multi_join_rulebase_with_exit_3_and_json_diagnostic() {
+    let out = owlpar_bin()
+        .args(["lint", &fixture("multijoin.rules"), "--json"])
+        .output()
+        .expect("owlpar runs");
+    assert_eq!(out.status.code(), Some(3), "deny findings must exit 3");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("\"code\":\"OWL001\""), "{stdout}");
+    assert!(stdout.contains("\"severity\":\"deny\""), "{stdout}");
+    assert!(stdout.contains("\"rule\":\"triangle\""), "{stdout}");
+    assert!(stdout.contains("\"violation\":\"multi-join\""), "{stdout}");
+    // The cross-product rule is flagged too.
+    assert!(stdout.contains("\"code\":\"OWL002\""), "{stdout}");
+    assert!(stdout.contains("\"ok\":false"), "{stdout}");
+}
+
+#[test]
+fn cli_accepts_multi_join_rulebase_under_rule_partitioning_context() {
+    let out = owlpar_bin()
+        .args(["lint", &fixture("multijoin.rules"), "--context", "rule"])
+        .output()
+        .expect("owlpar runs");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "replication makes any join shape evaluable: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("warn"), "still warned about: {stdout}");
+}
+
+#[test]
+fn cli_passes_clean_rulebase_and_honours_suppression_annotation() {
+    let out = owlpar_bin()
+        .args(["lint", &example("family.rules")])
+        .output()
+        .expect("owlpar runs");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(out.status.code(), Some(0), "{stdout}");
+    // The duplicate-rule finding exists but is suppressed by the
+    // `# lint: allow(OWL007)` annotation in the file.
+    assert!(stdout.contains("OWL007"), "{stdout}");
+    assert!(stdout.contains("(suppressed)"), "{stdout}");
+    assert!(stdout.contains("0 deny, 0 warn, 1 suppressed"), "{stdout}");
+    // Witnesses are named with the source variable names.
+    assert!(stdout.contains("witness ?m"), "{stdout}");
+    assert!(stdout.contains("witness ?p"), "{stdout}");
+}
+
+#[test]
+fn cli_lints_compiled_horst_rulebase_clean_with_witnesses() {
+    let out = owlpar_bin()
+        .args(["lint", "--compiled", "--json"])
+        .output()
+        .expect("owlpar runs");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(out.status.code(), Some(0), "{stdout}");
+    assert!(stdout.contains("\"ok\":true"), "{stdout}");
+    assert!(stdout.contains("\"deny\":0"), "{stdout}");
+    // Every single-join rule carries a named locality witness: no
+    // `"join_class":"single-join"` entry with a null witness.
+    assert!(
+        !stdout.contains("\"join_class\":\"single-join\",\"witness\":null"),
+        "single-join rule without a witness: {stdout}"
+    );
+    assert!(stdout.contains("\"join_class\":\"single-join\""), "{stdout}");
+}
+
+#[test]
+fn cli_reports_usage_error_without_input() {
+    let out = owlpar_bin().args(["lint"]).output().expect("owlpar runs");
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn master_refuses_unsafe_rulebase_before_spawning_workers() {
+    let mut g = generate_lubm(&LubmConfig::mini(1));
+    let p = g.intern(Term::iri("http://x/p"));
+    let q = g.intern(Term::iri("http://x/q"));
+    let triangle = owlpar::datalog::Rule::new(
+        "triangle",
+        atom(v(0), c(q), v(2)),
+        vec![
+            atom(v(0), c(p), v(1)),
+            atom(v(1), c(p), v(2)),
+            atom(v(2), c(p), v(0)),
+        ],
+    )
+    .unwrap();
+    let before = g.len();
+    let cfg = ParallelConfig {
+        k: 4,
+        ..ParallelConfig::default()
+    }
+    .forward()
+    .with_extra_rules(vec![triangle]);
+    let err = run_parallel(&mut g, &cfg).unwrap_err();
+    let RunError::Lint { report } = err else {
+        panic!("expected a lint refusal, got: {err}");
+    };
+    assert!(report.has_deny());
+    assert_eq!(report.unsafe_rule_names(), vec!["triangle".to_string()]);
+    assert_eq!(g.len(), before, "refused before any worker touched the graph");
+    // The rendered error names the lint code so operators can look it up.
+    assert!(RunError::Lint { report }.to_string().contains("OWL001"));
+}

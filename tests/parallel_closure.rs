@@ -4,6 +4,9 @@
 //! semi-naive engine (`forward_closure`) computes. Derivation order may
 //! differ — sorted stores are compared.
 
+// Tests assert on infallible setup; unwrap/expect failures are test failures.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use owlpar::datalog::ast::build::{atom, c, v};
 use owlpar::datalog::forward::{forward_closure, forward_closure_delta};
 use owlpar::datalog::{parallel_closure, parallel_closure_delta, Rule};

@@ -2,6 +2,9 @@
 //! graphs, plus the single-join completeness property the paper's
 //! correctness argument rests on.
 
+// Tests assert on infallible setup; unwrap/expect failures are test failures.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use owlpar::partition::data::Destinations;
 use owlpar::partition::multilevel::PartitionOptions;
 use owlpar::prelude::*;

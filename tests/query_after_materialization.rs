@@ -2,6 +2,9 @@
 //! Asserts the materialized KB answers the LUBM mix identically no matter
 //! which partitioning strategy produced it.
 
+// Tests assert on infallible setup; unwrap/expect failures are test failures.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use owlpar::prelude::*;
 use owlpar::query::lubm::queries;
 
