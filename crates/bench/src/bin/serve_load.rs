@@ -85,6 +85,7 @@ fn main() {
         &ServeConfig {
             addr: "127.0.0.1:0".to_string(),
             threads,
+            ..ServeConfig::default()
         },
     )
     .expect("start server");

@@ -454,7 +454,6 @@ impl WorkerComm {
                     return Ok(());
                 }
                 self.bytes_sent += bytes.len() as u64;
-                let tmp = dir.join(format!("r{}_f{}_t{}.tmp", round, me, to));
                 Self::retry_io(
                     &mut self.faults,
                     &mut self.io_retries,
@@ -462,10 +461,10 @@ impl WorkerComm {
                     me,
                     true,
                     Some(&path),
-                    || {
-                        std::fs::write(&tmp, &bytes)?;
-                        std::fs::rename(&tmp, &path)
-                    },
+                    // The shared temp+rename discipline (`durable`): a
+                    // crashed sender leaves only `.tmp` debris, which
+                    // `collect` never picks up.
+                    || crate::durable::atomic_write(&path, &bytes),
                 )
             }
         }

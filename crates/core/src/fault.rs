@@ -274,6 +274,138 @@ impl FaultState {
     }
 }
 
+/// A named point in the `owlpar-serve` durability pipeline where a
+/// process crash can be injected. Unlike [`FaultKind`] — whose faults
+/// are pinned to `(round, worker)` coordinates of the parallel runtime —
+/// crash points are pinned to the *Nth arrival* at a pipeline location,
+/// because the durability path has no rounds: its natural clock is "how
+/// many times have we been about to fsync the WAL".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// After the WAL record bytes are (possibly partially) written but
+    /// before they are fsynced: the canonical torn-record crash. The
+    /// batch was **not** acknowledged; recovery must drop the torn tail.
+    BeforeWalFsync,
+    /// After one or more WAL appends were fsynced (and acknowledged) but
+    /// before the next checkpoint starts: recovery must replay the WAL
+    /// tail on top of the previous checkpoint.
+    AfterWalBeforeCheckpoint,
+    /// In the middle of writing a checkpoint, before its atomic rename:
+    /// recovery must ignore the staging debris and use the previous
+    /// checkpoint plus the un-rotated WAL.
+    MidCheckpoint,
+}
+
+impl CrashPoint {
+    /// All crash points, for schedule iteration and tests.
+    pub const ALL: [CrashPoint; 3] = [
+        CrashPoint::BeforeWalFsync,
+        CrashPoint::AfterWalBeforeCheckpoint,
+        CrashPoint::MidCheckpoint,
+    ];
+
+    /// The CLI spelling (`--crash-at <name>@<n>`).
+    pub fn name(self) -> &'static str {
+        match self {
+            CrashPoint::BeforeWalFsync => "before-wal-fsync",
+            CrashPoint::AfterWalBeforeCheckpoint => "after-wal-before-checkpoint",
+            CrashPoint::MidCheckpoint => "mid-checkpoint",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            CrashPoint::BeforeWalFsync => 0,
+            CrashPoint::AfterWalBeforeCheckpoint => 1,
+            CrashPoint::MidCheckpoint => 2,
+        }
+    }
+}
+
+impl std::fmt::Display for CrashPoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A deterministic schedule of process crashes: "crash at the `n`th
+/// arrival (0-based) at crash point `p`". The serve durability layer
+/// consults its [`CrashState`] at every point; the CLI's `--crash-at`
+/// flag parses into one of these and aborts the process for real, while
+/// tests run the same schedule in simulation mode (persistence stops,
+/// a typed error surfaces, and the test recovers from the files alone).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CrashPlan {
+    /// Every scheduled crash.
+    pub events: Vec<(CrashPoint, u32)>,
+}
+
+impl CrashPlan {
+    /// The empty plan (never crashes).
+    pub fn new() -> Self {
+        CrashPlan::default()
+    }
+
+    /// Builder-style: crash at the `occurrence`th arrival at `point`.
+    pub fn with(mut self, point: CrashPoint, occurrence: u32) -> Self {
+        self.events.push((point, occurrence));
+        self
+    }
+
+    /// Parse the CLI spec: comma-separated `point[@occurrence]` entries
+    /// where `point` is `before-wal-fsync`, `after-wal-before-checkpoint`
+    /// or `mid-checkpoint` and `occurrence` defaults to 0 (the first
+    /// arrival). Example: `before-wal-fsync@2,mid-checkpoint`.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut plan = CrashPlan::new();
+        for entry in spec.split(',').map(str::trim).filter(|e| !e.is_empty()) {
+            let (name, occ) = match entry.split_once('@') {
+                Some((n, o)) => (
+                    n,
+                    o.parse::<u32>()
+                        .map_err(|_| format!("'{entry}': bad occurrence '{o}'"))?,
+                ),
+                None => (entry, 0),
+            };
+            let point = CrashPoint::ALL
+                .into_iter()
+                .find(|p| p.name() == name)
+                .ok_or_else(|| format!("'{entry}': unknown crash point '{name}'"))?;
+            plan = plan.with(point, occ);
+        }
+        Ok(plan)
+    }
+
+    /// A live counting view of the plan.
+    pub fn state(&self) -> CrashState {
+        CrashState {
+            plan: self.clone(),
+            arrivals: [0; 3],
+        }
+    }
+}
+
+/// Live occurrence counters over a [`CrashPlan`]. One per durability
+/// layer; `should_crash` is called at every crash point and returns
+/// `true` exactly when the plan scheduled a crash for this arrival.
+#[derive(Debug, Clone)]
+pub struct CrashState {
+    plan: CrashPlan,
+    arrivals: [u32; 3],
+}
+
+impl CrashState {
+    /// Count an arrival at `point`; `true` iff the plan crashes here.
+    pub fn should_crash(&mut self, point: CrashPoint) -> bool {
+        let n = self.arrivals[point.index()];
+        self.arrivals[point.index()] = n.saturating_add(1);
+        self.plan
+            .events
+            .iter()
+            .any(|&(p, occ)| p == point && occ == n)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
@@ -344,6 +476,38 @@ mod tests {
     #[test]
     fn parse_empty_is_empty_plan() {
         assert_eq!(FaultPlan::parse("").unwrap(), FaultPlan::new());
+    }
+
+    #[test]
+    fn crash_plan_counts_occurrences_per_point() {
+        let plan = CrashPlan::new()
+            .with(CrashPoint::BeforeWalFsync, 2)
+            .with(CrashPoint::MidCheckpoint, 0);
+        let mut s = plan.state();
+        assert!(!s.should_crash(CrashPoint::BeforeWalFsync), "arrival 0");
+        assert!(!s.should_crash(CrashPoint::BeforeWalFsync), "arrival 1");
+        assert!(s.should_crash(CrashPoint::BeforeWalFsync), "arrival 2");
+        assert!(!s.should_crash(CrashPoint::BeforeWalFsync), "fires once");
+        assert!(s.should_crash(CrashPoint::MidCheckpoint));
+        assert!(!s.should_crash(CrashPoint::AfterWalBeforeCheckpoint));
+    }
+
+    #[test]
+    fn crash_plan_parse_roundtrips_names() {
+        let plan =
+            CrashPlan::parse("before-wal-fsync@2, mid-checkpoint, after-wal-before-checkpoint@1")
+                .unwrap();
+        assert_eq!(
+            plan.events,
+            vec![
+                (CrashPoint::BeforeWalFsync, 2),
+                (CrashPoint::MidCheckpoint, 0),
+                (CrashPoint::AfterWalBeforeCheckpoint, 1),
+            ]
+        );
+        assert_eq!(CrashPlan::parse("").unwrap(), CrashPlan::new());
+        assert!(CrashPlan::parse("explode").is_err());
+        assert!(CrashPlan::parse("mid-checkpoint@x").is_err());
     }
 
     #[test]

@@ -59,6 +59,7 @@ pub mod barrier;
 pub mod comm;
 pub mod config;
 pub mod cputime;
+pub mod durable;
 pub mod error;
 pub mod fault;
 pub mod master;
@@ -68,8 +69,9 @@ pub mod worker;
 
 pub use comm::{check_payload_bounds, CommMode, PayloadBoundsError, WireFormat, MAX_PAYLOAD_BYTES};
 pub use config::{FaultRecovery, ParallelConfig, PartitioningStrategy};
+pub use durable::{atomic_write, atomic_write_synced, crc32, sync_dir, TMP_SUFFIX};
 pub use error::{CommError, RunError, SkippedMessage, WorkerError};
-pub use fault::{FaultKind, FaultPlan};
+pub use fault::{CrashPlan, CrashPoint, CrashState, FaultKind, FaultPlan};
 pub use master::{run_parallel, run_serial, RunReport};
 pub use model::{fit_cubic, PolyModel};
 pub use stats::WorkerStats;

@@ -155,6 +155,28 @@ pub fn load(r: &mut impl Read) -> Result<Graph, SnapshotError> {
     Ok(graph)
 }
 
+/// Serialize `graph` into an in-memory snapshot image — the payload the
+/// serve-layer checkpoint format wraps with a checksum.
+pub fn save_to_vec(graph: &Graph) -> Result<Vec<u8>, SnapshotError> {
+    let mut buf = Vec::new();
+    save(graph, &mut buf)?;
+    Ok(buf)
+}
+
+/// Load a snapshot from an in-memory image, rejecting trailing bytes
+/// (a length mismatch means the container that carried the image lied).
+pub fn load_from_slice(bytes: &[u8]) -> Result<Graph, SnapshotError> {
+    let mut r = bytes;
+    let g = load(&mut r)?;
+    if !r.is_empty() {
+        return Err(format_err(format!(
+            "{} trailing byte(s) after snapshot",
+            r.len()
+        )));
+    }
+    Ok(g)
+}
+
 fn write_str(w: &mut impl Write, s: &str) -> io::Result<()> {
     w.write_all(&(s.len() as u32).to_le_bytes())?;
     w.write_all(s.as_bytes())
@@ -270,6 +292,20 @@ mod tests {
         assert!(matches!(
             load(&mut buf.as_slice()),
             Err(SnapshotError::Format(m)) if m.contains("out of range")
+        ));
+    }
+
+    #[test]
+    fn vec_roundtrip_and_trailing_bytes_rejected() {
+        let g = sample();
+        let img = save_to_vec(&g).unwrap();
+        let back = load_from_slice(&img).unwrap();
+        assert_eq!(back.term_fingerprint(), g.term_fingerprint());
+        let mut padded = img.clone();
+        padded.push(0);
+        assert!(matches!(
+            load_from_slice(&padded),
+            Err(SnapshotError::Format(m)) if m.contains("trailing")
         ));
     }
 

@@ -4,6 +4,9 @@
 //! ```text
 //! owlpar-serve run <kb.nt|kb.owlpar> [--addr 127.0.0.1:7878] [--k 2]
 //!                  [--threads 4] [--strategy graph|hash|domain|rule]
+//!                  [--data-dir <dir>] [--checkpoint-bytes <n>]
+//!                  [--read-timeout-ms <n>] [--max-pending <n>]
+//!                  [--crash-at <point[@occ][,...]>]
 //! owlpar-serve query <addr> '<SPARQL>'
 //! owlpar-serve insert <addr> <batch.nt|->
 //! owlpar-serve stats <addr>
@@ -11,18 +14,35 @@
 //! owlpar-serve shutdown <addr>
 //! ```
 //!
+//! With `--data-dir`, every accepted INSERT is write-ahead logged and
+//! the closed KB is checkpointed atomically; if the directory already
+//! holds state, the server recovers from it (latest valid checkpoint +
+//! WAL replay) and the `<kb>` argument is ignored. `--crash-at` injects
+//! a real `abort(2)` at a durability crash point — the hook the CI
+//! crash-recovery smoke job drives.
+//!
 //! Exit codes mirror `owlpar`: 0 success, 1 usage/IO/remote error, 3 the
-//! initial parallel materialization failed.
+//! initial parallel materialization failed *or* the data directory is
+//! unrecoverable.
 
-use owlpar_core::{ParallelConfig, PartitioningStrategy};
+use owlpar_core::{run_parallel, CrashPlan, ParallelConfig, PartitioningStrategy};
+use owlpar_datalog::MaterializationStrategy;
+use owlpar_horst::HorstReasoner;
 use owlpar_rdf::{parse_ntriples, snapshot, Graph};
-use owlpar_serve::{run_info, serve, Client, ServeConfig, ServeError, ServingKb};
+use owlpar_serve::{
+    has_state, recover, run_info, serve, Client, CrashAction, Durability, DurabilityConfig,
+    RunInfo, ServeConfig, ServeError, ServingKb,
+};
 use std::io::Read;
+use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Duration;
 
 enum CliError {
     Usage(String),
-    Run(String),
+    /// Materialization failed or the data directory is unrecoverable —
+    /// the states an operator cannot fix by retrying the same command.
+    Fatal(String),
 }
 
 impl From<String> for CliError {
@@ -40,7 +60,8 @@ impl From<&str> for CliError {
 impl From<ServeError> for CliError {
     fn from(e: ServeError) -> Self {
         match e {
-            ServeError::Run(r) => CliError::Run(r.to_string()),
+            ServeError::Run(r) => CliError::Fatal(format!("materialization failed: {r}")),
+            ServeError::Recovery(r) => CliError::Fatal(format!("unrecoverable state: {r}")),
             other => CliError::Usage(other.to_string()),
         }
     }
@@ -54,8 +75,8 @@ fn main() -> ExitCode {
             eprintln!("owlpar-serve: {e}");
             ExitCode::FAILURE
         }
-        Err(CliError::Run(e)) => {
-            eprintln!("owlpar-serve: materialization failed: {e}");
+        Err(CliError::Fatal(e)) => {
+            eprintln!("owlpar-serve: {e}");
             ExitCode::from(3)
         }
     }
@@ -96,6 +117,21 @@ fn load_kb(path: &str) -> Result<Graph, CliError> {
     Ok(g)
 }
 
+/// Build the durability config from the CLI flags.
+fn durability_config(args: &[String], dir: PathBuf) -> Result<DurabilityConfig, CliError> {
+    let mut cfg = DurabilityConfig::new(dir);
+    if let Some(v) = flag_value(args, "--checkpoint-bytes") {
+        cfg.checkpoint_bytes = v
+            .parse()
+            .map_err(|_| "--checkpoint-bytes wants a byte count".to_string())?;
+    }
+    if let Some(spec) = flag_value(args, "--crash-at") {
+        cfg.crash = CrashPlan::parse(&spec).map_err(|e| format!("--crash-at: {e}"))?;
+        cfg.crash_action = CrashAction::Abort;
+    }
+    Ok(cfg)
+}
+
 fn run_server(args: &[String]) -> Result<(), CliError> {
     let [input, ..] = args else {
         return Err("run needs <kb.nt|kb.owlpar>".into());
@@ -112,30 +148,81 @@ fn run_server(args: &[String]) -> Result<(), CliError> {
         Some("rule") => PartitioningStrategy::rule(),
         Some(other) => return Err(format!("unknown strategy '{other}'").into()),
     };
-
-    let graph = load_kb(input)?;
-    let base = graph.len();
-    let cfg = ParallelConfig {
-        k,
-        strategy,
-        ..ParallelConfig::default()
+    let mut serve_cfg = ServeConfig {
+        addr,
+        threads,
+        ..ServeConfig::default()
+    };
+    if let Some(ms) = flag_value(args, "--read-timeout-ms") {
+        let ms: u64 = ms
+            .parse()
+            .map_err(|_| "--read-timeout-ms wants milliseconds".to_string())?;
+        serve_cfg.read_timeout = (ms > 0).then(|| Duration::from_millis(ms));
     }
-    .forward();
-    let (kb, report) = ServingKb::materialize(graph, &cfg)?;
-    println!("materialized: {}", report.summary());
+    if let Some(n) = flag_value(args, "--max-pending") {
+        serve_cfg.max_pending = n
+            .parse()
+            .map_err(|_| "--max-pending wants a count".to_string())?;
+    }
+    let data_dir = flag_value(args, "--data-dir").map(PathBuf::from);
 
-    let handle = serve(
-        kb,
-        run_info(&report),
-        &ServeConfig {
-            addr,
-            threads,
-        },
-    )?;
+    // Three startup shapes: recover from a non-empty data dir (the
+    // `<kb>` argument is ignored — checkpoint 0 holds the initial KB),
+    // initialize a fresh data dir from the input, or serve purely
+    // in-memory when no --data-dir is given.
+    let (kb, run): (ServingKb, RunInfo) = match data_dir {
+        Some(dir) if has_state(&dir) => {
+            let (graph, durability, report) = recover(durability_config(args, dir)?)?;
+            println!("recovery: {}", report.summary());
+            let mut graph = graph;
+            let reasoner = HorstReasoner::from_graph(
+                &mut graph,
+                MaterializationStrategy::ForwardSemiNaive,
+            );
+            let run = RunInfo {
+                summary: report.summary(),
+                derived: report.rederived,
+                ..RunInfo::default()
+            };
+            (
+                ServingKb::from_closed(graph, reasoner).with_durability(durability),
+                run,
+            )
+        }
+        data_dir => {
+            let mut graph = load_kb(input)?;
+            let base = graph.len();
+            let cfg = ParallelConfig {
+                k,
+                strategy,
+                ..ParallelConfig::default()
+            }
+            .forward();
+            let report = run_parallel(&mut graph, &cfg)
+                .map_err(|e| CliError::Fatal(format!("materialization failed: {e}")))?;
+            println!("materialized: {} ({base} base triples)", report.summary());
+            let reasoner = HorstReasoner::from_graph(
+                &mut graph,
+                MaterializationStrategy::ForwardSemiNaive,
+            );
+            let run = run_info(&report);
+            let kb = match data_dir {
+                Some(dir) => {
+                    // Checkpoint 0 = the closed initial KB; the WAL then
+                    // records everything accepted after it.
+                    let d = Durability::init(durability_config(args, dir)?, &graph)?;
+                    println!("durability: data dir {} initialized", d.dir().display());
+                    ServingKb::from_closed(graph, reasoner).with_durability(d)
+                }
+                None => ServingKb::from_closed(graph, reasoner),
+            };
+            (kb, run)
+        }
+    };
+
+    let handle = serve(kb, run, &serve_cfg)?;
     println!(
-        "serving {} triples ({base} base) on {} with {threads} thread(s); \
-         epoch {}",
-        report.closure_size,
+        "serving on {} with {threads} thread(s); epoch {}",
         handle.addr(),
         handle.epoch()
     );

@@ -53,6 +53,7 @@ impl Client {
         let body = wire::read_frame(&mut self.reader)?;
         match Response::decode(&body)? {
             Response::Error(m) => Err(ServeError::Remote(m)),
+            Response::Busy => Err(ServeError::Busy),
             other => Ok(other),
         }
     }

@@ -3,7 +3,7 @@
 //! Same discipline as `owlpar_core::error`: every runtime path returns a
 //! structured error; panics are denied crate-wide outside tests.
 
-use owlpar_core::{PayloadBoundsError, RunError};
+use owlpar_core::{CrashPoint, PayloadBoundsError, RunError};
 
 /// Anything that can go wrong serving a KB.
 #[derive(Debug)]
@@ -24,6 +24,22 @@ pub enum ServeError {
     BadBatch(String),
     /// A query failed to parse.
     BadQuery(String),
+    /// The server is saturated (connection cap reached) and refused the
+    /// connection with a `BUSY` response instead of queueing it.
+    Busy,
+    /// The peer sat idle (or wrote/read too slowly) past the configured
+    /// socket deadline and was disconnected.
+    IdleTimeout,
+    /// The durability layer (WAL append, fsync, checkpoint write) failed;
+    /// the triggering write was rejected, not half-applied.
+    Durability(String),
+    /// Crash-recovery found no usable state (every checkpoint invalid,
+    /// WAL unreadable). Maps to exit code 3 in the CLI.
+    Recovery(String),
+    /// An injected [`CrashPoint`] fired in simulation mode: the
+    /// durability layer stopped persisting, exactly as if the process
+    /// had died at that point.
+    Crashed(CrashPoint),
 }
 
 impl std::fmt::Display for ServeError {
@@ -36,6 +52,13 @@ impl std::fmt::Display for ServeError {
             ServeError::Run(e) => write!(f, "materialization failed: {e}"),
             ServeError::BadBatch(m) => write!(f, "bad insert batch: {m}"),
             ServeError::BadQuery(m) => write!(f, "bad query: {m}"),
+            ServeError::Busy => write!(f, "server busy: connection cap reached, retry later"),
+            ServeError::IdleTimeout => {
+                write!(f, "idle timeout: no complete request within the deadline")
+            }
+            ServeError::Durability(m) => write!(f, "durability failure: {m}"),
+            ServeError::Recovery(m) => write!(f, "unrecoverable state: {m}"),
+            ServeError::Crashed(p) => write!(f, "injected crash at {p}"),
         }
     }
 }

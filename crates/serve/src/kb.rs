@@ -15,6 +15,7 @@
 
 use crate::epoch::{EpochHandle, KbSnapshot};
 use crate::error::ServeError;
+use crate::recovery::Durability;
 use owlpar_core::{run_parallel, ParallelConfig, RunReport};
 use owlpar_datalog::MaterializationStrategy;
 use owlpar_horst::{DeltaOutcome, HorstReasoner};
@@ -51,6 +52,14 @@ struct WriterState {
     /// `graph.store` minus `base`: the recent, not-yet-compacted inserts.
     /// Cloned (it is small) into each published snapshot.
     overlay: TripleStore,
+    /// Optional durability layer: WAL + checkpoints. `None` = the
+    /// pre-durability, purely in-memory behavior.
+    durability: Option<Durability>,
+    /// The last checkpoint failure, surfaced through
+    /// [`ServingKb::durability_status`]. The triggering insert was
+    /// still acknowledged — it was already logged — but the layer is
+    /// poisoned and later inserts are refused.
+    durability_error: Option<String>,
 }
 
 impl WriterState {
@@ -61,6 +70,8 @@ impl WriterState {
             reasoner,
             base,
             overlay: TripleStore::new(),
+            durability: None,
+            durability_error: None,
         }
     }
 
@@ -71,12 +82,16 @@ impl WriterState {
         self.overlay = TripleStore::new();
     }
 
-    /// Fold an oversized overlay into the frozen base.
-    fn maybe_compact(&mut self) {
+    /// Fold an oversized overlay into the frozen base. Returns whether
+    /// a merge happened — the merge-compaction point doubles as a
+    /// checkpoint trigger for the durability layer.
+    fn maybe_compact(&mut self) -> bool {
         if self.overlay.len() > COMPACT_FLOOR.max(self.base.len() / 4) {
             self.base = Arc::new(self.base.merge(&self.overlay));
             self.overlay = TripleStore::new();
+            return true;
         }
+        false
     }
 
     /// The published view of the current state: shared frozen base plus a
@@ -130,6 +145,48 @@ impl ServingKb {
         self
     }
 
+    /// Attach a durability layer: every subsequent accepted INSERT is
+    /// write-ahead logged (and fsynced) before it is applied, and
+    /// checkpoints are taken at merge-compaction or when the WAL grows
+    /// past its configured bound.
+    pub fn with_durability(self, d: Durability) -> Self {
+        {
+            let mut guard = self.lock_writer();
+            guard.durability = Some(d);
+            guard.durability_error = None;
+        }
+        self
+    }
+
+    /// `None` when no durability layer is attached, `Some("ok")` while
+    /// it is healthy, and the first persistent failure (IO error or
+    /// injected crash) as a string once poisoned. A degraded server
+    /// keeps answering queries but refuses further inserts.
+    pub fn durability_status(&self) -> Option<String> {
+        let guard = self.lock_writer();
+        if let Some(e) = &guard.durability_error {
+            return Some(e.clone());
+        }
+        guard.durability.as_ref().map(|d| {
+            if d.poisoned() {
+                "durability layer poisoned by an earlier failure".into()
+            } else {
+                "ok".into()
+            }
+        })
+    }
+
+    /// Final durability flush for graceful shutdown — called after every
+    /// worker has drained, so in-flight inserts are either fully
+    /// applied+logged or were rejected before touching any state.
+    pub fn shutdown_flush(&self) -> Result<(), ServeError> {
+        let mut guard = self.lock_writer();
+        match guard.durability.as_mut() {
+            Some(d) => d.final_sync(),
+            None => Ok(()),
+        }
+    }
+
     /// The current snapshot (cheap; see [`EpochHandle::load`]).
     pub fn snapshot(&self) -> Arc<KbSnapshot> {
         self.epochs.load()
@@ -174,6 +231,17 @@ impl ServingKb {
             })
             .collect();
 
+        // Write-ahead: the batch is durably logged (appended + fsynced)
+        // *before* any in-memory mutation, so an acknowledged insert is
+        // always recoverable and a failed log leaves nothing applied.
+        // (Interned dictionary terms from the lines above are semantic
+        // no-ops without triples referencing them.)
+        if let Some(d) = w.durability.as_mut() {
+            if !batch.is_empty() {
+                d.log_batch(nt)?;
+            }
+        }
+
         let before = w.graph.store.len();
         // Batch triples that are actually new (the delta path will insert
         // exactly these): they join the overlay alongside the derivations.
@@ -182,13 +250,14 @@ impl ServingKb {
             .copied()
             .filter(|t| !w.graph.store.contains(t))
             .collect();
+        let compacted;
         let (derived, schema_changed) =
             match w.reasoner.materialize_delta(&mut w.graph.store, &batch) {
                 DeltaOutcome::Incremental { derived } => {
                     for t in fresh.iter().chain(derived.iter()) {
                         w.overlay.insert(*t);
                     }
-                    w.maybe_compact();
+                    compacted = w.maybe_compact();
                     (derived.len(), false)
                 }
                 DeltaOutcome::SchemaChanged => {
@@ -206,10 +275,23 @@ impl ServingKb {
                     );
                     w.reasoner.materialize(&mut w.graph);
                     w.refreeze();
+                    compacted = true; // full refreeze ≙ compaction point
                     (w.graph.store.len() - mid, true)
                 }
             };
         let added = w.graph.store.len() - before - derived;
+
+        // Checkpoint at the merge-compaction point or when the WAL has
+        // outgrown its bound. The batch is already logged, so a
+        // checkpoint failure does not retract the acknowledgement — it
+        // poisons the layer, and the *next* insert is refused.
+        if let Some(d) = w.durability.as_mut() {
+            if compacted || d.wal_over_threshold() {
+                if let Err(e) = d.take_checkpoint(&w.graph) {
+                    w.durability_error = Some(e.to_string());
+                }
+            }
+        }
 
         // Build the complete next snapshot before touching the handle.
         // Publication cost is O(overlay): the frozen base is shared.

@@ -19,26 +19,39 @@
 //!   validated through the same `owlpar_core::check_payload_bounds` the
 //!   shared-file transport uses.
 //! * [`server`] / [`client`] — a thread-pooled TCP server with graceful
-//!   shutdown, and the matching blocking client.
+//!   shutdown, and the matching blocking client. The accept path is
+//!   bounded (saturated servers answer `BUSY` instead of queueing
+//!   unboundedly) and every connection carries read/write deadlines.
 //! * [`stats`] — lock-free latency histograms and counters behind the
 //!   STATS request.
+//! * [`wal`] / [`checkpoint`] / [`recovery`] — the durability layer: a
+//!   CRC-checksummed write-ahead log of accepted INSERT batches (base
+//!   triples only; derived facts are recomputed), atomic checksummed
+//!   checkpoints of the closed graph, and a crash-recovery path that
+//!   provably equals the no-crash closure over acknowledged batches.
 
 // Serving code must propagate failures as typed errors, never panic;
 // the unwrap/expect/panic deny gates come from `[workspace.lints]` in the
 // workspace manifest (enforced in CI by clippy).
 #![forbid(unsafe_code)]
 
+pub mod checkpoint;
 pub mod client;
 pub mod epoch;
 pub mod error;
 pub mod kb;
+pub mod recovery;
 pub mod server;
 pub mod stats;
+pub mod wal;
 pub mod wire;
 
 pub use client::{Client, InsertResult, QueryResult};
 pub use epoch::{EpochHandle, KbSnapshot};
 pub use error::ServeError;
 pub use kb::{InsertOutcome, ServingKb};
+pub use recovery::{
+    has_state, recover, CrashAction, Durability, DurabilityConfig, RecoveryReport,
+};
 pub use server::{run_info, serve, ServeConfig, ServerHandle};
 pub use stats::{LatencyHistogram, RunInfo, ServerStats};

@@ -1,16 +1,24 @@
 //! The TCP server: accept loop + fixed thread pool + request dispatch.
 //!
 //! One acceptor thread hands connections to a fixed pool of worker
-//! threads over an mpsc channel. Each worker speaks the framed protocol
-//! of [`crate::wire`] until the peer hangs up. Queries run entirely
-//! against an epoch snapshot ([`ServingKb::snapshot`]) — they never
-//! touch the writer lock — so any number of in-flight queries proceed
-//! while an insert is recomputing the closure.
+//! threads over a **bounded** channel: when `threads` workers are busy
+//! and `max_pending` connections already wait, the acceptor answers
+//! `BUSY` on the spot and closes — saturation is a typed wire response,
+//! never an unbounded queue. Each worker speaks the framed protocol of
+//! [`crate::wire`] until the peer hangs up, under per-connection
+//! read/write socket deadlines so an idle or glacial peer cannot park a
+//! worker thread forever (it is disconnected with a typed error).
+//! Queries run entirely against an epoch snapshot
+//! ([`ServingKb::snapshot`]) — they never touch the writer lock — so
+//! any number of in-flight queries proceed while an insert is
+//! recomputing the closure.
 //!
-//! Shutdown is graceful and typed: a SHUTDOWN request (or
-//! [`ServerHandle::request_shutdown`]) raises a flag, wakes the acceptor
-//! with a loopback connection, and lets every worker drain its current
-//! connection before exiting.
+//! Shutdown is graceful, typed, and durable: a SHUTDOWN request (or
+//! [`ServerHandle::request_shutdown`]) raises a flag, wakes the
+//! acceptor, rejects new INSERTs (they are *fully rejected*, never
+//! half-applied), lets every worker finish its current request, and —
+//! once all workers have drained — performs the final WAL fsync via
+//! [`ServingKb::shutdown_flush`].
 
 use crate::error::ServeError;
 use crate::kb::ServingKb;
@@ -22,10 +30,10 @@ use owlpar_query::{execute, parse_query_frozen};
 use std::io::{BufReader, BufWriter, ErrorKind};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -34,6 +42,15 @@ pub struct ServeConfig {
     pub addr: String,
     /// Worker threads answering requests.
     pub threads: usize,
+    /// Per-connection read deadline: a peer that does not deliver a
+    /// complete frame within it is disconnected with a typed error
+    /// instead of parking a worker. `None` = wait forever.
+    pub read_timeout: Option<Duration>,
+    /// Per-connection write deadline for slow consumers.
+    pub write_timeout: Option<Duration>,
+    /// Connections allowed to wait for a free worker beyond the
+    /// `threads` being served; the acceptor answers `BUSY` past it.
+    pub max_pending: usize,
 }
 
 impl Default for ServeConfig {
@@ -41,6 +58,9 @@ impl Default for ServeConfig {
         ServeConfig {
             addr: "127.0.0.1:0".to_string(),
             threads: 4,
+            read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(10)),
+            max_pending: 64,
         }
     }
 }
@@ -77,7 +97,10 @@ impl ServerHandle {
         initiate_shutdown(&self.inner);
     }
 
-    /// Wait for the acceptor and all workers to drain and exit.
+    /// Wait for the acceptor and all workers to drain and exit, then
+    /// perform the final durability fsync. By this point every in-flight
+    /// INSERT has either been fully applied and logged, or was rejected
+    /// whole — shutdown never leaves a half-applied batch behind.
     pub fn join(mut self) -> Result<(), ServeError> {
         if let Some(a) = self.acceptor.take() {
             a.join()
@@ -87,7 +110,7 @@ impl ServerHandle {
             w.join()
                 .map_err(|_| ServeError::Protocol("worker thread panicked".into()))?;
         }
-        Ok(())
+        self.inner.kb.shutdown_flush()
     }
 }
 
@@ -114,9 +137,15 @@ pub fn serve(kb: ServingKb, run: RunInfo, cfg: &ServeConfig) -> Result<ServerHan
         addr,
     });
 
-    let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = channel();
+    // Bounded handoff: `max_pending` waiting connections beyond the
+    // `threads` currently served. A full queue is answered with BUSY by
+    // the acceptor itself, so saturation is visible to clients instead
+    // of accumulating in unbounded memory.
+    let (tx, rx): (SyncSender<TcpStream>, Receiver<TcpStream>) =
+        sync_channel(cfg.max_pending.max(1));
     let rx = Arc::new(Mutex::new(rx));
 
+    let timeouts = (cfg.read_timeout, cfg.write_timeout);
     let threads = cfg.threads.max(1);
     let mut workers = Vec::with_capacity(threads);
     for i in 0..threads {
@@ -125,7 +154,7 @@ pub fn serve(kb: ServingKb, run: RunInfo, cfg: &ServeConfig) -> Result<ServerHan
         workers.push(
             std::thread::Builder::new()
                 .name(format!("owlpar-serve-{i}"))
-                .spawn(move || worker_loop(&rx, &inner))?,
+                .spawn(move || worker_loop(&rx, &inner, timeouts))?,
         );
     }
 
@@ -138,10 +167,17 @@ pub fn serve(kb: ServingKb, run: RunInfo, cfg: &ServeConfig) -> Result<ServerHan
                     if inner.shutdown.load(Ordering::SeqCst) {
                         break;
                     }
-                    if let Ok(stream) = conn {
-                        if tx.send(stream).is_err() {
-                            break;
+                    let stream = match conn {
+                        Ok(s) => s,
+                        Err(_) => continue,
+                    };
+                    match tx.try_send(stream) {
+                        Ok(()) => {}
+                        Err(TrySendError::Full(stream)) => {
+                            inner.stats.busy_rejections.fetch_add(1, Ordering::Relaxed);
+                            reject_busy(stream);
                         }
+                        Err(TrySendError::Disconnected(_)) => break,
                     }
                 }
                 // tx drops here; workers drain the queue and exit.
@@ -155,7 +191,20 @@ pub fn serve(kb: ServingKb, run: RunInfo, cfg: &ServeConfig) -> Result<ServerHan
     })
 }
 
-fn worker_loop(rx: &Arc<Mutex<Receiver<TcpStream>>>, inner: &Arc<Inner>) {
+/// Tell a connection the pool is saturated and hang up. Best-effort —
+/// the peer may already be gone — and briefly bounded so a slow client
+/// cannot stall the acceptor.
+fn reject_busy(stream: TcpStream) {
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+    let mut writer = BufWriter::new(stream);
+    let _ = wire::write_frame(&mut writer, &Response::Busy.encode());
+}
+
+fn worker_loop(
+    rx: &Arc<Mutex<Receiver<TcpStream>>>,
+    inner: &Arc<Inner>,
+    timeouts: (Option<Duration>, Option<Duration>),
+) {
     loop {
         let next = {
             let guard = match rx.lock() {
@@ -167,14 +216,26 @@ fn worker_loop(rx: &Arc<Mutex<Receiver<TcpStream>>>, inner: &Arc<Inner>) {
         match next {
             Ok(stream) => {
                 // Connection-level failures only affect that peer.
-                let _ = handle_connection(stream, inner);
+                let _ = handle_connection(stream, inner, timeouts);
             }
             Err(_) => return, // acceptor gone and queue drained
         }
     }
 }
 
-fn handle_connection(stream: TcpStream, inner: &Arc<Inner>) -> Result<(), ServeError> {
+/// Whether an IO error is a socket deadline expiring. Timeouts surface
+/// as `WouldBlock` on Unix and `TimedOut` on Windows.
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut)
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    inner: &Arc<Inner>,
+    (read_timeout, write_timeout): (Option<Duration>, Option<Duration>),
+) -> Result<(), ServeError> {
+    stream.set_read_timeout(read_timeout)?;
+    stream.set_write_timeout(write_timeout)?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
     loop {
@@ -182,6 +243,14 @@ fn handle_connection(stream: TcpStream, inner: &Arc<Inner>) -> Result<(), ServeE
             Ok(b) => b,
             Err(ServeError::Io(e)) if e.kind() == ErrorKind::UnexpectedEof => {
                 return Ok(()); // peer closed between requests
+            }
+            Err(ServeError::Io(e)) if is_timeout(&e) => {
+                // Idle peer: say why we are hanging up (best-effort; the
+                // write shares the deadline) and free the worker.
+                inner.stats.idle_disconnects.fetch_add(1, Ordering::Relaxed);
+                let bye = Response::Error(ServeError::IdleTimeout.to_string());
+                let _ = wire::write_frame(&mut writer, &bye.encode());
+                return Err(ServeError::IdleTimeout);
             }
             Err(e) => {
                 // Bad frame: report it if the socket still works, then
@@ -199,9 +268,22 @@ fn handle_connection(stream: TcpStream, inner: &Arc<Inner>) -> Result<(), ServeE
             }
         };
         let closing = matches!(response, Response::ShuttingDown);
-        wire::write_frame(&mut writer, &response.encode())?;
+        match wire::write_frame(&mut writer, &response.encode()) {
+            Ok(()) => {}
+            Err(ServeError::Io(e)) if is_timeout(&e) => {
+                // Slow consumer blew the write deadline: drop it.
+                inner.stats.idle_disconnects.fetch_add(1, Ordering::Relaxed);
+                return Err(ServeError::IdleTimeout);
+            }
+            Err(e) => return Err(e),
+        }
         if closing {
             initiate_shutdown(inner);
+            return Ok(());
+        }
+        if inner.shutdown.load(Ordering::SeqCst) {
+            // Shutdown raised while serving: finish this response, then
+            // close so the pool can drain.
             return Ok(());
         }
     }
@@ -240,6 +322,16 @@ fn dispatch(req: Request, inner: &Arc<Inner>) -> Response {
             }
         }
         Request::Insert(nt) => {
+            // Once shutdown has been requested, new INSERTs are rejected
+            // whole — never started and half-applied. (An insert already
+            // inside `insert_ntriples` completes and is logged normally.)
+            if inner.shutdown.load(Ordering::SeqCst) {
+                inner.stats.errors.fetch_add(1, Ordering::Relaxed);
+                return Response::Error(
+                    ServeError::Protocol("server is shutting down; insert rejected".into())
+                        .to_string(),
+                );
+            }
             let started = Instant::now();
             match inner.kb.insert_ntriples(&nt) {
                 Ok(out) => {
@@ -260,11 +352,13 @@ fn dispatch(req: Request, inner: &Arc<Inner>) -> Response {
         }
         Request::Stats => {
             let snapshot = inner.kb.snapshot();
+            let durability = inner.kb.durability_status();
             Response::Stats(inner.stats.to_json(
                 snapshot.epoch,
                 snapshot.store.len(),
                 snapshot.dict.len(),
                 &inner.run,
+                durability.as_deref(),
             ))
         }
         Request::Ping => Response::Pong,

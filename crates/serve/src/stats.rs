@@ -72,6 +72,10 @@ pub struct ServerStats {
     pub inserts: AtomicU64,
     /// Requests answered with an error.
     pub errors: AtomicU64,
+    /// Connections turned away with `BUSY` (worker pool saturated).
+    pub busy_rejections: AtomicU64,
+    /// Connections dropped for blowing a read/write deadline.
+    pub idle_disconnects: AtomicU64,
     /// Query latency (parse + execute + render).
     pub query_latency: LatencyHistogram,
     /// Insert latency (parse + delta closure + publish).
@@ -95,11 +99,26 @@ pub struct RunInfo {
 }
 
 impl ServerStats {
-    /// Render the stats JSON the STATS request returns.
-    pub fn to_json(&self, epoch: u64, triples: usize, terms: usize, run: &RunInfo) -> String {
+    /// Render the stats JSON the STATS request returns. `durability` is
+    /// `None` when the server runs without a data dir, `Some("ok")`
+    /// while the layer is healthy, and `Some(<error>)` once poisoned.
+    pub fn to_json(
+        &self,
+        epoch: u64,
+        triples: usize,
+        terms: usize,
+        run: &RunInfo,
+        durability: Option<&str>,
+    ) -> String {
+        let durability = match durability {
+            None => "null".to_string(),
+            Some(s) => format!("\"{}\"", escape_json(s)),
+        };
         format!(
             "{{\"epoch\":{epoch},\"triples\":{triples},\"terms\":{terms},\
              \"queries\":{},\"inserts\":{},\"errors\":{},\
+             \"busy_rejections\":{},\"idle_disconnects\":{},\
+             \"durability\":{durability},\
              \"query_p50_us\":{},\"query_p99_us\":{},\
              \"insert_p50_us\":{},\"insert_p99_us\":{},\
              \"run\":{{\"workers\":{},\"rounds\":{},\"derived\":{},\
@@ -107,6 +126,8 @@ impl ServerStats {
             self.queries.load(Ordering::Relaxed),
             self.inserts.load(Ordering::Relaxed),
             self.errors.load(Ordering::Relaxed),
+            self.busy_rejections.load(Ordering::Relaxed),
+            self.idle_disconnects.load(Ordering::Relaxed),
             self.query_latency.quantile_us(0.50),
             self.query_latency.quantile_us(0.99),
             self.insert_latency.quantile_us(0.50),
@@ -196,17 +217,31 @@ mod tests {
                 skipped: 0,
                 summary: "4 worker(s)".into(),
             },
+            None,
         );
         assert!(j.starts_with('{') && j.ends_with('}'));
         for key in [
             "\"epoch\":2",
             "\"triples\":100",
             "\"queries\":3",
+            "\"busy_rejections\":0",
+            "\"idle_disconnects\":0",
+            "\"durability\":null",
             "\"query_p50_us\":",
             "\"workers\":4",
             "\"summary\":\"4 worker(s)\"",
         ] {
             assert!(j.contains(key), "missing {key} in {j}");
         }
+    }
+
+    #[test]
+    fn stats_json_reports_durability_state() {
+        let s = ServerStats::default();
+        let run = RunInfo::default();
+        let ok = s.to_json(0, 0, 0, &run, Some("ok"));
+        assert!(ok.contains("\"durability\":\"ok\""), "{ok}");
+        let bad = s.to_json(0, 0, 0, &run, Some("wal: disk \"full\""));
+        assert!(bad.contains("\"durability\":\"wal: disk \\\"full\\\"\""), "{bad}");
     }
 }

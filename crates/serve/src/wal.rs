@@ -1,0 +1,403 @@
+//! The write-ahead log: durable, checksummed record of accepted INSERT
+//! batches.
+//!
+//! Only **base** triples are logged — the raw N-Triples text of each
+//! accepted batch, exactly as the client sent it. Derived facts are
+//! never logged: recovery recomputes them with the same semi-naive
+//! delta closure the live insert path uses, which keeps the log
+//! proportional to the ingress stream, not the closure.
+//!
+//! One *segment* file covers the interval between two checkpoints and
+//! is named `wal-<seq>.log`, where `seq` is the checkpoint it follows
+//! (see [`crate::checkpoint`]). Layout:
+//!
+//! ```text
+//! segment := magic "OWLWAL1\n" | seq:u64 | record*
+//! record  := len:u32 | crc:u32 | payload bytes{len}
+//! ```
+//!
+//! All integers little-endian; `crc` is the shared CRC-32
+//! ([`owlpar_core::crc32`]) of the payload; `len` is validated through
+//! the same [`owlpar_core::check_payload_bounds`] as every other
+//! length-prefixed stream in the system.
+//!
+//! The append path is write-ahead in the strict sense: a batch is
+//! appended **and fsynced** before it is applied to the in-memory
+//! store, so an acknowledged insert is always on disk. A crash between
+//! the write and the fsync can leave a *torn* final record; replay
+//! tolerates exactly that — it stops at the first record whose length
+//! field is truncated or whose CRC does not match, reports the tear,
+//! and recovery truncates the segment back to its valid prefix before
+//! appending again.
+
+use crate::error::ServeError;
+use owlpar_core::{check_payload_bounds, crc32};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+const WAL_MAGIC: &[u8; 8] = b"OWLWAL1\n";
+const HEADER_LEN: u64 = 16; // magic + seq
+
+/// Name of the segment that follows checkpoint `seq`.
+pub fn segment_name(seq: u64) -> String {
+    format!("wal-{seq:016}.log")
+}
+
+/// Parse a segment filename back to its sequence number.
+pub fn parse_segment_name(name: &str) -> Option<u64> {
+    name.strip_prefix("wal-")?.strip_suffix(".log")?.parse().ok()
+}
+
+fn io_err(what: &str, e: &std::io::Error) -> ServeError {
+    ServeError::Durability(format!("{what}: {e}"))
+}
+
+/// Append handle for one WAL segment.
+#[derive(Debug)]
+pub struct WalWriter {
+    path: PathBuf,
+    file: std::fs::File,
+    /// Bytes in the segment (header + records) — the checkpoint trigger.
+    bytes: u64,
+    records: u64,
+}
+
+impl WalWriter {
+    /// Create segment `seq` in `dir` (fails if it already exists with
+    /// content — segments are created exactly once, at rotation).
+    pub fn create(dir: &Path, seq: u64) -> Result<Self, ServeError> {
+        let path = dir.join(segment_name(seq));
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| io_err("creating WAL segment", &e))?;
+        let len = file
+            .metadata()
+            .map_err(|e| io_err("statting WAL segment", &e))?
+            .len();
+        if len == 0 {
+            let mut header = Vec::with_capacity(HEADER_LEN as usize);
+            header.extend_from_slice(WAL_MAGIC);
+            header.extend_from_slice(&seq.to_le_bytes());
+            file.write_all(&header)
+                .and_then(|()| file.sync_all())
+                .map_err(|e| io_err("writing WAL header", &e))?;
+        }
+        let bytes = file
+            .metadata()
+            .map_err(|e| io_err("statting WAL segment", &e))?
+            .len();
+        Ok(WalWriter {
+            path,
+            file,
+            bytes,
+            records: 0,
+        })
+    }
+
+    /// Reopen an existing segment for appending, first truncating it to
+    /// `valid_len` — the valid prefix replay established — so a torn
+    /// tail can never shadow a future record.
+    pub fn reopen(dir: &Path, seq: u64, valid_len: u64) -> Result<Self, ServeError> {
+        let path = dir.join(segment_name(seq));
+        let file = std::fs::OpenOptions::new()
+            .write(true)
+            .open(&path)
+            .map_err(|e| io_err("reopening WAL segment", &e))?;
+        let actual = file
+            .metadata()
+            .map_err(|e| io_err("statting WAL segment", &e))?
+            .len();
+        if actual > valid_len {
+            file.set_len(valid_len)
+                .and_then(|()| file.sync_all())
+                .map_err(|e| io_err("truncating torn WAL tail", &e))?;
+        }
+        drop(file);
+        let file = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .map_err(|e| io_err("reopening WAL segment", &e))?;
+        Ok(WalWriter {
+            path,
+            file,
+            bytes: valid_len.min(actual.max(HEADER_LEN)),
+            records: 0,
+        })
+    }
+
+    /// Segment size in bytes (header + records).
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Records appended through this handle.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Path of the live segment.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Stage one record **without** fsyncing: write `len|crc|payload`.
+    /// Callers must follow with [`WalWriter::sync`] before
+    /// acknowledging the batch. Split so the crash-injection point
+    /// *between* write and fsync is a real program point, not a
+    /// simulation fiction.
+    pub fn append_record(&mut self, payload: &[u8]) -> Result<(), ServeError> {
+        check_payload_bounds(payload.len() as u64)
+            .map_err(|e| ServeError::Durability(format!("WAL record: {e}")))?;
+        let mut rec = Vec::with_capacity(8 + payload.len());
+        rec.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        rec.extend_from_slice(&crc32(payload).to_le_bytes());
+        rec.extend_from_slice(payload);
+        self.file
+            .write_all(&rec)
+            .map_err(|e| io_err("appending WAL record", &e))?;
+        self.bytes += rec.len() as u64;
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Write a deliberately torn half-record: the simulation of a crash
+    /// that died mid-append. Used by the fault-injection tests; the
+    /// record is *not* counted as appended.
+    pub fn append_torn_record(&mut self, payload: &[u8]) -> Result<(), ServeError> {
+        let mut rec = Vec::with_capacity(8 + payload.len());
+        rec.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        rec.extend_from_slice(&crc32(payload).to_le_bytes());
+        rec.extend_from_slice(payload);
+        rec.truncate((rec.len() / 2).max(1));
+        self.file
+            .write_all(&rec)
+            .and_then(|()| self.file.sync_data())
+            .map_err(|e| io_err("appending torn WAL record", &e))?;
+        self.bytes += rec.len() as u64;
+        Ok(())
+    }
+
+    /// Force everything appended so far to stable storage.
+    pub fn sync(&mut self) -> Result<(), ServeError> {
+        self.file
+            .sync_data()
+            .map_err(|e| io_err("fsyncing WAL", &e))
+    }
+}
+
+/// What replaying one segment found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentReplay {
+    /// The segment's sequence number (from its header).
+    pub seq: u64,
+    /// Every valid record payload, in append order.
+    pub records: Vec<Vec<u8>>,
+    /// Byte length of the valid prefix (where appends may resume).
+    pub valid_len: u64,
+    /// `true` when a torn/corrupt record terminated the scan early.
+    pub torn: bool,
+}
+
+/// Replay one segment file, stopping at the first torn or corrupt
+/// record (truncate-at-first-bad-CRC semantics). A completely missing
+/// or header-corrupt file is an error; a torn *tail* is not.
+pub fn replay_segment(path: &Path) -> Result<SegmentReplay, ServeError> {
+    let mut f = std::fs::File::open(path).map_err(|e| io_err("opening WAL segment", &e))?;
+    let mut header = [0u8; HEADER_LEN as usize];
+    f.read_exact(&mut header)
+        .map_err(|e| io_err("reading WAL header", &e))?;
+    if &header[..8] != WAL_MAGIC {
+        return Err(ServeError::Durability(format!(
+            "{}: bad WAL magic",
+            path.display()
+        )));
+    }
+    let seq = u64::from_le_bytes([
+        header[8], header[9], header[10], header[11], header[12], header[13], header[14],
+        header[15],
+    ]);
+    let mut records = Vec::new();
+    let mut valid_len = HEADER_LEN;
+    let torn;
+    loop {
+        let mut prefix = [0u8; 8];
+        match f.read_exact(&mut prefix) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
+                // Either a clean end (0 extra bytes) or a tear inside
+                // the length/crc prefix; both stop the scan. Whether it
+                // was a tear matters for reporting: compare the file's
+                // real length with the valid prefix.
+                let file_len = f
+                    .metadata()
+                    .map_err(|e| io_err("statting WAL segment", &e))?
+                    .len();
+                torn = file_len != valid_len;
+                break;
+            }
+            Err(e) => return Err(io_err("reading WAL record prefix", &e)),
+        }
+        let len = u64::from(u32::from_le_bytes([prefix[0], prefix[1], prefix[2], prefix[3]]));
+        let crc = u32::from_le_bytes([prefix[4], prefix[5], prefix[6], prefix[7]]);
+        if check_payload_bounds(len).is_err() {
+            // A nonsense length is indistinguishable from a tear that
+            // happened to leave garbage; same remedy.
+            torn = true;
+            break;
+        }
+        let mut payload = vec![0u8; len as usize];
+        match f.read_exact(&mut payload) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
+                torn = true;
+                break;
+            }
+            Err(e) => return Err(io_err("reading WAL record payload", &e)),
+        }
+        if crc32(&payload) != crc {
+            torn = true;
+            break;
+        }
+        valid_len += 8 + len;
+        records.push(payload);
+    }
+    Ok(SegmentReplay {
+        seq,
+        records,
+        valid_len,
+        torn,
+    })
+}
+
+/// All WAL segments in `dir`, sorted ascending by sequence number.
+/// `*.tmp` staging debris and foreign files are ignored.
+pub fn list_segments(dir: &Path) -> Result<Vec<(u64, PathBuf)>, ServeError> {
+    let mut out = Vec::new();
+    let entries = std::fs::read_dir(dir).map_err(|e| io_err("listing data dir", &e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| io_err("listing data dir", &e))?;
+        if let Some(seq) = entry.file_name().to_str().and_then(parse_segment_name) {
+            out.push((seq, entry.path()));
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("owlpar-wal-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn append_sync_replay_roundtrip() {
+        let dir = tmp_dir("roundtrip");
+        let mut w = WalWriter::create(&dir, 3).unwrap();
+        w.append_record(b"<a> <p> <b> .\n").unwrap();
+        w.append_record(b"<c> <p> <d> .\n").unwrap();
+        w.sync().unwrap();
+        let r = replay_segment(&dir.join(segment_name(3))).unwrap();
+        assert_eq!(r.seq, 3);
+        assert!(!r.torn);
+        assert_eq!(r.records.len(), 2);
+        assert_eq!(r.records[0], b"<a> <p> <b> .\n");
+        assert_eq!(r.valid_len, w.bytes());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_final_record_is_tolerated_and_truncatable() {
+        let dir = tmp_dir("torn");
+        let mut w = WalWriter::create(&dir, 0).unwrap();
+        w.append_record(b"<a> <p> <b> .\n").unwrap();
+        w.append_torn_record(b"<never> <acked> <batch> .\n").unwrap();
+        let path = dir.join(segment_name(0));
+        let r = replay_segment(&path).unwrap();
+        assert!(r.torn, "tear must be reported");
+        assert_eq!(r.records.len(), 1, "only the intact record survives");
+        // Reopen truncates; a fresh append lands cleanly after it.
+        let mut w2 = WalWriter::reopen(&dir, 0, r.valid_len).unwrap();
+        w2.append_record(b"<c> <p> <d> .\n").unwrap();
+        w2.sync().unwrap();
+        let r2 = replay_segment(&path).unwrap();
+        assert!(!r2.torn);
+        assert_eq!(r2.records.len(), 2);
+        assert_eq!(r2.records[1], b"<c> <p> <d> .\n");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_mid_record_truncates_at_first_bad_crc() {
+        let dir = tmp_dir("corrupt");
+        let mut w = WalWriter::create(&dir, 0).unwrap();
+        for i in 0..5 {
+            w.append_record(format!("<s{i}> <p> <o{i}> .\n").as_bytes()).unwrap();
+        }
+        w.sync().unwrap();
+        let path = dir.join(segment_name(0));
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip a payload byte of the third record's body.
+        let target = bytes.len() / 2;
+        bytes[target] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let r = replay_segment(&path).unwrap();
+        assert!(r.torn);
+        assert!(r.records.len() < 5, "records after the corruption are dropped");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn every_truncation_offset_is_tolerated() {
+        let dir = tmp_dir("alltrunc");
+        let mut w = WalWriter::create(&dir, 0).unwrap();
+        w.append_record(b"<a> <p> <b> .\n").unwrap();
+        w.append_record(b"<c> <p> <d> .\n").unwrap();
+        w.sync().unwrap();
+        let path = dir.join(segment_name(0));
+        let full = std::fs::read(&path).unwrap();
+        for cut in (HEADER_LEN as usize)..full.len() {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let r = replay_segment(&path).unwrap();
+            assert!(r.records.len() <= 2);
+            assert!(
+                r.valid_len <= cut as u64,
+                "valid prefix cannot exceed the file"
+            );
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn zero_and_oversized_lengths_stop_the_scan_not_the_process() {
+        let dir = tmp_dir("badlen");
+        let mut w = WalWriter::create(&dir, 0).unwrap();
+        w.append_record(b"<a> <p> <b> .\n").unwrap();
+        w.sync().unwrap();
+        let path = dir.join(segment_name(0));
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(&0u32.to_le_bytes()); // zero length
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        let r = replay_segment(&path).unwrap();
+        assert!(r.torn);
+        assert_eq!(r.records.len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn segment_names_roundtrip_and_sort() {
+        assert_eq!(parse_segment_name(&segment_name(42)), Some(42));
+        assert_eq!(parse_segment_name("wal-x.log"), None);
+        assert_eq!(parse_segment_name("ckpt-1.owlckpt"), None);
+        assert!(segment_name(2) < segment_name(10), "zero-padded ordering");
+    }
+}

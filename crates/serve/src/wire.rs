@@ -19,6 +19,7 @@
 //!           | STATS(3) json-utf8
 //!           | PONG(4)
 //!           | BYE(5)
+//!           | BUSY(6)
 //! str      := len:u32 bytes{len}
 //! ```
 //!
@@ -133,6 +134,10 @@ pub enum Response {
     Pong,
     /// Acknowledgement of [`Request::Shutdown`].
     ShuttingDown,
+    /// The server is saturated: its connection cap is reached and the
+    /// connection was refused instead of queued. Clients should back
+    /// off and retry.
+    Busy,
     /// The request failed server-side.
     Error(String),
 }
@@ -149,6 +154,7 @@ const PAY_INSERTED: u8 = 2;
 const PAY_STATS: u8 = 3;
 const PAY_PONG: u8 = 4;
 const PAY_BYE: u8 = 5;
+const PAY_BUSY: u8 = 6;
 
 impl Response {
     /// Serialize to a frame body.
@@ -198,6 +204,7 @@ impl Response {
             }
             Response::Pong => vec![STATUS_OK, PAY_PONG],
             Response::ShuttingDown => vec![STATUS_OK, PAY_BYE],
+            Response::Busy => vec![STATUS_OK, PAY_BUSY],
             Response::Error(m) => tagged(STATUS_ERR, m.as_bytes()),
         }
     }
@@ -262,6 +269,7 @@ impl Response {
             PAY_STATS => Response::Stats(c.rest_utf8()?),
             PAY_PONG => Response::Pong,
             PAY_BYE => Response::ShuttingDown,
+            PAY_BUSY => Response::Busy,
             other => {
                 return Err(ServeError::Protocol(format!(
                     "unknown payload kind {other}"
@@ -397,6 +405,7 @@ mod tests {
             Response::Stats("{\"epoch\":8}".into()),
             Response::Pong,
             Response::ShuttingDown,
+            Response::Busy,
             Response::Error("boom".into()),
         ] {
             assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);

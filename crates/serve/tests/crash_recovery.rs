@@ -1,0 +1,331 @@
+//! Crash-recovery property tests: across randomized crash points,
+//! batch mixes, and WAL truncation offsets, recovery always rebuilds
+//! exactly the closure over the acknowledged batches.
+//!
+//! The oracle is a from-scratch closure (parse every acked batch into a
+//! fresh graph, compile, fully materialize), compared against the
+//! recovered graph with [`Graph::term_fingerprint`] — an order- and
+//! dictionary-independent hash, so the two graphs may intern terms in
+//! any order.
+
+// Tests assert on infallible setup; unwrap/expect failures are test failures.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use owlpar_core::{CrashPlan, CrashPoint};
+use owlpar_datalog::MaterializationStrategy;
+use owlpar_horst::HorstReasoner;
+use owlpar_rdf::vocab::{RDFS_SUBCLASSOF, RDF_TYPE};
+use owlpar_rdf::{parse_ntriples, Graph};
+use owlpar_serve::{
+    recover, serve, Client, CrashAction, Durability, DurabilityConfig, RunInfo, ServeConfig,
+    ServeError, ServingKb,
+};
+use std::path::PathBuf;
+
+/// xorshift64* — deterministic, dependency-free randomness for the
+/// property loops. Seeds are fixed, so every run explores the same
+/// schedule and failures reproduce.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "owlpar-crashprop-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The fixed starting KB every scenario begins from, already closed.
+fn closed_base() -> (Graph, HorstReasoner) {
+    let mut g = Graph::new();
+    g.insert_iris("http://x/Student", RDFS_SUBCLASSOF, "http://x/Person");
+    g.insert_iris("http://x/alice", RDF_TYPE, "http://x/Student");
+    let hr = HorstReasoner::from_graph(&mut g, MaterializationStrategy::ForwardSemiNaive);
+    hr.materialize(&mut g);
+    (g, hr)
+}
+
+/// A random batch: mostly instance triples (delta path), occasionally a
+/// schema triple (recompile path on both the live and replay sides).
+fn make_batch(rng: &mut Rng, i: usize) -> String {
+    if rng.below(5) == 0 {
+        format!("<http://x/Student> <{RDFS_SUBCLASSOF}> <http://x/Tier{i}> .\n")
+    } else {
+        format!("<http://x/e{i}> <{RDF_TYPE}> <http://x/Student> .\n")
+    }
+}
+
+/// The no-crash oracle: base KB + `batches`, closed from scratch.
+fn oracle_fingerprint(batches: &[String]) -> u64 {
+    let mut g = Graph::new();
+    g.insert_iris("http://x/Student", RDFS_SUBCLASSOF, "http://x/Person");
+    g.insert_iris("http://x/alice", RDF_TYPE, "http://x/Student");
+    for b in batches {
+        parse_ntriples(b, &mut g).unwrap();
+    }
+    let hr = HorstReasoner::from_graph(&mut g, MaterializationStrategy::ForwardSemiNaive);
+    hr.materialize(&mut g);
+    g.term_fingerprint()
+}
+
+/// One durable serving KB over a fresh data dir.
+fn durable_kb(cfg: DurabilityConfig) -> ServingKb {
+    let (g, hr) = closed_base();
+    let d = Durability::init(cfg, &g).unwrap();
+    ServingKb::from_closed(g, hr).with_durability(d)
+}
+
+/// The headline property, across 32 seeds: pick a random crash point,
+/// a random occurrence, and a random batch mix; run inserts through the
+/// real write path until the injected crash (if it fires) poisons the
+/// layer; then recover from the files alone and demand the recovered
+/// closure equal the from-scratch closure over exactly the batches that
+/// were acknowledged.
+#[test]
+fn randomized_crash_points_recover_exactly_the_acked_closure() {
+    for seed in 0..32u64 {
+        let mut rng = Rng::new(seed + 1);
+        let dir = tmp_dir(&format!("seed{seed}"));
+        let point = CrashPoint::ALL[rng.below(3) as usize];
+        let n = 4 + rng.below(8) as usize;
+        let occurrence = rng.below(n as u64) as u32;
+        let cfg = DurabilityConfig {
+            checkpoint_bytes: 1, // checkpoint after every insert
+            crash: CrashPlan::new().with(point, occurrence),
+            crash_action: CrashAction::Simulate,
+            ..DurabilityConfig::new(&dir)
+        };
+        let kb = durable_kb(cfg);
+
+        let mut acked: Vec<String> = Vec::new();
+        for i in 0..n {
+            let batch = make_batch(&mut rng, i);
+            match kb.insert_ntriples(&batch) {
+                Ok(_) => acked.push(batch),
+                Err(e) => {
+                    assert!(
+                        matches!(e, ServeError::Crashed(_) | ServeError::Durability(_)),
+                        "seed {seed}: unexpected failure kind: {e}"
+                    );
+                    break;
+                }
+            }
+        }
+
+        let (recovered, _, report) = recover(DurabilityConfig::new(&dir)).unwrap();
+        assert_eq!(
+            recovered.term_fingerprint(),
+            oracle_fingerprint(&acked),
+            "seed {seed}: crash {point}@{occurrence}, {} acked, recovery: {}",
+            acked.len(),
+            report.summary()
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+/// Exhaustive torn-tail tolerance: truncate the (single) WAL segment at
+/// *every* byte offset and demand that recovery yields the closure of
+/// exactly the record-complete prefix — never an error, never a
+/// half-applied batch.
+#[test]
+fn every_wal_truncation_offset_recovers_a_closed_prefix() {
+    let dir = tmp_dir("trunc");
+    // Large checkpoint threshold + small batches: everything stays in
+    // wal-0 and the single initial checkpoint.
+    let kb = durable_kb(DurabilityConfig::new(&dir));
+    let mut rng = Rng::new(7);
+    let batches: Vec<String> = (0..4).map(|i| make_batch(&mut rng, i)).collect();
+    for b in &batches {
+        kb.insert_ntriples(b).unwrap();
+    }
+    drop(kb);
+
+    let wal_path = dir.join("wal-0000000000000000.log");
+    let full = std::fs::read(&wal_path).unwrap();
+
+    // Record boundaries: header, then len|crc|payload per record.
+    let mut boundaries = vec![16usize];
+    let mut pos = 16usize;
+    while pos < full.len() {
+        let len =
+            u32::from_le_bytes([full[pos], full[pos + 1], full[pos + 2], full[pos + 3]]) as usize;
+        pos += 8 + len;
+        boundaries.push(pos);
+    }
+    assert_eq!(boundaries.len(), batches.len() + 1, "one boundary per record");
+
+    let prefix_fp: Vec<u64> = (0..=batches.len())
+        .map(|k| oracle_fingerprint(&batches[..k]))
+        .collect();
+
+    for cut in 16..=full.len() {
+        std::fs::write(&wal_path, &full[..cut]).unwrap();
+        let intact = boundaries.iter().filter(|&&b| b <= cut).count() - 1;
+        let (recovered, _, report) =
+            recover(DurabilityConfig::new(&dir)).unwrap_or_else(|e| {
+                panic!("cut at {cut} must stay recoverable, got: {e}");
+            });
+        assert_eq!(
+            recovered.term_fingerprint(),
+            prefix_fp[intact],
+            "cut {cut}: expected the closure of the first {intact} batch(es)"
+        );
+        let at_boundary = boundaries.contains(&cut);
+        assert_eq!(
+            report.torn_tail, !at_boundary,
+            "cut {cut}: tear detection disagrees (boundary={at_boundary})"
+        );
+        assert_eq!(report.batches_replayed, intact, "cut {cut}");
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A corrupted newest checkpoint is skipped; recovery falls back to the
+/// previous one and re-reaches the full state through the retained WAL
+/// suffix (retention keeps the two newest checkpoints and the segments
+/// covering them exactly so this fallback is always possible).
+#[test]
+fn corrupt_newest_checkpoint_falls_back_to_the_previous_one() {
+    let dir = tmp_dir("ckpt-fallback");
+    let cfg = DurabilityConfig {
+        checkpoint_bytes: 1, // checkpoint after every insert
+        ..DurabilityConfig::new(&dir)
+    };
+    let kb = durable_kb(cfg);
+    let mut rng = Rng::new(11);
+    let batches: Vec<String> = (0..3).map(|i| make_batch(&mut rng, i)).collect();
+    for b in &batches {
+        kb.insert_ntriples(b).unwrap();
+    }
+    drop(kb);
+
+    // Newest checkpoint is seq 3; flip a byte in its body.
+    let newest = dir.join("ckpt-0000000000000003.owlckpt");
+    let mut bytes = std::fs::read(&newest).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0xFF;
+    std::fs::write(&newest, &bytes).unwrap();
+
+    let (recovered, _, report) = recover(DurabilityConfig::new(&dir)).unwrap();
+    assert_eq!(report.checkpoint_seq, 2, "fell back past the corrupt newest");
+    assert_eq!(report.checkpoints_skipped, 1);
+    assert_eq!(
+        recovered.term_fingerprint(),
+        oracle_fingerprint(&batches),
+        "the WAL suffix re-reaches the full acked state"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Both retained checkpoints corrupt = truly unrecoverable: a typed
+/// [`ServeError::Recovery`] (CLI exit code 3), not a panic.
+#[test]
+fn all_checkpoints_corrupt_is_a_typed_recovery_error() {
+    let dir = tmp_dir("all-corrupt");
+    let kb = durable_kb(DurabilityConfig::new(&dir));
+    kb.insert_ntriples(&make_batch(&mut Rng::new(3), 0)).unwrap();
+    drop(kb);
+
+    for (_, path) in owlpar_serve::checkpoint::list(&dir).unwrap() {
+        let mut bytes = std::fs::read(&path).unwrap();
+        for b in bytes.iter_mut() {
+            *b ^= 0xAA;
+        }
+        std::fs::write(&path, &bytes).unwrap();
+    }
+    let err = recover(DurabilityConfig::new(&dir)).unwrap_err();
+    assert!(matches!(err, ServeError::Recovery(_)), "{err}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// End-to-end through the real server: insert over TCP, shut down
+/// gracefully (final WAL fsync), restart from the data dir alone, and
+/// serve the recovered state — acknowledged inserts survive the restart.
+#[test]
+fn server_restart_from_data_dir_serves_the_acked_closure() {
+    let dir = tmp_dir("restart");
+    let serve_cfg = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 2,
+        ..ServeConfig::default()
+    };
+
+    let handle = serve(
+        durable_kb(DurabilityConfig::new(&dir)),
+        RunInfo::default(),
+        &serve_cfg,
+    )
+    .unwrap();
+    let mut c = Client::connect(handle.addr()).unwrap();
+    let batches = [
+        "<http://x/bob> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> \
+         <http://x/Student> .\n"
+            .to_string(),
+        "<http://x/Person> <http://www.w3.org/2000/01/rdf-schema#subClassOf> \
+         <http://x/Agent> .\n"
+            .to_string(),
+    ];
+    for b in &batches {
+        c.insert(b).unwrap();
+    }
+    let json = c.stats().unwrap();
+    assert!(json.contains("\"durability\":\"ok\""), "{json}");
+    c.shutdown().unwrap();
+    handle.join().unwrap();
+
+    // "Restart": rebuild the serving KB purely from the data directory.
+    let (graph, durability, report) = recover(DurabilityConfig::new(&dir)).unwrap();
+    // The schema insert doubled as a compaction point, so a checkpoint
+    // folded both batches in and the retained WAL tail is empty.
+    assert_eq!(report.checkpoint_seq, 1);
+    assert_eq!(report.batches_replayed, 0);
+    assert_eq!(graph.term_fingerprint(), oracle_fingerprint(&batches));
+
+    let mut graph = graph;
+    let reasoner =
+        HorstReasoner::from_graph(&mut graph, MaterializationStrategy::ForwardSemiNaive);
+    let kb = ServingKb::from_closed(graph, reasoner).with_durability(durability);
+    let handle = serve(kb, RunInfo::default(), &serve_cfg).unwrap();
+    let mut c = Client::connect(handle.addr()).unwrap();
+    let rows = c
+        .query("SELECT ?s WHERE { ?s a <http://x/Agent> }")
+        .unwrap()
+        .rows;
+    let mut subjects: Vec<String> = rows.into_iter().map(|mut r| r.remove(0)).collect();
+    subjects.sort();
+    assert_eq!(
+        subjects,
+        vec!["<http://x/alice>", "<http://x/bob>"],
+        "recovered server re-serves recovered consequences"
+    );
+    // And the restarted server keeps accepting durable inserts.
+    c.insert(
+        "<http://x/carol> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> \
+         <http://x/Student> .\n",
+    )
+    .unwrap();
+    c.shutdown().unwrap();
+    handle.join().unwrap();
+    std::fs::remove_dir_all(&dir).unwrap();
+}

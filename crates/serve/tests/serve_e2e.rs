@@ -35,6 +35,7 @@ fn start(kb: ServingKb, threads: usize) -> ServerHandle {
         &ServeConfig {
             addr: "127.0.0.1:0".to_string(),
             threads,
+            ..ServeConfig::default()
         },
     )
     .expect("bind server")
@@ -223,6 +224,101 @@ fn schema_insert_recompiles_and_serves_new_consequences() {
         .unwrap();
     assert_eq!(r.rows, vec![vec!["<http://x/alice>".to_string()]]);
     c.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+/// With one worker (held by a parked connection) and a one-slot queue
+/// (filled by a second), a third connection must be answered `BUSY` by
+/// the acceptor itself — typed saturation, not an unbounded queue.
+#[test]
+fn saturated_server_answers_busy() {
+    let handle = serve(
+        campus_kb(),
+        RunInfo::default(),
+        &ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 1,
+            max_pending: 1,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind server");
+    let addr = handle.addr();
+
+    let mut held = Client::connect(addr).unwrap();
+    held.ping().unwrap(); // the only worker is now parked on this peer
+    let queued = Client::connect(addr).unwrap(); // fills the queue slot
+
+    let mut overflow = Client::connect(addr).unwrap();
+    let err = overflow.ping().unwrap_err();
+    assert!(matches!(err, ServeError::Busy), "expected BUSY, got {err}");
+
+    // Free the worker; the queued connection gets served, and the BUSY
+    // rejection shows up in the stats.
+    drop(held);
+    drop(queued);
+    let mut c = Client::connect(addr).unwrap();
+    let json = c.stats().unwrap();
+    assert!(json.contains("\"busy_rejections\":1"), "{json}");
+    c.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+/// An idle peer is disconnected once the read deadline passes — with a
+/// typed error frame, a stats count, and without wedging the worker.
+#[test]
+fn idle_client_is_disconnected_with_typed_error() {
+    let handle = serve(
+        campus_kb(),
+        RunInfo::default(),
+        &ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 2,
+            read_timeout: Some(Duration::from_millis(150)),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind server");
+    let addr = handle.addr();
+
+    let mut idle = Client::connect(addr).unwrap();
+    idle.ping().unwrap();
+    std::thread::sleep(Duration::from_millis(600));
+    match idle.ping().unwrap_err() {
+        // Usual case: we read the server's goodbye error frame.
+        ServeError::Remote(m) => assert!(m.contains("idle"), "{m}"),
+        // Or the socket is already torn down on our side.
+        ServeError::Io(_) => {}
+        other => panic!("unexpected error kind: {other}"),
+    }
+
+    // The worker is free again and the disconnect was counted.
+    let mut c = Client::connect(addr).unwrap();
+    let json = c.stats().unwrap();
+    assert!(json.contains("\"idle_disconnects\":1"), "{json}");
+    c.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+/// Once shutdown is requested, an in-flight connection's next INSERT is
+/// rejected whole — the shutdown ordering guarantee: batches are fully
+/// applied+logged or fully rejected, never half-done.
+#[test]
+fn insert_after_shutdown_request_is_rejected_whole() {
+    let handle = start(campus_kb(), 2);
+    let mut c = Client::connect(handle.addr()).unwrap();
+    c.ping().unwrap();
+    handle.request_shutdown();
+    let err = c
+        .insert(
+            "<http://x/zed> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> \
+             <http://x/Student> .\n",
+        )
+        .unwrap_err();
+    assert!(
+        matches!(&err, ServeError::Remote(m) if m.contains("shutting down")),
+        "expected a typed shutdown rejection, got {err}"
+    );
     handle.join().unwrap();
 }
 
