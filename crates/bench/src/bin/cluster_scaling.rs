@@ -1,0 +1,110 @@
+//! Cluster scaling sweep: run the multi-process-style TCP cluster
+//! runtime (master + `k` workers over loopback sockets, all in this
+//! process) at several cluster sizes against one LUBM KB, verify every
+//! closure against the serial oracle, and emit `BENCH_cluster.json`.
+//!
+//! ```text
+//! cluster_scaling [--levels 1,2,4] [--universities 1] [--out BENCH_cluster.json]
+//! ```
+
+// Benchmarks and experiment binaries abort loudly on failure.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use owlpar_core::{run_serial, ParallelConfig, PartitioningStrategy};
+use owlpar_datagen::{generate_lubm, LubmConfig};
+use owlpar_datalog::MaterializationStrategy;
+use owlpar_net::{run_cluster_master, run_cluster_worker, MasterOptions, WorkerOptions};
+use std::net::TcpListener;
+use std::time::Instant;
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let levels: Vec<usize> = flag_value(&args, "--levels")
+        .unwrap_or_else(|| "1,2,4".to_string())
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .collect();
+    let universities: usize = flag_value(&args, "--universities")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    let out_path = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_cluster.json".to_string());
+    assert!(!levels.is_empty(), "need at least one cluster size");
+
+    let g0 = generate_lubm(&LubmConfig::mini(universities));
+    let base = g0.len();
+
+    // Serial oracle + baseline time.
+    let mut serial = g0.clone();
+    let t0 = Instant::now();
+    run_serial(&mut serial, MaterializationStrategy::ForwardSemiNaive);
+    let serial_elapsed = t0.elapsed();
+    let (want_fp, want_len) = (serial.term_fingerprint(), serial.len());
+    println!(
+        "serial: {base} -> {want_len} triples in {:.3}s",
+        serial_elapsed.as_secs_f64()
+    );
+
+    let mut rows = Vec::new();
+    for &k in &levels {
+        let cfg = ParallelConfig {
+            k,
+            strategy: PartitioningStrategy::data_graph(),
+            ..ParallelConfig::default()
+        }
+        .forward();
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("local addr");
+        let mut g = g0.clone();
+        let t0 = Instant::now();
+        let report = std::thread::scope(|s| {
+            let workers: Vec<_> = (0..k)
+                .map(|_| s.spawn(move || run_cluster_worker(addr, &WorkerOptions::default())))
+                .collect();
+            let report = run_cluster_master(&mut g, &cfg, listener, &MasterOptions::default())
+                .expect("cluster run");
+            for w in workers {
+                w.join().expect("worker thread").expect("worker run");
+            }
+            report
+        });
+        let elapsed = t0.elapsed();
+        assert_eq!(g.len(), want_len, "k={k}: closure size diverged");
+        assert_eq!(g.term_fingerprint(), want_fp, "k={k}: closure diverged");
+        let rounds = report.max_rounds();
+        let speedup = serial_elapsed.as_secs_f64() / elapsed.as_secs_f64();
+        println!(
+            "k={k}: {} triples in {:.3}s ({speedup:.2}x vs serial), {rounds} round(s), {}",
+            report.closure_size,
+            elapsed.as_secs_f64(),
+            report.summary()
+        );
+        rows.push(format!(
+            "{{\"k\":{k},\"elapsed_s\":{:.6},\"speedup_vs_serial\":{speedup:.4},\
+             \"rounds\":{rounds},\"closure_size\":{},\"derived\":{},\
+             \"modeled_parallel_s\":{:.6},\"host_parallel_s\":{:.6},\
+             \"output_replication\":{:.4}}}",
+            elapsed.as_secs_f64(),
+            report.closure_size,
+            report.derived,
+            report.parallel_time.as_secs_f64(),
+            report.host_parallel_time.as_secs_f64(),
+            report.output_replication,
+        ));
+    }
+
+    let json = format!(
+        "{{\"bench\":\"cluster_scaling\",\"kb_base_triples\":{base},\
+         \"kb_closure_triples\":{want_len},\
+         \"serial_elapsed_s\":{:.6},\"levels\":[{}]}}\n",
+        serial_elapsed.as_secs_f64(),
+        rows.join(","),
+    );
+    std::fs::write(&out_path, &json).expect("write BENCH_cluster.json");
+    println!("wrote {out_path}");
+}

@@ -1,0 +1,67 @@
+//! Capped exponential backoff — the one retry-pacing discipline shared
+//! by every transport in the system.
+//!
+//! Both consumers retry for the same reason (a transiently unavailable
+//! peer or filesystem) and therefore pace the same way:
+//!
+//! * the communication endpoints ([`crate::comm`]) sleep between retried
+//!   IO attempts on the shared-file transport;
+//! * the TCP transport (`owlpar-net`) sleeps between connection attempts
+//!   while a peer's listener is still coming up.
+//!
+//! The schedule is the classic capped doubling: `base, 2·base, 4·base, …`
+//! clamped to `cap`. No jitter — runs are deterministic by design (the
+//! fault-injection tests replay exact schedules), and the fabrics are
+//! small enough (k ≤ dozens) that synchronized retries are harmless.
+
+use std::time::Duration;
+
+/// An iterator-like source of capped, exponentially growing delays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Backoff {
+    next: Duration,
+    cap: Duration,
+}
+
+impl Backoff {
+    /// A schedule starting at `base` and doubling up to `cap`.
+    pub fn new(base: Duration, cap: Duration) -> Self {
+        Backoff {
+            next: base.min(cap),
+            cap,
+        }
+    }
+
+    /// The next delay in the schedule (advances the schedule).
+    pub fn next_delay(&mut self) -> Duration {
+        let d = self.next;
+        self.next = (self.next * 2).min(self.cap);
+        d
+    }
+
+    /// Sleep for the next delay in the schedule.
+    pub fn sleep(&mut self) {
+        std::thread::sleep(self.next_delay());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doubles_and_caps() {
+        let mut b = Backoff::new(Duration::from_millis(1), Duration::from_millis(5));
+        assert_eq!(b.next_delay(), Duration::from_millis(1));
+        assert_eq!(b.next_delay(), Duration::from_millis(2));
+        assert_eq!(b.next_delay(), Duration::from_millis(4));
+        assert_eq!(b.next_delay(), Duration::from_millis(5), "clamped");
+        assert_eq!(b.next_delay(), Duration::from_millis(5), "stays clamped");
+    }
+
+    #[test]
+    fn base_above_cap_is_clamped_immediately() {
+        let mut b = Backoff::new(Duration::from_secs(10), Duration::from_millis(3));
+        assert_eq!(b.next_delay(), Duration::from_millis(3));
+    }
+}

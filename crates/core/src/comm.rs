@@ -34,6 +34,7 @@
 //! * a seeded [`FaultPlan`] can inject IO errors, corruption, delays and
 //!   panics at chosen (round, worker) coordinates for testing.
 
+use crate::backoff::Backoff;
 use crate::error::{CommError, SkippedMessage};
 use crate::fault::{FaultPlan, FaultState};
 use crossbeam::channel::{unbounded, Receiver, Sender};
@@ -44,8 +45,48 @@ use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
 
+/// A pluggable round-synchronous transport endpoint — how an external
+/// crate (`owlpar-net`'s TCP mesh) slots into the fabric without the
+/// core knowing about sockets. The contract mirrors [`WorkerComm`]:
+/// every `send` of a round happens before that round's `collect`, and
+/// `collect(round)` must return exactly the batches peers sent for
+/// `round` — transports that multiplex rounds over one stream (TCP) use
+/// end-of-round markers to cut the boundaries.
+pub trait Transport: Send {
+    /// Send a non-empty batch to peer `to` in `round`. Returns the bytes
+    /// put on the wire (for the endpoint's traffic accounting).
+    fn send(&mut self, round: usize, to: usize, batch: &[Triple]) -> Result<u64, CommError>;
+
+    /// Drain every message addressed to this endpoint in `round`.
+    fn collect(&mut self, round: usize) -> Result<Vec<Triple>, CommError>;
+
+    /// Non-blocking drain for the asynchronous mode. Round-structured
+    /// transports reject this ([`CommError::Unsupported`]).
+    fn try_collect(&mut self) -> Result<Vec<Triple>, CommError> {
+        Err(CommError::Unsupported {
+            detail: "asynchronous draining is not supported by this transport",
+        })
+    }
+
+    /// Messages skipped-with-report since the last call (drained into the
+    /// endpoint's report list after each collect).
+    fn take_skipped(&mut self) -> Vec<SkippedMessage> {
+        Vec::new()
+    }
+}
+
+/// Builds the `k` endpoints of a custom transport fabric (one
+/// [`Transport`] per worker, index = worker id).
+pub trait TransportFactory: Send + Sync {
+    /// Human-readable transport name for reports and errors.
+    fn label(&self) -> &'static str;
+
+    /// Build all `k` connected endpoints.
+    fn build(&self, k: usize) -> Result<Vec<Box<dyn Transport>>, CommError>;
+}
+
 /// Transport selection.
-#[derive(Debug, Clone, Default)]
+#[derive(Clone, Default)]
 pub enum CommMode {
     /// In-memory channels (the paper's hypothetical MPI transport).
     #[default]
@@ -58,6 +99,23 @@ pub enum CommMode {
         /// On-disk message encoding.
         format: WireFormat,
     },
+    /// A custom fabric supplied by another crate (e.g. `owlpar-net`'s
+    /// loopback TCP mesh).
+    Custom(Arc<dyn TransportFactory>),
+}
+
+impl std::fmt::Debug for CommMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommMode::Channel => write!(f, "Channel"),
+            CommMode::SharedFile { dir, format } => f
+                .debug_struct("SharedFile")
+                .field("dir", dir)
+                .field("format", format)
+                .finish(),
+            CommMode::Custom(factory) => write!(f, "Custom({})", factory.label()),
+        }
+    }
 }
 
 /// On-disk message encoding for [`CommMode::SharedFile`].
@@ -175,6 +233,7 @@ enum Backend {
         /// Present iff the fabric auto-created the directory.
         _cleanup: Option<Arc<CommDirGuard>>,
     },
+    Custom(Box<dyn Transport>),
 }
 
 /// Build the k-worker fabric for a mode. `dict` is the frozen global
@@ -263,6 +322,20 @@ pub fn build_fabric_with_faults(
                 })
                 .collect())
         }
+        CommMode::Custom(factory) => Ok(factory
+            .build(k)?
+            .into_iter()
+            .enumerate()
+            .map(|(me, transport)| WorkerComm {
+                me,
+                round: 0,
+                backend: Backend::Custom(transport),
+                faults: fault_for(me),
+                skipped: Vec::new(),
+                bytes_sent: 0,
+                io_retries: 0,
+            })
+            .collect()),
     }
 }
 
@@ -319,7 +392,9 @@ impl WorkerComm {
         path: Option<&PathBuf>,
         mut op: impl FnMut() -> std::io::Result<T>,
     ) -> Result<T, CommError> {
-        let mut backoff = RETRY_BASE;
+        // The same capped-exponential pacing the TCP transport uses for
+        // its connect retries (`backoff`): one discipline, two fabrics.
+        let mut backoff = Backoff::new(RETRY_BASE, RETRY_CAP);
         let mut last: Option<std::io::Error> = None;
         for attempt in 1..=RETRY_ATTEMPTS {
             let injected = if is_send {
@@ -340,8 +415,7 @@ impl WorkerComm {
                 Err(e) if transient(e.kind()) && attempt < RETRY_ATTEMPTS => {
                     *io_retries += 1;
                     last = Some(e);
-                    std::thread::sleep(backoff);
-                    backoff = (backoff * 2).min(RETRY_CAP);
+                    backoff.sleep();
                 }
                 Err(e) => {
                     return Err(CommError::Io {
@@ -405,6 +479,23 @@ impl WorkerComm {
                         to,
                     }),
                 }
+            }
+            Backend::Custom(transport) => {
+                // Injected transient faults exercise the same retry path
+                // the file transport uses; real wire failures are the
+                // transport's own (it retries connects internally, but a
+                // broken established stream is not retryable).
+                Self::retry_io(
+                    &mut self.faults,
+                    &mut self.io_retries,
+                    round,
+                    me,
+                    true,
+                    None,
+                    || Ok(()),
+                )?;
+                self.bytes_sent += transport.send(round, to, batch)?;
+                Ok(())
             }
             Backend::File {
                 dir, dict, format, ..
@@ -488,6 +579,7 @@ impl WorkerComm {
             Backend::File { .. } => Err(CommError::Unsupported {
                 detail: "asynchronous draining requires the channel transport",
             }),
+            Backend::Custom(transport) => transport.try_collect(),
         }
     }
 
@@ -506,6 +598,11 @@ impl WorkerComm {
                 while let Ok(batch) = receiver.try_recv() {
                     out.extend(batch);
                 }
+                out
+            }
+            Backend::Custom(transport) => {
+                let out = transport.collect(round)?;
+                self.skipped.extend(transport.take_skipped());
                 out
             }
             Backend::File {

@@ -65,6 +65,20 @@ pub enum CommError {
         /// What was attempted.
         detail: &'static str,
     },
+    /// A peer violated the wire protocol (bad checksum, unknown message
+    /// tag, wrong round marker). Unlike a skippable corrupt *message
+    /// file*, a corrupted length-prefixed *stream* cannot be
+    /// resynchronized, so the connection is dead.
+    Protocol {
+        /// Round in which the violation was observed.
+        round: usize,
+        /// Worker whose endpoint observed it.
+        worker: usize,
+        /// Peer that sent the offending bytes.
+        peer: usize,
+        /// What was wrong.
+        detail: String,
+    },
 }
 
 impl fmt::Display for CommError {
@@ -102,6 +116,15 @@ impl fmt::Display for CommError {
             CommError::Unsupported { detail } => {
                 write!(f, "unsupported transport operation: {detail}")
             }
+            CommError::Protocol {
+                round,
+                worker,
+                peer,
+                detail,
+            } => write!(
+                f,
+                "worker {worker} round {round}: protocol violation from peer {peer}: {detail}"
+            ),
         }
     }
 }

@@ -53,6 +53,13 @@ pub enum FaultKind {
     /// Panic the worker at the start of the round (contained by the
     /// runtime's `catch_unwind` wrapper).
     Panic,
+    /// Drop the worker's connection at the start of the round. Only
+    /// meaningful for the multi-process TCP cluster (`owlpar-net`),
+    /// where the worker closes its master connection and exits — the
+    /// master's deadline detection must notice and recover. The
+    /// in-process runtime ignores it (its workers have no connection to
+    /// drop; use [`FaultKind::Panic`] there).
+    Disconnect,
 }
 
 /// A fault pinned to its `(round, worker)` coordinate.
@@ -123,9 +130,10 @@ impl FaultPlan {
     /// entries, where `kind` is one of `io` / `collect-io` (param =
     /// failed attempts, default 2), `corrupt` / `truncate` (param =
     /// receiving worker, default 0), `delay` (param = milliseconds,
-    /// default 10), `panic` (no param).
+    /// default 10), `panic` (no param), `disconnect` (no param; TCP
+    /// cluster only — the worker drops its connection and exits).
     ///
-    /// Example: `io@1.0:2,corrupt@2.1:0,panic@1.2,delay@0.1:5`.
+    /// Example: `io@1.0:2,corrupt@2.1:0,panic@1.2,delay@0.1:5,disconnect@1.3`.
     pub fn parse(spec: &str) -> Result<Self, String> {
         let mut plan = FaultPlan::new();
         for entry in spec.split(',').map(str::trim).filter(|e| !e.is_empty()) {
@@ -168,6 +176,7 @@ impl FaultPlan {
                 },
                 "delay" => FaultKind::Delay { millis: num(10)? },
                 "panic" => FaultKind::Panic,
+                "disconnect" => FaultKind::Disconnect,
                 other => return Err(format!("'{entry}': unknown fault kind '{other}'")),
             };
             plan = plan.with(round, worker, kind);
@@ -462,6 +471,19 @@ mod tests {
         assert_eq!(plan.events[3].kind, FaultKind::Truncate { to: 1 });
         assert_eq!(plan.events[4].kind, FaultKind::Delay { millis: 5 });
         assert_eq!(plan.events[5].kind, FaultKind::Panic);
+    }
+
+    #[test]
+    fn parse_disconnect_for_the_cluster_runtime() {
+        let plan = FaultPlan::parse("disconnect@1.3").unwrap();
+        assert_eq!(
+            plan.events,
+            vec![FaultEvent {
+                round: 1,
+                worker: 3,
+                kind: FaultKind::Disconnect
+            }]
+        );
     }
 
     #[test]

@@ -55,6 +55,7 @@
 // needs one scoped `#[allow(unsafe_code)]` for its libc syscall.
 #![deny(unsafe_code)]
 
+pub mod backoff;
 pub mod barrier;
 pub mod comm;
 pub mod config;
@@ -62,16 +63,22 @@ pub mod cputime;
 pub mod durable;
 pub mod error;
 pub mod fault;
+pub mod frame;
 pub mod master;
 pub mod model;
 pub mod stats;
 pub mod worker;
 
-pub use comm::{check_payload_bounds, CommMode, PayloadBoundsError, WireFormat, MAX_PAYLOAD_BYTES};
+pub use backoff::Backoff;
+pub use comm::{
+    check_payload_bounds, CommMode, PayloadBoundsError, Transport, TransportFactory, WireFormat,
+    MAX_PAYLOAD_BYTES,
+};
 pub use config::{FaultRecovery, ParallelConfig, PartitioningStrategy};
 pub use durable::{atomic_write, atomic_write_synced, crc32, sync_dir, TMP_SUFFIX};
 pub use error::{CommError, RunError, SkippedMessage, WorkerError};
 pub use fault::{CrashPlan, CrashPoint, CrashState, FaultKind, FaultPlan};
-pub use master::{run_parallel, run_serial, RunReport};
+pub use frame::{read_crc_frame, read_frame, write_crc_frame, write_frame, FrameError};
+pub use master::{prepare_run, reclose_serial, run_parallel, run_serial, RunPlan, RunReport};
 pub use model::{fit_cubic, PolyModel};
 pub use stats::WorkerStats;

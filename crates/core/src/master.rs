@@ -122,7 +122,9 @@ pub fn run_serial(graph: &mut Graph, materialization: MaterializationStrategy) -
 /// auto (`threads == 0`) [`MaterializationStrategy::ForwardParallel`]
 /// splits the machine's parallelism evenly across the `k` workers so the
 /// run does not oversubscribe cores. Every other strategy passes through.
-fn resolve_materialization(m: MaterializationStrategy, k: usize) -> MaterializationStrategy {
+/// Public so the cluster master (`owlpar-net`) ships workers the same
+/// resolved strategy the in-process spawner would use.
+pub fn resolve_materialization(m: MaterializationStrategy, k: usize) -> MaterializationStrategy {
     match m {
         MaterializationStrategy::ForwardParallel { threads: 0 } => {
             let avail = std::thread::available_parallelism().map_or(1, usize::from);
@@ -143,26 +145,71 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
         .unwrap_or_else(|| "non-string panic payload".to_string())
 }
 
-/// Run Algorithm 3 over `graph`, materializing it in place.
-///
-/// Errors: [`RunError::Config`] for an invalid configuration,
-/// [`RunError::Fabric`] when the transport cannot even be built, and
-/// [`RunError::Workers`] when workers were lost and recovery was
-/// unavailable (non-data strategy) or disabled ([`FaultRecovery::Fail`]).
-pub fn run_parallel(graph: &mut Graph, cfg: &ParallelConfig) -> Result<RunReport, RunError> {
+/// Everything Algorithm 3's master computes *before* any worker exists:
+/// the compiled + linted effective rule-base, the partition plan, the
+/// per-worker routing tables, and the partition-quality metrics. Shared
+/// between [`run_parallel`] (which spawns threads on it) and the
+/// `owlpar-net` cluster master (which ships it to worker processes over
+/// TCP) so both runtimes distribute byte-identical work.
+pub struct RunPlan {
+    /// Number of partitions.
+    pub k: usize,
+    /// Effective strategy — differs from `cfg.strategy` only when the
+    /// lint gate's replication fallback downgraded a data strategy.
+    pub strategy: PartitioningStrategy,
+    /// The effective rule-base (compiled ontology rules + extras).
+    pub all_rules: Vec<Rule>,
+    /// Schema triples, replicated to every worker.
+    pub schema: Vec<Triple>,
+    /// Per-worker base (instance) partitions.
+    pub bases: Vec<Vec<Triple>>,
+    /// Per-worker rule subsets.
+    pub rules_per_worker: Vec<Vec<Rule>>,
+    /// Per-worker routing tables.
+    pub routing: Vec<Routing>,
+    /// Pre-run partition quality (data strategies only).
+    pub quality: Option<PartitionQuality>,
+    /// Ownership-graph edge-cut, when the policy computes one.
+    pub edge_cut: Option<u64>,
+    /// Time spent compiling, linting and partitioning.
+    pub partition_time: Duration,
+}
+
+impl RunPlan {
+    /// Whether losing a worker under this plan is recoverable by the
+    /// adopt-and-reclose pass (guaranteed only when every worker ran the
+    /// complete rule-base, i.e. data partitioning).
+    pub fn recoverable(&self, recovery: FaultRecovery) -> bool {
+        matches!(recovery, FaultRecovery::AdoptAndReclose)
+            && matches!(self.strategy, PartitioningStrategy::Data(_))
+    }
+}
+
+/// Serial re-close over the master graph with the *effective* rule-base
+/// — the adopt-and-reclose recovery step. Recompiling via [`run_serial`]
+/// would silently drop `cfg.extra_rules`, so the caller passes the
+/// rule-base the lost run actually used.
+pub fn reclose_serial(graph: &mut Graph, cfg: &ParallelConfig, all_rules: &[Rule]) {
+    if cfg.extra_rules.is_empty() {
+        run_serial(graph, cfg.materialization);
+    } else {
+        Reasoner::new(all_rules.to_vec(), cfg.materialization).materialize(&mut graph.store);
+    }
+}
+
+/// Compile, lint and partition — the master's pre-spawn half of
+/// Algorithm 3. Interns the ontology's last constants into `graph.dict`
+/// (so freeze the dictionary *after* calling this), and refuses with
+/// [`RunError::Lint`] / [`RunError::Config`] before any work is
+/// distributed.
+pub fn prepare_run(graph: &mut Graph, cfg: &ParallelConfig) -> Result<RunPlan, RunError> {
     if cfg.k < 1 {
         return Err(RunError::config("k must be at least 1"));
     }
-    if matches!(cfg.rounds, RoundMode::Async) && !matches!(cfg.comm, CommMode::Channel) {
-        return Err(RunError::config(
-            "asynchronous rounds require the channel transport",
-        ));
-    }
-    let start_total = Instant::now();
-    let before_len = graph.len();
 
     // Compile the ontology (this interns the last few constants, so it
     // must precede freezing the dictionary).
+    let t_part = Instant::now();
     let hr = HorstReasoner::from_graph(graph, cfg.materialization);
     let rdf_type = graph.dict.id(&Term::iri(RDF_TYPE));
 
@@ -200,7 +247,6 @@ pub fn run_parallel(graph: &mut Graph, cfg: &ParallelConfig) -> Result<RunReport
     }
 
     // Partition.
-    let t_part = Instant::now();
     struct Plan {
         bases: Vec<Vec<Triple>>,
         rules_per_worker: Vec<Vec<owlpar_datalog::Rule>>,
@@ -308,7 +354,55 @@ pub fn run_parallel(graph: &mut Graph, cfg: &ParallelConfig) -> Result<RunReport
             }
         }
     };
-    let partition_time = t_part.elapsed();
+    let Plan {
+        bases,
+        rules_per_worker,
+        routing,
+        quality,
+        edge_cut,
+    } = plan;
+    Ok(RunPlan {
+        k: cfg.k,
+        strategy,
+        all_rules,
+        schema: hr.schema_triples.clone(),
+        bases,
+        rules_per_worker,
+        routing,
+        quality,
+        edge_cut,
+        partition_time: t_part.elapsed(),
+    })
+}
+
+/// Run Algorithm 3 over `graph`, materializing it in place.
+///
+/// Errors: [`RunError::Config`] for an invalid configuration,
+/// [`RunError::Fabric`] when the transport cannot even be built, and
+/// [`RunError::Workers`] when workers were lost and recovery was
+/// unavailable (non-data strategy) or disabled ([`FaultRecovery::Fail`]).
+pub fn run_parallel(graph: &mut Graph, cfg: &ParallelConfig) -> Result<RunReport, RunError> {
+    if matches!(cfg.rounds, RoundMode::Async) && !matches!(cfg.comm, CommMode::Channel) {
+        return Err(RunError::config(
+            "asynchronous rounds require the channel transport",
+        ));
+    }
+    let start_total = Instant::now();
+    let before_len = graph.len();
+    let plan = prepare_run(graph, cfg)?;
+    let recoverable = plan.recoverable(cfg.recovery);
+    let RunPlan {
+        k: _,
+        strategy: _,
+        all_rules,
+        schema,
+        bases,
+        rules_per_worker,
+        routing,
+        quality: partition_quality,
+        edge_cut,
+        partition_time,
+    } = plan;
 
     // Freeze the dictionary and build the fabric.
     let dict = Arc::new(graph.dict.clone());
@@ -322,14 +416,7 @@ pub fn run_parallel(graph: &mut Graph, cfg: &ParallelConfig) -> Result<RunReport
 
     // Spawn the workers, each inside a panic-containment wrapper.
     let t_par = Instant::now();
-    let Plan {
-        bases,
-        rules_per_worker,
-        routing,
-        quality: partition_quality,
-        edge_cut,
-    } = plan;
-    let schema = &hr.schema_triples;
+    let schema = &schema;
     let async_control = Arc::new(AsyncControl::default());
     type WorkerOutcome = Result<(TripleStore, WorkerStats), WorkerError>;
     let mut results: Vec<Option<WorkerOutcome>> = (0..cfg.k).map(|_| None).collect();
@@ -469,20 +556,12 @@ pub fn run_parallel(graph: &mut Graph, cfg: &ParallelConfig) -> Result<RunReport
     // are reported instead.
     let mut recovered = false;
     if !worker_errors.is_empty() {
-        let recoverable = matches!(cfg.recovery, FaultRecovery::AdoptAndReclose)
-            && matches!(strategy, PartitioningStrategy::Data(_));
         if !recoverable {
             return Err(RunError::Workers {
                 errors: worker_errors,
             });
         }
-        // Re-close with the *effective* rule-base: recompiling via
-        // run_serial would silently drop cfg.extra_rules.
-        if cfg.extra_rules.is_empty() {
-            run_serial(graph, cfg.materialization);
-        } else {
-            Reasoner::new(all_rules.clone(), cfg.materialization).materialize(&mut graph.store);
-        }
+        reclose_serial(graph, cfg, &all_rules);
         recovered = true;
     }
     let aggregation = t_agg.elapsed();

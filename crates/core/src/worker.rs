@@ -76,8 +76,10 @@ pub enum Routing {
 }
 
 impl Routing {
-    /// Destinations of `t` other than `me`.
-    fn destinations(&self, t: &Triple, me: u32, out: &mut Vec<u32>) {
+    /// Destinations of `t` other than `me` (public so out-of-process
+    /// worker loops — the `owlpar-net` cluster runtime — route exactly
+    /// like the in-process loop).
+    pub fn destinations(&self, t: &Triple, me: u32, out: &mut Vec<u32>) {
         out.clear();
         match self {
             Routing::Data { owner } => {

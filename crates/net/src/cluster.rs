@@ -1,0 +1,993 @@
+//! The multi-process star runtime: one master process, `k` worker
+//! processes, all exchange through the master over TCP.
+//!
+//! The master runs the same pre-spawn half of Algorithm 3 the in-process
+//! runtime uses — [`prepare_run`] compiles, lints and partitions — then
+//! ships each worker its partition, rule subsets and routing table over
+//! the versioned bootstrap protocol (`protocol`). Rounds mirror
+//! `run_worker` exactly: a worker closes its local store, routes fresh
+//! derivations, sends them (as `Triples` frames relayed through the
+//! master), announces `RoundDone`, and blocks until the master's
+//! `Deliver` hands it the round verdict plus its inbound triples. The
+//! verdict is the paper's termination test — a round in which nobody
+//! sent anything — computed from the per-round send counts every
+//! `RoundDone` carries, so it is reached by every worker in the same
+//! round, just like the in-process cumulative-counter check.
+//!
+//! ## Star, not mesh
+//!
+//! Relaying rounds through the master costs each triple two hops but
+//! buys the failure model: the master observes every worker through one
+//! connection with a deadline, so a dead, hung or defecting worker is
+//! detected at the next read and the run flows into the same
+//! adopt-and-reclose recovery the in-process master uses ([`RunPlan`]'s
+//! recoverability rule is shared). The peer-to-peer TCP path without a
+//! coordinator is the in-process mesh (`transport`).
+//!
+//! ## Failure discipline
+//!
+//! Bootstrap failures are fatal — a cluster that cannot assemble its `k`
+//! workers and ship every partition refuses to start, because a partial
+//! start could silently compute a partial closure. Mid-run failures are
+//! recoverable: survivors drain at the next verdict (any death forces
+//! `stop`), their stores are unioned (each is a subset of the closure),
+//! and — for data partitioning under
+//! [`FaultRecovery::AdoptAndReclose`] — a serial re-close reproduces
+//! exactly the serial closure, monotonicity doing the proof.
+
+use crate::protocol::{
+    decode_master_msg, decode_worker_msg, encode_master_msg, encode_worker_msg, MasterMsg,
+    NetError, Setup, WireFault, WireRouting, WireStats, WorkerMsg, PROTOCOL_VERSION, WIRE_MAGIC,
+};
+use owlpar_core::config::RoundMode;
+use owlpar_core::cputime::CpuTimer;
+use owlpar_core::master::resolve_materialization;
+use owlpar_core::stats::{simulate_rounds, PhaseBreakdown};
+use owlpar_core::worker::Routing;
+use owlpar_core::{
+    prepare_run, read_crc_frame, reclose_serial, write_crc_frame, Backoff, CommError, FaultKind,
+    ParallelConfig, RunError, RunReport, WorkerError, WorkerStats,
+};
+use owlpar_datalog::{Reasoner, Rule};
+use owlpar_partition::metrics::or_excess;
+use owlpar_partition::RulePartitions;
+use owlpar_rdf::fx::FxHashMap;
+use owlpar_rdf::{Graph, Triple, TripleStore};
+use std::io::ErrorKind;
+use std::net::{Shutdown, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::{mpsc, Arc};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Master-side knobs (everything else comes from [`ParallelConfig`]).
+#[derive(Debug, Clone)]
+pub struct MasterOptions {
+    /// Run epoch carried in every `Welcome` — lets a worker (and its
+    /// logs) tell two runs on the same port apart.
+    pub epoch: u64,
+    /// How long the master waits for all `k` workers to dial in and
+    /// complete their handshake before refusing to start.
+    pub accept_timeout: Duration,
+}
+
+impl Default for MasterOptions {
+    fn default() -> Self {
+        MasterOptions {
+            epoch: 0,
+            accept_timeout: Duration::from_secs(60),
+        }
+    }
+}
+
+/// Worker-side knobs.
+#[derive(Debug, Clone)]
+pub struct WorkerOptions {
+    /// How long the worker keeps dialing (with capped exponential
+    /// backoff) before giving up; also the handshake read patience.
+    pub connect_timeout: Duration,
+}
+
+impl Default for WorkerOptions {
+    fn default() -> Self {
+        WorkerOptions {
+            connect_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// What a worker process reports when its run completed cleanly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerSummary {
+    /// Identity the master assigned in `Welcome`.
+    pub node_id: u32,
+    /// Cluster size.
+    pub k: u32,
+    /// Run epoch.
+    pub epoch: u64,
+    /// Rounds participated in.
+    pub rounds: usize,
+    /// Triples derived locally.
+    pub derived: usize,
+    /// Final local store size.
+    pub store_len: usize,
+    /// Triples sent (with multiplicity).
+    pub sent: u64,
+}
+
+fn handshake_err(detail: impl Into<String>) -> NetError {
+    NetError::Handshake {
+        detail: detail.into(),
+    }
+}
+
+fn send_master(stream: &mut TcpStream, msg: &MasterMsg) -> Result<(), NetError> {
+    write_crc_frame(stream, &encode_master_msg(msg)).map_err(NetError::from)
+}
+
+fn send_worker(stream: &mut TcpStream, msg: &WorkerMsg) -> Result<(), NetError> {
+    write_crc_frame(stream, &encode_worker_msg(msg)).map_err(NetError::from)
+}
+
+// ---------------------------------------------------------------------
+// master
+// ---------------------------------------------------------------------
+
+/// What a connection-handler thread distills worker frames into.
+enum Event {
+    /// The worker routed a batch to worker `to`.
+    Routed {
+        from: usize,
+        to: usize,
+        batch: Vec<Triple>,
+    },
+    /// The worker finished a round's sends.
+    Done {
+        from: usize,
+        round: usize,
+        sent: u64,
+    },
+    /// The worker delivered its final counters and store.
+    Final {
+        from: usize,
+        stats: WireStats,
+        store: Vec<Triple>,
+    },
+    /// The connection is gone (EOF, deadline, CRC damage, bad grammar).
+    Dead { from: usize, detail: String },
+}
+
+/// Per-connection pump: frames in → events out, `Deliver`s written back
+/// when the coordinator releases the round. Exits on `Final`, on any
+/// connection error, or when the coordinator drops the delivery sender
+/// (the worker was declared dead).
+fn handle_worker(
+    id: usize,
+    mut stream: TcpStream,
+    n_terms: u32,
+    events: &mpsc::Sender<Event>,
+    delivery: &mpsc::Receiver<MasterMsg>,
+) {
+    let dead = |detail: String| {
+        let _ = events.send(Event::Dead { from: id, detail });
+    };
+    loop {
+        let body = match read_crc_frame(&mut stream) {
+            Ok(b) => b,
+            Err(e) => return dead(format!("reading from worker {id}: {e}")),
+        };
+        match decode_worker_msg(&body, n_terms) {
+            Ok(WorkerMsg::Triples { to, batch }) => {
+                let routed = Event::Routed {
+                    from: id,
+                    to: to as usize,
+                    batch,
+                };
+                if events.send(routed).is_err() {
+                    return;
+                }
+            }
+            Ok(WorkerMsg::RoundDone { round, sent }) => {
+                let done = Event::Done {
+                    from: id,
+                    round: round as usize,
+                    sent,
+                };
+                if events.send(done).is_err() {
+                    return;
+                }
+                // Block until the coordinator releases the round for this
+                // worker; a closed channel means we were declared dead.
+                let Ok(msg) = delivery.recv() else { return };
+                if let Err(e) = write_crc_frame(&mut stream, &encode_master_msg(&msg)) {
+                    return dead(format!("delivering round to worker {id}: {e}"));
+                }
+            }
+            Ok(WorkerMsg::Final { stats, store }) => {
+                let _ = events.send(Event::Final {
+                    from: id,
+                    stats,
+                    store,
+                });
+                return;
+            }
+            Ok(WorkerMsg::Hello { .. }) => {
+                return dead(format!("worker {id} repeated the handshake mid-run"))
+            }
+            Err(e) => return dead(format!("undecodable message from worker {id}: {e}")),
+        }
+    }
+}
+
+/// The shippable image of a worker's routing table.
+fn wire_routing(r: &Routing) -> WireRouting {
+    match r {
+        Routing::Data { owner } => WireRouting::Data {
+            owner: owner.iter().map(|(&n, &w)| (n, w)).collect(),
+        },
+        Routing::Rule { partitions, .. } => WireRouting::Rule {
+            k: partitions.k as u32,
+            assignment: partitions.assignment.clone(),
+        },
+        Routing::Hybrid {
+            owner,
+            groups,
+            data_shards,
+            ..
+        } => WireRouting::Hybrid {
+            owner: owner.iter().map(|(&n, &w)| (n, w)).collect(),
+            groups_k: groups.k as u32,
+            groups_assignment: groups.assignment.clone(),
+            data_shards: *data_shards,
+        },
+    }
+}
+
+/// The worker-level faults planned for worker `id` — transport-internal
+/// kinds (IO flakes, corruption) stay in-process and do not ship.
+fn wire_faults(cfg: &ParallelConfig, id: usize) -> Vec<(u32, WireFault)> {
+    cfg.fault
+        .iter()
+        .flat_map(|p| p.events.iter())
+        .filter(|e| e.worker == id)
+        .filter_map(|e| {
+            let fault = match e.kind {
+                FaultKind::Panic => WireFault::Panic,
+                FaultKind::Disconnect => WireFault::Disconnect,
+                FaultKind::Delay { millis } => WireFault::Delay { millis },
+                _ => return None,
+            };
+            Some((e.round as u32, fault))
+        })
+        .collect()
+}
+
+/// Accept one worker and run the versioned handshake. Returns the
+/// stream, ready for `Setup`.
+fn accept_worker(
+    listener: &TcpListener,
+    deadline: Instant,
+    node_id: u32,
+    k: u32,
+    opts: &MasterOptions,
+) -> Result<TcpStream, NetError> {
+    // Poll the nonblocking listener with the shared backoff so a slow
+    // cluster assembly neither busy-spins nor oversleeps the deadline.
+    let mut backoff = Backoff::new(Duration::from_millis(1), Duration::from_millis(50));
+    let mut stream = loop {
+        match listener.accept() {
+            Ok((s, _)) => break s,
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                if Instant::now() >= deadline {
+                    return Err(handshake_err(format!(
+                        "worker {node_id}/{k} never connected within {:?}",
+                        opts.accept_timeout
+                    )));
+                }
+                backoff.sleep();
+            }
+            Err(e) => return Err(NetError::Io(e)),
+        }
+    };
+    stream.set_nonblocking(false)?;
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(opts.accept_timeout))?;
+    stream.set_write_timeout(Some(opts.accept_timeout))?;
+
+    let body = read_crc_frame(&mut stream)?;
+    // The dictionary bound is irrelevant during the handshake — Hello
+    // carries no triples.
+    match decode_worker_msg(&body, u32::MAX)? {
+        WorkerMsg::Hello { magic, version }
+            if magic == WIRE_MAGIC && version == PROTOCOL_VERSION =>
+        {
+            send_master(
+                &mut stream,
+                &MasterMsg::Welcome {
+                    node_id,
+                    k,
+                    epoch: opts.epoch,
+                },
+            )?;
+            Ok(stream)
+        }
+        WorkerMsg::Hello { magic, version } => {
+            let reason = format!(
+                "incompatible hello: magic {magic:#010x} version {version}, \
+                 this master speaks {WIRE_MAGIC:#010x} version {PROTOCOL_VERSION}"
+            );
+            let _ = send_master(&mut stream, &MasterMsg::Reject { reason: reason.clone() });
+            Err(handshake_err(reason))
+        }
+        other => Err(handshake_err(format!(
+            "expected Hello from connecting worker, got {other:?}"
+        ))),
+    }
+}
+
+/// Run a cluster master over `listener`: assemble `cfg.k` workers, ship
+/// partitions, coordinate rounds to quiescence, aggregate the closure
+/// into `graph`. The report is shaped exactly like
+/// [`run_parallel`](owlpar_core::run_parallel)'s.
+pub fn run_cluster_master(
+    graph: &mut Graph,
+    cfg: &ParallelConfig,
+    listener: TcpListener,
+    opts: &MasterOptions,
+) -> Result<RunReport, NetError> {
+    if matches!(cfg.rounds, RoundMode::Async) {
+        return Err(NetError::Run(RunError::config(
+            "the cluster runtime supports barrier rounds only",
+        )));
+    }
+    let start_total = Instant::now();
+    let before_len = graph.len();
+    let plan = prepare_run(graph, cfg)?;
+    let recoverable = plan.recoverable(cfg.recovery);
+    let k = plan.k;
+    let n_terms = graph.dict.len() as u32;
+    let materialization = resolve_materialization(cfg.materialization, k);
+
+    // --- bootstrap: all-or-nothing -----------------------------------
+    listener.set_nonblocking(true)?;
+    let deadline = Instant::now() + opts.accept_timeout;
+    let mut streams = Vec::with_capacity(k);
+    for id in 0..k {
+        streams.push(accept_worker(&listener, deadline, id as u32, k as u32, opts)?);
+    }
+    let mut bases = plan.bases;
+    for (id, stream) in streams.iter_mut().enumerate() {
+        let setup = Setup {
+            n_terms,
+            round_timeout_ms: cfg.round_timeout.as_millis() as u64,
+            materialization,
+            schema: plan.schema.clone(),
+            base: std::mem::take(&mut bases[id]),
+            all_rules: plan.all_rules.clone(),
+            my_rules: plan.rules_per_worker[id].clone(),
+            routing: wire_routing(&plan.routing[id]),
+            faults: wire_faults(cfg, id),
+        };
+        send_master(stream, &MasterMsg::Setup(Box::new(setup)))?;
+        // From here on the per-read patience is the round timeout: a
+        // worker that produces nothing for that long is declared dead.
+        stream.set_read_timeout(Some(cfg.round_timeout.saturating_mul(2)))?;
+        stream.set_write_timeout(Some(cfg.round_timeout))?;
+    }
+
+    // --- rounds ------------------------------------------------------
+    let t_par = Instant::now();
+    let (events_tx, events) = mpsc::channel::<Event>();
+    let mut delivery_txs: Vec<Option<mpsc::Sender<MasterMsg>>> = Vec::with_capacity(k);
+    let mut worker_errors: Vec<WorkerError> = Vec::new();
+    let mut finals: Vec<Option<(WireStats, Vec<Triple>)>> = (0..k).map(|_| None).collect();
+
+    thread::scope(|scope| {
+        for (id, stream) in streams.into_iter().enumerate() {
+            let (tx, rx) = mpsc::channel::<MasterMsg>();
+            delivery_txs.push(Some(tx));
+            let handler_tx = events_tx.clone();
+            let builder = thread::Builder::new().name(format!("cluster-worker-{id}"));
+            let spawned = builder.spawn_scoped(scope, move || {
+                handle_worker(id, stream, n_terms, &handler_tx, &rx);
+            });
+            if spawned.is_err() {
+                let _ = events_tx.send(Event::Dead {
+                    from: id,
+                    detail: "could not spawn connection handler".to_string(),
+                });
+            }
+        }
+        drop(events_tx);
+
+        let mut alive = vec![true; k];
+        let mut inboxes: Vec<Vec<Triple>> = (0..k).map(|_| Vec::new()).collect();
+        let kill = |id: usize,
+                        err: WorkerError,
+                        alive: &mut Vec<bool>,
+                        delivery_txs: &mut Vec<Option<mpsc::Sender<MasterMsg>>>,
+                        worker_errors: &mut Vec<WorkerError>| {
+            if alive[id] {
+                alive[id] = false;
+                delivery_txs[id] = None; // unblocks the handler
+                worker_errors.push(err);
+            }
+        };
+
+        let mut round = 0usize;
+        loop {
+            let mut done = vec![false; k];
+            let mut round_sent = 0u64;
+            while (0..k).any(|i| alive[i] && !done[i]) {
+                match events.recv_timeout(cfg.round_timeout) {
+                    Ok(Event::Routed { from, to, batch }) => {
+                        if to < k {
+                            inboxes[to].extend(batch);
+                        } else {
+                            kill(
+                                from,
+                                WorkerError::Comm {
+                                    worker: from,
+                                    source: CommError::Protocol {
+                                        round,
+                                        worker: from,
+                                        peer: from,
+                                        detail: format!("routed a batch to worker {to} of {k}"),
+                                    },
+                                },
+                                &mut alive,
+                                &mut delivery_txs,
+                                &mut worker_errors,
+                            );
+                        }
+                    }
+                    Ok(Event::Done { from, round: r, sent }) => {
+                        if r == round {
+                            done[from] = true;
+                            round_sent += sent;
+                        } else {
+                            kill(
+                                from,
+                                WorkerError::Comm {
+                                    worker: from,
+                                    source: CommError::Protocol {
+                                        round,
+                                        worker: from,
+                                        peer: from,
+                                        detail: format!("announced round {r} during round {round}"),
+                                    },
+                                },
+                                &mut alive,
+                                &mut delivery_txs,
+                                &mut worker_errors,
+                            );
+                        }
+                    }
+                    Ok(Event::Dead { from, detail }) => {
+                        kill(
+                            from,
+                            WorkerError::Comm {
+                                worker: from,
+                                source: CommError::Io {
+                                    round,
+                                    worker: from,
+                                    path: None,
+                                    kind: ErrorKind::ConnectionAborted,
+                                    detail,
+                                    attempts: 1,
+                                },
+                            },
+                            &mut alive,
+                            &mut delivery_txs,
+                            &mut worker_errors,
+                        );
+                    }
+                    Ok(Event::Final { from, .. }) => {
+                        kill(
+                            from,
+                            WorkerError::Comm {
+                                worker: from,
+                                source: CommError::Protocol {
+                                    round,
+                                    worker: from,
+                                    peer: from,
+                                    detail: "sent Final before the stop verdict".to_string(),
+                                },
+                            },
+                            &mut alive,
+                            &mut delivery_txs,
+                            &mut worker_errors,
+                        );
+                    }
+                    Err(_) => {
+                        // Nothing from anyone for a whole round timeout:
+                        // declare every straggler dead.
+                        for id in 0..k {
+                            if alive[id] && !done[id] {
+                                kill(
+                                    id,
+                                    WorkerError::BarrierTimeout {
+                                        worker: id,
+                                        round,
+                                        waited: cfg.round_timeout,
+                                    },
+                                    &mut alive,
+                                    &mut delivery_txs,
+                                    &mut worker_errors,
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+
+            // The verdict: quiescence, or any loss so far drains the
+            // survivors — same rule as the in-process RunFlags check.
+            let stop = round_sent == 0 || !worker_errors.is_empty();
+            for id in 0..k {
+                if !alive[id] || !done[id] {
+                    continue;
+                }
+                let deliver = MasterMsg::Deliver {
+                    round: round as u32,
+                    stop,
+                    triples: std::mem::take(&mut inboxes[id]),
+                };
+                if let Some(tx) = &delivery_txs[id] {
+                    if tx.send(deliver).is_err() {
+                        kill(
+                            id,
+                            WorkerError::Comm {
+                                worker: id,
+                                source: CommError::Disconnected {
+                                    round,
+                                    from: id,
+                                    to: id,
+                                },
+                            },
+                            &mut alive,
+                            &mut delivery_txs,
+                            &mut worker_errors,
+                        );
+                    }
+                }
+            }
+            if stop || !alive.iter().any(|&a| a) {
+                break;
+            }
+            round += 1;
+        }
+
+        // --- finals --------------------------------------------------
+        while (0..k).any(|i| alive[i] && finals[i].is_none()) {
+            match events.recv_timeout(cfg.round_timeout) {
+                Ok(Event::Final { from, stats, store }) => {
+                    finals[from] = Some((stats, store));
+                    delivery_txs[from] = None;
+                }
+                Ok(Event::Dead { from, detail }) => {
+                    kill(
+                        from,
+                        WorkerError::Comm {
+                            worker: from,
+                            source: CommError::Io {
+                                round,
+                                worker: from,
+                                path: None,
+                                kind: ErrorKind::ConnectionAborted,
+                                detail,
+                                attempts: 1,
+                            },
+                        },
+                        &mut alive,
+                        &mut delivery_txs,
+                        &mut worker_errors,
+                    );
+                }
+                Ok(Event::Routed { .. }) => {} // late, harmless: run is over
+                Ok(Event::Done { from, .. }) => {
+                    kill(
+                        from,
+                        WorkerError::Comm {
+                            worker: from,
+                            source: CommError::Protocol {
+                                round,
+                                worker: from,
+                                peer: from,
+                                detail: "announced a round after the stop verdict".to_string(),
+                            },
+                        },
+                        &mut alive,
+                        &mut delivery_txs,
+                        &mut worker_errors,
+                    );
+                }
+                Err(_) => {
+                    for id in 0..k {
+                        if alive[id] && finals[id].is_none() {
+                            kill(
+                                id,
+                                WorkerError::BarrierTimeout {
+                                    worker: id,
+                                    round,
+                                    waited: cfg.round_timeout,
+                                },
+                                &mut alive,
+                                &mut delivery_txs,
+                                &mut worker_errors,
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        delivery_txs.clear(); // release any handler still blocked
+    });
+    let host_parallel_time = t_par.elapsed();
+
+    // --- aggregate + recover -----------------------------------------
+    let t_agg = Instant::now();
+    let mut worker_stats = Vec::with_capacity(k);
+    let mut output_sizes = Vec::with_capacity(k);
+    for (id, f) in finals.into_iter().enumerate() {
+        match f {
+            Some((stats, store)) => {
+                output_sizes.push(store.len());
+                let mut part = TripleStore::new();
+                part.extend(store);
+                graph.store.union_with(&part);
+                worker_stats.push(stats.into_worker_stats(id));
+            }
+            None => worker_stats.push(WorkerStats {
+                id,
+                ..WorkerStats::default()
+            }),
+        }
+    }
+    let mut recovered = false;
+    if !worker_errors.is_empty() {
+        if !recoverable {
+            return Err(NetError::Run(RunError::Workers {
+                errors: worker_errors,
+            }));
+        }
+        reclose_serial(graph, cfg, &plan.all_rules);
+        recovered = true;
+    }
+    let aggregation = t_agg.elapsed();
+
+    let (parallel_time, sim_sync) = simulate_rounds(&worker_stats);
+    for (w, s) in worker_stats.iter_mut().zip(sim_sync) {
+        w.sync_time = s;
+    }
+    let closure_size = graph.len();
+    Ok(RunReport {
+        k,
+        breakdown: PhaseBreakdown::from_workers(&worker_stats, aggregation),
+        workers: worker_stats,
+        partition_time: plan.partition_time,
+        parallel_time,
+        host_parallel_time,
+        total_time: start_total.elapsed(),
+        derived: closure_size - before_len,
+        closure_size,
+        output_replication: or_excess(&output_sizes, closure_size),
+        partition_quality: plan.quality,
+        edge_cut: plan.edge_cut,
+        worker_errors,
+        recovered,
+    })
+}
+
+// ---------------------------------------------------------------------
+// worker
+// ---------------------------------------------------------------------
+
+/// Rule indices per partition, recovered from the shipped assignment.
+fn parts_from_assignment(k: usize, assignment: &[u32]) -> Vec<Vec<usize>> {
+    let mut parts = vec![Vec::new(); k];
+    for (i, &p) in assignment.iter().enumerate() {
+        parts[p as usize].push(i);
+    }
+    parts
+}
+
+/// Rebuild the in-process routing table from its wire image, validating
+/// every destination it could ever produce against the cluster size.
+fn rebuild_routing(w: WireRouting, k: u32, all_rules: &Arc<Vec<Rule>>) -> Result<Routing, NetError> {
+    let check_rules_len = |len: usize| {
+        if len == all_rules.len() {
+            Ok(())
+        } else {
+            Err(NetError::protocol(format!(
+                "rule assignment covers {len} rule(s), rule-base has {}",
+                all_rules.len()
+            )))
+        }
+    };
+    match w {
+        WireRouting::Data { owner } => {
+            let mut map = FxHashMap::default();
+            for (node, worker) in owner {
+                if worker >= k {
+                    return Err(NetError::protocol(format!(
+                        "ownership table assigns {node:?} to worker {worker} of {k}"
+                    )));
+                }
+                map.insert(node, worker);
+            }
+            Ok(Routing::Data {
+                owner: Arc::new(map),
+            })
+        }
+        WireRouting::Rule { k: parts, assignment } => {
+            if parts != k {
+                return Err(NetError::protocol(format!(
+                    "rule routing built for {parts} partitions, cluster has {k}"
+                )));
+            }
+            check_rules_len(assignment.len())?;
+            let rebuilt = RulePartitions {
+                k: parts as usize,
+                parts: parts_from_assignment(parts as usize, &assignment),
+                assignment,
+                edge_cut: 0,
+                partition_time: Duration::ZERO,
+            };
+            Ok(Routing::Rule {
+                partitions: Arc::new(rebuilt),
+                all_rules: Arc::clone(all_rules),
+            })
+        }
+        WireRouting::Hybrid {
+            owner,
+            groups_k,
+            groups_assignment,
+            data_shards,
+        } => {
+            if groups_k.checked_mul(data_shards) != Some(k) {
+                return Err(NetError::protocol(format!(
+                    "hybrid routing {groups_k} group(s) × {data_shards} shard(s) ≠ cluster size {k}"
+                )));
+            }
+            check_rules_len(groups_assignment.len())?;
+            let mut map = FxHashMap::default();
+            for (node, shard) in owner {
+                map.insert(node, shard); // shard < data_shards checked at decode
+            }
+            let rebuilt = RulePartitions {
+                k: groups_k as usize,
+                parts: parts_from_assignment(groups_k as usize, &groups_assignment),
+                assignment: groups_assignment,
+                edge_cut: 0,
+                partition_time: Duration::ZERO,
+            };
+            Ok(Routing::Hybrid {
+                owner: Arc::new(map),
+                groups: Arc::new(rebuilt),
+                all_rules: Arc::clone(all_rules),
+                data_shards,
+            })
+        }
+    }
+}
+
+/// Read one master frame and decode it.
+fn read_master(stream: &mut TcpStream, n_terms: u32) -> Result<MasterMsg, NetError> {
+    let body = read_crc_frame(stream)?;
+    decode_master_msg(&body, n_terms)
+}
+
+/// Run one worker process: dial the master, handshake, receive the
+/// partition, execute barrier rounds to the stop verdict, ship the final
+/// store back. Mirrors `owlpar_core::worker::run_worker` step for step —
+/// the exchanges just travel through the master instead of channels.
+pub fn run_cluster_worker(
+    addr: impl ToSocketAddrs,
+    opts: &WorkerOptions,
+) -> Result<WorkerSummary, NetError> {
+    // Dial with the shared capped backoff: the master may still be
+    // partitioning when we start.
+    let deadline = Instant::now() + opts.connect_timeout;
+    let mut backoff = Backoff::new(Duration::from_millis(5), Duration::from_millis(250));
+    let mut stream = loop {
+        match TcpStream::connect(&addr) {
+            Ok(s) => break s,
+            Err(e) => {
+                if Instant::now() >= deadline {
+                    return Err(NetError::Io(e));
+                }
+                backoff.sleep();
+            }
+        }
+    };
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(opts.connect_timeout))?;
+    stream.set_write_timeout(Some(opts.connect_timeout))?;
+
+    // --- handshake ---------------------------------------------------
+    send_worker(
+        &mut stream,
+        &WorkerMsg::Hello {
+            magic: WIRE_MAGIC,
+            version: PROTOCOL_VERSION,
+        },
+    )?;
+    let (node_id, k, epoch) = match read_master(&mut stream, u32::MAX)? {
+        MasterMsg::Welcome { node_id, k, epoch } => (node_id, k, epoch),
+        MasterMsg::Reject { reason } => return Err(handshake_err(reason)),
+        other => {
+            return Err(handshake_err(format!(
+                "expected Welcome or Reject, got {other:?}"
+            )))
+        }
+    };
+    if k == 0 || node_id >= k {
+        return Err(handshake_err(format!(
+            "master assigned node id {node_id} in a cluster of {k}"
+        )));
+    }
+    let setup = match read_master(&mut stream, u32::MAX)? {
+        MasterMsg::Setup(s) => *s,
+        other => {
+            return Err(handshake_err(format!(
+                "expected Setup after Welcome, got {other:?}"
+            )))
+        }
+    };
+    let n_terms = setup.n_terms;
+    let round_timeout = Duration::from_millis(setup.round_timeout_ms.max(1000));
+    // The master's Deliver can lag a full coordinator round behind our
+    // sends; give reads twice its patience before declaring it gone.
+    stream.set_read_timeout(Some(round_timeout.saturating_mul(2)))?;
+    stream.set_write_timeout(Some(round_timeout))?;
+
+    // --- local state: exactly run_worker's ---------------------------
+    let all_rules = Arc::new(setup.all_rules);
+    let routing = rebuild_routing(setup.routing, k, &all_rules)?;
+    let reasoner = Reasoner::new(setup.my_rules, setup.materialization);
+    let mut store = TripleStore::new();
+    store.extend(setup.schema);
+    store.extend(setup.base);
+    let mut faults = setup.faults;
+    faults.sort_by_key(|&(r, _)| r);
+
+    let mut stats = WireStats::default();
+    let me = node_id;
+    let mut round_cpu = Duration::ZERO;
+
+    let t = CpuTimer::start();
+    let base: Vec<Triple> = store.iter().copied().collect();
+    let mut derived = reasoner.materialize_delta(&mut store, base);
+    let dt = t.elapsed();
+    stats.reason_micros += dt.as_micros() as u64;
+    round_cpu += dt;
+    stats.derived += derived.len() as u64;
+
+    let mut dests: Vec<u32> = Vec::with_capacity(2);
+    let mut round = 0usize;
+    loop {
+        stats.rounds += 1;
+
+        // injected faults pinned to the start of this round
+        for &(r, fault) in &faults {
+            if r as usize != round {
+                continue;
+            }
+            match fault {
+                WireFault::Panic => {
+                    let _ = stream.shutdown(Shutdown::Both);
+                    return Err(NetError::Injected {
+                        round,
+                        kind: "panic",
+                    });
+                }
+                WireFault::Disconnect => {
+                    let _ = stream.shutdown(Shutdown::Both);
+                    return Err(NetError::Injected {
+                        round,
+                        kind: "disconnect",
+                    });
+                }
+                WireFault::Delay { millis } => thread::sleep(Duration::from_millis(millis)),
+            }
+        }
+
+        // route + send
+        let t = CpuTimer::start();
+        let mut outbox: Vec<Vec<Triple>> = vec![Vec::new(); k as usize];
+        for tr in &derived {
+            routing.destinations(tr, me, &mut dests);
+            for &d in &dests {
+                outbox[d as usize].push(*tr);
+            }
+        }
+        let mut sent_now = 0u64;
+        for (to, batch) in outbox.iter().enumerate() {
+            if batch.is_empty() || to as u32 == me {
+                continue;
+            }
+            send_worker(
+                &mut stream,
+                &WorkerMsg::Triples {
+                    to: to as u32,
+                    batch: batch.clone(),
+                },
+            )?;
+            sent_now += batch.len() as u64;
+        }
+        send_worker(
+            &mut stream,
+            &WorkerMsg::RoundDone {
+                round: round as u32,
+                sent: sent_now,
+            },
+        )?;
+        stats.sent += sent_now;
+        let dt = t.elapsed();
+        stats.io_micros += dt.as_micros() as u64;
+        round_cpu += dt;
+
+        // the Deliver is barrier A, the verdict and barrier B in one
+        stats.round_cpu_micros.push(round_cpu.as_micros() as u64);
+        round_cpu = Duration::ZERO;
+        let t = CpuTimer::start();
+        let (stop, triples) = match read_master(&mut stream, n_terms)? {
+            MasterMsg::Deliver {
+                round: r,
+                stop,
+                triples,
+            } => {
+                if r as usize != round {
+                    return Err(NetError::protocol(format!(
+                        "master delivered round {r} during round {round}"
+                    )));
+                }
+                (stop, triples)
+            }
+            other => {
+                return Err(NetError::protocol(format!(
+                    "expected Deliver, got {other:?}"
+                )))
+            }
+        };
+        stats.received += triples.len() as u64;
+        let dt = t.elapsed();
+        stats.io_micros += dt.as_micros() as u64;
+        round_cpu += dt;
+        if stop {
+            break;
+        }
+
+        // absorb + incremental closure
+        let t = CpuTimer::start();
+        let fresh: Vec<Triple> = triples.into_iter().filter(|tr| store.insert(*tr)).collect();
+        derived = reasoner.materialize_delta(&mut store, fresh);
+        let dt = t.elapsed();
+        stats.reason_micros += dt.as_micros() as u64;
+        round_cpu += dt;
+        stats.derived += derived.len() as u64;
+        round += 1;
+    }
+    if round_cpu > Duration::ZERO {
+        stats.round_cpu_micros.push(round_cpu.as_micros() as u64);
+    }
+    stats.output_size = store.len() as u64;
+
+    let summary = WorkerSummary {
+        node_id,
+        k,
+        epoch,
+        rounds: stats.rounds as usize,
+        derived: stats.derived as usize,
+        store_len: store.len(),
+        sent: stats.sent,
+    };
+    send_worker(
+        &mut stream,
+        &WorkerMsg::Final {
+            stats,
+            store: store.iter().copied().collect(),
+        },
+    )?;
+    Ok(summary)
+}

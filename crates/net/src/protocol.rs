@@ -1,0 +1,1097 @@
+//! The cluster bootstrap + round protocol: typed messages and their wire
+//! codecs.
+//!
+//! Every message travels as one CRC frame (`owlpar_core::frame`:
+//! `len | crc32 | body`), so torn or bit-flipped frames are rejected at
+//! the framing layer before any of these decoders run. The body grammar
+//! is a tag byte followed by little-endian fields; every length field is
+//! bounds-checked against the remaining buffer *before* allocation, and
+//! every triple id is validated against the run's dictionary size — a
+//! frame that passes CRC but decodes to nonsense is a protocol violation
+//! (the stream cannot be resynchronized), not a skippable message.
+//!
+//! ```text
+//! worker → master:  Hello | Triples* RoundDone | Final
+//! master → worker:  Welcome | Reject | Setup | Deliver
+//! ```
+//!
+//! The bootstrap handshake is versioned: `Hello` carries [`WIRE_MAGIC`]
+//! and [`PROTOCOL_VERSION`]; a master that cannot serve that version
+//! answers `Reject` and aborts the run before any partition ships.
+
+use owlpar_core::{FrameError, RunError, WorkerStats};
+use owlpar_datalog::backward::TableScope;
+use owlpar_datalog::{Atom, MaterializationStrategy, Rule, TermPat};
+use owlpar_rdf::triple::{decode_batch, encode_batch};
+use owlpar_rdf::{NodeId, Triple};
+use std::time::Duration;
+
+/// `"OWLP"` — first field of every `Hello`.
+pub const WIRE_MAGIC: u32 = 0x4F57_4C50;
+
+/// Version of the cluster wire protocol. Bumped on any incompatible
+/// change to the message grammar; the handshake refuses mismatches.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Anything that can go wrong running the cluster.
+#[derive(Debug)]
+pub enum NetError {
+    /// Socket trouble (connect, accept, read, write).
+    Io(std::io::Error),
+    /// A frame violated the shared framing layer (bad length, bad CRC).
+    Frame(FrameError),
+    /// A CRC-valid frame decoded to something that is not a valid
+    /// message (unknown tag, truncated field, out-of-dictionary id,
+    /// wrong round number). The connection is unusable.
+    Protocol {
+        /// What was wrong.
+        detail: String,
+    },
+    /// The bootstrap handshake failed: version mismatch, a rejected
+    /// `Hello`, or the cluster never assembled within the deadline.
+    Handshake {
+        /// Why bootstrap was refused.
+        detail: String,
+    },
+    /// The run itself failed with a structured core error (lint gate,
+    /// bad config, unrecovered worker losses).
+    Run(RunError),
+    /// An injected fault ([`owlpar_core::FaultKind::Disconnect`] /
+    /// `Panic`) killed this worker on schedule — the expected outcome of
+    /// a chaos run, kept distinct from organic failures.
+    Injected {
+        /// Round at which the fault fired.
+        round: usize,
+        /// Which fault kind fired.
+        kind: &'static str,
+    },
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "io: {e}"),
+            NetError::Frame(e) => write!(f, "bad frame: {e}"),
+            NetError::Protocol { detail } => write!(f, "protocol violation: {detail}"),
+            NetError::Handshake { detail } => write!(f, "handshake failed: {detail}"),
+            NetError::Run(e) => write!(f, "run failed: {e}"),
+            NetError::Injected { round, kind } => {
+                write!(f, "injected {kind} fault fired at round {round}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetError::Io(e) => Some(e),
+            NetError::Frame(e) => Some(e),
+            NetError::Run(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+impl From<FrameError> for NetError {
+    fn from(e: FrameError) -> Self {
+        NetError::Frame(e)
+    }
+}
+
+impl From<RunError> for NetError {
+    fn from(e: RunError) -> Self {
+        NetError::Run(e)
+    }
+}
+
+impl NetError {
+    pub(crate) fn protocol(detail: impl Into<String>) -> Self {
+        NetError::Protocol {
+            detail: detail.into(),
+        }
+    }
+}
+
+/// A fault the master ships to the worker it targets. Only the
+/// worker-level kinds travel — transport-level IO/corruption injection
+/// stays inside the in-process fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireFault {
+    /// Panic at the start of the round (the worker process dies loudly).
+    Panic,
+    /// Close the master connection at the start of the round and exit.
+    Disconnect,
+    /// Sleep before the round's sends (a slow peer; exercises the
+    /// master's deadline patience without killing anyone).
+    Delay {
+        /// Wall-clock delay in milliseconds.
+        millis: u64,
+    },
+}
+
+/// A routing table in shippable form — the wire image of
+/// [`owlpar_core::worker::Routing`], minus the `Arc`s.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireRouting {
+    /// Data partitioning: the ownership table.
+    Data {
+        /// `(node, owning worker)` pairs.
+        owner: Vec<(NodeId, u32)>,
+    },
+    /// Rule partitioning: the rule→partition assignment.
+    Rule {
+        /// Number of partitions.
+        k: u32,
+        /// Partition id per rule index (into the shipped `all_rules`).
+        assignment: Vec<u32>,
+    },
+    /// Hybrid: ownership over shards × rule grouping.
+    Hybrid {
+        /// `(node, owning shard)` pairs (shard ids `0..data_shards`).
+        owner: Vec<(NodeId, u32)>,
+        /// Number of rule groups.
+        groups_k: u32,
+        /// Group id per rule index.
+        groups_assignment: Vec<u32>,
+        /// Number of data shards.
+        data_shards: u32,
+    },
+}
+
+/// Everything a worker needs before round 0 — the cluster image of the
+/// master's [`owlpar_core::RunPlan`] slice for one worker.
+#[derive(Debug, Clone)]
+pub struct Setup {
+    /// Size of the master's frozen dictionary; every triple id in every
+    /// later frame must be below it.
+    pub n_terms: u32,
+    /// Per-message read patience during rounds, in milliseconds.
+    pub round_timeout_ms: u64,
+    /// The resolved closure engine (no `threads: 0` auto value ships —
+    /// the master resolves it so every process uses the same budget).
+    pub materialization: MaterializationStrategy,
+    /// Schema triples (replicated to every worker).
+    pub schema: Vec<Triple>,
+    /// This worker's base partition.
+    pub base: Vec<Triple>,
+    /// The complete effective rule-base (routing needs it even when this
+    /// worker evaluates only a subset).
+    pub all_rules: Vec<Rule>,
+    /// The rules this worker evaluates.
+    pub my_rules: Vec<Rule>,
+    /// How this worker routes fresh derivations.
+    pub routing: WireRouting,
+    /// Injected faults for this worker, as `(round, fault)` pairs.
+    pub faults: Vec<(u32, WireFault)>,
+}
+
+/// Per-worker counters in shippable form; micros instead of `Duration`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WireStats {
+    /// Rounds the worker participated in.
+    pub rounds: u64,
+    /// Triples it derived.
+    pub derived: u64,
+    /// Triples it sent.
+    pub sent: u64,
+    /// Triples it received.
+    pub received: u64,
+    /// Reasoning CPU, microseconds.
+    pub reason_micros: u64,
+    /// IO (serialize/route/exchange) CPU, microseconds.
+    pub io_micros: u64,
+    /// Per-round CPU charges, microseconds.
+    pub round_cpu_micros: Vec<u64>,
+    /// Final local store size.
+    pub output_size: u64,
+}
+
+impl WireStats {
+    /// Rehydrate into the core's stats record for `RunReport` assembly.
+    pub fn into_worker_stats(self, id: usize) -> WorkerStats {
+        WorkerStats {
+            id,
+            reason_time: Duration::from_micros(self.reason_micros),
+            io_time: Duration::from_micros(self.io_micros),
+            round_cpu: self
+                .round_cpu_micros
+                .iter()
+                .map(|&us| Duration::from_micros(us))
+                .collect(),
+            rounds: self.rounds as usize,
+            derived: self.derived as usize,
+            sent: self.sent as usize,
+            received: self.received as usize,
+            output_size: self.output_size as usize,
+            ..WorkerStats::default()
+        }
+    }
+}
+
+/// Messages a worker sends to the master.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkerMsg {
+    /// Handshake opener.
+    Hello {
+        /// Must be [`WIRE_MAGIC`].
+        magic: u32,
+        /// Must be [`PROTOCOL_VERSION`].
+        version: u32,
+    },
+    /// Fresh derivations routed to worker `to`, part of the current
+    /// round (every `Triples` precedes its round's `RoundDone` on the
+    /// stream, so the round number is implicit).
+    Triples {
+        /// Destination worker.
+        to: u32,
+        /// The routed triples.
+        batch: Vec<Triple>,
+    },
+    /// This worker finished the round's local work and sends.
+    RoundDone {
+        /// The round just finished.
+        round: u32,
+        /// Triples this worker sent this round (termination detector).
+        sent: u64,
+    },
+    /// Sent once after a `Stop` verdict: counters + the final store.
+    Final {
+        /// The worker's counters.
+        stats: WireStats,
+        /// Its complete local store.
+        store: Vec<Triple>,
+    },
+}
+
+/// Messages the master sends a worker.
+#[derive(Debug, Clone)]
+pub enum MasterMsg {
+    /// Handshake accept: identity and cluster shape.
+    Welcome {
+        /// This worker's node id (= partition index).
+        node_id: u32,
+        /// Cluster size.
+        k: u32,
+        /// Run epoch — lets a late reconnect from a previous run be told
+        /// apart from this run's workers.
+        epoch: u64,
+    },
+    /// Handshake refusal (version mismatch, cluster already full).
+    Reject {
+        /// Why.
+        reason: String,
+    },
+    /// The worker's partition of the run plan.
+    Setup(Box<Setup>),
+    /// Round verdict + this worker's inbound triples for the round.
+    Deliver {
+        /// The round this verdict closes.
+        round: u32,
+        /// True when the run is over (quiescence or a lost worker):
+        /// absorb nothing, send `Final`.
+        stop: bool,
+        /// Triples routed to this worker this round.
+        triples: Vec<Triple>,
+    },
+}
+
+// ---------------------------------------------------------------------
+// body grammar
+// ---------------------------------------------------------------------
+
+const TAG_HELLO: u8 = 1;
+const TAG_WELCOME: u8 = 2;
+const TAG_REJECT: u8 = 3;
+const TAG_SETUP: u8 = 4;
+const TAG_TRIPLES: u8 = 5;
+const TAG_ROUND_DONE: u8 = 6;
+const TAG_DELIVER: u8 = 7;
+const TAG_FINAL: u8 = 8;
+
+/// Longest string field (rule name, reject reason) the decoder accepts.
+const MAX_STRING: usize = 64 * 1024;
+/// Most rules a setup may carry (far above any real rule-base).
+const MAX_RULES: usize = 64 * 1024;
+
+/// Bounds-checked little-endian reader over a message body.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], NetError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| {
+                NetError::protocol(format!(
+                    "truncated message: wanted {n} more byte(s) at offset {}",
+                    self.pos
+                ))
+            })?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, NetError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, NetError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, NetError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, NetError> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+
+    fn string(&mut self) -> Result<String, NetError> {
+        let len = self.u32()? as usize;
+        if len > MAX_STRING {
+            return Err(NetError::protocol(format!(
+                "string field of {len} bytes exceeds the {MAX_STRING}-byte bound"
+            )));
+        }
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| NetError::protocol("string field is not valid UTF-8"))
+    }
+
+    /// The decoder consumed the whole body — trailing bytes are a
+    /// violation (they would mean sender and receiver disagree on the
+    /// grammar).
+    fn done(&self) -> Result<(), NetError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(NetError::protocol(format!(
+                "{} trailing byte(s) after message body",
+                self.buf.len() - self.pos
+            )))
+        }
+    }
+}
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_string(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_triples(out: &mut Vec<u8>, triples: &[Triple]) {
+    put_u32(out, triples.len() as u32);
+    out.extend_from_slice(&encode_batch(triples));
+}
+
+/// Read a `u32 count | count × 12 bytes` triple block, validating every
+/// id against the dictionary size.
+fn get_triples(cur: &mut Cursor<'_>, n_terms: u32) -> Result<Vec<Triple>, NetError> {
+    let count = cur.u32()? as usize;
+    let bytes = cur.take(count.checked_mul(12).ok_or_else(|| {
+        NetError::protocol("triple count overflows the byte budget")
+    })?)?;
+    let mut out = Vec::with_capacity(count);
+    for t in decode_batch(bytes) {
+        if t.s.0 >= n_terms || t.p.0 >= n_terms || t.o.0 >= n_terms {
+            return Err(NetError::protocol(format!(
+                "triple {t} has ids outside the {n_terms}-term dictionary"
+            )));
+        }
+        out.push(t);
+    }
+    Ok(out)
+}
+
+fn put_term_pat(out: &mut Vec<u8>, p: &TermPat) {
+    match p {
+        TermPat::Var(v) => {
+            out.push(0);
+            put_u32(out, u32::from(*v));
+        }
+        TermPat::Const(c) => {
+            out.push(1);
+            put_u32(out, c.0);
+        }
+    }
+}
+
+fn get_term_pat(cur: &mut Cursor<'_>, n_terms: u32) -> Result<TermPat, NetError> {
+    match cur.u8()? {
+        0 => {
+            let v = cur.u32()?;
+            u16::try_from(v)
+                .map(TermPat::Var)
+                .map_err(|_| NetError::protocol(format!("variable index {v} exceeds u16")))
+        }
+        1 => {
+            let id = cur.u32()?;
+            if id >= n_terms {
+                return Err(NetError::protocol(format!(
+                    "rule constant {id} outside the {n_terms}-term dictionary"
+                )));
+            }
+            Ok(TermPat::Const(NodeId(id)))
+        }
+        other => Err(NetError::protocol(format!("unknown term-pattern tag {other}"))),
+    }
+}
+
+fn put_atom(out: &mut Vec<u8>, a: &Atom) {
+    put_term_pat(out, &a.s);
+    put_term_pat(out, &a.p);
+    put_term_pat(out, &a.o);
+}
+
+fn get_atom(cur: &mut Cursor<'_>, n_terms: u32) -> Result<Atom, NetError> {
+    Ok(Atom {
+        s: get_term_pat(cur, n_terms)?,
+        p: get_term_pat(cur, n_terms)?,
+        o: get_term_pat(cur, n_terms)?,
+    })
+}
+
+fn put_rules(out: &mut Vec<u8>, rules: &[Rule]) {
+    put_u32(out, rules.len() as u32);
+    for r in rules {
+        put_string(out, &r.name);
+        put_atom(out, &r.head);
+        put_u16(out, r.body.len() as u16);
+        for a in &r.body {
+            put_atom(out, a);
+        }
+    }
+}
+
+fn get_rules(cur: &mut Cursor<'_>, n_terms: u32) -> Result<Vec<Rule>, NetError> {
+    let count = cur.u32()? as usize;
+    if count > MAX_RULES {
+        return Err(NetError::protocol(format!(
+            "rule count {count} exceeds the {MAX_RULES} bound"
+        )));
+    }
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let name = cur.string()?;
+        let head = get_atom(cur, n_terms)?;
+        let body_len = cur.u16()? as usize;
+        let mut body = Vec::with_capacity(body_len);
+        for _ in 0..body_len {
+            body.push(get_atom(cur, n_terms)?);
+        }
+        // Rule::new re-validates (non-empty body, dense variables,
+        // range restriction) and recomputes var_count — a rule that was
+        // valid at the master decodes to the same rule or not at all.
+        out.push(Rule::new(name, head, body).map_err(NetError::protocol)?);
+    }
+    Ok(out)
+}
+
+fn put_materialization(out: &mut Vec<u8>, m: &MaterializationStrategy) {
+    let scope_byte = |s: &TableScope| match s {
+        TableScope::PerQuery => 0u8,
+        TableScope::PerSweep => 1,
+        TableScope::None => 2,
+    };
+    match m {
+        MaterializationStrategy::ForwardSemiNaive => {
+            out.push(0);
+            put_u32(out, 0);
+        }
+        MaterializationStrategy::ForwardParallel { threads } => {
+            out.push(1);
+            put_u32(out, *threads as u32);
+        }
+        MaterializationStrategy::BackwardPerResource(s) => {
+            out.push(2);
+            put_u32(out, u32::from(scope_byte(s)));
+        }
+        MaterializationStrategy::BackwardJena(s) => {
+            out.push(3);
+            put_u32(out, u32::from(scope_byte(s)));
+        }
+    }
+}
+
+fn get_materialization(cur: &mut Cursor<'_>) -> Result<MaterializationStrategy, NetError> {
+    let tag = cur.u8()?;
+    let param = cur.u32()?;
+    let scope = |p: u32| match p {
+        0 => Ok(TableScope::PerQuery),
+        1 => Ok(TableScope::PerSweep),
+        2 => Ok(TableScope::None),
+        other => Err(NetError::protocol(format!("unknown table scope {other}"))),
+    };
+    match tag {
+        0 => Ok(MaterializationStrategy::ForwardSemiNaive),
+        1 => Ok(MaterializationStrategy::ForwardParallel {
+            threads: param as usize,
+        }),
+        2 => Ok(MaterializationStrategy::BackwardPerResource(scope(param)?)),
+        3 => Ok(MaterializationStrategy::BackwardJena(scope(param)?)),
+        other => Err(NetError::protocol(format!(
+            "unknown materialization tag {other}"
+        ))),
+    }
+}
+
+fn put_owner(out: &mut Vec<u8>, owner: &[(NodeId, u32)]) {
+    put_u32(out, owner.len() as u32);
+    for (node, w) in owner {
+        put_u32(out, node.0);
+        put_u32(out, *w);
+    }
+}
+
+fn get_owner(cur: &mut Cursor<'_>, n_terms: u32, k: u32) -> Result<Vec<(NodeId, u32)>, NetError> {
+    let count = cur.u32()? as usize;
+    // 8 bytes per pair must fit in what remains — checked by take().
+    let mut out = Vec::with_capacity(count.min(1 << 20));
+    for _ in 0..count {
+        let node = cur.u32()?;
+        let w = cur.u32()?;
+        if node >= n_terms {
+            return Err(NetError::protocol(format!(
+                "ownership entry for node {node} outside the {n_terms}-term dictionary"
+            )));
+        }
+        if w >= k {
+            return Err(NetError::protocol(format!(
+                "ownership entry assigns node {node} to worker {w} of {k}"
+            )));
+        }
+        out.push((NodeId(node), w));
+    }
+    Ok(out)
+}
+
+fn put_assignment(out: &mut Vec<u8>, assignment: &[u32]) {
+    put_u32(out, assignment.len() as u32);
+    for &a in assignment {
+        put_u32(out, a);
+    }
+}
+
+fn get_assignment(cur: &mut Cursor<'_>, parts: u32) -> Result<Vec<u32>, NetError> {
+    let count = cur.u32()? as usize;
+    if count > MAX_RULES {
+        return Err(NetError::protocol(format!(
+            "assignment length {count} exceeds the {MAX_RULES} bound"
+        )));
+    }
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let a = cur.u32()?;
+        if a >= parts {
+            return Err(NetError::protocol(format!(
+                "assignment entry {a} outside 0..{parts}"
+            )));
+        }
+        out.push(a);
+    }
+    Ok(out)
+}
+
+fn put_routing(out: &mut Vec<u8>, r: &WireRouting) {
+    match r {
+        WireRouting::Data { owner } => {
+            out.push(0);
+            put_owner(out, owner);
+        }
+        WireRouting::Rule { k, assignment } => {
+            out.push(1);
+            put_u32(out, *k);
+            put_assignment(out, assignment);
+        }
+        WireRouting::Hybrid {
+            owner,
+            groups_k,
+            groups_assignment,
+            data_shards,
+        } => {
+            out.push(2);
+            put_u32(out, *data_shards);
+            put_owner(out, owner);
+            put_u32(out, *groups_k);
+            put_assignment(out, groups_assignment);
+        }
+    }
+}
+
+fn get_routing(cur: &mut Cursor<'_>, n_terms: u32, k: u32) -> Result<WireRouting, NetError> {
+    match cur.u8()? {
+        0 => Ok(WireRouting::Data {
+            owner: get_owner(cur, n_terms, k)?,
+        }),
+        1 => {
+            let parts = cur.u32()?;
+            Ok(WireRouting::Rule {
+                k: parts,
+                assignment: get_assignment(cur, parts)?,
+            })
+        }
+        2 => {
+            let data_shards = cur.u32()?;
+            if data_shards == 0 {
+                return Err(NetError::protocol("hybrid routing with zero data shards"));
+            }
+            let owner = get_owner(cur, n_terms, data_shards)?;
+            let groups_k = cur.u32()?;
+            Ok(WireRouting::Hybrid {
+                owner,
+                groups_k,
+                groups_assignment: get_assignment(cur, groups_k)?,
+                data_shards,
+            })
+        }
+        other => Err(NetError::protocol(format!("unknown routing tag {other}"))),
+    }
+}
+
+fn put_stats(out: &mut Vec<u8>, s: &WireStats) {
+    put_u64(out, s.rounds);
+    put_u64(out, s.derived);
+    put_u64(out, s.sent);
+    put_u64(out, s.received);
+    put_u64(out, s.reason_micros);
+    put_u64(out, s.io_micros);
+    put_u32(out, s.round_cpu_micros.len() as u32);
+    for &us in &s.round_cpu_micros {
+        put_u64(out, us);
+    }
+    put_u64(out, s.output_size);
+}
+
+fn get_stats(cur: &mut Cursor<'_>) -> Result<WireStats, NetError> {
+    let rounds = cur.u64()?;
+    let derived = cur.u64()?;
+    let sent = cur.u64()?;
+    let received = cur.u64()?;
+    let reason_micros = cur.u64()?;
+    let io_micros = cur.u64()?;
+    let n = cur.u32()? as usize;
+    if n > 1 << 20 {
+        return Err(NetError::protocol(format!("round_cpu list of {n} entries")));
+    }
+    let mut round_cpu_micros = Vec::with_capacity(n);
+    for _ in 0..n {
+        round_cpu_micros.push(cur.u64()?);
+    }
+    Ok(WireStats {
+        rounds,
+        derived,
+        sent,
+        received,
+        reason_micros,
+        io_micros,
+        round_cpu_micros,
+        output_size: cur.u64()?,
+    })
+}
+
+/// Encode a worker→master message body.
+pub fn encode_worker_msg(m: &WorkerMsg) -> Vec<u8> {
+    let mut out = Vec::new();
+    match m {
+        WorkerMsg::Hello { magic, version } => {
+            out.push(TAG_HELLO);
+            put_u32(&mut out, *magic);
+            put_u32(&mut out, *version);
+        }
+        WorkerMsg::Triples { to, batch } => {
+            out.push(TAG_TRIPLES);
+            put_u32(&mut out, *to);
+            put_triples(&mut out, batch);
+        }
+        WorkerMsg::RoundDone { round, sent } => {
+            out.push(TAG_ROUND_DONE);
+            put_u32(&mut out, *round);
+            put_u64(&mut out, *sent);
+        }
+        WorkerMsg::Final { stats, store } => {
+            out.push(TAG_FINAL);
+            put_stats(&mut out, stats);
+            put_triples(&mut out, store);
+        }
+    }
+    out
+}
+
+/// Decode a worker→master message body. `n_terms` is the master's
+/// dictionary size; every triple id is validated against it.
+pub fn decode_worker_msg(body: &[u8], n_terms: u32) -> Result<WorkerMsg, NetError> {
+    let mut cur = Cursor::new(body);
+    let msg = match cur.u8()? {
+        TAG_HELLO => WorkerMsg::Hello {
+            magic: cur.u32()?,
+            version: cur.u32()?,
+        },
+        TAG_TRIPLES => WorkerMsg::Triples {
+            to: cur.u32()?,
+            batch: get_triples(&mut cur, n_terms)?,
+        },
+        TAG_ROUND_DONE => WorkerMsg::RoundDone {
+            round: cur.u32()?,
+            sent: cur.u64()?,
+        },
+        TAG_FINAL => WorkerMsg::Final {
+            stats: get_stats(&mut cur)?,
+            store: get_triples(&mut cur, n_terms)?,
+        },
+        other => return Err(NetError::protocol(format!("unknown worker message tag {other}"))),
+    };
+    cur.done()?;
+    Ok(msg)
+}
+
+/// Encode a master→worker message body.
+pub fn encode_master_msg(m: &MasterMsg) -> Vec<u8> {
+    let mut out = Vec::new();
+    match m {
+        MasterMsg::Welcome { node_id, k, epoch } => {
+            out.push(TAG_WELCOME);
+            put_u32(&mut out, *node_id);
+            put_u32(&mut out, *k);
+            put_u64(&mut out, *epoch);
+        }
+        MasterMsg::Reject { reason } => {
+            out.push(TAG_REJECT);
+            put_string(&mut out, reason);
+        }
+        MasterMsg::Setup(s) => {
+            out.push(TAG_SETUP);
+            put_u32(&mut out, s.n_terms);
+            put_u64(&mut out, s.round_timeout_ms);
+            put_materialization(&mut out, &s.materialization);
+            put_triples(&mut out, &s.schema);
+            put_triples(&mut out, &s.base);
+            put_rules(&mut out, &s.all_rules);
+            put_rules(&mut out, &s.my_rules);
+            put_routing(&mut out, &s.routing);
+            put_u32(&mut out, s.faults.len() as u32);
+            for (round, fault) in &s.faults {
+                put_u32(&mut out, *round);
+                match fault {
+                    WireFault::Panic => {
+                        out.push(0);
+                        put_u64(&mut out, 0);
+                    }
+                    WireFault::Disconnect => {
+                        out.push(1);
+                        put_u64(&mut out, 0);
+                    }
+                    WireFault::Delay { millis } => {
+                        out.push(2);
+                        put_u64(&mut out, *millis);
+                    }
+                }
+            }
+        }
+        MasterMsg::Deliver {
+            round,
+            stop,
+            triples,
+        } => {
+            out.push(TAG_DELIVER);
+            put_u32(&mut out, *round);
+            out.push(u8::from(*stop));
+            put_triples(&mut out, triples);
+        }
+    }
+    out
+}
+
+/// Decode a master→worker message body. `n_terms` bounds triple ids in
+/// `Deliver`; a `Setup` carries (and is validated against) its own.
+/// During the handshake — before any `Setup` — pass the value from the
+/// `Setup` once known, or `u32::MAX` to accept any id (the handshake
+/// messages carry no triples).
+pub fn decode_master_msg(body: &[u8], n_terms: u32) -> Result<MasterMsg, NetError> {
+    let mut cur = Cursor::new(body);
+    let msg = match cur.u8()? {
+        TAG_WELCOME => MasterMsg::Welcome {
+            node_id: cur.u32()?,
+            k: cur.u32()?,
+            epoch: cur.u64()?,
+        },
+        TAG_REJECT => MasterMsg::Reject {
+            reason: cur.string()?,
+        },
+        TAG_SETUP => {
+            let n_terms = cur.u32()?;
+            let round_timeout_ms = cur.u64()?;
+            let materialization = get_materialization(&mut cur)?;
+            let schema = get_triples(&mut cur, n_terms)?;
+            let base = get_triples(&mut cur, n_terms)?;
+            let all_rules = get_rules(&mut cur, n_terms)?;
+            let my_rules = get_rules(&mut cur, n_terms)?;
+            let routing = get_routing(&mut cur, n_terms, u32::MAX)?;
+            let n_faults = cur.u32()? as usize;
+            if n_faults > 1 << 16 {
+                return Err(NetError::protocol(format!("{n_faults} fault entries")));
+            }
+            let mut faults = Vec::with_capacity(n_faults);
+            for _ in 0..n_faults {
+                let round = cur.u32()?;
+                let tag = cur.u8()?;
+                let param = cur.u64()?;
+                let fault = match tag {
+                    0 => WireFault::Panic,
+                    1 => WireFault::Disconnect,
+                    2 => WireFault::Delay { millis: param },
+                    other => {
+                        return Err(NetError::protocol(format!("unknown fault tag {other}")))
+                    }
+                };
+                faults.push((round, fault));
+            }
+            MasterMsg::Setup(Box::new(Setup {
+                n_terms,
+                round_timeout_ms,
+                materialization,
+                schema,
+                base,
+                all_rules,
+                my_rules,
+                routing,
+                faults,
+            }))
+        }
+        TAG_DELIVER => MasterMsg::Deliver {
+            round: cur.u32()?,
+            stop: cur.u8()? != 0,
+            triples: get_triples(&mut cur, n_terms)?,
+        },
+        other => return Err(NetError::protocol(format!("unknown master message tag {other}"))),
+    };
+    cur.done()?;
+    Ok(msg)
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+    use super::*;
+    use owlpar_datalog::ast::build::{atom, c, v};
+
+    fn t(s: u32, p: u32, o: u32) -> Triple {
+        Triple::new(NodeId(s), NodeId(p), NodeId(o))
+    }
+
+    fn rules() -> Vec<Rule> {
+        vec![
+            Rule::new(
+                "p2q",
+                atom(v(0), c(NodeId(9)), v(1)),
+                vec![atom(v(0), c(NodeId(8)), v(1))],
+            )
+            .unwrap(),
+            Rule::new(
+                "join",
+                atom(v(0), c(NodeId(7)), v(2)),
+                vec![
+                    atom(v(0), c(NodeId(8)), v(1)),
+                    atom(v(1), c(NodeId(8)), v(2)),
+                ],
+            )
+            .unwrap(),
+        ]
+    }
+
+    #[test]
+    fn worker_messages_roundtrip() {
+        let msgs = [
+            WorkerMsg::Hello {
+                magic: WIRE_MAGIC,
+                version: PROTOCOL_VERSION,
+            },
+            WorkerMsg::Triples {
+                to: 3,
+                batch: vec![t(1, 2, 3), t(4, 5, 6)],
+            },
+            WorkerMsg::RoundDone { round: 7, sent: 99 },
+            WorkerMsg::Final {
+                stats: WireStats {
+                    rounds: 4,
+                    derived: 100,
+                    sent: 20,
+                    received: 30,
+                    reason_micros: 1234,
+                    io_micros: 56,
+                    round_cpu_micros: vec![10, 20, 30],
+                    output_size: 500,
+                },
+                store: vec![t(0, 1, 2)],
+            },
+        ];
+        for m in msgs {
+            let body = encode_worker_msg(&m);
+            assert_eq!(decode_worker_msg(&body, 10).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn master_messages_roundtrip() {
+        let setup = Setup {
+            n_terms: 10,
+            round_timeout_ms: 30_000,
+            materialization: MaterializationStrategy::ForwardSemiNaive,
+            schema: vec![t(0, 1, 2)],
+            base: vec![t(3, 4, 5), t(6, 7, 8)],
+            all_rules: rules(),
+            my_rules: rules()[..1].to_vec(),
+            routing: WireRouting::Data {
+                owner: vec![(NodeId(3), 0), (NodeId(6), 1)],
+            },
+            faults: vec![(1, WireFault::Disconnect), (2, WireFault::Delay { millis: 5 })],
+        };
+        let body = encode_master_msg(&MasterMsg::Setup(Box::new(setup.clone())));
+        let MasterMsg::Setup(got) = decode_master_msg(&body, u32::MAX).unwrap() else {
+            panic!("wrong variant");
+        };
+        assert_eq!(got.n_terms, setup.n_terms);
+        assert_eq!(got.schema, setup.schema);
+        assert_eq!(got.base, setup.base);
+        assert_eq!(got.all_rules, setup.all_rules);
+        assert_eq!(got.my_rules, setup.my_rules);
+        assert_eq!(got.routing, setup.routing);
+        assert_eq!(got.faults, setup.faults);
+
+        let body = encode_master_msg(&MasterMsg::Deliver {
+            round: 3,
+            stop: true,
+            triples: vec![t(1, 2, 3)],
+        });
+        let MasterMsg::Deliver { round, stop, triples } =
+            decode_master_msg(&body, 10).unwrap()
+        else {
+            panic!("wrong variant");
+        };
+        assert_eq!((round, stop, triples), (3, true, vec![t(1, 2, 3)]));
+    }
+
+    #[test]
+    fn rule_and_hybrid_routing_roundtrip() {
+        for routing in [
+            WireRouting::Rule {
+                k: 3,
+                assignment: vec![0, 2, 1],
+            },
+            WireRouting::Hybrid {
+                owner: vec![(NodeId(1), 0)],
+                groups_k: 2,
+                groups_assignment: vec![0, 1],
+                data_shards: 2,
+            },
+        ] {
+            let mut out = Vec::new();
+            put_routing(&mut out, &routing);
+            let mut cur = Cursor::new(&out);
+            assert_eq!(get_routing(&mut cur, 10, u32::MAX).unwrap(), routing);
+            cur.done().unwrap();
+        }
+    }
+
+    #[test]
+    fn out_of_dictionary_ids_are_protocol_violations() {
+        let body = encode_worker_msg(&WorkerMsg::Triples {
+            to: 0,
+            batch: vec![t(1, 2, 999)],
+        });
+        let err = decode_worker_msg(&body, 10).unwrap_err();
+        assert!(matches!(err, NetError::Protocol { .. }));
+        assert!(err.to_string().contains("dictionary"));
+    }
+
+    #[test]
+    fn truncation_at_every_cut_is_rejected_not_panicking() {
+        let body = encode_master_msg(&MasterMsg::Setup(Box::new(Setup {
+            n_terms: 10,
+            round_timeout_ms: 1,
+            materialization: MaterializationStrategy::ForwardParallel { threads: 2 },
+            schema: vec![t(0, 1, 2)],
+            base: vec![t(3, 4, 5)],
+            all_rules: rules(),
+            my_rules: rules(),
+            routing: WireRouting::Rule {
+                k: 2,
+                assignment: vec![0, 1],
+            },
+            faults: vec![(0, WireFault::Panic)],
+        })));
+        for cut in 0..body.len() {
+            let err = decode_master_msg(&body[..cut], u32::MAX).unwrap_err();
+            assert!(
+                matches!(err, NetError::Protocol { .. }),
+                "cut at {cut} must be a protocol error, got {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut body = encode_worker_msg(&WorkerMsg::RoundDone { round: 0, sent: 0 });
+        body.push(0xaa);
+        let err = decode_worker_msg(&body, 10).unwrap_err();
+        assert!(err.to_string().contains("trailing"));
+    }
+
+    #[test]
+    fn unknown_tags_are_rejected() {
+        assert!(decode_worker_msg(&[0xfe], 10).is_err());
+        assert!(decode_master_msg(&[0xfe], 10).is_err());
+        assert!(decode_worker_msg(&[], 10).is_err(), "empty body");
+    }
+
+    #[test]
+    fn oversized_string_is_rejected_before_allocation() {
+        let mut body = vec![TAG_REJECT];
+        put_u32(&mut body, u32::MAX); // claims a 4 GiB reason
+        let err = decode_master_msg(&body, 10).unwrap_err();
+        assert!(err.to_string().contains("exceeds"));
+    }
+
+    #[test]
+    fn ownership_bounds_are_validated() {
+        // worker id out of range
+        let mut out = vec![0u8]; // Data routing tag
+        put_u32(&mut out, 1); // one pair
+        put_u32(&mut out, 3); // node 3 (< n_terms)
+        put_u32(&mut out, 9); // worker 9 of k=2
+        let mut cur = Cursor::new(&out);
+        assert!(get_routing(&mut cur, 10, 2).is_err());
+    }
+}

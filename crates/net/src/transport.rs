@@ -1,0 +1,553 @@
+//! A loopback TCP mesh implementing the core's [`Transport`] plug-in.
+//!
+//! [`TcpFabricFactory::build`] wires `k` endpoints into a full mesh of
+//! real TCP connections (one per worker pair) and hands them to
+//! `run_parallel` through [`CommMode::Custom`](owlpar_core::CommMode):
+//! the runtime keeps its threads, barriers and fault containment, but
+//! every inter-partition triple crosses a kernel socket in a CRC frame.
+//!
+//! ## Deadlock freedom
+//!
+//! The classic mesh failure is two peers blocking on writes into each
+//! other's full kernel buffers with neither reading. Each endpoint
+//! therefore runs one detached *reader thread per peer* that does
+//! nothing but pull frames off the socket and push parsed events into
+//! the endpoint's inbox channel — kernel receive buffers are always
+//! drained, so a blocking `send` always makes progress.
+//!
+//! ## Round framing
+//!
+//! A TCP stream multiplexes every round, so each frame carries its round
+//! number and `collect(r)` first sends an end-of-round marker to every
+//! peer, then drains its inbox until each live peer has delivered its
+//! own round-`r` marker. The runtime's barrier discipline guarantees no
+//! honest peer can be a full round ahead while we are still collecting
+//! `r` (it cannot leave round `r`'s barrier before we reach it), so a
+//! frame with any other round number is a protocol violation, not a
+//! buffering problem. A peer whose socket reaches EOF is treated as
+//! cleanly dead — the runtime's fault layer decides what that means —
+//! while CRC or grammar damage poisons the collect with
+//! [`CommError::Protocol`], because a corrupted length-prefixed stream
+//! cannot be resynchronized.
+
+use owlpar_core::{
+    read_crc_frame, write_crc_frame, Backoff, CommError, FrameError, Transport, TransportFactory,
+};
+use owlpar_rdf::triple::{decode_batch, encode_batch};
+use owlpar_rdf::Triple;
+use std::io::ErrorKind;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::mpsc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+const TAG_TRIPLES: u8 = 1;
+const TAG_END_ROUND: u8 = 2;
+
+/// How long `build` keeps retrying a refused loopback connect.
+const CONNECT_DEADLINE: Duration = Duration::from_secs(10);
+
+/// Builds loopback TCP mesh fabrics; plug into
+/// [`ParallelConfig::comm`](owlpar_core::ParallelConfig) via
+/// `CommMode::Custom(Arc::new(TcpFabricFactory::default()))`.
+#[derive(Debug, Clone)]
+pub struct TcpFabricFactory {
+    /// Per-event patience while collecting a round (and the write
+    /// timeout on every socket). An endpoint that waits longer than this
+    /// for the *next* frame of a round fails the collect with
+    /// [`CommError::Timeout`].
+    pub io_timeout: Duration,
+}
+
+impl Default for TcpFabricFactory {
+    fn default() -> Self {
+        TcpFabricFactory {
+            io_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+impl TransportFactory for TcpFabricFactory {
+    fn label(&self) -> &'static str {
+        "tcp-loopback-mesh"
+    }
+
+    fn build(&self, k: usize) -> Result<Vec<Box<dyn Transport>>, CommError> {
+        build_mesh(k, self.io_timeout)
+    }
+}
+
+/// What a reader thread distills each inbound frame into.
+enum MeshEvent {
+    /// A routed batch for `round`.
+    Triples {
+        from: usize,
+        round: usize,
+        batch: Vec<Triple>,
+    },
+    /// The peer finished sending for `round`.
+    End { from: usize, round: usize },
+    /// The peer's stream ended. `clean` for EOF/reset (the peer process
+    /// or thread is simply gone); unclean for CRC or grammar damage.
+    Dead {
+        from: usize,
+        clean: bool,
+        detail: String,
+    },
+}
+
+/// One worker's endpoint of the mesh.
+struct TcpTransport {
+    me: usize,
+    /// Write half per peer (`None` at `me` and for dead peers).
+    peers: Vec<Option<TcpStream>>,
+    /// Peers whose connection is gone (send attempts fail fast).
+    dead: Vec<bool>,
+    /// Inbox fed by this endpoint's reader threads.
+    events: mpsc::Receiver<MeshEvent>,
+    /// Kept so reader threads never observe a closed channel while the
+    /// endpoint lives (they each hold a clone).
+    _events_tx: mpsc::Sender<MeshEvent>,
+    io_timeout: Duration,
+}
+
+fn io_comm_error(worker: usize, e: &std::io::Error, detail: String) -> CommError {
+    CommError::Io {
+        round: 0,
+        worker,
+        path: None,
+        kind: e.kind(),
+        detail,
+        attempts: 1,
+    }
+}
+
+/// Dial `addr` until it accepts or the deadline passes, with the shared
+/// capped exponential backoff between attempts.
+fn connect_with_backoff(
+    addr: SocketAddr,
+    deadline: Instant,
+    worker: usize,
+) -> Result<TcpStream, CommError> {
+    let mut backoff = Backoff::new(Duration::from_millis(1), Duration::from_millis(50));
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(s) => return Ok(s),
+            Err(e) => {
+                if Instant::now() >= deadline {
+                    return Err(io_comm_error(
+                        worker,
+                        &e,
+                        format!("connecting mesh peer at {addr}: {e}"),
+                    ));
+                }
+                backoff.sleep();
+            }
+        }
+    }
+}
+
+/// Build the full mesh: `k` listeners, one connection per worker pair,
+/// a 4-byte id header identifying the dialer on each.
+fn build_mesh(k: usize, io_timeout: Duration) -> Result<Vec<Box<dyn Transport>>, CommError> {
+    let map_io = |worker: usize, what: &'static str| {
+        move |e: std::io::Error| io_comm_error(worker, &e, format!("{what}: {e}"))
+    };
+
+    let mut listeners = Vec::with_capacity(k);
+    let mut addrs = Vec::with_capacity(k);
+    for i in 0..k {
+        let l = TcpListener::bind("127.0.0.1:0").map_err(map_io(i, "binding mesh listener"))?;
+        addrs.push(l.local_addr().map_err(map_io(i, "reading listener addr"))?);
+        listeners.push(l);
+    }
+
+    // streams[i][j] = i's connection to j.
+    let mut streams: Vec<Vec<Option<TcpStream>>> =
+        (0..k).map(|_| (0..k).map(|_| None).collect()).collect();
+    let deadline = Instant::now() + CONNECT_DEADLINE;
+    #[allow(clippy::needless_range_loop)] // j indexes both streams and addrs
+    for i in 0..k {
+        for j in (i + 1)..k {
+            // j dials i and announces itself; i accepts and checks.
+            let mut dial = connect_with_backoff(addrs[i], deadline, j)?;
+            use std::io::{Read, Write};
+            dial.write_all(&(j as u32).to_le_bytes())
+                .map_err(map_io(j, "writing mesh id header"))?;
+            let (mut accepted, _) = listeners[i]
+                .accept()
+                .map_err(map_io(i, "accepting mesh peer"))?;
+            let mut id = [0u8; 4];
+            accepted
+                .read_exact(&mut id)
+                .map_err(map_io(i, "reading mesh id header"))?;
+            let announced = u32::from_le_bytes(id) as usize;
+            if announced != j {
+                return Err(CommError::Protocol {
+                    round: 0,
+                    worker: i,
+                    peer: j,
+                    detail: format!("mesh peer announced id {announced}, expected {j}"),
+                });
+            }
+            for s in [&dial, &accepted] {
+                s.set_nodelay(true).map_err(map_io(i, "setting nodelay"))?;
+                s.set_write_timeout(Some(io_timeout))
+                    .map_err(map_io(i, "setting write timeout"))?;
+            }
+            streams[j][i] = Some(dial);
+            streams[i][j] = Some(accepted);
+        }
+    }
+
+    let mut endpoints: Vec<Box<dyn Transport>> = Vec::with_capacity(k);
+    for (me, row) in streams.into_iter().enumerate() {
+        let (tx, rx) = mpsc::channel();
+        let mut peers: Vec<Option<TcpStream>> = Vec::with_capacity(k);
+        for (peer, stream) in row.into_iter().enumerate() {
+            match stream {
+                Some(s) => {
+                    let reader = s.try_clone().map_err(map_io(me, "cloning mesh stream"))?;
+                    spawn_reader(me, peer, reader, tx.clone());
+                    peers.push(Some(s));
+                }
+                None => peers.push(None),
+            }
+        }
+        endpoints.push(Box::new(TcpTransport {
+            me,
+            peers,
+            dead: vec![false; k],
+            events: rx,
+            _events_tx: tx,
+            io_timeout,
+        }));
+    }
+    Ok(endpoints)
+}
+
+/// Decode a mesh frame body: `tag u8 | round u32 | payload`.
+fn parse_frame(body: &[u8]) -> Result<(u8, usize, &[u8]), String> {
+    if body.len() < 5 {
+        return Err(format!("mesh frame of {} byte(s), need at least 5", body.len()));
+    }
+    let tag = body[0];
+    let round = u32::from_le_bytes([body[1], body[2], body[3], body[4]]) as usize;
+    Ok((tag, round, &body[5..]))
+}
+
+/// The per-peer reader: drain frames until the stream dies, pushing
+/// events into the endpoint's inbox. Detached — unblocked at shutdown by
+/// `TcpTransport::drop` closing the socket.
+fn spawn_reader(me: usize, from: usize, mut stream: TcpStream, tx: mpsc::Sender<MeshEvent>) {
+    let fallback_tx = tx.clone();
+    thread::Builder::new()
+        .name(format!("mesh-{me}-from-{from}"))
+        .spawn(move || loop {
+            let event = match read_crc_frame(&mut stream) {
+                Ok(body) => match parse_frame(&body) {
+                    Ok((TAG_TRIPLES, round, payload)) if payload.len().is_multiple_of(12) => {
+                        MeshEvent::Triples {
+                            from,
+                            round,
+                            batch: decode_batch(payload),
+                        }
+                    }
+                    Ok((TAG_END_ROUND, round, [])) => MeshEvent::End { from, round },
+                    Ok((tag, _, payload)) => MeshEvent::Dead {
+                        from,
+                        clean: false,
+                        detail: format!(
+                            "malformed mesh frame: tag {tag}, {} payload byte(s)",
+                            payload.len()
+                        ),
+                    },
+                    Err(detail) => MeshEvent::Dead {
+                        from,
+                        clean: false,
+                        detail,
+                    },
+                },
+                // EOF / reset: the peer is gone — clean from the
+                // transport's perspective. Anything else on the stream
+                // is unrecoverable damage.
+                Err(FrameError::Io(e)) => MeshEvent::Dead {
+                    from,
+                    clean: matches!(
+                        e.kind(),
+                        ErrorKind::UnexpectedEof
+                            | ErrorKind::ConnectionReset
+                            | ErrorKind::ConnectionAborted
+                            | ErrorKind::BrokenPipe
+                    ),
+                    detail: format!("mesh stream from peer {from}: {e}"),
+                },
+                Err(e) => MeshEvent::Dead {
+                    from,
+                    clean: false,
+                    detail: format!("mesh stream from peer {from}: {e}"),
+                },
+            };
+            let fatal = matches!(event, MeshEvent::Dead { .. });
+            if tx.send(event).is_err() || fatal {
+                return;
+            }
+        })
+        // Thread spawn can only fail on resource exhaustion; surface it
+        // as a dead peer rather than killing the build.
+        .map(|_| ())
+        .unwrap_or_else(|e| {
+            let _ = fallback_tx.send(MeshEvent::Dead {
+                from,
+                clean: false,
+                detail: format!("could not spawn mesh reader: {e}"),
+            });
+        });
+}
+
+impl TcpTransport {
+    fn write_to(&mut self, round: usize, to: usize, body: &[u8]) -> Result<(), CommError> {
+        let disconnected = CommError::Disconnected {
+            round,
+            from: self.me,
+            to,
+        };
+        let Some(stream) = self.peers.get_mut(to).and_then(Option::as_mut) else {
+            return Err(disconnected);
+        };
+        if self.dead[to] {
+            return Err(disconnected);
+        }
+        match write_crc_frame(stream, body) {
+            Ok(()) => Ok(()),
+            Err(FrameError::Io(_)) => {
+                // The peer's receive path is gone; fail this send fast
+                // and every later one too.
+                self.dead[to] = true;
+                let _ = stream.shutdown(Shutdown::Both);
+                Err(disconnected)
+            }
+            Err(e) => Err(CommError::Io {
+                round,
+                worker: self.me,
+                path: None,
+                kind: ErrorKind::InvalidInput,
+                detail: format!("framing mesh message to {to}: {e}"),
+                attempts: 1,
+            }),
+        }
+    }
+}
+
+impl Transport for TcpTransport {
+    fn send(&mut self, round: usize, to: usize, batch: &[Triple]) -> Result<u64, CommError> {
+        if batch.is_empty() {
+            return Ok(0);
+        }
+        let mut body = Vec::with_capacity(5 + batch.len() * 12);
+        body.push(TAG_TRIPLES);
+        body.extend_from_slice(&(round as u32).to_le_bytes());
+        body.extend_from_slice(&encode_batch(batch));
+        self.write_to(round, to, &body)?;
+        // 8 header bytes (len + crc) plus the body actually crossed the
+        // socket.
+        Ok(8 + body.len() as u64)
+    }
+
+    fn collect(&mut self, round: usize) -> Result<Vec<Triple>, CommError> {
+        let k = self.dead.len();
+        let mut marker = Vec::with_capacity(5);
+        marker.push(TAG_END_ROUND);
+        marker.extend_from_slice(&(round as u32).to_le_bytes());
+
+        // Tell every live peer our sends for this round are complete. A
+        // peer we cannot write to is dead; its reader will deliver the
+        // matching Dead event (or already has).
+        let mut pending = Vec::new();
+        for peer in 0..k {
+            if peer == self.me || self.dead[peer] {
+                continue;
+            }
+            if self.write_to(round, peer, &marker).is_ok() {
+                pending.push(peer);
+            }
+        }
+
+        let mut done = vec![false; k];
+        let mut collected = Vec::new();
+        let protocol = |peer: usize, detail: String| CommError::Protocol {
+            round,
+            worker: self.me,
+            peer,
+            detail,
+        };
+        while pending.iter().any(|&p| !done[p] && !self.dead[p]) {
+            let event = self
+                .events
+                .recv_timeout(self.io_timeout)
+                .map_err(|_| CommError::Timeout {
+                    round,
+                    worker: self.me,
+                    waited: self.io_timeout,
+                })?;
+            match event {
+                MeshEvent::Triples {
+                    from,
+                    round: r,
+                    batch,
+                } => {
+                    if r != round {
+                        return Err(protocol(
+                            from,
+                            format!("triples for round {r} while collecting round {round}"),
+                        ));
+                    }
+                    collected.extend(batch);
+                }
+                MeshEvent::End { from, round: r } => {
+                    if r != round {
+                        return Err(protocol(
+                            from,
+                            format!("end-of-round {r} while collecting round {round}"),
+                        ));
+                    }
+                    done[from] = true;
+                }
+                MeshEvent::Dead {
+                    from,
+                    clean,
+                    detail,
+                } => {
+                    self.dead[from] = true;
+                    if let Some(s) = self.peers.get_mut(from).and_then(Option::as_mut) {
+                        let _ = s.shutdown(Shutdown::Both);
+                    }
+                    if !clean {
+                        return Err(protocol(from, detail));
+                    }
+                    // Clean death: this round simply sees no more of its
+                    // triples; the runtime's fault layer notices the
+                    // worker itself is gone.
+                }
+            }
+        }
+        Ok(collected)
+    }
+}
+
+impl Drop for TcpTransport {
+    /// Close every peer socket so the detached reader threads unblock
+    /// and exit (they share the fd via `try_clone`).
+    fn drop(&mut self) {
+        for stream in self.peers.iter().flatten() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+    use super::*;
+    use owlpar_rdf::NodeId;
+
+    fn t(s: u32, p: u32, o: u32) -> Triple {
+        Triple::new(NodeId(s), NodeId(p), NodeId(o))
+    }
+
+    #[test]
+    fn pairwise_exchange_over_real_sockets() {
+        // 0 → 1, 1 → 2, 2 → 0, all in round 0 — each endpoint driven by
+        // its own thread, as `run_parallel` would.
+        let eps = build_mesh(3, Duration::from_secs(5)).unwrap();
+        // The runtime separates rounds with a barrier (collect happens
+        // strictly between barriers A and B); without it, a fast worker's
+        // round-1 markers could legally reach a peer still collecting
+        // round 0 and trip the cross-round protocol check.
+        let barrier = std::sync::Arc::new(std::sync::Barrier::new(3));
+        let handles: Vec<_> = eps
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut ep)| {
+                let barrier = std::sync::Arc::clone(&barrier);
+                thread::spawn(move || {
+                    let (to, batch) = match i {
+                        0 => (1, vec![t(1, 2, 3)]),
+                        1 => (2, vec![t(4, 5, 6), t(7, 8, 9)]),
+                        _ => (0, vec![t(10, 11, 12)]),
+                    };
+                    let sent = ep.send(0, to, &batch).unwrap();
+                    assert!(sent > 12, "accounting covers frame overhead");
+                    let got = ep.collect(0).unwrap();
+                    barrier.wait();
+                    // A quiet round still terminates (markers only).
+                    assert!(ep.collect(1).unwrap().is_empty());
+                    got
+                })
+            })
+            .collect();
+        let got: Vec<Vec<Triple>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(got[0], vec![t(10, 11, 12)]);
+        assert_eq!(got[1], vec![t(1, 2, 3)]);
+        assert_eq!(got[2], vec![t(4, 5, 6), t(7, 8, 9)]);
+    }
+
+    #[test]
+    fn single_endpoint_mesh_is_trivial() {
+        let mut eps = build_mesh(1, Duration::from_secs(1)).unwrap();
+        assert_eq!(eps.len(), 1);
+        assert!(eps[0].collect(0).unwrap().is_empty());
+        // Sending to self is a disconnect, not a loopback.
+        assert!(matches!(
+            eps[0].send(0, 0, &[t(1, 2, 3)]),
+            Err(CommError::Disconnected { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_batches_are_not_put_on_the_wire() {
+        let eps = build_mesh(2, Duration::from_secs(5)).unwrap();
+        let handles: Vec<_> = eps
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut ep)| {
+                thread::spawn(move || {
+                    assert_eq!(ep.send(0, 1 - i, &[]).unwrap(), 0);
+                    ep.collect(0).unwrap()
+                })
+            })
+            .collect();
+        for h in handles {
+            assert!(h.join().unwrap().is_empty());
+        }
+    }
+
+    #[test]
+    fn dropped_peer_reads_as_clean_death() {
+        let mut eps = build_mesh(2, Duration::from_secs(5)).unwrap();
+        let mut survivor = eps.pop().unwrap(); // endpoint 1
+        drop(eps); // endpoint 0's sockets close
+        // Peer 0 is gone: collect terminates without it, send fails fast.
+        assert!(survivor.collect(0).unwrap().is_empty());
+        assert!(matches!(
+            survivor.send(1, 0, &[t(1, 2, 3)]),
+            Err(CommError::Disconnected { round: 1, from: 1, to: 0 })
+        ));
+    }
+
+    #[test]
+    fn cross_round_frames_are_protocol_violations() {
+        let mut eps = build_mesh(2, Duration::from_secs(5)).unwrap();
+        eps[0].send(7, 1, &[t(1, 2, 3)]).unwrap();
+        let err = eps[1].collect(0).unwrap_err();
+        assert!(matches!(err, CommError::Protocol { peer: 0, .. }), "{err}");
+    }
+
+    #[test]
+    fn factory_builds_through_the_trait() {
+        let factory = TcpFabricFactory::default();
+        assert_eq!(factory.label(), "tcp-loopback-mesh");
+        let eps = factory.build(4).unwrap();
+        assert_eq!(eps.len(), 4);
+    }
+}

@@ -1,0 +1,261 @@
+//! End-to-end tests for the TCP cluster runtime: closure equivalence
+//! (TCP mesh ≡ channel transport ≡ serial) across generators and cluster
+//! sizes, the bootstrap handshake's rejection paths, and mid-run
+//! worker-loss recovery over real sockets.
+
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use owlpar_core::{
+    read_crc_frame, run_parallel, run_serial, CommMode, FaultKind, FaultPlan, ParallelConfig,
+    PartitioningStrategy, RunReport,
+};
+use owlpar_datagen::{generate_lubm, generate_mdc, LubmConfig, MdcConfig};
+use owlpar_datalog::MaterializationStrategy;
+use owlpar_net::protocol::{decode_master_msg, encode_worker_msg, MasterMsg, WorkerMsg};
+use owlpar_net::{
+    run_cluster_master, run_cluster_worker, MasterOptions, NetError, TcpFabricFactory,
+    WorkerOptions, WorkerSummary, PROTOCOL_VERSION, WIRE_MAGIC,
+};
+use owlpar_rdf::Graph;
+use std::io::Write;
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+fn serial_closure(mut g: Graph) -> (u64, usize) {
+    run_serial(&mut g, MaterializationStrategy::ForwardSemiNaive);
+    (g.term_fingerprint(), g.len())
+}
+
+fn forward_cfg(k: usize, strategy: PartitioningStrategy) -> ParallelConfig {
+    ParallelConfig {
+        k,
+        strategy,
+        ..ParallelConfig::default()
+    }
+    .forward()
+}
+
+/// Run a whole cluster inside this process: the master on the calling
+/// thread with a bound listener, `k` workers on their own threads dialing
+/// it over real loopback TCP — the same code paths the multi-process
+/// binary exercises, minus `fork`.
+fn run_cluster(
+    g0: &Graph,
+    cfg: &ParallelConfig,
+) -> (
+    Result<RunReport, NetError>,
+    Graph,
+    Vec<Result<WorkerSummary, NetError>>,
+) {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let mut g = g0.clone();
+    let mut worker_results = Vec::new();
+    let report = thread::scope(|s| {
+        let workers: Vec<_> = (0..cfg.k)
+            .map(|_| s.spawn(move || run_cluster_worker(addr, &WorkerOptions::default())))
+            .collect();
+        let report = run_cluster_master(&mut g, cfg, listener, &MasterOptions::default());
+        for w in workers {
+            worker_results.push(w.join().unwrap());
+        }
+        report
+    });
+    (report, g, worker_results)
+}
+
+/// The N-seed property: for every seed KB and every cluster size, the
+/// closure computed through the in-process channel transport and through
+/// the loopback TCP mesh both equal the serial closure, term for term.
+#[test]
+fn closure_equivalence_across_transports_and_seeds() {
+    let seeds: Vec<(&str, Graph)> = vec![
+        ("lubm-1", generate_lubm(&LubmConfig::mini(1))),
+        ("lubm-2", generate_lubm(&LubmConfig::mini(2))),
+        ("mdc", generate_mdc(&MdcConfig::mini())),
+    ];
+    for (name, g0) in seeds {
+        let (want_fp, want_len) = serial_closure(g0.clone());
+        for k in [2, 4] {
+            for tcp in [false, true] {
+                let mut cfg = forward_cfg(k, PartitioningStrategy::data_graph());
+                if tcp {
+                    cfg.comm = CommMode::Custom(Arc::new(TcpFabricFactory::default()));
+                }
+                let mut g = g0.clone();
+                let report = run_parallel(&mut g, &cfg)
+                    .unwrap_or_else(|e| panic!("{name} k={k} tcp={tcp}: {e}"));
+                assert!(!report.recovered);
+                assert_eq!(g.len(), want_len, "{name} k={k} tcp={tcp}");
+                assert_eq!(g.term_fingerprint(), want_fp, "{name} k={k} tcp={tcp}");
+            }
+        }
+    }
+}
+
+#[test]
+fn cluster_processes_match_serial_data_graph() {
+    let g0 = generate_lubm(&LubmConfig::mini(1));
+    let (want_fp, want_len) = serial_closure(g0.clone());
+    for k in [2, 4] {
+        let cfg = forward_cfg(k, PartitioningStrategy::data_graph());
+        let (report, g, workers) = run_cluster(&g0, &cfg);
+        let report = report.unwrap_or_else(|e| panic!("k={k}: {e}"));
+        assert!(!report.recovered);
+        assert_eq!(report.k, k);
+        assert_eq!(g.len(), want_len, "k={k}");
+        assert_eq!(g.term_fingerprint(), want_fp, "k={k}");
+        let mut ids: Vec<u32> = workers
+            .iter()
+            .map(|w| w.as_ref().unwrap().node_id)
+            .collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..k as u32).collect::<Vec<_>>());
+        for w in &workers {
+            let w = w.as_ref().unwrap();
+            assert_eq!(w.k as usize, k);
+            assert!(w.rounds >= 1);
+        }
+    }
+}
+
+/// Rule and hybrid partitioning ship very different routing tables
+/// (consumer sets and group × shard grids); both must rebuild faithfully
+/// on the worker side.
+#[test]
+fn cluster_processes_match_serial_rule_and_hybrid() {
+    let g0 = generate_lubm(&LubmConfig::mini(1));
+    let (want_fp, want_len) = serial_closure(g0.clone());
+    for (label, cfg) in [
+        ("hash", forward_cfg(2, PartitioningStrategy::data_hash())),
+        ("rule", forward_cfg(2, PartitioningStrategy::rule())),
+        ("hybrid", forward_cfg(4, PartitioningStrategy::Hybrid { rule_groups: 2 })),
+    ] {
+        let (report, g, workers) = run_cluster(&g0, &cfg);
+        let report = report.unwrap_or_else(|e| panic!("{label}: {e}"));
+        assert!(!report.recovered, "{label}");
+        assert_eq!(g.len(), want_len, "{label}");
+        assert_eq!(g.term_fingerprint(), want_fp, "{label}");
+        for w in workers {
+            w.unwrap_or_else(|e| panic!("{label}: {e}"));
+        }
+    }
+}
+
+/// A worker executing an injected `Disconnect` mid-run must surface as a
+/// typed error on its side, and the master must detect the loss, drain
+/// the survivors, and re-close to the exact serial closure.
+#[test]
+fn mid_run_disconnect_recovers_to_serial_closure() {
+    let g0 = generate_mdc(&MdcConfig::mini());
+    let (want_fp, want_len) = serial_closure(g0.clone());
+    let cfg = forward_cfg(4, PartitioningStrategy::data_graph())
+        .with_round_timeout(Duration::from_secs(120))
+        .with_faults(FaultPlan::new().with(1, 2, FaultKind::Disconnect));
+    let (report, g, workers) = run_cluster(&g0, &cfg);
+    let report = report.expect("master recovers from the lost worker");
+    assert!(report.recovered, "disconnect at round 1 triggers recovery");
+    assert_eq!(report.worker_errors.len(), 1);
+    assert_eq!(report.workers.len(), 4, "dead worker keeps its stats slot");
+    assert_eq!(g.len(), want_len);
+    assert_eq!(g.term_fingerprint(), want_fp);
+    let injected: Vec<_> = workers
+        .iter()
+        .filter(|w| matches!(w, Err(NetError::Injected { round: 1, kind: "disconnect" })))
+        .collect();
+    assert_eq!(injected.len(), 1, "exactly the faulted worker errors");
+    assert_eq!(
+        workers.iter().filter(|w| w.is_ok()).count(),
+        3,
+        "survivors finish cleanly"
+    );
+}
+
+/// A worker speaking the wrong protocol version is told why (Reject) and
+/// the master refuses to start — bootstrap is all-or-nothing.
+#[test]
+fn handshake_version_mismatch_is_rejected() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let mut g = generate_lubm(&LubmConfig::mini(1));
+    let cfg = forward_cfg(1, PartitioningStrategy::data_graph());
+    let master = thread::spawn(move || {
+        run_cluster_master(&mut g, &cfg, listener, &MasterOptions::default())
+    });
+
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let hello = encode_worker_msg(&WorkerMsg::Hello {
+        magic: WIRE_MAGIC,
+        version: PROTOCOL_VERSION + 99,
+    });
+    owlpar_core::write_crc_frame(&mut stream, &hello).unwrap();
+    let body = read_crc_frame(&mut stream).unwrap();
+    match decode_master_msg(&body, u32::MAX).unwrap() {
+        MasterMsg::Reject { reason } => {
+            assert!(reason.contains("version"), "{reason}");
+        }
+        other => panic!("expected Reject, got {other:?}"),
+    }
+    let err = master.join().unwrap().unwrap_err();
+    assert!(matches!(err, NetError::Handshake { .. }), "{err}");
+}
+
+/// A torn frame (payload bytes flipped under the CRC) is detected before
+/// any of it is interpreted; the master refuses the worker.
+#[test]
+fn torn_handshake_frame_is_rejected() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let mut g = generate_lubm(&LubmConfig::mini(1));
+    let cfg = forward_cfg(1, PartitioningStrategy::data_graph());
+    let master = thread::spawn(move || {
+        run_cluster_master(&mut g, &cfg, listener, &MasterOptions::default())
+    });
+
+    let mut stream = TcpStream::connect(addr).unwrap();
+    let hello = encode_worker_msg(&WorkerMsg::Hello {
+        magic: WIRE_MAGIC,
+        version: PROTOCOL_VERSION,
+    });
+    let mut framed = Vec::new();
+    owlpar_core::write_crc_frame(&mut framed, &hello).unwrap();
+    let last = framed.len() - 1;
+    framed[last] ^= 0xFF; // tear the payload under the checksum
+    stream.write_all(&framed).unwrap();
+    stream.flush().unwrap();
+
+    let err = master.join().unwrap().unwrap_err();
+    assert!(
+        matches!(err, NetError::Frame(_)),
+        "CRC damage surfaces as a frame error, got: {err}"
+    );
+}
+
+/// The rejected run must leave the master's graph untouched (no partial
+/// partitions applied) — callers can retry with a fixed worker fleet.
+#[test]
+fn failed_bootstrap_leaves_graph_unchanged() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let g0 = generate_lubm(&LubmConfig::mini(1));
+    let mut g = g0.clone();
+    let cfg = forward_cfg(1, PartitioningStrategy::data_graph());
+    let master = thread::spawn({
+        let opts = MasterOptions::default();
+        move || {
+            let r = run_cluster_master(&mut g, &cfg, listener, &opts);
+            (r, g)
+        }
+    });
+    // Dial and vanish without a Hello: the master sees EOF mid-handshake.
+    drop(TcpStream::connect(addr).unwrap());
+    let (result, g) = master.join().unwrap();
+    assert!(result.is_err());
+    assert_eq!(g.len(), g0.len());
+    assert_eq!(g.term_fingerprint(), g0.term_fingerprint());
+}

@@ -86,6 +86,20 @@ impl From<PayloadBoundsError> for ServeError {
     }
 }
 
+impl From<owlpar_core::FrameError> for ServeError {
+    fn from(e: owlpar_core::FrameError) -> Self {
+        match e {
+            owlpar_core::FrameError::Io(e) => ServeError::Io(e),
+            owlpar_core::FrameError::Bounds(b) => ServeError::Frame(b),
+            // The serve protocol uses plain frames, but map the CRC
+            // variant anyway so the conversion is total.
+            owlpar_core::FrameError::Checksum { expected, actual } => ServeError::Protocol(
+                format!("frame checksum mismatch (expected {expected:#010x}, got {actual:#010x})"),
+            ),
+        }
+    }
+}
+
 impl From<RunError> for ServeError {
     fn from(e: RunError) -> Self {
         ServeError::Run(e)

@@ -28,27 +28,18 @@
 //! [`ServeError::Protocol`] on truncation.
 
 use crate::error::ServeError;
-use owlpar_core::check_payload_bounds;
 use std::io::{Read, Write};
 
-/// Write one frame.
+/// Write one frame. Delegates to the shared `owlpar_core::frame` codec
+/// — the single bounds-checked, never-panicking implementation both the
+/// serving layer and the cluster transport (`owlpar-net`) use.
 pub fn write_frame(w: &mut impl Write, body: &[u8]) -> Result<(), ServeError> {
-    check_payload_bounds(body.len() as u64)?;
-    w.write_all(&(body.len() as u32).to_le_bytes())?;
-    w.write_all(body)?;
-    w.flush()?;
-    Ok(())
+    Ok(owlpar_core::frame::write_frame(w, body)?)
 }
 
 /// Read one frame, validating the claimed length before allocating.
 pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, ServeError> {
-    let mut len = [0u8; 4];
-    r.read_exact(&mut len)?;
-    let len = u32::from_le_bytes(len) as u64;
-    check_payload_bounds(len)?;
-    let mut body = vec![0u8; len as usize];
-    r.read_exact(&mut body)?;
-    Ok(body)
+    Ok(owlpar_core::frame::read_frame(r)?)
 }
 
 /// A client request.

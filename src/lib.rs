@@ -21,7 +21,10 @@
 //! * [`query`] — a SPARQL-lite engine over materialized KBs, with the
 //!   LUBM query mix;
 //! * [`serve`] — a concurrent KB server: epoch-published snapshots,
-//!   incremental delta-closure inserts, framed TCP protocol.
+//!   incremental delta-closure inserts, framed TCP protocol;
+//! * [`net`] — the TCP cluster runtime: a loopback mesh transport that
+//!   plugs into [`core`]'s fabric, and a master/worker multi-process
+//!   protocol that ships partitions over the wire (`owlpar-cluster`).
 //!
 //! ## Quickstart
 //!
@@ -47,6 +50,7 @@ pub use owlpar_datagen as datagen;
 pub use owlpar_datalog as datalog;
 pub use owlpar_horst as horst;
 pub use owlpar_lint as lint;
+pub use owlpar_net as net;
 pub use owlpar_partition as partition;
 pub use owlpar_query as query;
 pub use owlpar_rdf as rdf;
