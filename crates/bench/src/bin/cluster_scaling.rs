@@ -3,24 +3,81 @@
 //! process) at several cluster sizes against one LUBM KB, verify every
 //! closure against the serial oracle, and emit `BENCH_cluster.json`.
 //!
+//! Each cluster size runs **twice against a shared partition cache**:
+//! a cold run (every worker misses, the master ships full partitions)
+//! and a warm run (every worker hits, `Setup` ships digests only) —
+//! so the JSON reports both the wire-format compression ratio and the
+//! cache's setup-byte elision.
+//!
 //! ```text
-//! cluster_scaling [--levels 1,2,4] [--universities 1] [--out BENCH_cluster.json]
+//! cluster_scaling [--levels 1,2,4] [--triples 3000] [--universities 1]
+//!                 [--out BENCH_cluster.json]
 //! ```
+//!
+//! `--triples` grows the KB (by adding LUBM universities on top of the
+//! `--universities` floor) until the base triple count reaches the
+//! target; the old 142-triple single-university mini universe was too
+//! small to exercise the codec or the chunked streams.
 
 // Benchmarks and experiment binaries abort loudly on failure.
 #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 
-use owlpar_core::{run_serial, ParallelConfig, PartitioningStrategy};
+use owlpar_core::{run_serial, ParallelConfig, PartitioningStrategy, WireBytes};
 use owlpar_datagen::{generate_lubm, LubmConfig};
 use owlpar_datalog::MaterializationStrategy;
 use owlpar_net::{run_cluster_master, run_cluster_worker, MasterOptions, WorkerOptions};
+use owlpar_rdf::Graph;
 use std::net::TcpListener;
-use std::time::Instant;
+use std::path::Path;
+use std::time::{Duration, Instant};
 
 fn flag_value(args: &[String], name: &str) -> Option<String> {
     args.iter()
         .position(|a| a == name)
         .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// One cluster run: master + `k` worker threads over loopback, every
+/// worker caching into `cache_dir`. Returns (elapsed, closure, wire).
+fn run_once(g0: &Graph, k: usize, cache_dir: &Path) -> (Duration, Graph, WireBytes) {
+    let cfg = ParallelConfig {
+        k,
+        strategy: PartitioningStrategy::data_graph(),
+        ..ParallelConfig::default()
+    }
+    .forward();
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("local addr");
+    let opts = WorkerOptions {
+        cache_dir: Some(cache_dir.to_path_buf()),
+        ..WorkerOptions::default()
+    };
+    let mut g = g0.clone();
+    let t0 = Instant::now();
+    let report = std::thread::scope(|s| {
+        let workers: Vec<_> = (0..k)
+            .map(|_| {
+                let opts = opts.clone();
+                s.spawn(move || run_cluster_worker(addr, &opts))
+            })
+            .collect();
+        let report = run_cluster_master(&mut g, &cfg, listener, &MasterOptions::default())
+            .expect("cluster run");
+        for w in workers {
+            w.join().expect("worker thread").expect("worker run");
+        }
+        report
+    });
+    let elapsed = t0.elapsed();
+    let wire = report.wire.clone().expect("cluster runs report wire stats");
+    println!(
+        "k={k}: {} triples in {:.3}s, {} round(s), {}",
+        report.closure_size,
+        elapsed.as_secs_f64(),
+        report.max_rounds(),
+        wire.summary()
+    );
+    (elapsed, g, wire)
 }
 
 fn main() {
@@ -33,11 +90,21 @@ fn main() {
     let universities: usize = flag_value(&args, "--universities")
         .and_then(|v| v.parse().ok())
         .unwrap_or(1);
+    let triples: usize = flag_value(&args, "--triples")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3000);
     let out_path = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_cluster.json".to_string());
     assert!(!levels.is_empty(), "need at least one cluster size");
 
-    let g0 = generate_lubm(&LubmConfig::mini(universities));
+    // Grow the universe until the base KB reaches the target size.
+    let mut unis = universities.max(1);
+    let mut g0 = generate_lubm(&LubmConfig::mini(unis));
+    while g0.len() < triples {
+        unis += 1;
+        g0 = generate_lubm(&LubmConfig::mini(unis));
+    }
     let base = g0.len();
+    println!("kb: {unis} universities, {base} base triples (target {triples})");
 
     // Serial oracle + baseline time.
     let mut serial = g0.clone();
@@ -50,57 +117,63 @@ fn main() {
         serial_elapsed.as_secs_f64()
     );
 
+    // One shared cache directory for the whole sweep; the config digest
+    // includes `k`, so each level's first run is cold and its second is
+    // warm regardless of what earlier levels stored.
+    let cache_dir =
+        std::env::temp_dir().join(format!("owlpar-bench-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+
     let mut rows = Vec::new();
     for &k in &levels {
-        let cfg = ParallelConfig {
-            k,
-            strategy: PartitioningStrategy::data_graph(),
-            ..ParallelConfig::default()
-        }
-        .forward();
-        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
-        let addr = listener.local_addr().expect("local addr");
-        let mut g = g0.clone();
-        let t0 = Instant::now();
-        let report = std::thread::scope(|s| {
-            let workers: Vec<_> = (0..k)
-                .map(|_| s.spawn(move || run_cluster_worker(addr, &WorkerOptions::default())))
-                .collect();
-            let report = run_cluster_master(&mut g, &cfg, listener, &MasterOptions::default())
-                .expect("cluster run");
-            for w in workers {
-                w.join().expect("worker thread").expect("worker run");
-            }
-            report
-        });
-        let elapsed = t0.elapsed();
-        assert_eq!(g.len(), want_len, "k={k}: closure size diverged");
-        assert_eq!(g.term_fingerprint(), want_fp, "k={k}: closure diverged");
-        let rounds = report.max_rounds();
-        let speedup = serial_elapsed.as_secs_f64() / elapsed.as_secs_f64();
+        let (cold_elapsed, g_cold, cold) = run_once(&g0, k, &cache_dir);
+        assert_eq!(g_cold.len(), want_len, "k={k}: cold closure size diverged");
+        assert_eq!(
+            g_cold.term_fingerprint(),
+            want_fp,
+            "k={k}: cold closure diverged"
+        );
+        assert_eq!(cold.cache_misses, k as u64, "k={k}: cold run should miss");
+
+        let (warm_elapsed, g_warm, warm) = run_once(&g0, k, &cache_dir);
+        assert_eq!(g_warm.len(), want_len, "k={k}: warm closure size diverged");
+        assert_eq!(
+            g_warm.term_fingerprint(),
+            want_fp,
+            "k={k}: warm closure diverged"
+        );
+        assert_eq!(warm.cache_hits, k as u64, "k={k}: warm run should hit");
+
+        let speedup = serial_elapsed.as_secs_f64() / cold_elapsed.as_secs_f64();
+        let warm_setup_fraction = if cold.setup.bytes == 0 {
+            0.0
+        } else {
+            warm.setup.bytes as f64 / cold.setup.bytes as f64
+        };
         println!(
-            "k={k}: {} triples in {:.3}s ({speedup:.2}x vs serial), {rounds} round(s), {}",
-            report.closure_size,
-            elapsed.as_secs_f64(),
-            report.summary()
+            "k={k}: warm setup {} B vs cold {} B ({:.4}%), compression {:.2}x",
+            warm.setup.bytes,
+            cold.setup.bytes,
+            warm_setup_fraction * 100.0,
+            cold.compression_ratio(),
         );
         rows.push(format!(
-            "{{\"k\":{k},\"elapsed_s\":{:.6},\"speedup_vs_serial\":{speedup:.4},\
-             \"rounds\":{rounds},\"closure_size\":{},\"derived\":{},\
-             \"modeled_parallel_s\":{:.6},\"host_parallel_s\":{:.6},\
-             \"output_replication\":{:.4}}}",
-            elapsed.as_secs_f64(),
-            report.closure_size,
-            report.derived,
-            report.parallel_time.as_secs_f64(),
-            report.host_parallel_time.as_secs_f64(),
-            report.output_replication,
+            "{{\"k\":{k},\"elapsed_s\":{:.6},\"warm_elapsed_s\":{:.6},\
+             \"speedup_vs_serial\":{speedup:.4},\"closure_size\":{want_len},\
+             \"compression_ratio\":{:.4},\"warm_setup_fraction\":{warm_setup_fraction:.6},\
+             \"wire_cold\":{},\"wire_warm\":{}}}",
+            cold_elapsed.as_secs_f64(),
+            warm_elapsed.as_secs_f64(),
+            cold.compression_ratio(),
+            cold.to_json(),
+            warm.to_json(),
         ));
     }
+    let _ = std::fs::remove_dir_all(&cache_dir);
 
     let json = format!(
-        "{{\"bench\":\"cluster_scaling\",\"kb_base_triples\":{base},\
-         \"kb_closure_triples\":{want_len},\
+        "{{\"bench\":\"cluster_scaling\",\"kb_universities\":{unis},\
+         \"kb_base_triples\":{base},\"kb_closure_triples\":{want_len},\
          \"serial_elapsed_s\":{:.6},\"levels\":[{}]}}\n",
         serial_elapsed.as_secs_f64(),
         rows.join(","),

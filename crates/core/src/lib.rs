@@ -75,10 +75,15 @@ pub use comm::{
     MAX_PAYLOAD_BYTES,
 };
 pub use config::{FaultRecovery, ParallelConfig, PartitioningStrategy};
-pub use durable::{atomic_write, atomic_write_synced, crc32, sync_dir, TMP_SUFFIX};
+pub use durable::{
+    atomic_write, atomic_write_synced, crc32, digest128, hex128, sync_dir, Digest128, TMP_SUFFIX,
+};
 pub use error::{CommError, RunError, SkippedMessage, WorkerError};
 pub use fault::{CrashPlan, CrashPoint, CrashState, FaultKind, FaultPlan};
-pub use frame::{read_crc_frame, read_frame, write_crc_frame, write_frame, FrameError};
+pub use frame::{
+    decode_triple_block, encode_triple_block, read_crc_frame, read_frame, write_crc_frame,
+    write_frame, FrameError, TripleBlockError,
+};
 pub use master::{prepare_run, reclose_serial, run_parallel, run_serial, RunPlan, RunReport};
 pub use model::{fit_cubic, PolyModel};
-pub use stats::WorkerStats;
+pub use stats::{WireBytes, WirePhase, WorkerStats};

@@ -78,6 +78,10 @@ pub struct RunReport {
     /// True when worker losses were recovered by the adopt-and-reclose
     /// pass (the closure is still exactly the serial closure).
     pub recovered: bool,
+    /// Wire-traffic accounting, filled by the `owlpar-net` cluster
+    /// master (the only runtime whose exchanges cross real sockets);
+    /// `None` for in-process runs.
+    pub wire: Option<crate::stats::WireBytes>,
 }
 
 impl RunReport {
@@ -601,6 +605,7 @@ pub fn run_parallel(graph: &mut Graph, cfg: &ParallelConfig) -> Result<RunReport
         edge_cut,
         worker_errors,
         recovered,
+        wire: None,
     })
 }
 

@@ -52,6 +52,158 @@ impl WorkerStats {
     }
 }
 
+/// Byte/frame/triple counters for one phase of a distributed run's wire
+/// traffic (setup shipping, round exchange, final collection).
+#[derive(Debug, Clone, Copy, Default, Serialize, PartialEq, Eq)]
+pub struct WirePhase {
+    /// Bytes that crossed the wire (frame headers included).
+    pub bytes: u64,
+    /// Frames exchanged.
+    pub frames: u64,
+    /// Triples carried inside those frames.
+    pub triples: u64,
+    /// What the **v1** wire format would have spent on the same logical
+    /// transfer. For round/final phases this is the conservative floor
+    /// `12 × triples` (v1 frame headers and counts excluded); for the
+    /// setup phase it is the exact v1 `Setup` encoding — raw triples,
+    /// 8-byte ownership pairs, both rule lists in full, re-shipped every
+    /// run because v1 had no partition cache.
+    pub v1_bytes: u64,
+}
+
+impl WirePhase {
+    /// Record one frame of `bytes` carrying `triples` triples, that v1
+    /// would have moved as `v1_bytes`.
+    pub fn add(&mut self, bytes: u64, triples: u64, v1_bytes: u64) {
+        self.bytes += bytes;
+        self.frames += 1;
+        self.triples += triples;
+        self.v1_bytes += v1_bytes;
+    }
+
+    /// What the same triples would have cost at the raw 12-byte-per-triple
+    /// record encoding, triples alone (no headers, no rules, no tables).
+    pub fn raw_triple_bytes(&self) -> u64 {
+        self.triples * 12
+    }
+
+    /// v1-equivalent over actual bytes; > 1.0 means the compact
+    /// encoding is winning. 0 when nothing was sent.
+    pub fn compression_ratio(&self) -> f64 {
+        if self.bytes == 0 {
+            0.0
+        } else {
+            self.v1_bytes as f64 / self.bytes as f64
+        }
+    }
+}
+
+/// Wire-traffic accounting for a whole cluster run, split by phase, as
+/// observed at the master (the star topology's single vantage point: it
+/// touches every frame once). Filled by the `owlpar-net` cluster master;
+/// `None` on in-process runs.
+#[derive(Debug, Clone, Default, Serialize, PartialEq, Eq)]
+pub struct WireBytes {
+    /// Bootstrap shipping: `Setup` frames (partition + rules + routing).
+    pub setup: WirePhase,
+    /// Round exchange: `Triples` in, `Deliver`/`DeliverChunk` out.
+    pub rounds: WirePhase,
+    /// Final collection: `FinalChunk`/`Final` frames in.
+    pub finals: WirePhase,
+    /// Handshake and control traffic (`Hello`, `Welcome`, `CacheAdvert`,
+    /// `RoundDone`, rejects).
+    pub control_bytes: u64,
+    /// Workers whose `Setup` shipped as a digest only (partition served
+    /// from their local cache).
+    pub cache_hits: u64,
+    /// Workers whose `Setup` carried the full partition payload.
+    pub cache_misses: u64,
+}
+
+impl WireBytes {
+    /// Every byte the master put on or took off the wire.
+    pub fn total_bytes(&self) -> u64 {
+        self.setup.bytes + self.rounds.bytes + self.finals.bytes + self.control_bytes
+    }
+
+    /// Raw-equivalent bytes for every triple moved, all phases.
+    pub fn total_raw_triple_bytes(&self) -> u64 {
+        self.setup.raw_triple_bytes()
+            + self.rounds.raw_triple_bytes()
+            + self.finals.raw_triple_bytes()
+    }
+
+    /// Every byte the v1 format would have spent on this run's
+    /// `Setup`/`Triples`/`Deliver`/`Final` traffic (control traffic
+    /// costs the same in both and is counted on both sides).
+    pub fn total_v1_bytes(&self) -> u64 {
+        self.setup.v1_bytes + self.rounds.v1_bytes + self.finals.v1_bytes + self.control_bytes
+    }
+
+    /// Whole-run compression ratio (v1-equivalent / actual, data phases
+    /// and control overhead included on both sides).
+    pub fn compression_ratio(&self) -> f64 {
+        let total = self.total_bytes();
+        if total == 0 {
+            0.0
+        } else {
+            self.total_v1_bytes() as f64 / total as f64
+        }
+    }
+
+    /// One-line human summary for CLI output.
+    pub fn summary(&self) -> String {
+        format!(
+            "wire: {} B total ({} setup, {} rounds, {} final, {} control), \
+             {} triple(s) moved, {:.2}x vs v1 wire, cache {} hit(s) / {} miss(es)",
+            self.total_bytes(),
+            self.setup.bytes,
+            self.rounds.bytes,
+            self.finals.bytes,
+            self.control_bytes,
+            self.setup.triples + self.rounds.triples + self.finals.triples,
+            self.compression_ratio(),
+            self.cache_hits,
+            self.cache_misses,
+        )
+    }
+
+    /// Flat JSON object (stable key order, no serde dependency in
+    /// binaries that hand-assemble their reports).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"setup_bytes\":{},\"setup_frames\":{},\"setup_triples\":{},\
+             \"setup_v1_bytes\":{},\
+             \"rounds_bytes\":{},\"rounds_frames\":{},\"rounds_triples\":{},\
+             \"rounds_v1_bytes\":{},\
+             \"final_bytes\":{},\"final_frames\":{},\"final_triples\":{},\
+             \"final_v1_bytes\":{},\
+             \"control_bytes\":{},\"total_bytes\":{},\"raw_triple_bytes\":{},\
+             \"v1_total_bytes\":{},\
+             \"compression_ratio\":{:.4},\"cache_hits\":{},\"cache_misses\":{}}}",
+            self.setup.bytes,
+            self.setup.frames,
+            self.setup.triples,
+            self.setup.v1_bytes,
+            self.rounds.bytes,
+            self.rounds.frames,
+            self.rounds.triples,
+            self.rounds.v1_bytes,
+            self.finals.bytes,
+            self.finals.frames,
+            self.finals.triples,
+            self.finals.v1_bytes,
+            self.control_bytes,
+            self.total_bytes(),
+            self.total_raw_triple_bytes(),
+            self.total_v1_bytes(),
+            self.compression_ratio(),
+            self.cache_hits,
+            self.cache_misses,
+        )
+    }
+}
+
 /// Reconstruct the synchronous cluster's wall-clock from per-round,
 /// per-worker CPU charges: each round lasts as long as its slowest
 /// worker; a worker's sync time is the sum of its per-round slacks.

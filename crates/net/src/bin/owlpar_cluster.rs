@@ -6,13 +6,19 @@
 //!                       [--strategy graph|hash|domain|rule|hybrid]
 //!                       [--fault-plan 'disconnect@1.1,...'] [--round-timeout 30]
 //!                       [--epoch 0] [--out FILE] [--check-serial]
-//! owlpar-cluster worker <master-addr> [--connect-timeout 30]
+//!                       [--cache-dir DIR] [--wire-stats FILE]
+//! owlpar-cluster worker <master-addr> [--connect-timeout 30] [--cache-dir DIR]
 //! ```
 //!
 //! `--spawn-local` forks `k` worker processes of this same binary against
 //! the bound address — the one-command way to run a whole cluster on one
 //! host. `--check-serial` recomputes the closure serially afterwards and
 //! verifies the cluster result is identical (by term fingerprint).
+//! `--cache-dir` lets workers persist shipped partitions keyed by
+//! `(input digest, config digest, node)`; a repeat run over the same KB
+//! and config ships 16-byte digests instead of partitions (with
+//! `--spawn-local` the flag is forwarded to every spawned worker).
+//! `--wire-stats` writes the master's per-phase wire accounting as JSON.
 //!
 //! Exit codes: 0 success, 1 usage/IO error, 3 the run itself failed (a
 //! handshake, protocol or worker failure without recovery — or an
@@ -150,13 +156,17 @@ fn master(args: &[String]) -> Result<(), CliError> {
         .map_err(|e| format!("resolving bound address: {e}"))?;
     println!("master: listening on {addr}, waiting for {k} worker(s)");
 
+    let cache_dir = flag_value(args, "--cache-dir");
     let mut children: Vec<Child> = Vec::new();
     if args.iter().any(|a| a == "--spawn-local") {
         let exe = std::env::current_exe().map_err(|e| format!("locating this binary: {e}"))?;
         for i in 0..k {
-            let child = Command::new(&exe)
-                .arg("worker")
-                .arg(addr.to_string())
+            let mut cmd = Command::new(&exe);
+            cmd.arg("worker").arg(addr.to_string());
+            if let Some(dir) = &cache_dir {
+                cmd.arg("--cache-dir").arg(dir);
+            }
+            let child = cmd
                 .spawn()
                 .map_err(|e| format!("spawning local worker {i}: {e}"))?;
             children.push(child);
@@ -177,6 +187,13 @@ fn master(args: &[String]) -> Result<(), CliError> {
         g.len(),
         report.summary()
     );
+    if let Some(wire) = &report.wire {
+        println!("master: {}", wire.summary());
+        if let Some(path) = flag_value(args, "--wire-stats") {
+            std::fs::write(&path, wire.to_json())
+                .map_err(|e| format!("writing {path}: {e}"))?;
+        }
+    }
     if report.recovered {
         for e in &report.worker_errors {
             eprintln!("owlpar-cluster: recovered from: {e}");
@@ -212,6 +229,9 @@ fn worker(args: &[String]) -> Result<(), CliError> {
     if let Some(secs) = flag_value(args, "--connect-timeout") {
         let secs: u64 = secs.parse().map_err(|_| "--connect-timeout".to_string())?;
         opts.connect_timeout = Duration::from_secs(secs);
+    }
+    if let Some(dir) = flag_value(args, "--cache-dir") {
+        opts.cache_dir = Some(dir.into());
     }
     let summary = run_cluster_worker(addr.as_str(), &opts)?;
     println!(

@@ -1,0 +1,283 @@
+//! The shipped-partition cache: workers persist the [`SetupPayload`]
+//! blobs the master ships them, keyed by
+//! `(input digest, partitioning config digest, node id)`, so a repeat
+//! run over the same KB and config ships a 16-byte digest instead of
+//! the partition.
+//!
+//! ## Correctness model
+//!
+//! The cache can only ever *miss*, never corrupt: the master compares
+//! the worker's advertised `payload` digest against the digest of the
+//! payload it just built for this run, and only elides the transfer on
+//! an exact match. A nondeterministic partitioner, a stale entry, or a
+//! flipped bit on disk all degrade to a full ship. On the worker side a
+//! loaded blob is re-verified (CRC and digest) before it is decoded,
+//! and decoding applies the same full validation as the wire path
+//! ([`decode_setup_payload`](crate::protocol::decode_setup_payload)).
+//!
+//! ## On-disk format
+//!
+//! One file per entry, named
+//! `part-<input hex32>-<config hex32>-<node>.owlpart`, written with
+//! [`atomic_write`] so a crashed worker never leaves a torn entry:
+//!
+//! ```text
+//! magic u32 | version u32 | input [16] | config [16] | node u32 |
+//! payload_digest [16] | payload_len u32 | payload_crc u32 | payload
+//! ```
+//!
+//! Files that fail any check are ignored by [`PartitionCache::scan`]
+//! and deleted lazily by [`PartitionCache::load`].
+
+use crate::protocol::{CacheEntry, MAX_CACHE_ADVERT};
+use owlpar_core::{atomic_write, crc32, digest128, hex128, TMP_SUFFIX};
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// `"OWCP"` — first field of every cache file.
+const CACHE_MAGIC: u32 = 0x4F57_4350;
+
+/// Cache format version; bumped with the wire format, because the
+/// cached bytes *are* wire bytes ([`crate::protocol::PROTOCOL_VERSION`]
+/// 2's `SetupPayload` grammar).
+const CACHE_VERSION: u32 = 2;
+
+/// Fixed header ahead of the payload: magic, version, key, digest,
+/// length, CRC.
+const HEADER_LEN: usize = 4 + 4 + 16 + 16 + 4 + 16 + 4 + 4;
+
+/// File extension for cache entries.
+const EXT: &str = "owlpart";
+
+/// A directory of shipped-partition entries.
+#[derive(Debug, Clone)]
+pub struct PartitionCache {
+    dir: PathBuf,
+}
+
+fn entry_name(input: &[u8; 16], config: &[u8; 16], node: u32) -> String {
+    format!("part-{}-{}-{node}.{EXT}", hex128(input), hex128(config))
+}
+
+fn read_exact_at(buf: &[u8], at: usize, n: usize) -> Option<&[u8]> {
+    buf.get(at..at.checked_add(n)?)
+}
+
+fn digest_at(buf: &[u8], at: usize) -> Option<[u8; 16]> {
+    let mut d = [0u8; 16];
+    d.copy_from_slice(read_exact_at(buf, at, 16)?);
+    Some(d)
+}
+
+fn u32_at(buf: &[u8], at: usize) -> Option<u32> {
+    let b = read_exact_at(buf, at, 4)?;
+    Some(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+}
+
+/// Parse a cache file's bytes into `(entry, payload)`. `None` on any
+/// header mismatch, length mismatch, CRC failure or digest failure —
+/// a bad file is a miss, never an error.
+fn parse_entry(bytes: &[u8]) -> Option<(CacheEntry, &[u8])> {
+    if u32_at(bytes, 0)? != CACHE_MAGIC || u32_at(bytes, 4)? != CACHE_VERSION {
+        return None;
+    }
+    let input = digest_at(bytes, 8)?;
+    let config = digest_at(bytes, 24)?;
+    let node = u32_at(bytes, 40)?;
+    let payload_digest = digest_at(bytes, 44)?;
+    let len = u32_at(bytes, 60)? as usize;
+    let crc = u32_at(bytes, 64)?;
+    let payload = read_exact_at(bytes, HEADER_LEN, len)?;
+    if bytes.len() != HEADER_LEN + len || crc32(payload) != crc {
+        return None;
+    }
+    if digest128(payload) != payload_digest {
+        return None;
+    }
+    Some((
+        CacheEntry {
+            input,
+            config,
+            node,
+            payload: payload_digest,
+        },
+        payload,
+    ))
+}
+
+impl PartitionCache {
+    /// Open (creating if needed) a cache directory.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(PartitionCache { dir })
+    }
+
+    fn path_for(&self, input: &[u8; 16], config: &[u8; 16], node: u32) -> PathBuf {
+        self.dir.join(entry_name(input, config, node))
+    }
+
+    /// Enumerate the valid entries on disk (full verification: CRC and
+    /// payload digest), capped at [`MAX_CACHE_ADVERT`] — exactly what a
+    /// worker advertises after its handshake.
+    pub fn scan(&self) -> Vec<CacheEntry> {
+        let mut entries = Vec::new();
+        let Ok(dir) = std::fs::read_dir(&self.dir) else {
+            return entries;
+        };
+        for item in dir.flatten() {
+            let path = item.path();
+            if !is_entry_path(&path) {
+                continue;
+            }
+            let Ok(bytes) = std::fs::read(&path) else {
+                continue;
+            };
+            if let Some((entry, _)) = parse_entry(&bytes) {
+                entries.push(entry);
+                if entries.len() >= MAX_CACHE_ADVERT {
+                    break;
+                }
+            }
+        }
+        // Deterministic advert order (read_dir order is arbitrary).
+        entries.sort_by(|a, b| {
+            (a.input, a.config, a.node).cmp(&(b.input, b.config, b.node))
+        });
+        entries
+    }
+
+    /// Load the payload for a key, verifying the file *and* that its
+    /// payload digests to `expect` (the digest the master's `Setup`
+    /// header demands). Any mismatch deletes the bad file and reports a
+    /// miss.
+    pub fn load(
+        &self,
+        input: &[u8; 16],
+        config: &[u8; 16],
+        node: u32,
+        expect: &[u8; 16],
+    ) -> Option<Vec<u8>> {
+        let path = self.path_for(input, config, node);
+        let bytes = std::fs::read(&path).ok()?;
+        match parse_entry(&bytes) {
+            Some((entry, payload)) if entry.payload == *expect => Some(payload.to_vec()),
+            _ => {
+                // Stale or damaged: evict so the next run re-ships.
+                let _ = std::fs::remove_file(&path);
+                None
+            }
+        }
+    }
+
+    /// Persist a payload under its key, atomically. The entry self
+    /// describes: its digest is recomputed, not trusted from callers.
+    pub fn store(
+        &self,
+        input: &[u8; 16],
+        config: &[u8; 16],
+        node: u32,
+        payload: &[u8],
+    ) -> io::Result<()> {
+        let mut bytes = Vec::with_capacity(HEADER_LEN + payload.len());
+        bytes.extend_from_slice(&CACHE_MAGIC.to_le_bytes());
+        bytes.extend_from_slice(&CACHE_VERSION.to_le_bytes());
+        bytes.extend_from_slice(input);
+        bytes.extend_from_slice(config);
+        bytes.extend_from_slice(&node.to_le_bytes());
+        bytes.extend_from_slice(&digest128(payload));
+        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&crc32(payload).to_le_bytes());
+        bytes.extend_from_slice(payload);
+        atomic_write(&self.path_for(input, config, node), &bytes)
+    }
+}
+
+fn is_entry_path(path: &Path) -> bool {
+    let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+    name.starts_with("part-") && name.ends_with(&format!(".{EXT}")) && !name.ends_with(TMP_SUFFIX)
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+    use super::*;
+
+    fn tmp_cache(tag: &str) -> PartitionCache {
+        let dir = std::env::temp_dir().join(format!(
+            "owlpar-cache-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        PartitionCache::open(dir).unwrap()
+    }
+
+    #[test]
+    fn store_scan_load_roundtrip() {
+        let cache = tmp_cache("roundtrip");
+        let input = digest128(b"kb");
+        let config = digest128(b"cfg");
+        let payload = b"the shipped partition blob".to_vec();
+        cache.store(&input, &config, 3, &payload).unwrap();
+
+        let entries = cache.scan();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].input, input);
+        assert_eq!(entries[0].config, config);
+        assert_eq!(entries[0].node, 3);
+        assert_eq!(entries[0].payload, digest128(&payload));
+
+        let got = cache.load(&input, &config, 3, &digest128(&payload)).unwrap();
+        assert_eq!(got, payload);
+        let _ = std::fs::remove_dir_all(&cache.dir);
+    }
+
+    #[test]
+    fn digest_mismatch_is_a_miss_and_evicts() {
+        let cache = tmp_cache("mismatch");
+        let input = digest128(b"kb");
+        let config = digest128(b"cfg");
+        cache.store(&input, &config, 0, b"old partition").unwrap();
+        // The master demands a different payload this run.
+        assert!(cache.load(&input, &config, 0, &digest128(b"new partition")).is_none());
+        // The stale entry was evicted entirely.
+        assert!(cache.scan().is_empty());
+        let _ = std::fs::remove_dir_all(&cache.dir);
+    }
+
+    #[test]
+    fn corrupt_files_are_invisible() {
+        let cache = tmp_cache("corrupt");
+        let input = digest128(b"kb");
+        let config = digest128(b"cfg");
+        cache.store(&input, &config, 1, b"partition bytes").unwrap();
+        // Flip one payload byte on disk.
+        let path = cache.path_for(&input, &config, 1);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(cache.scan().is_empty());
+        assert!(cache.load(&input, &config, 1, &digest128(b"partition bytes")).is_none());
+        // Truncations at every offset are equally invisible.
+        let full = {
+            cache.store(&input, &config, 1, b"partition bytes").unwrap();
+            std::fs::read(&path).unwrap()
+        };
+        for cut in 0..full.len() {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            assert!(cache.scan().is_empty(), "cut at {cut} accepted");
+        }
+        let _ = std::fs::remove_dir_all(&cache.dir);
+    }
+
+    #[test]
+    fn scan_ignores_foreign_files() {
+        let cache = tmp_cache("foreign");
+        std::fs::write(cache.dir.join("notes.txt"), b"hello").unwrap();
+        std::fs::write(cache.dir.join(format!("part-x.{EXT}{TMP_SUFFIX}")), b"torn").unwrap();
+        assert!(cache.scan().is_empty());
+        let _ = std::fs::remove_dir_all(&cache.dir);
+    }
+}

@@ -35,18 +35,21 @@
 //! [`FaultRecovery::AdoptAndReclose`] — a serial re-close reproduces
 //! exactly the serial closure, monotonicity doing the proof.
 
+use crate::cache::PartitionCache;
 use crate::protocol::{
-    decode_master_msg, decode_worker_msg, encode_master_msg, encode_worker_msg, MasterMsg,
-    NetError, Setup, WireFault, WireRouting, WireStats, WorkerMsg, PROTOCOL_VERSION, WIRE_MAGIC,
+    decode_master_msg, decode_setup_payload, decode_worker_msg, encode_master_msg,
+    encode_setup_payload, encode_worker_msg, v1_setup_payload_cost, CacheEntry, MasterMsg,
+    NetError, Setup, SetupPayload, WireFault, WireRouting, WireStats, WorkerMsg, PROTOCOL_VERSION,
+    WIRE_MAGIC,
 };
 use owlpar_core::config::RoundMode;
 use owlpar_core::cputime::CpuTimer;
 use owlpar_core::master::resolve_materialization;
-use owlpar_core::stats::{simulate_rounds, PhaseBreakdown};
+use owlpar_core::stats::{simulate_rounds, PhaseBreakdown, WireBytes, WirePhase};
 use owlpar_core::worker::Routing;
 use owlpar_core::{
-    prepare_run, read_crc_frame, reclose_serial, write_crc_frame, Backoff, CommError, FaultKind,
-    ParallelConfig, RunError, RunReport, WorkerError, WorkerStats,
+    digest128, prepare_run, read_crc_frame, reclose_serial, write_crc_frame, Backoff, CommError,
+    Digest128, FaultKind, ParallelConfig, RunError, RunReport, WorkerError, WorkerStats,
 };
 use owlpar_datalog::{Reasoner, Rule};
 use owlpar_partition::metrics::or_excess;
@@ -55,9 +58,22 @@ use owlpar_rdf::fx::FxHashMap;
 use owlpar_rdf::{Graph, Triple, TripleStore};
 use std::io::ErrorKind;
 use std::net::{Shutdown, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread;
 use std::time::{Duration, Instant};
+
+/// Frame envelope cost of the shared codec (`len u32 | crc u32`).
+const FRAME_OVERHEAD: u64 = 8;
+
+/// Default chunk bound for streamed transfers (`Triples`, `FinalChunk`,
+/// `DeliverChunk`), in triples. One chunk encodes well under the 64 MB
+/// per-frame payload cap even at the raw-equivalent 12 bytes/triple;
+/// transfers of any size stream as chunk sequences, so the cap no
+/// longer limits result size. Tests lower it to force multi-chunk
+/// streams on tiny KBs.
+pub const DEFAULT_CHUNK_TRIPLES: usize = 1 << 20;
 
 /// Master-side knobs (everything else comes from [`ParallelConfig`]).
 #[derive(Debug, Clone)]
@@ -68,6 +84,8 @@ pub struct MasterOptions {
     /// How long the master waits for all `k` workers to dial in and
     /// complete their handshake before refusing to start.
     pub accept_timeout: Duration,
+    /// Most triples per streamed chunk frame (`DeliverChunk` splitting).
+    pub chunk_triples: usize,
 }
 
 impl Default for MasterOptions {
@@ -75,6 +93,7 @@ impl Default for MasterOptions {
         MasterOptions {
             epoch: 0,
             accept_timeout: Duration::from_secs(60),
+            chunk_triples: DEFAULT_CHUNK_TRIPLES,
         }
     }
 }
@@ -85,12 +104,94 @@ pub struct WorkerOptions {
     /// How long the worker keeps dialing (with capped exponential
     /// backoff) before giving up; also the handshake read patience.
     pub connect_timeout: Duration,
+    /// Where to persist shipped partitions for digest-keyed reuse
+    /// across runs; `None` disables the cache (every run ships full).
+    pub cache_dir: Option<PathBuf>,
+    /// Most triples per streamed chunk frame (`Triples`/`FinalChunk`
+    /// splitting).
+    pub chunk_triples: usize,
 }
 
 impl Default for WorkerOptions {
     fn default() -> Self {
         WorkerOptions {
             connect_timeout: Duration::from_secs(30),
+            cache_dir: None,
+            chunk_triples: DEFAULT_CHUNK_TRIPLES,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// wire accounting
+// ---------------------------------------------------------------------
+
+/// Master-side wire accounting, updated concurrently by the
+/// per-connection handler threads. The star topology makes the master
+/// the authoritative vantage point: every frame of the run crosses it
+/// exactly once.
+#[derive(Debug, Default)]
+struct WireLedger {
+    setup: [AtomicU64; 4],
+    rounds: [AtomicU64; 4],
+    finals: [AtomicU64; 4],
+    control_bytes: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+}
+
+impl WireLedger {
+    fn add(phase: &[AtomicU64; 4], body_len: usize, triples: usize, v1_bytes: u64) {
+        phase[0].fetch_add(body_len as u64 + FRAME_OVERHEAD, Ordering::Relaxed);
+        phase[1].fetch_add(1, Ordering::Relaxed);
+        phase[2].fetch_add(triples as u64, Ordering::Relaxed);
+        phase[3].fetch_add(v1_bytes, Ordering::Relaxed);
+    }
+
+    /// `v1_cost` is the exact v1 `Setup` byte count for this worker's
+    /// payload ([`v1_setup_payload_cost`]) — charged whether or not this
+    /// run actually shipped it, because v1 (cache-less) always would.
+    fn setup_frame(&self, body_len: usize, triples: usize, v1_cost: u64) {
+        Self::add(&self.setup, body_len, triples, v1_cost);
+    }
+
+    /// Round/final v1 baseline is the conservative floor `12 × triples`
+    /// (v1 frame headers and counts not charged).
+    fn round_frame(&self, body_len: usize, triples: usize) {
+        Self::add(&self.rounds, body_len, triples, triples as u64 * 12);
+    }
+
+    fn final_frame(&self, body_len: usize, triples: usize) {
+        Self::add(&self.finals, body_len, triples, triples as u64 * 12);
+    }
+
+    fn control_frame(&self, body_len: usize) {
+        self.control_bytes
+            .fetch_add(body_len as u64 + FRAME_OVERHEAD, Ordering::Relaxed);
+    }
+
+    fn cache_outcome(&self, hit: bool) {
+        if hit {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.cache_misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn snapshot(&self) -> WireBytes {
+        let phase = |p: &[AtomicU64; 4]| WirePhase {
+            bytes: p[0].load(Ordering::Relaxed),
+            frames: p[1].load(Ordering::Relaxed),
+            triples: p[2].load(Ordering::Relaxed),
+            v1_bytes: p[3].load(Ordering::Relaxed),
+        };
+        WireBytes {
+            setup: phase(&self.setup),
+            rounds: phase(&self.rounds),
+            finals: phase(&self.finals),
+            control_bytes: self.control_bytes.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
         }
     }
 }
@@ -124,8 +225,15 @@ fn send_master(stream: &mut TcpStream, msg: &MasterMsg) -> Result<(), NetError> 
     write_crc_frame(stream, &encode_master_msg(msg)).map_err(NetError::from)
 }
 
-fn send_worker(stream: &mut TcpStream, msg: &WorkerMsg) -> Result<(), NetError> {
-    write_crc_frame(stream, &encode_worker_msg(msg)).map_err(NetError::from)
+/// Worker-side send with wire-byte accounting (frame envelope included).
+fn send_worker_counted(
+    stream: &mut TcpStream,
+    msg: &WorkerMsg,
+    sent: &mut u64,
+) -> Result<(), NetError> {
+    let body = encode_worker_msg(msg);
+    *sent += body.len() as u64 + FRAME_OVERHEAD;
+    write_crc_frame(stream, &body).map_err(NetError::from)
 }
 
 // ---------------------------------------------------------------------
@@ -160,16 +268,26 @@ enum Event {
 /// when the coordinator releases the round. Exits on `Final`, on any
 /// connection error, or when the coordinator drops the delivery sender
 /// (the worker was declared dead).
+///
+/// Large deliveries are split here into `DeliverChunk* Deliver` at
+/// `chunk` triples per frame; inbound `FinalChunk` sequences are
+/// reassembled here, so the coordinator only ever sees whole stores.
+/// Every frame is charged to the shared [`WireLedger`].
 fn handle_worker(
     id: usize,
     mut stream: TcpStream,
     n_terms: u32,
+    chunk: usize,
+    ledger: &WireLedger,
     events: &mpsc::Sender<Event>,
     delivery: &mpsc::Receiver<MasterMsg>,
 ) {
     let dead = |detail: String| {
         let _ = events.send(Event::Dead { from: id, detail });
     };
+    let chunk = chunk.max(1);
+    let mut final_acc: Vec<Triple> = Vec::new();
+    let mut next_seq = 0u32;
     loop {
         let body = match read_crc_frame(&mut stream) {
             Ok(b) => b,
@@ -177,6 +295,7 @@ fn handle_worker(
         };
         match decode_worker_msg(&body, n_terms) {
             Ok(WorkerMsg::Triples { to, batch }) => {
+                ledger.round_frame(body.len(), batch.len());
                 let routed = Event::Routed {
                     from: id,
                     to: to as usize,
@@ -187,6 +306,7 @@ fn handle_worker(
                 }
             }
             Ok(WorkerMsg::RoundDone { round, sent }) => {
+                ledger.control_frame(body.len());
                 let done = Event::Done {
                     from: id,
                     round: round as usize,
@@ -198,19 +318,64 @@ fn handle_worker(
                 // Block until the coordinator releases the round for this
                 // worker; a closed channel means we were declared dead.
                 let Ok(msg) = delivery.recv() else { return };
-                if let Err(e) = write_crc_frame(&mut stream, &encode_master_msg(&msg)) {
+                let MasterMsg::Deliver {
+                    round,
+                    stop,
+                    mut triples,
+                } = msg
+                else {
+                    return dead(format!("coordinator queued a non-Deliver for worker {id}"));
+                };
+                // Stream the bulk as bounded chunks; the verdict frame
+                // carries the tail, so the worker needs no chunk count
+                // up front and any inbox size fits under the frame cap.
+                let mut offset = 0usize;
+                while triples.len() - offset > chunk {
+                    let part = MasterMsg::DeliverChunk {
+                        round,
+                        batch: triples[offset..offset + chunk].to_vec(),
+                    };
+                    let part_body = encode_master_msg(&part);
+                    ledger.round_frame(part_body.len(), chunk);
+                    if let Err(e) = write_crc_frame(&mut stream, &part_body) {
+                        return dead(format!("delivering round chunk to worker {id}: {e}"));
+                    }
+                    offset += chunk;
+                }
+                triples.drain(..offset);
+                let tail = triples.len();
+                let verdict = MasterMsg::Deliver {
+                    round,
+                    stop,
+                    triples,
+                };
+                let verdict_body = encode_master_msg(&verdict);
+                ledger.round_frame(verdict_body.len(), tail);
+                if let Err(e) = write_crc_frame(&mut stream, &verdict_body) {
                     return dead(format!("delivering round to worker {id}: {e}"));
                 }
             }
+            Ok(WorkerMsg::FinalChunk { seq, batch }) => {
+                ledger.final_frame(body.len(), batch.len());
+                if seq != next_seq {
+                    return dead(format!(
+                        "worker {id} sent final chunk {seq}, expected {next_seq}"
+                    ));
+                }
+                next_seq += 1;
+                final_acc.extend(batch);
+            }
             Ok(WorkerMsg::Final { stats, store }) => {
+                ledger.final_frame(body.len(), store.len());
+                final_acc.extend(store);
                 let _ = events.send(Event::Final {
                     from: id,
                     stats,
-                    store,
+                    store: final_acc,
                 });
                 return;
             }
-            Ok(WorkerMsg::Hello { .. }) => {
+            Ok(WorkerMsg::Hello { .. } | WorkerMsg::CacheAdvert { .. }) => {
                 return dead(format!("worker {id} repeated the handshake mid-run"))
             }
             Err(e) => return dead(format!("undecodable message from worker {id}: {e}")),
@@ -261,15 +426,17 @@ fn wire_faults(cfg: &ParallelConfig, id: usize) -> Vec<(u32, WireFault)> {
         .collect()
 }
 
-/// Accept one worker and run the versioned handshake. Returns the
-/// stream, ready for `Setup`.
+/// Accept one worker and run the versioned handshake
+/// (`Hello → Welcome → CacheAdvert`). Returns the stream, ready for
+/// `Setup`, plus the cache entries the worker advertised.
 fn accept_worker(
     listener: &TcpListener,
     deadline: Instant,
     node_id: u32,
     k: u32,
     opts: &MasterOptions,
-) -> Result<TcpStream, NetError> {
+    ledger: &WireLedger,
+) -> Result<(TcpStream, Vec<CacheEntry>), NetError> {
     // Poll the nonblocking listener with the shared backoff so a slow
     // cluster assembly neither busy-spins nor oversleeps the deadline.
     let mut backoff = Backoff::new(Duration::from_millis(1), Duration::from_millis(50));
@@ -294,21 +461,30 @@ fn accept_worker(
     stream.set_write_timeout(Some(opts.accept_timeout))?;
 
     let body = read_crc_frame(&mut stream)?;
+    ledger.control_frame(body.len());
     // The dictionary bound is irrelevant during the handshake — Hello
     // carries no triples.
     match decode_worker_msg(&body, u32::MAX)? {
         WorkerMsg::Hello { magic, version }
             if magic == WIRE_MAGIC && version == PROTOCOL_VERSION =>
         {
-            send_master(
-                &mut stream,
-                &MasterMsg::Welcome {
-                    node_id,
-                    k,
-                    epoch: opts.epoch,
-                },
-            )?;
-            Ok(stream)
+            let welcome = encode_master_msg(&MasterMsg::Welcome {
+                node_id,
+                k,
+                epoch: opts.epoch,
+            });
+            ledger.control_frame(welcome.len());
+            write_crc_frame(&mut stream, &welcome)?;
+            // The advert follows immediately — an empty one when the
+            // worker has no cache.
+            let advert = read_crc_frame(&mut stream)?;
+            ledger.control_frame(advert.len());
+            match decode_worker_msg(&advert, u32::MAX)? {
+                WorkerMsg::CacheAdvert { entries } => Ok((stream, entries)),
+                other => Err(handshake_err(format!(
+                    "expected CacheAdvert after Welcome, got {other:?}"
+                ))),
+            }
         }
         WorkerMsg::Hello { magic, version } => {
             let reason = format!(
@@ -322,6 +498,39 @@ fn accept_worker(
             "expected Hello from connecting worker, got {other:?}"
         ))),
     }
+}
+
+/// Digest of the input KB: dictionary size plus every id-triple in
+/// canonical sorted order — the `input` half of the partition-cache
+/// key. Order-canonical so the same KB digests equally run after run
+/// regardless of hash-set iteration order.
+fn input_digest(graph: &Graph) -> [u8; 16] {
+    let mut d = Digest128::new();
+    d.update_u32(graph.dict.len() as u32);
+    for t in graph.store.iter_sorted() {
+        d.update_u32(t.s.0);
+        d.update_u32(t.p.0);
+        d.update_u32(t.o.0);
+    }
+    d.finish()
+}
+
+/// Digest of the partitioning configuration — everything that changes
+/// *which bytes* a worker's partition payload holds, beyond the input
+/// KB itself. The payload digest is the actual correctness check; this
+/// merely keys the cache so config changes don't thrash one entry.
+fn config_digest(
+    cfg: &ParallelConfig,
+    k: usize,
+    materialization: owlpar_datalog::MaterializationStrategy,
+) -> [u8; 16] {
+    let fp = format!(
+        "k={k}|strategy={:?}|materialization={materialization:?}|extra_rules={}|unsafe_rules={:?}",
+        cfg.strategy,
+        cfg.extra_rules.len(),
+        cfg.unsafe_rules,
+    );
+    digest128(fp.as_bytes())
 }
 
 /// Run a cluster master over `listener`: assemble `cfg.k` workers, ship
@@ -341,33 +550,65 @@ pub fn run_cluster_master(
     }
     let start_total = Instant::now();
     let before_len = graph.len();
+    // The cache key's input half is the KB as handed to us, digested
+    // before partitioning touches anything.
+    let in_digest = input_digest(graph);
     let plan = prepare_run(graph, cfg)?;
     let recoverable = plan.recoverable(cfg.recovery);
     let k = plan.k;
     let n_terms = graph.dict.len() as u32;
     let materialization = resolve_materialization(cfg.materialization, k);
+    let cfg_digest = config_digest(cfg, k, materialization);
+    let ledger = Arc::new(WireLedger::default());
 
     // --- bootstrap: all-or-nothing -----------------------------------
     listener.set_nonblocking(true)?;
     let deadline = Instant::now() + opts.accept_timeout;
     let mut streams = Vec::with_capacity(k);
+    let mut adverts = Vec::with_capacity(k);
     for id in 0..k {
-        streams.push(accept_worker(&listener, deadline, id as u32, k as u32, opts)?);
+        let (stream, advert) =
+            accept_worker(&listener, deadline, id as u32, k as u32, opts, &ledger)?;
+        streams.push(stream);
+        adverts.push(advert);
     }
     let mut bases = plan.bases;
     for (id, stream) in streams.iter_mut().enumerate() {
-        let setup = Setup {
+        let payload = SetupPayload {
             n_terms,
-            round_timeout_ms: cfg.round_timeout.as_millis() as u64,
             materialization,
             schema: plan.schema.clone(),
             base: std::mem::take(&mut bases[id]),
             all_rules: plan.all_rules.clone(),
             my_rules: plan.rules_per_worker[id].clone(),
             routing: wire_routing(&plan.routing[id]),
-            faults: wire_faults(cfg, id),
         };
-        send_master(stream, &MasterMsg::Setup(Box::new(setup)))?;
+        let payload_triples = payload.schema.len() + payload.base.len();
+        let v1_cost = v1_setup_payload_cost(&payload);
+        let blob = encode_setup_payload(&payload);
+        let payload_digest = digest128(&blob);
+        // Digest-only ship iff the worker advertised this exact blob —
+        // exact meaning the payload digest matches too, so a stale or
+        // nondeterministically different partition degrades to a full
+        // ship, never to a wrong one.
+        let hit = adverts[id].iter().any(|e| {
+            e.input == in_digest
+                && e.config == cfg_digest
+                && e.node == id as u32
+                && e.payload == payload_digest
+        });
+        ledger.cache_outcome(hit);
+        let setup = Setup {
+            input_digest: in_digest,
+            config_digest: cfg_digest,
+            payload_digest,
+            round_timeout_ms: cfg.round_timeout.as_millis() as u64,
+            faults: wire_faults(cfg, id),
+            payload: (!hit).then_some(blob),
+        };
+        let body = encode_master_msg(&MasterMsg::Setup(Box::new(setup)));
+        ledger.setup_frame(body.len(), if hit { 0 } else { payload_triples }, v1_cost);
+        write_crc_frame(stream, &body)?;
         // From here on the per-read patience is the round timeout: a
         // worker that produces nothing for that long is declared dead.
         stream.set_read_timeout(Some(cfg.round_timeout.saturating_mul(2)))?;
@@ -386,9 +627,11 @@ pub fn run_cluster_master(
             let (tx, rx) = mpsc::channel::<MasterMsg>();
             delivery_txs.push(Some(tx));
             let handler_tx = events_tx.clone();
+            let handler_ledger = Arc::clone(&ledger);
+            let chunk = opts.chunk_triples;
             let builder = thread::Builder::new().name(format!("cluster-worker-{id}"));
             let spawned = builder.spawn_scoped(scope, move || {
-                handle_worker(id, stream, n_terms, &handler_tx, &rx);
+                handle_worker(id, stream, n_terms, chunk, &handler_ledger, &handler_tx, &rx);
             });
             if spawned.is_err() {
                 let _ = events_tx.send(Event::Dead {
@@ -675,6 +918,7 @@ pub fn run_cluster_master(
         edge_cut: plan.edge_cut,
         worker_errors,
         recovered,
+        wire: Some(ledger.snapshot()),
     })
 }
 
@@ -771,9 +1015,10 @@ fn rebuild_routing(w: WireRouting, k: u32, all_rules: &Arc<Vec<Rule>>) -> Result
     }
 }
 
-/// Read one master frame and decode it.
-fn read_master(stream: &mut TcpStream, n_terms: u32) -> Result<MasterMsg, NetError> {
+/// Read one master frame and decode it, with wire-byte accounting.
+fn read_master(stream: &mut TcpStream, n_terms: u32, recv: &mut u64) -> Result<MasterMsg, NetError> {
     let body = read_crc_frame(stream)?;
+    *recv += body.len() as u64 + FRAME_OVERHEAD;
     decode_master_msg(&body, n_terms)
 }
 
@@ -805,14 +1050,17 @@ pub fn run_cluster_worker(
     stream.set_write_timeout(Some(opts.connect_timeout))?;
 
     // --- handshake ---------------------------------------------------
-    send_worker(
+    let mut wire_sent = 0u64;
+    let mut wire_recv = 0u64;
+    send_worker_counted(
         &mut stream,
         &WorkerMsg::Hello {
             magic: WIRE_MAGIC,
             version: PROTOCOL_VERSION,
         },
+        &mut wire_sent,
     )?;
-    let (node_id, k, epoch) = match read_master(&mut stream, u32::MAX)? {
+    let (node_id, k, epoch) = match read_master(&mut stream, u32::MAX, &mut wire_recv)? {
         MasterMsg::Welcome { node_id, k, epoch } => (node_id, k, epoch),
         MasterMsg::Reject { reason } => return Err(handshake_err(reason)),
         other => {
@@ -826,7 +1074,17 @@ pub fn run_cluster_worker(
             "master assigned node id {node_id} in a cluster of {k}"
         )));
     }
-    let setup = match read_master(&mut stream, u32::MAX)? {
+
+    // Advertise whatever shipped partitions we hold (an empty advert
+    // when uncached — the master always reads one).
+    let cache = match &opts.cache_dir {
+        Some(dir) => Some(PartitionCache::open(dir)?),
+        None => None,
+    };
+    let entries = cache.as_ref().map(PartitionCache::scan).unwrap_or_default();
+    send_worker_counted(&mut stream, &WorkerMsg::CacheAdvert { entries }, &mut wire_sent)?;
+
+    let setup = match read_master(&mut stream, u32::MAX, &mut wire_recv)? {
         MasterMsg::Setup(s) => *s,
         other => {
             return Err(handshake_err(format!(
@@ -834,7 +1092,42 @@ pub fn run_cluster_worker(
             )))
         }
     };
-    let n_terms = setup.n_terms;
+    // Resolve the payload blob: shipped on the wire (verify, then
+    // persist for next time) or elided because the master matched our
+    // advert (load and re-verify from disk). Either way the bytes are
+    // checked against the header's digest before they are decoded.
+    let blob = match setup.payload {
+        Some(blob) => {
+            if digest128(&blob) != setup.payload_digest {
+                return Err(NetError::protocol(
+                    "setup payload does not match its declared digest",
+                ));
+            }
+            if let Some(c) = &cache {
+                // A cache write failure costs the next run a re-ship,
+                // not this run its result.
+                let _ = c.store(&setup.input_digest, &setup.config_digest, node_id, &blob);
+            }
+            blob
+        }
+        None => cache
+            .as_ref()
+            .and_then(|c| {
+                c.load(
+                    &setup.input_digest,
+                    &setup.config_digest,
+                    node_id,
+                    &setup.payload_digest,
+                )
+            })
+            .ok_or_else(|| {
+                handshake_err(
+                    "master elided the setup payload but no matching cache entry exists",
+                )
+            })?,
+    };
+    let payload = decode_setup_payload(&blob)?;
+    let n_terms = payload.n_terms;
     let round_timeout = Duration::from_millis(setup.round_timeout_ms.max(1000));
     // The master's Deliver can lag a full coordinator round behind our
     // sends; give reads twice its patience before declaring it gone.
@@ -842,12 +1135,12 @@ pub fn run_cluster_worker(
     stream.set_write_timeout(Some(round_timeout))?;
 
     // --- local state: exactly run_worker's ---------------------------
-    let all_rules = Arc::new(setup.all_rules);
-    let routing = rebuild_routing(setup.routing, k, &all_rules)?;
-    let reasoner = Reasoner::new(setup.my_rules, setup.materialization);
+    let all_rules = Arc::new(payload.all_rules);
+    let routing = rebuild_routing(payload.routing, k, &all_rules)?;
+    let reasoner = Reasoner::new(payload.my_rules, payload.materialization);
     let mut store = TripleStore::new();
-    store.extend(setup.schema);
-    store.extend(setup.base);
+    store.extend(payload.schema);
+    store.extend(payload.base);
     let mut faults = setup.faults;
     faults.sort_by_key(|&(r, _)| r);
 
@@ -901,26 +1194,33 @@ pub fn run_cluster_worker(
                 outbox[d as usize].push(*tr);
             }
         }
+        let chunk = opts.chunk_triples.max(1);
         let mut sent_now = 0u64;
         for (to, batch) in outbox.iter().enumerate() {
             if batch.is_empty() || to as u32 == me {
                 continue;
             }
-            send_worker(
-                &mut stream,
-                &WorkerMsg::Triples {
-                    to: to as u32,
-                    batch: batch.clone(),
-                },
-            )?;
+            // Bounded frames regardless of batch size: a huge round
+            // splits into several Triples frames the master unions.
+            for part in batch.chunks(chunk) {
+                send_worker_counted(
+                    &mut stream,
+                    &WorkerMsg::Triples {
+                        to: to as u32,
+                        batch: part.to_vec(),
+                    },
+                    &mut wire_sent,
+                )?;
+            }
             sent_now += batch.len() as u64;
         }
-        send_worker(
+        send_worker_counted(
             &mut stream,
             &WorkerMsg::RoundDone {
                 round: round as u32,
                 sent: sent_now,
             },
+            &mut wire_sent,
         )?;
         stats.sent += sent_now;
         let dt = t.elapsed();
@@ -931,25 +1231,40 @@ pub fn run_cluster_worker(
         stats.round_cpu_micros.push(round_cpu.as_micros() as u64);
         round_cpu = Duration::ZERO;
         let t = CpuTimer::start();
-        let (stop, triples) = match read_master(&mut stream, n_terms)? {
-            MasterMsg::Deliver {
-                round: r,
-                stop,
-                triples,
-            } => {
-                if r as usize != round {
-                    return Err(NetError::protocol(format!(
-                        "master delivered round {r} during round {round}"
-                    )));
+        // The round's inbound stream: any number of DeliverChunk frames
+        // then the Deliver verdict carrying the tail.
+        let mut inbound: Vec<Triple> = Vec::new();
+        let stop = loop {
+            match read_master(&mut stream, n_terms, &mut wire_recv)? {
+                MasterMsg::DeliverChunk { round: r, batch } => {
+                    if r as usize != round {
+                        return Err(NetError::protocol(format!(
+                            "master streamed a chunk of round {r} during round {round}"
+                        )));
+                    }
+                    inbound.extend(batch);
                 }
-                (stop, triples)
-            }
-            other => {
-                return Err(NetError::protocol(format!(
-                    "expected Deliver, got {other:?}"
-                )))
+                MasterMsg::Deliver {
+                    round: r,
+                    stop,
+                    triples,
+                } => {
+                    if r as usize != round {
+                        return Err(NetError::protocol(format!(
+                            "master delivered round {r} during round {round}"
+                        )));
+                    }
+                    inbound.extend(triples);
+                    break stop;
+                }
+                other => {
+                    return Err(NetError::protocol(format!(
+                        "expected Deliver, got {other:?}"
+                    )))
+                }
             }
         };
+        let triples = inbound;
         stats.received += triples.len() as u64;
         let dt = t.elapsed();
         stats.io_micros += dt.as_micros() as u64;
@@ -982,12 +1297,35 @@ pub fn run_cluster_worker(
         store_len: store.len(),
         sent: stats.sent,
     };
-    send_worker(
+    // Ship the final store as a bounded chunk stream: FinalChunk* then
+    // the Final terminator carrying the tail (and the counters), so a
+    // store of any size fits under the per-frame cap. Globally sorted
+    // first — each chunk is then a contiguous id range, which is both
+    // deterministic and what the delta codec compresses best.
+    let full = store.iter_sorted();
+    let chunk = opts.chunk_triples.max(1);
+    let tail_start = full.len().saturating_sub(1) / chunk * chunk;
+    for (seq, part) in full[..tail_start].chunks(chunk).enumerate() {
+        send_worker_counted(
+            &mut stream,
+            &WorkerMsg::FinalChunk {
+                seq: seq as u32,
+                batch: part.to_vec(),
+            },
+            &mut wire_sent,
+        )?;
+    }
+    // The counters ride inside the Final frame, so they cannot include
+    // it; the master-side ledger is the authoritative total.
+    stats.wire_sent_bytes = wire_sent;
+    stats.wire_recv_bytes = wire_recv;
+    send_worker_counted(
         &mut stream,
         &WorkerMsg::Final {
             stats,
-            store: store.iter().copied().collect(),
+            store: full[tail_start..].to_vec(),
         },
+        &mut wire_sent,
     )?;
     Ok(summary)
 }

@@ -27,12 +27,15 @@
 
 #![forbid(unsafe_code)]
 
+pub mod cache;
 pub mod cluster;
 pub mod protocol;
 pub mod transport;
 
+pub use cache::PartitionCache;
 pub use cluster::{
     run_cluster_master, run_cluster_worker, MasterOptions, WorkerOptions, WorkerSummary,
+    DEFAULT_CHUNK_TRIPLES,
 };
 pub use protocol::{NetError, PROTOCOL_VERSION, WIRE_MAGIC};
 pub use transport::TcpFabricFactory;

@@ -11,18 +11,33 @@
 //! (the stream cannot be resynchronized), not a skippable message.
 //!
 //! ```text
-//! worker → master:  Hello | Triples* RoundDone | Final
-//! master → worker:  Welcome | Reject | Setup | Deliver
+//! worker → master:  Hello CacheAdvert | Triples* RoundDone | FinalChunk* Final
+//! master → worker:  Welcome | Reject | Setup | DeliverChunk* Deliver
 //! ```
+//!
+//! **Wire format v2** (see `DESIGN.md §13`): triple payloads travel as
+//! sort-order delta/varint blocks ([`owlpar_core::frame::encode_triple_block`])
+//! instead of raw 12-byte records; ownership tables are delta/varint
+//! encoded; the bulky parts of `Setup` are wrapped into a canonical
+//! [`SetupPayload`] blob so a worker that already holds the identical
+//! blob in its on-disk cache can be sent the 16-byte digest instead; and
+//! large `Final`/`Deliver` transfers stream as bounded chunk sequences
+//! (`FinalChunk*`/`DeliverChunk*` ending in the ordinary terminator), so
+//! a result of any size moves without raising the per-frame payload cap.
 //!
 //! The bootstrap handshake is versioned: `Hello` carries [`WIRE_MAGIC`]
 //! and [`PROTOCOL_VERSION`]; a master that cannot serve that version
-//! answers `Reject` and aborts the run before any partition ships.
+//! answers `Reject` and aborts the run before any partition ships. The
+//! `Hello` byte layout is frozen across versions — a v1 peer and a v2
+//! peer can always *parse* each other's opener, so a mismatch is a typed
+//! `Reject` in both directions, never garbage.
 
-use owlpar_core::{FrameError, RunError, WorkerStats};
+use owlpar_core::frame::{get_varint32, put_varint32};
+use owlpar_core::{
+    decode_triple_block, encode_triple_block, FrameError, RunError, WorkerStats,
+};
 use owlpar_datalog::backward::TableScope;
 use owlpar_datalog::{Atom, MaterializationStrategy, Rule, TermPat};
-use owlpar_rdf::triple::{decode_batch, encode_batch};
 use owlpar_rdf::{NodeId, Triple};
 use std::time::Duration;
 
@@ -31,7 +46,10 @@ pub const WIRE_MAGIC: u32 = 0x4F57_4C50;
 
 /// Version of the cluster wire protocol. Bumped on any incompatible
 /// change to the message grammar; the handshake refuses mismatches.
-pub const PROTOCOL_VERSION: u32 = 1;
+/// v1: raw 12-byte triple records, monolithic `Setup`.
+/// v2: delta/varint triple blocks, digest-keyed `Setup` payloads,
+/// chunked `Final`/`Deliver` streaming.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Anything that can go wrong running the cluster.
 #[derive(Debug)]
@@ -165,15 +183,17 @@ pub enum WireRouting {
     },
 }
 
-/// Everything a worker needs before round 0 — the cluster image of the
-/// master's [`owlpar_core::RunPlan`] slice for one worker.
+/// The cacheable bulk of a worker's bootstrap: everything that depends
+/// only on `(input KB, partitioning config, node id)` and nothing else.
+/// Ships inside [`Setup`] as one canonically-encoded blob
+/// ([`encode_setup_payload`]) so that its digest is stable across runs
+/// and a worker holding the identical blob on disk can skip the
+/// transfer entirely.
 #[derive(Debug, Clone)]
-pub struct Setup {
+pub struct SetupPayload {
     /// Size of the master's frozen dictionary; every triple id in every
     /// later frame must be below it.
     pub n_terms: u32,
-    /// Per-message read patience during rounds, in milliseconds.
-    pub round_timeout_ms: u64,
     /// The resolved closure engine (no `threads: 0` auto value ships —
     /// the master resolves it so every process uses the same budget).
     pub materialization: MaterializationStrategy,
@@ -188,8 +208,45 @@ pub struct Setup {
     pub my_rules: Vec<Rule>,
     /// How this worker routes fresh derivations.
     pub routing: WireRouting,
+}
+
+/// Everything a worker needs before round 0 — the cluster image of the
+/// master's [`owlpar_core::RunPlan`] slice for one worker. The bulky,
+/// run-independent part travels as an optional [`SetupPayload`] blob:
+/// `payload: None` means "you advertised a cache entry whose digests
+/// match — load the blob from your cache"; the `payload_digest` lets the
+/// worker verify whatever it loads (or received) byte-for-byte.
+#[derive(Debug, Clone)]
+pub struct Setup {
+    /// Digest of the input KB (dictionary size + sorted id-triples).
+    pub input_digest: [u8; 16],
+    /// Digest of the partitioning configuration (k, strategy, engine).
+    pub config_digest: [u8; 16],
+    /// Digest of the canonical [`SetupPayload`] encoding this worker
+    /// must end up holding, shipped or cached.
+    pub payload_digest: [u8; 16],
+    /// Per-message read patience during rounds, in milliseconds.
+    pub round_timeout_ms: u64,
     /// Injected faults for this worker, as `(round, fault)` pairs.
+    /// Per-run, so deliberately *outside* the cached payload.
     pub faults: Vec<(u32, WireFault)>,
+    /// The encoded [`SetupPayload`], or `None` on a cache hit.
+    pub payload: Option<Vec<u8>>,
+}
+
+/// One shipped-partition cache entry a worker advertises after the
+/// handshake: "I already hold the payload for `(input, config, node)`
+/// and its bytes digest to `payload`."
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheEntry {
+    /// Input-KB digest the cached payload was built from.
+    pub input: [u8; 16],
+    /// Partitioning-config digest it was built under.
+    pub config: [u8; 16],
+    /// Node id (partition index) the payload belongs to.
+    pub node: u32,
+    /// Digest of the cached payload bytes themselves.
+    pub payload: [u8; 16],
 }
 
 /// Per-worker counters in shippable form; micros instead of `Duration`.
@@ -211,6 +268,11 @@ pub struct WireStats {
     pub round_cpu_micros: Vec<u64>,
     /// Final local store size.
     pub output_size: u64,
+    /// Bytes this worker wrote to its master connection (frame headers
+    /// included) — the worker's own view of its wire footprint.
+    pub wire_sent_bytes: u64,
+    /// Bytes this worker read from its master connection.
+    pub wire_recv_bytes: u64,
 }
 
 impl WireStats {
@@ -238,16 +300,24 @@ impl WireStats {
 /// Messages a worker sends to the master.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WorkerMsg {
-    /// Handshake opener.
+    /// Handshake opener. Byte layout frozen across protocol versions.
     Hello {
         /// Must be [`WIRE_MAGIC`].
         magic: u32,
         /// Must be [`PROTOCOL_VERSION`].
         version: u32,
     },
+    /// Sent once right after `Welcome`: the shipped-partition cache
+    /// entries this worker holds for the master to match against.
+    /// An empty advert is valid (no cache, or nothing relevant).
+    CacheAdvert {
+        /// Entries, at most [`MAX_CACHE_ADVERT`].
+        entries: Vec<CacheEntry>,
+    },
     /// Fresh derivations routed to worker `to`, part of the current
     /// round (every `Triples` precedes its round's `RoundDone` on the
-    /// stream, so the round number is implicit).
+    /// stream, so the round number is implicit). Large batches split
+    /// into several `Triples` frames; the master unions them.
     Triples {
         /// Destination worker.
         to: u32,
@@ -261,11 +331,20 @@ pub enum WorkerMsg {
         /// Triples this worker sent this round (termination detector).
         sent: u64,
     },
-    /// Sent once after a `Stop` verdict: counters + the final store.
+    /// One bounded chunk of the final store, streamed before `Final`.
+    /// Chunks arrive in `seq` order starting at 0.
+    FinalChunk {
+        /// Chunk sequence number.
+        seq: u32,
+        /// The chunk's triples.
+        batch: Vec<Triple>,
+    },
+    /// Sent once after a `Stop` verdict: counters + the final store's
+    /// tail (everything not already streamed as `FinalChunk`s).
     Final {
         /// The worker's counters.
         stats: WireStats,
-        /// Its complete local store.
+        /// Tail of its complete local store.
         store: Vec<Triple>,
     },
 }
@@ -290,14 +369,23 @@ pub enum MasterMsg {
     },
     /// The worker's partition of the run plan.
     Setup(Box<Setup>),
-    /// Round verdict + this worker's inbound triples for the round.
+    /// One bounded chunk of a round's inbound triples, streamed before
+    /// the round's `Deliver` verdict.
+    DeliverChunk {
+        /// The round the chunk belongs to.
+        round: u32,
+        /// The chunk's triples.
+        batch: Vec<Triple>,
+    },
+    /// Round verdict + the tail of this worker's inbound triples for
+    /// the round (everything not already streamed as `DeliverChunk`s).
     Deliver {
         /// The round this verdict closes.
         round: u32,
         /// True when the run is over (quiescence or a lost worker):
         /// absorb nothing, send `Final`.
         stop: bool,
-        /// Triples routed to this worker this round.
+        /// Tail of the triples routed to this worker this round.
         triples: Vec<Triple>,
     },
 }
@@ -314,11 +402,18 @@ const TAG_TRIPLES: u8 = 5;
 const TAG_ROUND_DONE: u8 = 6;
 const TAG_DELIVER: u8 = 7;
 const TAG_FINAL: u8 = 8;
+const TAG_CACHE_ADVERT: u8 = 9;
+const TAG_FINAL_CHUNK: u8 = 10;
+const TAG_DELIVER_CHUNK: u8 = 11;
 
 /// Longest string field (rule name, reject reason) the decoder accepts.
 const MAX_STRING: usize = 64 * 1024;
 /// Most rules a setup may carry (far above any real rule-base).
 const MAX_RULES: usize = 64 * 1024;
+/// Most cache entries one `CacheAdvert` may carry. A worker only ever
+/// has entries for partitions it was once shipped, so anything beyond
+/// this is garbage, not a big cache.
+pub const MAX_CACHE_ADVERT: usize = 4096;
 
 /// Bounds-checked little-endian reader over a message body.
 struct Cursor<'a> {
@@ -351,11 +446,6 @@ impl<'a> Cursor<'a> {
         Ok(self.take(1)?[0])
     }
 
-    fn u16(&mut self) -> Result<u16, NetError> {
-        let b = self.take(2)?;
-        Ok(u16::from_le_bytes([b[0], b[1]]))
-    }
-
     fn u32(&mut self) -> Result<u32, NetError> {
         let b = self.take(4)?;
         Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
@@ -366,6 +456,23 @@ impl<'a> Cursor<'a> {
         let mut a = [0u8; 8];
         a.copy_from_slice(b);
         Ok(u64::from_le_bytes(a))
+    }
+
+    /// LEB128 varint (shared grammar with the triple-block codec).
+    fn varint(&mut self) -> Result<u32, NetError> {
+        let (v, next) = get_varint32(self.buf, self.pos).map_err(|e| {
+            NetError::protocol(format!("bad varint at offset {}: {e}", self.pos))
+        })?;
+        self.pos = next;
+        Ok(v)
+    }
+
+    /// A 128-bit digest field.
+    fn digest(&mut self) -> Result<[u8; 16], NetError> {
+        let b = self.take(16)?;
+        let mut d = [0u8; 16];
+        d.copy_from_slice(b);
+        Ok(d)
     }
 
     fn string(&mut self) -> Result<String, NetError> {
@@ -395,10 +502,6 @@ impl<'a> Cursor<'a> {
     }
 }
 
-fn put_u16(out: &mut Vec<u8>, v: u16) {
-    out.extend_from_slice(&v.to_le_bytes());
-}
-
 fn put_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
 }
@@ -412,39 +515,40 @@ fn put_string(out: &mut Vec<u8>, s: &str) {
     out.extend_from_slice(s.as_bytes());
 }
 
+/// Append a compact delta/varint triple block (the v2 triple grammar;
+/// see `owlpar_core::frame`). Sorts and dedups internally when needed —
+/// every cluster data path has set semantics, so the canonical sorted
+/// order is free to impose.
 fn put_triples(out: &mut Vec<u8>, triples: &[Triple]) {
-    put_u32(out, triples.len() as u32);
-    out.extend_from_slice(&encode_batch(triples));
+    out.extend_from_slice(&encode_triple_block(triples));
 }
 
-/// Read a `u32 count | count × 12 bytes` triple block, validating every
-/// id against the dictionary size.
+/// Read one compact triple block, validating every id against the
+/// dictionary size. Returns the triples in canonical sorted order.
 fn get_triples(cur: &mut Cursor<'_>, n_terms: u32) -> Result<Vec<Triple>, NetError> {
-    let count = cur.u32()? as usize;
-    let bytes = cur.take(count.checked_mul(12).ok_or_else(|| {
-        NetError::protocol("triple count overflows the byte budget")
-    })?)?;
-    let mut out = Vec::with_capacity(count);
-    for t in decode_batch(bytes) {
+    let (triples, consumed) = decode_triple_block(&cur.buf[cur.pos..]).map_err(|e| {
+        NetError::protocol(format!("bad triple block at offset {}: {e}", cur.pos))
+    })?;
+    cur.pos += consumed;
+    for t in &triples {
         if t.s.0 >= n_terms || t.p.0 >= n_terms || t.o.0 >= n_terms {
             return Err(NetError::protocol(format!(
                 "triple {t} has ids outside the {n_terms}-term dictionary"
             )));
         }
-        out.push(t);
     }
-    Ok(out)
+    Ok(triples)
 }
 
 fn put_term_pat(out: &mut Vec<u8>, p: &TermPat) {
     match p {
         TermPat::Var(v) => {
             out.push(0);
-            put_u32(out, u32::from(*v));
+            put_varint32(out, u32::from(*v));
         }
         TermPat::Const(c) => {
             out.push(1);
-            put_u32(out, c.0);
+            put_varint32(out, c.0);
         }
     }
 }
@@ -452,13 +556,13 @@ fn put_term_pat(out: &mut Vec<u8>, p: &TermPat) {
 fn get_term_pat(cur: &mut Cursor<'_>, n_terms: u32) -> Result<TermPat, NetError> {
     match cur.u8()? {
         0 => {
-            let v = cur.u32()?;
+            let v = cur.varint()?;
             u16::try_from(v)
                 .map(TermPat::Var)
                 .map_err(|_| NetError::protocol(format!("variable index {v} exceeds u16")))
         }
         1 => {
-            let id = cur.u32()?;
+            let id = cur.varint()?;
             if id >= n_terms {
                 return Err(NetError::protocol(format!(
                     "rule constant {id} outside the {n_terms}-term dictionary"
@@ -484,38 +588,104 @@ fn get_atom(cur: &mut Cursor<'_>, n_terms: u32) -> Result<Atom, NetError> {
     })
 }
 
+fn put_rule(out: &mut Vec<u8>, r: &Rule) {
+    put_varint32(out, r.name.len() as u32);
+    out.extend_from_slice(r.name.as_bytes());
+    put_atom(out, &r.head);
+    put_varint32(out, r.body.len() as u32);
+    for a in &r.body {
+        put_atom(out, a);
+    }
+}
+
+fn get_rule(cur: &mut Cursor<'_>, n_terms: u32) -> Result<Rule, NetError> {
+    let name_len = cur.varint()? as usize;
+    if name_len > MAX_STRING {
+        return Err(NetError::protocol(format!(
+            "rule name of {name_len} bytes exceeds the {MAX_STRING}-byte bound"
+        )));
+    }
+    let name = String::from_utf8(cur.take(name_len)?.to_vec())
+        .map_err(|_| NetError::protocol("rule name is not valid UTF-8"))?;
+    let head = get_atom(cur, n_terms)?;
+    let body_len = cur.varint()? as usize;
+    if body_len > MAX_RULES {
+        return Err(NetError::protocol(format!(
+            "rule body of {body_len} atoms exceeds the {MAX_RULES} bound"
+        )));
+    }
+    let mut body = Vec::with_capacity(body_len.min(1 << 10));
+    for _ in 0..body_len {
+        body.push(get_atom(cur, n_terms)?);
+    }
+    // Rule::new re-validates (non-empty body, dense variables,
+    // range restriction) and recomputes var_count — a rule that was
+    // valid at the master decodes to the same rule or not at all.
+    Rule::new(name, head, body).map_err(NetError::protocol)
+}
+
 fn put_rules(out: &mut Vec<u8>, rules: &[Rule]) {
-    put_u32(out, rules.len() as u32);
+    put_varint32(out, rules.len() as u32);
     for r in rules {
-        put_string(out, &r.name);
-        put_atom(out, &r.head);
-        put_u16(out, r.body.len() as u16);
-        for a in &r.body {
-            put_atom(out, a);
-        }
+        put_rule(out, r);
     }
 }
 
 fn get_rules(cur: &mut Cursor<'_>, n_terms: u32) -> Result<Vec<Rule>, NetError> {
-    let count = cur.u32()? as usize;
+    let count = cur.varint()? as usize;
     if count > MAX_RULES {
         return Err(NetError::protocol(format!(
             "rule count {count} exceeds the {MAX_RULES} bound"
         )));
     }
-    let mut out = Vec::with_capacity(count);
+    let mut out = Vec::with_capacity(count.min(1 << 10));
     for _ in 0..count {
-        let name = cur.string()?;
-        let head = get_atom(cur, n_terms)?;
-        let body_len = cur.u16()? as usize;
-        let mut body = Vec::with_capacity(body_len);
-        for _ in 0..body_len {
-            body.push(get_atom(cur, n_terms)?);
+        out.push(get_rule(cur, n_terms)?);
+    }
+    Ok(out)
+}
+
+/// Encode a worker's rule subset against the full rule-base it rides
+/// with: each rule that appears in `all` is written as a 1-biased
+/// varint index into it (typically 1–2 bytes instead of tens), and a
+/// rule that does not (marker `0`) is inlined verbatim. Under data
+/// partitioning `my == all`, so this turns the second full rule-base
+/// copy in every `Setup` into a run of small integers.
+fn put_rule_refs(out: &mut Vec<u8>, all: &[Rule], my: &[Rule]) {
+    put_varint32(out, my.len() as u32);
+    for r in my {
+        match all.iter().position(|a| a == r) {
+            Some(i) => put_varint32(out, i as u32 + 1),
+            None => {
+                put_varint32(out, 0);
+                put_rule(out, r);
+            }
         }
-        // Rule::new re-validates (non-empty body, dense variables,
-        // range restriction) and recomputes var_count — a rule that was
-        // valid at the master decodes to the same rule or not at all.
-        out.push(Rule::new(name, head, body).map_err(NetError::protocol)?);
+    }
+}
+
+fn get_rule_refs(cur: &mut Cursor<'_>, all: &[Rule], n_terms: u32) -> Result<Vec<Rule>, NetError> {
+    let count = cur.varint()? as usize;
+    if count > MAX_RULES {
+        return Err(NetError::protocol(format!(
+            "rule count {count} exceeds the {MAX_RULES} bound"
+        )));
+    }
+    let mut out = Vec::with_capacity(count.min(1 << 10));
+    for _ in 0..count {
+        match cur.varint()? as usize {
+            0 => out.push(get_rule(cur, n_terms)?),
+            i => {
+                let rule = all.get(i - 1).ok_or_else(|| {
+                    NetError::protocol(format!(
+                        "rule reference {} outside the {}-rule base",
+                        i - 1,
+                        all.len()
+                    ))
+                })?;
+                out.push(rule.clone());
+            }
+        }
     }
     Ok(out)
 }
@@ -568,21 +738,57 @@ fn get_materialization(cur: &mut Cursor<'_>) -> Result<MaterializationStrategy, 
     }
 }
 
+/// Delta/varint-encode an ownership table. Node ids are sorted (the
+/// table is a map, so order carries no information) and stored as
+/// first-absolute-then-`gap-1` varints — consecutive ids cost one byte
+/// each instead of four; worker ids are varints (tiny in practice).
 fn put_owner(out: &mut Vec<u8>, owner: &[(NodeId, u32)]) {
-    put_u32(out, owner.len() as u32);
-    for (node, w) in owner {
-        put_u32(out, node.0);
-        put_u32(out, *w);
+    let sorted: Vec<(NodeId, u32)>;
+    let pairs: &[(NodeId, u32)] = if owner.windows(2).all(|w| w[0].0 < w[1].0) {
+        owner
+    } else {
+        let mut v = owner.to_vec();
+        v.sort_unstable_by_key(|p| p.0);
+        // The table comes from a map, so duplicate nodes cannot carry
+        // conflicting owners; collapse exact repeats defensively.
+        v.dedup_by_key(|p| p.0);
+        sorted = v;
+        &sorted
+    };
+    put_varint32(out, pairs.len() as u32);
+    let mut prev = 0u32;
+    for (i, (node, w)) in pairs.iter().enumerate() {
+        let delta = if i == 0 { node.0 } else { node.0 - prev - 1 };
+        put_varint32(out, delta);
+        put_varint32(out, *w);
+        prev = node.0;
     }
 }
 
 fn get_owner(cur: &mut Cursor<'_>, n_terms: u32, k: u32) -> Result<Vec<(NodeId, u32)>, NetError> {
-    let count = cur.u32()? as usize;
-    // 8 bytes per pair must fit in what remains — checked by take().
+    let count = cur.varint()? as usize;
+    // ≥ 2 bytes per pair must fit in what remains — refuse the count
+    // before allocating for it.
+    if count > cur.buf.len().saturating_sub(cur.pos) {
+        return Err(NetError::protocol(format!(
+            "ownership table claims {count} entries with {} byte(s) left",
+            cur.buf.len() - cur.pos
+        )));
+    }
     let mut out = Vec::with_capacity(count.min(1 << 20));
-    for _ in 0..count {
-        let node = cur.u32()?;
-        let w = cur.u32()?;
+    let mut prev = 0u32;
+    for i in 0..count {
+        let delta = cur.varint()?;
+        let node = if i == 0 {
+            delta
+        } else {
+            prev.checked_add(1)
+                .and_then(|n| n.checked_add(delta))
+                .ok_or_else(|| {
+                    NetError::protocol(format!("ownership delta {delta} overflows past node {prev}"))
+                })?
+        };
+        let w = cur.varint()?;
         if node >= n_terms {
             return Err(NetError::protocol(format!(
                 "ownership entry for node {node} outside the {n_terms}-term dictionary"
@@ -594,19 +800,20 @@ fn get_owner(cur: &mut Cursor<'_>, n_terms: u32, k: u32) -> Result<Vec<(NodeId, 
             )));
         }
         out.push((NodeId(node), w));
+        prev = node;
     }
     Ok(out)
 }
 
 fn put_assignment(out: &mut Vec<u8>, assignment: &[u32]) {
-    put_u32(out, assignment.len() as u32);
+    put_varint32(out, assignment.len() as u32);
     for &a in assignment {
-        put_u32(out, a);
+        put_varint32(out, a);
     }
 }
 
 fn get_assignment(cur: &mut Cursor<'_>, parts: u32) -> Result<Vec<u32>, NetError> {
-    let count = cur.u32()? as usize;
+    let count = cur.varint()? as usize;
     if count > MAX_RULES {
         return Err(NetError::protocol(format!(
             "assignment length {count} exceeds the {MAX_RULES} bound"
@@ -614,7 +821,7 @@ fn get_assignment(cur: &mut Cursor<'_>, parts: u32) -> Result<Vec<u32>, NetError
     }
     let mut out = Vec::with_capacity(count);
     for _ in 0..count {
-        let a = cur.u32()?;
+        let a = cur.varint()?;
         if a >= parts {
             return Err(NetError::protocol(format!(
                 "assignment entry {a} outside 0..{parts}"
@@ -693,6 +900,8 @@ fn put_stats(out: &mut Vec<u8>, s: &WireStats) {
         put_u64(out, us);
     }
     put_u64(out, s.output_size);
+    put_u64(out, s.wire_sent_bytes);
+    put_u64(out, s.wire_recv_bytes);
 }
 
 fn get_stats(cur: &mut Cursor<'_>) -> Result<WireStats, NetError> {
@@ -719,6 +928,79 @@ fn get_stats(cur: &mut Cursor<'_>) -> Result<WireStats, NetError> {
         io_micros,
         round_cpu_micros,
         output_size: cur.u64()?,
+        wire_sent_bytes: cur.u64()?,
+        wire_recv_bytes: cur.u64()?,
+    })
+}
+
+/// Encode a [`SetupPayload`] into its canonical blob: deterministic
+/// byte-for-byte given the same logical content (triple blocks are
+/// sorted, ownership tables are sorted), so equal payloads digest
+/// equally across runs — the property the partition cache keys on.
+pub fn encode_setup_payload(p: &SetupPayload) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_u32(&mut out, p.n_terms);
+    put_materialization(&mut out, &p.materialization);
+    put_triples(&mut out, &p.schema);
+    put_triples(&mut out, &p.base);
+    put_rules(&mut out, &p.all_rules);
+    put_rule_refs(&mut out, &p.all_rules, &p.my_rules);
+    put_routing(&mut out, &p.routing);
+    out
+}
+
+/// Exact byte count the **v1** wire format would have needed to ship
+/// this payload: raw 12-byte triple records with a `u32` count, 8-byte
+/// ownership pairs, fixed 5-byte atom terms, `u32` string lengths, and
+/// both rule lists in full (v1 had no rule references and no partition
+/// cache, so every run pays this price again). This is the honest
+/// baseline the wire accounting reports compression against.
+pub fn v1_setup_payload_cost(p: &SetupPayload) -> u64 {
+    let atom = 3 * (1 + 4) as u64;
+    let rule = |r: &Rule| 4 + r.name.len() as u64 + atom + 2 + atom * r.body.len() as u64;
+    let rules = |rs: &[Rule]| 4 + rs.iter().map(rule).sum::<u64>();
+    let owner = |pairs: usize| 4 + 8 * pairs as u64;
+    let assignment = |len: usize| 4 + 4 * len as u64;
+    let routing = match &p.routing {
+        WireRouting::Data { owner: o } => 1 + owner(o.len()),
+        WireRouting::Rule { assignment: a, .. } => 1 + 4 + assignment(a.len()),
+        WireRouting::Hybrid {
+            owner: o,
+            groups_assignment: a,
+            ..
+        } => 1 + 4 + owner(o.len()) + 4 + assignment(a.len()),
+    };
+    let mut mat = Vec::new();
+    put_materialization(&mut mat, &p.materialization);
+    4 + mat.len() as u64
+        + (4 + 12 * p.schema.len() as u64)
+        + (4 + 12 * p.base.len() as u64)
+        + rules(&p.all_rules)
+        + rules(&p.my_rules)
+        + routing
+}
+
+/// Decode (and fully validate) a [`SetupPayload`] blob — whether it
+/// arrived on the wire or was loaded from the on-disk cache, it passes
+/// through exactly this checking.
+pub fn decode_setup_payload(bytes: &[u8]) -> Result<SetupPayload, NetError> {
+    let mut cur = Cursor::new(bytes);
+    let n_terms = cur.u32()?;
+    let materialization = get_materialization(&mut cur)?;
+    let schema = get_triples(&mut cur, n_terms)?;
+    let base = get_triples(&mut cur, n_terms)?;
+    let all_rules = get_rules(&mut cur, n_terms)?;
+    let my_rules = get_rule_refs(&mut cur, &all_rules, n_terms)?;
+    let routing = get_routing(&mut cur, n_terms, u32::MAX)?;
+    cur.done()?;
+    Ok(SetupPayload {
+        n_terms,
+        materialization,
+        schema,
+        base,
+        all_rules,
+        my_rules,
+        routing,
     })
 }
 
@@ -731,6 +1013,16 @@ pub fn encode_worker_msg(m: &WorkerMsg) -> Vec<u8> {
             put_u32(&mut out, *magic);
             put_u32(&mut out, *version);
         }
+        WorkerMsg::CacheAdvert { entries } => {
+            out.push(TAG_CACHE_ADVERT);
+            put_u32(&mut out, entries.len() as u32);
+            for e in entries {
+                out.extend_from_slice(&e.input);
+                out.extend_from_slice(&e.config);
+                put_u32(&mut out, e.node);
+                out.extend_from_slice(&e.payload);
+            }
+        }
         WorkerMsg::Triples { to, batch } => {
             out.push(TAG_TRIPLES);
             put_u32(&mut out, *to);
@@ -740,6 +1032,11 @@ pub fn encode_worker_msg(m: &WorkerMsg) -> Vec<u8> {
             out.push(TAG_ROUND_DONE);
             put_u32(&mut out, *round);
             put_u64(&mut out, *sent);
+        }
+        WorkerMsg::FinalChunk { seq, batch } => {
+            out.push(TAG_FINAL_CHUNK);
+            put_u32(&mut out, *seq);
+            put_triples(&mut out, batch);
         }
         WorkerMsg::Final { stats, store } => {
             out.push(TAG_FINAL);
@@ -759,6 +1056,24 @@ pub fn decode_worker_msg(body: &[u8], n_terms: u32) -> Result<WorkerMsg, NetErro
             magic: cur.u32()?,
             version: cur.u32()?,
         },
+        TAG_CACHE_ADVERT => {
+            let count = cur.u32()? as usize;
+            if count > MAX_CACHE_ADVERT {
+                return Err(NetError::protocol(format!(
+                    "cache advert of {count} entries exceeds the {MAX_CACHE_ADVERT} bound"
+                )));
+            }
+            let mut entries = Vec::with_capacity(count);
+            for _ in 0..count {
+                entries.push(CacheEntry {
+                    input: cur.digest()?,
+                    config: cur.digest()?,
+                    node: cur.u32()?,
+                    payload: cur.digest()?,
+                });
+            }
+            WorkerMsg::CacheAdvert { entries }
+        }
         TAG_TRIPLES => WorkerMsg::Triples {
             to: cur.u32()?,
             batch: get_triples(&mut cur, n_terms)?,
@@ -766,6 +1081,10 @@ pub fn decode_worker_msg(body: &[u8], n_terms: u32) -> Result<WorkerMsg, NetErro
         TAG_ROUND_DONE => WorkerMsg::RoundDone {
             round: cur.u32()?,
             sent: cur.u64()?,
+        },
+        TAG_FINAL_CHUNK => WorkerMsg::FinalChunk {
+            seq: cur.u32()?,
+            batch: get_triples(&mut cur, n_terms)?,
         },
         TAG_FINAL => WorkerMsg::Final {
             stats: get_stats(&mut cur)?,
@@ -793,14 +1112,10 @@ pub fn encode_master_msg(m: &MasterMsg) -> Vec<u8> {
         }
         MasterMsg::Setup(s) => {
             out.push(TAG_SETUP);
-            put_u32(&mut out, s.n_terms);
+            out.extend_from_slice(&s.input_digest);
+            out.extend_from_slice(&s.config_digest);
+            out.extend_from_slice(&s.payload_digest);
             put_u64(&mut out, s.round_timeout_ms);
-            put_materialization(&mut out, &s.materialization);
-            put_triples(&mut out, &s.schema);
-            put_triples(&mut out, &s.base);
-            put_rules(&mut out, &s.all_rules);
-            put_rules(&mut out, &s.my_rules);
-            put_routing(&mut out, &s.routing);
             put_u32(&mut out, s.faults.len() as u32);
             for (round, fault) in &s.faults {
                 put_u32(&mut out, *round);
@@ -819,6 +1134,19 @@ pub fn encode_master_msg(m: &MasterMsg) -> Vec<u8> {
                     }
                 }
             }
+            match &s.payload {
+                Some(blob) => {
+                    out.push(1);
+                    put_u32(&mut out, blob.len() as u32);
+                    out.extend_from_slice(blob);
+                }
+                None => out.push(0),
+            }
+        }
+        MasterMsg::DeliverChunk { round, batch } => {
+            out.push(TAG_DELIVER_CHUNK);
+            put_u32(&mut out, *round);
+            put_triples(&mut out, batch);
         }
         MasterMsg::Deliver {
             round,
@@ -835,10 +1163,10 @@ pub fn encode_master_msg(m: &MasterMsg) -> Vec<u8> {
 }
 
 /// Decode a master→worker message body. `n_terms` bounds triple ids in
-/// `Deliver`; a `Setup` carries (and is validated against) its own.
-/// During the handshake — before any `Setup` — pass the value from the
-/// `Setup` once known, or `u32::MAX` to accept any id (the handshake
-/// messages carry no triples).
+/// `Deliver`/`DeliverChunk`; a `Setup` payload carries (and is
+/// validated against) its own. During the handshake — before any
+/// `Setup` — pass the value from the `Setup` once known, or `u32::MAX`
+/// to accept any id (the handshake messages carry no triples).
 pub fn decode_master_msg(body: &[u8], n_terms: u32) -> Result<MasterMsg, NetError> {
     let mut cur = Cursor::new(body);
     let msg = match cur.u8()? {
@@ -851,14 +1179,10 @@ pub fn decode_master_msg(body: &[u8], n_terms: u32) -> Result<MasterMsg, NetErro
             reason: cur.string()?,
         },
         TAG_SETUP => {
-            let n_terms = cur.u32()?;
+            let input_digest = cur.digest()?;
+            let config_digest = cur.digest()?;
+            let payload_digest = cur.digest()?;
             let round_timeout_ms = cur.u64()?;
-            let materialization = get_materialization(&mut cur)?;
-            let schema = get_triples(&mut cur, n_terms)?;
-            let base = get_triples(&mut cur, n_terms)?;
-            let all_rules = get_rules(&mut cur, n_terms)?;
-            let my_rules = get_rules(&mut cur, n_terms)?;
-            let routing = get_routing(&mut cur, n_terms, u32::MAX)?;
             let n_faults = cur.u32()? as usize;
             if n_faults > 1 << 16 {
                 return Err(NetError::protocol(format!("{n_faults} fault entries")));
@@ -878,18 +1202,31 @@ pub fn decode_master_msg(body: &[u8], n_terms: u32) -> Result<MasterMsg, NetErro
                 };
                 faults.push((round, fault));
             }
+            let payload = match cur.u8()? {
+                0 => None,
+                1 => {
+                    let len = cur.u32()? as usize;
+                    Some(cur.take(len)?.to_vec())
+                }
+                other => {
+                    return Err(NetError::protocol(format!(
+                        "unknown setup payload marker {other}"
+                    )))
+                }
+            };
             MasterMsg::Setup(Box::new(Setup {
-                n_terms,
+                input_digest,
+                config_digest,
+                payload_digest,
                 round_timeout_ms,
-                materialization,
-                schema,
-                base,
-                all_rules,
-                my_rules,
-                routing,
                 faults,
+                payload,
             }))
         }
+        TAG_DELIVER_CHUNK => MasterMsg::DeliverChunk {
+            round: cur.u32()?,
+            batch: get_triples(&mut cur, n_terms)?,
+        },
         TAG_DELIVER => MasterMsg::Deliver {
             round: cur.u32()?,
             stop: cur.u8()? != 0,
@@ -905,6 +1242,7 @@ pub fn decode_master_msg(body: &[u8], n_terms: u32) -> Result<MasterMsg, NetErro
 mod tests {
     #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
     use super::*;
+    use owlpar_core::digest128;
     use owlpar_datalog::ast::build::{atom, c, v};
 
     fn t(s: u32, p: u32, o: u32) -> Triple {
@@ -931,6 +1269,31 @@ mod tests {
         ]
     }
 
+    fn payload() -> SetupPayload {
+        SetupPayload {
+            n_terms: 10,
+            materialization: MaterializationStrategy::ForwardSemiNaive,
+            schema: vec![t(0, 1, 2)],
+            base: vec![t(3, 4, 5), t(6, 7, 8)],
+            all_rules: rules(),
+            my_rules: rules()[..1].to_vec(),
+            routing: WireRouting::Data {
+                owner: vec![(NodeId(3), 0), (NodeId(6), 1)],
+            },
+        }
+    }
+
+    fn setup_with(blob: Option<Vec<u8>>, digest: [u8; 16]) -> Setup {
+        Setup {
+            input_digest: digest128(b"input"),
+            config_digest: digest128(b"config"),
+            payload_digest: digest,
+            round_timeout_ms: 30_000,
+            faults: vec![(1, WireFault::Disconnect), (2, WireFault::Delay { millis: 5 })],
+            payload: blob,
+        }
+    }
+
     #[test]
     fn worker_messages_roundtrip() {
         let msgs = [
@@ -938,11 +1301,24 @@ mod tests {
                 magic: WIRE_MAGIC,
                 version: PROTOCOL_VERSION,
             },
+            WorkerMsg::CacheAdvert {
+                entries: vec![CacheEntry {
+                    input: digest128(b"in"),
+                    config: digest128(b"cfg"),
+                    node: 3,
+                    payload: digest128(b"blob"),
+                }],
+            },
+            WorkerMsg::CacheAdvert { entries: vec![] },
             WorkerMsg::Triples {
                 to: 3,
                 batch: vec![t(1, 2, 3), t(4, 5, 6)],
             },
             WorkerMsg::RoundDone { round: 7, sent: 99 },
+            WorkerMsg::FinalChunk {
+                seq: 2,
+                batch: vec![t(0, 0, 1), t(0, 0, 2)],
+            },
             WorkerMsg::Final {
                 stats: WireStats {
                     rounds: 4,
@@ -953,6 +1329,8 @@ mod tests {
                     io_micros: 56,
                     round_cpu_micros: vec![10, 20, 30],
                     output_size: 500,
+                    wire_sent_bytes: 4096,
+                    wire_recv_bytes: 8192,
                 },
                 store: vec![t(0, 1, 2)],
             },
@@ -964,31 +1342,90 @@ mod tests {
     }
 
     #[test]
+    fn setup_payload_roundtrips_through_canonical_blob() {
+        let p = payload();
+        let blob = encode_setup_payload(&p);
+        let got = decode_setup_payload(&blob).unwrap();
+        assert_eq!(got.n_terms, p.n_terms);
+        assert_eq!(got.schema, p.schema);
+        assert_eq!(got.base, p.base);
+        assert_eq!(got.all_rules, p.all_rules);
+        assert_eq!(got.my_rules, p.my_rules);
+        assert_eq!(got.routing, p.routing);
+        // Canonical: re-encoding the decode reproduces the bytes, so
+        // the digest is stable across ship → decode → re-encode.
+        assert_eq!(encode_setup_payload(&got), blob);
+    }
+
+    #[test]
+    fn setup_blob_encoding_is_order_independent() {
+        let mut shuffled = payload();
+        shuffled.base.reverse();
+        if let WireRouting::Data { owner } = &mut shuffled.routing {
+            owner.reverse();
+        }
+        assert_eq!(encode_setup_payload(&payload()), encode_setup_payload(&shuffled));
+    }
+
+    #[test]
+    fn my_rules_ship_as_references_not_copies() {
+        // With `my == all` (data partitioning), the second rule list
+        // must cost ~1 varint per rule, not a full re-encoding.
+        let mut p = payload();
+        p.my_rules = p.all_rules.clone();
+        let with_refs = encode_setup_payload(&p).len();
+        p.my_rules = vec![];
+        let without = encode_setup_payload(&p).len();
+        assert!(
+            with_refs <= without + 2 * rules().len() + 1,
+            "{} rules cost {} extra bytes",
+            rules().len(),
+            with_refs - without
+        );
+    }
+
+    #[test]
+    fn my_rule_outside_the_base_is_inlined_and_roundtrips() {
+        let mut p = payload();
+        p.my_rules = vec![Rule::new(
+            "local-only",
+            atom(v(0), c(NodeId(5)), v(1)),
+            vec![atom(v(0), c(NodeId(4)), v(1))],
+        )
+        .unwrap()];
+        assert!(!p.all_rules.contains(&p.my_rules[0]));
+        let blob = encode_setup_payload(&p);
+        let got = decode_setup_payload(&blob).unwrap();
+        assert_eq!(got.my_rules, p.my_rules);
+        assert_eq!(encode_setup_payload(&got), blob);
+    }
+
+    #[test]
+    fn rule_reference_outside_the_base_is_rejected() {
+        let all = rules();
+        let mut buf = Vec::new();
+        put_varint32(&mut buf, 1); // one rule...
+        put_varint32(&mut buf, all.len() as u32 + 1); // ...past the base
+        let err = get_rule_refs(&mut Cursor::new(&buf), &all, 10).unwrap_err();
+        assert!(err.to_string().contains("rule reference"), "{err}");
+    }
+
+    #[test]
     fn master_messages_roundtrip() {
-        let setup = Setup {
-            n_terms: 10,
-            round_timeout_ms: 30_000,
-            materialization: MaterializationStrategy::ForwardSemiNaive,
-            schema: vec![t(0, 1, 2)],
-            base: vec![t(3, 4, 5), t(6, 7, 8)],
-            all_rules: rules(),
-            my_rules: rules()[..1].to_vec(),
-            routing: WireRouting::Data {
-                owner: vec![(NodeId(3), 0), (NodeId(6), 1)],
-            },
-            faults: vec![(1, WireFault::Disconnect), (2, WireFault::Delay { millis: 5 })],
-        };
-        let body = encode_master_msg(&MasterMsg::Setup(Box::new(setup.clone())));
-        let MasterMsg::Setup(got) = decode_master_msg(&body, u32::MAX).unwrap() else {
-            panic!("wrong variant");
-        };
-        assert_eq!(got.n_terms, setup.n_terms);
-        assert_eq!(got.schema, setup.schema);
-        assert_eq!(got.base, setup.base);
-        assert_eq!(got.all_rules, setup.all_rules);
-        assert_eq!(got.my_rules, setup.my_rules);
-        assert_eq!(got.routing, setup.routing);
-        assert_eq!(got.faults, setup.faults);
+        let blob = encode_setup_payload(&payload());
+        let digest = digest128(&blob);
+        for wire_payload in [Some(blob.clone()), None] {
+            let setup = setup_with(wire_payload.clone(), digest);
+            let body = encode_master_msg(&MasterMsg::Setup(Box::new(setup.clone())));
+            let MasterMsg::Setup(got) = decode_master_msg(&body, u32::MAX).unwrap() else {
+                panic!("wrong variant");
+            };
+            assert_eq!(got.input_digest, setup.input_digest);
+            assert_eq!(got.config_digest, setup.config_digest);
+            assert_eq!(got.payload_digest, digest);
+            assert_eq!(got.faults, setup.faults);
+            assert_eq!(got.payload, wire_payload);
+        }
 
         let body = encode_master_msg(&MasterMsg::Deliver {
             round: 3,
@@ -1001,6 +1438,16 @@ mod tests {
             panic!("wrong variant");
         };
         assert_eq!((round, stop, triples), (3, true, vec![t(1, 2, 3)]));
+
+        let body = encode_master_msg(&MasterMsg::DeliverChunk {
+            round: 5,
+            batch: vec![t(1, 2, 3), t(1, 2, 4)],
+        });
+        let MasterMsg::DeliverChunk { round, batch } = decode_master_msg(&body, 10).unwrap()
+        else {
+            panic!("wrong variant");
+        };
+        assert_eq!((round, batch), (5, vec![t(1, 2, 3), t(1, 2, 4)]));
     }
 
     #[test]
@@ -1026,6 +1473,52 @@ mod tests {
     }
 
     #[test]
+    fn owner_table_delta_encoding_sorts_and_compresses() {
+        // Unsorted input encodes to the same bytes as sorted input...
+        let sorted: Vec<(NodeId, u32)> = (0..1000u32).map(|n| (NodeId(n), n % 4)).collect();
+        let mut reversed = sorted.clone();
+        reversed.reverse();
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        put_owner(&mut a, &sorted);
+        put_owner(&mut b, &reversed);
+        assert_eq!(a, b);
+        // ...decodes back to the sorted table...
+        let mut cur = Cursor::new(&a);
+        assert_eq!(get_owner(&mut cur, 1000, 4).unwrap(), sorted);
+        cur.done().unwrap();
+        // ...and a dense table costs ~2 bytes/pair, not 8.
+        assert!(
+            a.len() < 3 * sorted.len(),
+            "dense owner table took {} bytes for {} pairs",
+            a.len(),
+            sorted.len()
+        );
+    }
+
+    #[test]
+    fn owner_table_rejects_overflowing_delta() {
+        let mut out = Vec::new();
+        put_varint32(&mut out, 2); // two entries
+        put_varint32(&mut out, u32::MAX - 1); // node u32::MAX - 1
+        put_varint32(&mut out, 0); // worker 0
+        put_varint32(&mut out, 1); // gap ⇒ node u32::MAX + 1: overflow
+        put_varint32(&mut out, 0);
+        let mut cur = Cursor::new(&out);
+        let err = get_owner(&mut cur, u32::MAX, 4).unwrap_err();
+        assert!(err.to_string().contains("overflow"), "got: {err}");
+    }
+
+    #[test]
+    fn owner_table_count_is_bounds_checked_before_allocation() {
+        let mut out = Vec::new();
+        put_varint32(&mut out, u32::MAX); // claims 4G entries, no bytes follow
+        let mut cur = Cursor::new(&out);
+        let err = get_owner(&mut cur, 10, 2).unwrap_err();
+        assert!(err.to_string().contains("claims"), "got: {err}");
+    }
+
+    #[test]
     fn out_of_dictionary_ids_are_protocol_violations() {
         let body = encode_worker_msg(&WorkerMsg::Triples {
             to: 0,
@@ -1038,9 +1531,8 @@ mod tests {
 
     #[test]
     fn truncation_at_every_cut_is_rejected_not_panicking() {
-        let body = encode_master_msg(&MasterMsg::Setup(Box::new(Setup {
+        let blob = encode_setup_payload(&SetupPayload {
             n_terms: 10,
-            round_timeout_ms: 1,
             materialization: MaterializationStrategy::ForwardParallel { threads: 2 },
             schema: vec![t(0, 1, 2)],
             base: vec![t(3, 4, 5)],
@@ -1050,13 +1542,25 @@ mod tests {
                 k: 2,
                 assignment: vec![0, 1],
             },
-            faults: vec![(0, WireFault::Panic)],
-        })));
+        });
+        let body = encode_master_msg(&MasterMsg::Setup(Box::new(setup_with(
+            Some(blob.clone()),
+            digest128(&blob),
+        ))));
         for cut in 0..body.len() {
             let err = decode_master_msg(&body[..cut], u32::MAX).unwrap_err();
             assert!(
                 matches!(err, NetError::Protocol { .. }),
                 "cut at {cut} must be a protocol error, got {err}"
+            );
+        }
+        // The payload blob decoder is equally truncation-proof (the
+        // cache load path feeds it bytes that never crossed the wire).
+        for cut in 0..blob.len() {
+            let err = decode_setup_payload(&blob[..cut]).unwrap_err();
+            assert!(
+                matches!(err, NetError::Protocol { .. }),
+                "payload cut at {cut} must be a protocol error, got {err}"
             );
         }
     }
@@ -1067,6 +1571,9 @@ mod tests {
         body.push(0xaa);
         let err = decode_worker_msg(&body, 10).unwrap_err();
         assert!(err.to_string().contains("trailing"));
+        let mut blob = encode_setup_payload(&payload());
+        blob.push(0xaa);
+        assert!(decode_setup_payload(&blob).unwrap_err().to_string().contains("trailing"));
     }
 
     #[test]
@@ -1085,13 +1592,60 @@ mod tests {
     }
 
     #[test]
+    fn oversized_cache_advert_is_rejected() {
+        let mut body = vec![TAG_CACHE_ADVERT];
+        put_u32(&mut body, (MAX_CACHE_ADVERT + 1) as u32);
+        let err = decode_worker_msg(&body, 10).unwrap_err();
+        assert!(err.to_string().contains("bound"), "got: {err}");
+    }
+
+    #[test]
     fn ownership_bounds_are_validated() {
         // worker id out of range
         let mut out = vec![0u8]; // Data routing tag
-        put_u32(&mut out, 1); // one pair
-        put_u32(&mut out, 3); // node 3 (< n_terms)
-        put_u32(&mut out, 9); // worker 9 of k=2
+        put_varint32(&mut out, 1); // one pair
+        put_varint32(&mut out, 3); // node 3 (< n_terms)
+        put_varint32(&mut out, 9); // worker 9 of k=2
         let mut cur = Cursor::new(&out);
         assert!(get_routing(&mut cur, 10, 2).is_err());
+    }
+
+    /// The v1 `Hello` body (`tag | magic | version`) must keep decoding
+    /// under v2 — a version mismatch has to surface as a typed `Reject`,
+    /// which requires both sides to parse each other's opener.
+    #[test]
+    fn v1_hello_layout_still_decodes() {
+        let mut body = vec![TAG_HELLO];
+        put_u32(&mut body, WIRE_MAGIC);
+        put_u32(&mut body, 1); // a v1 peer's version field
+        let WorkerMsg::Hello { magic, version } = decode_worker_msg(&body, 0).unwrap() else {
+            panic!("wrong variant");
+        };
+        assert_eq!((magic, version), (WIRE_MAGIC, 1));
+    }
+
+    /// Compact triple blocks actually shrink a dense batch on the wire.
+    #[test]
+    fn triples_message_is_compact_for_dense_batches() {
+        let batch: Vec<Triple> = (0..2000u32).map(|i| t(i / 50, 3, 10 + i % 50)).collect();
+        let body = encode_worker_msg(&WorkerMsg::Triples {
+            to: 0,
+            batch: batch.clone(),
+        });
+        assert!(
+            body.len() * 3 < batch.len() * 12,
+            "compact batch of {} triples took {} bytes (raw would be {})",
+            batch.len(),
+            body.len(),
+            batch.len() * 12
+        );
+        let WorkerMsg::Triples { batch: got, .. } = decode_worker_msg(&body, 4000).unwrap()
+        else {
+            panic!("wrong variant");
+        };
+        let mut sorted = batch;
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(got, sorted);
     }
 }

@@ -31,9 +31,9 @@
 //! cannot be resynchronized.
 
 use owlpar_core::{
-    read_crc_frame, write_crc_frame, Backoff, CommError, FrameError, Transport, TransportFactory,
+    decode_triple_block, encode_triple_block, read_crc_frame, write_crc_frame, Backoff, CommError,
+    FrameError, Transport, TransportFactory,
 };
-use owlpar_rdf::triple::{decode_batch, encode_batch};
 use owlpar_rdf::Triple;
 use std::io::ErrorKind;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
@@ -246,13 +246,28 @@ fn spawn_reader(me: usize, from: usize, mut stream: TcpStream, tx: mpsc::Sender<
         .spawn(move || loop {
             let event = match read_crc_frame(&mut stream) {
                 Ok(body) => match parse_frame(&body) {
-                    Ok((TAG_TRIPLES, round, payload)) if payload.len().is_multiple_of(12) => {
-                        MeshEvent::Triples {
-                            from,
-                            round,
-                            batch: decode_batch(payload),
+                    // v2 mesh payloads are compact delta/varint triple
+                    // blocks; a block that does not decode cleanly to
+                    // exactly the payload is unclean death, same as any
+                    // other grammar damage.
+                    Ok((TAG_TRIPLES, round, payload)) => match decode_triple_block(payload) {
+                        Ok((batch, consumed)) if consumed == payload.len() => {
+                            MeshEvent::Triples { from, round, batch }
                         }
-                    }
+                        Ok((_, consumed)) => MeshEvent::Dead {
+                            from,
+                            clean: false,
+                            detail: format!(
+                                "mesh triple block left {} trailing byte(s)",
+                                payload.len() - consumed
+                            ),
+                        },
+                        Err(e) => MeshEvent::Dead {
+                            from,
+                            clean: false,
+                            detail: format!("bad mesh triple block: {e}"),
+                        },
+                    },
                     Ok((TAG_END_ROUND, round, [])) => MeshEvent::End { from, round },
                     Ok((tag, _, payload)) => MeshEvent::Dead {
                         from,
@@ -344,10 +359,10 @@ impl Transport for TcpTransport {
         if batch.is_empty() {
             return Ok(0);
         }
-        let mut body = Vec::with_capacity(5 + batch.len() * 12);
+        let mut body = Vec::with_capacity(5 + batch.len() * 4);
         body.push(TAG_TRIPLES);
         body.extend_from_slice(&(round as u32).to_le_bytes());
-        body.extend_from_slice(&encode_batch(batch));
+        body.extend_from_slice(&encode_triple_block(batch));
         self.write_to(round, to, &body)?;
         // 8 header bytes (len + crc) plus the body actually crossed the
         // socket.

@@ -49,15 +49,31 @@ fn run_cluster(
     Graph,
     Vec<Result<WorkerSummary, NetError>>,
 ) {
+    run_cluster_opts(g0, cfg, &MasterOptions::default(), &WorkerOptions::default())
+}
+
+fn run_cluster_opts(
+    g0: &Graph,
+    cfg: &ParallelConfig,
+    master_opts: &MasterOptions,
+    worker_opts: &WorkerOptions,
+) -> (
+    Result<RunReport, NetError>,
+    Graph,
+    Vec<Result<WorkerSummary, NetError>>,
+) {
     let listener = TcpListener::bind("127.0.0.1:0").unwrap();
     let addr = listener.local_addr().unwrap();
     let mut g = g0.clone();
     let mut worker_results = Vec::new();
     let report = thread::scope(|s| {
         let workers: Vec<_> = (0..cfg.k)
-            .map(|_| s.spawn(move || run_cluster_worker(addr, &WorkerOptions::default())))
+            .map(|_| {
+                let opts = worker_opts.clone();
+                s.spawn(move || run_cluster_worker(addr, &opts))
+            })
             .collect();
-        let report = run_cluster_master(&mut g, cfg, listener, &MasterOptions::default());
+        let report = run_cluster_master(&mut g, cfg, listener, master_opts);
         for w in workers {
             worker_results.push(w.join().unwrap());
         }
@@ -234,6 +250,149 @@ fn torn_handshake_frame_is_rejected() {
         matches!(err, NetError::Frame(_)),
         "CRC damage surfaces as a frame error, got: {err}"
     );
+}
+
+/// End-to-end partition caching: the first run over a KB ships every
+/// worker its full `SetupPayload` (all misses); a second run against the
+/// same cache directory ships digests only (all hits), spending less
+/// than 1% of the cold run's setup bytes — and both closures equal the
+/// serial oracle exactly.
+#[test]
+fn second_run_ships_digest_only_setups() {
+    let g0 = generate_lubm(&LubmConfig::mini(22));
+    let (want_fp, want_len) = serial_closure(g0.clone());
+    let cache_dir = std::env::temp_dir().join(format!(
+        "owlpar-cluster-test-cache-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let worker_opts = WorkerOptions {
+        cache_dir: Some(cache_dir.clone()),
+        ..WorkerOptions::default()
+    };
+    let k = 2;
+    let cfg = forward_cfg(k, PartitioningStrategy::data_graph());
+
+    let (cold, g_cold, _) =
+        run_cluster_opts(&g0, &cfg, &MasterOptions::default(), &worker_opts);
+    let cold = cold.expect("cold run").wire.expect("wire stats");
+    assert_eq!(cold.cache_misses, k as u64, "first run misses everywhere");
+    assert_eq!(cold.cache_hits, 0);
+    assert_eq!((g_cold.term_fingerprint(), g_cold.len()), (want_fp, want_len));
+
+    let (warm, g_warm, _) =
+        run_cluster_opts(&g0, &cfg, &MasterOptions::default(), &worker_opts);
+    let warm = warm.expect("warm run").wire.expect("wire stats");
+    assert_eq!(warm.cache_hits, k as u64, "second run hits everywhere");
+    assert_eq!(warm.cache_misses, 0);
+    assert_eq!((g_warm.term_fingerprint(), g_warm.len()), (want_fp, want_len));
+    assert!(
+        warm.setup.bytes * 100 < cold.setup.bytes,
+        "digest-only setups ({} B) must be <1% of full setups ({} B)",
+        warm.setup.bytes,
+        cold.setup.bytes
+    );
+    assert!(warm.setup.triples == 0, "no partition triples re-shipped");
+    let _ = std::fs::remove_dir_all(&cache_dir);
+}
+
+/// With the chunk cap lowered to a test-size 16 triples, `Final` stores
+/// and round deliveries stream as many bounded frames instead of one
+/// huge frame each — the mechanism that lifts the 64 MB payload cap —
+/// and the closure is byte-identical to serial.
+#[test]
+fn chunked_streaming_at_tiny_cap_preserves_closure() {
+    let g0 = generate_lubm(&LubmConfig::mini(2));
+    let (want_fp, want_len) = serial_closure(g0.clone());
+    let k = 2;
+    let cfg = forward_cfg(k, PartitioningStrategy::data_graph());
+    let master_opts = MasterOptions {
+        chunk_triples: 16,
+        ..MasterOptions::default()
+    };
+    let worker_opts = WorkerOptions {
+        chunk_triples: 16,
+        ..WorkerOptions::default()
+    };
+    let (report, g, workers) = run_cluster_opts(&g0, &cfg, &master_opts, &worker_opts);
+    let report = report.expect("chunked run");
+    assert!(!report.recovered);
+    assert_eq!(g.len(), want_len);
+    assert_eq!(g.term_fingerprint(), want_fp);
+    for w in workers {
+        w.expect("worker");
+    }
+    let wire = report.wire.expect("wire stats");
+    assert!(
+        wire.finals.frames > 2 * k as u64,
+        "final stores of {} triples at a 16-triple cap must stream as \
+         chunk sequences, saw {} frame(s)",
+        wire.finals.triples,
+        wire.finals.frames
+    );
+}
+
+/// A master that answers `Hello` with `Reject` must surface worker-side
+/// as a typed handshake error carrying the reason — not a decode failure
+/// or a hang.
+#[test]
+fn worker_surfaces_reject_as_typed_handshake_error() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let stub = thread::spawn(move || {
+        let (mut stream, _) = listener.accept().unwrap();
+        let _hello = read_crc_frame(&mut stream).unwrap();
+        let reject = owlpar_net::protocol::encode_master_msg(&MasterMsg::Reject {
+            reason: "cluster is full, try the next epoch".to_string(),
+        });
+        owlpar_core::write_crc_frame(&mut stream, &reject).unwrap();
+    });
+    let err = run_cluster_worker(addr, &WorkerOptions::default()).unwrap_err();
+    stub.join().unwrap();
+    match err {
+        NetError::Handshake { detail } => {
+            assert!(detail.contains("cluster is full"), "{detail}");
+        }
+        other => panic!("expected a typed handshake error, got {other}"),
+    }
+}
+
+/// Version-mismatch regression, old-worker direction: a peer that opens
+/// with the v1 `Hello` (same frozen byte layout, `version: 1`) gets a
+/// typed `Reject` naming both versions, and the master's graph is left
+/// untouched.
+#[test]
+fn v1_hello_gets_typed_reject_and_graph_is_unchanged() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let g0 = generate_lubm(&LubmConfig::mini(1));
+    let mut g = g0.clone();
+    let cfg = forward_cfg(1, PartitioningStrategy::data_graph());
+    let master = thread::spawn(move || {
+        let r = run_cluster_master(&mut g, &cfg, listener, &MasterOptions::default());
+        (r, g)
+    });
+
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let hello = encode_worker_msg(&WorkerMsg::Hello {
+        magic: WIRE_MAGIC,
+        version: 1,
+    });
+    owlpar_core::write_crc_frame(&mut stream, &hello).unwrap();
+    let body = read_crc_frame(&mut stream).unwrap();
+    match decode_master_msg(&body, u32::MAX).unwrap() {
+        MasterMsg::Reject { reason } => {
+            assert!(reason.contains('1') && reason.contains('2'), "{reason}");
+        }
+        other => panic!("expected Reject, got {other:?}"),
+    }
+    let (result, g) = master.join().unwrap();
+    assert!(matches!(result, Err(NetError::Handshake { .. })));
+    assert_eq!(g.len(), g0.len(), "no partial partitions applied");
+    assert_eq!(g.term_fingerprint(), g0.term_fingerprint());
 }
 
 /// The rejected run must leave the master's graph untouched (no partial
