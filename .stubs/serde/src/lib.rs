@@ -23,6 +23,103 @@ pub mod json_value {
         Object(Vec<(String, Value)>),
     }
 
+    /// Shared `Null` for out-of-range [`std::ops::Index`] lookups, as in
+    /// real `serde_json`.
+    const NULL: Value = Value::Null;
+
+    impl Value {
+        /// Object member lookup (first match; stub objects are ordered
+        /// pairs, duplicates never occur in practice).
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            match self {
+                Value::Object(fields) => {
+                    fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+                }
+                _ => None,
+            }
+        }
+
+        pub fn as_array(&self) -> Option<&Vec<Value>> {
+            match self {
+                Value::Array(items) => Some(items),
+                _ => None,
+            }
+        }
+
+        /// The object's ordered `(key, value)` pairs. Real `serde_json`
+        /// returns a `Map`; the stub keeps the underlying vec.
+        pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+            match self {
+                Value::Object(fields) => Some(fields),
+                _ => None,
+            }
+        }
+
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        pub fn as_bool(&self) -> Option<bool> {
+            match self {
+                Value::Bool(b) => Some(*b),
+                _ => None,
+            }
+        }
+
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::I64(n) => Some(*n as f64),
+                Value::U64(n) => Some(*n as f64),
+                Value::F64(x) => Some(*x),
+                _ => None,
+            }
+        }
+
+        pub fn as_u64(&self) -> Option<u64> {
+            match self {
+                Value::U64(n) => Some(*n),
+                Value::I64(n) => u64::try_from(*n).ok(),
+                _ => None,
+            }
+        }
+
+        pub fn is_null(&self) -> bool {
+            matches!(self, Value::Null)
+        }
+    }
+
+    impl std::ops::Index<&str> for Value {
+        type Output = Value;
+        fn index(&self, key: &str) -> &Value {
+            self.get(key).unwrap_or(&NULL)
+        }
+    }
+
+    impl std::ops::Index<usize> for Value {
+        type Output = Value;
+        fn index(&self, i: usize) -> &Value {
+            match self {
+                Value::Array(items) => items.get(i).unwrap_or(&NULL),
+                _ => &NULL,
+            }
+        }
+    }
+
+    impl PartialEq<&str> for Value {
+        fn eq(&self, other: &&str) -> bool {
+            matches!(self, Value::Str(s) if s == other)
+        }
+    }
+
+    impl PartialEq<Value> for &str {
+        fn eq(&self, other: &Value) -> bool {
+            other == self
+        }
+    }
+
     fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
         f.write_str("\"")?;
         for c in s.chars() {

@@ -22,7 +22,9 @@
 // Benchmarks and experiment binaries abort loudly on failure.
 #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 
-use owlpar_core::{run_serial, ParallelConfig, PartitioningStrategy, WireBytes};
+use owlpar_core::{
+    analyze_strategy, run_serial, ParallelConfig, PartitioningStrategy, PlanningBase, WireBytes,
+};
 use owlpar_datagen::{generate_lubm, LubmConfig};
 use owlpar_datalog::MaterializationStrategy;
 use owlpar_net::{run_cluster_master, run_cluster_worker, MasterOptions, WorkerOptions};
@@ -117,6 +119,16 @@ fn main() {
         serial_elapsed.as_secs_f64()
     );
 
+    // Static plan analysis over the same KB: per level the analyzer's
+    // setup/round wire-byte predictions land in the JSON next to the
+    // measured WireLedger numbers, so drift between the cost model and
+    // the actual wire format is visible in every bench artifact.
+    let plan_base = {
+        let mut g = g0.clone();
+        let base = PlanningBase::compile(&mut g, &[]);
+        (base, g.dict)
+    };
+
     // One shared cache directory for the whole sweep; the config digest
     // includes `k`, so each level's first run is cold and its second is
     // warm regardless of what earlier levels stored.
@@ -126,6 +138,14 @@ fn main() {
 
     let mut rows = Vec::new();
     for &k in &levels {
+        let predicted = analyze_strategy(
+            &plan_base.0,
+            &plan_base.1,
+            k,
+            &PartitioningStrategy::data_graph(),
+        )
+        .expect("plan analysis");
+
         let (cold_elapsed, g_cold, cold) = run_once(&g0, k, &cache_dir);
         assert_eq!(g_cold.len(), want_len, "k={k}: cold closure size diverged");
         assert_eq!(
@@ -157,14 +177,27 @@ fn main() {
             warm_setup_fraction * 100.0,
             cold.compression_ratio(),
         );
+        // Predicted vs measured (cold run: nothing elided by the cache).
+        let setup_ratio = cold.setup.bytes as f64 / predicted.setup_bytes.max(1) as f64;
+        let round_ratio = cold.rounds.bytes as f64 / predicted.round_bytes.max(1.0);
+        println!(
+            "k={k}: predicted setup {} B / rounds {:.0} B, measured {} B / {} B \
+             (ratios {setup_ratio:.2}x / {round_ratio:.2}x)",
+            predicted.setup_bytes, predicted.round_bytes, cold.setup.bytes, cold.rounds.bytes,
+        );
         rows.push(format!(
             "{{\"k\":{k},\"elapsed_s\":{:.6},\"warm_elapsed_s\":{:.6},\
              \"speedup_vs_serial\":{speedup:.4},\"closure_size\":{want_len},\
              \"compression_ratio\":{:.4},\"warm_setup_fraction\":{warm_setup_fraction:.6},\
+             \"predicted_setup_bytes\":{},\"predicted_round_bytes\":{:.0},\
+             \"setup_prediction_ratio\":{setup_ratio:.4},\
+             \"round_prediction_ratio\":{round_ratio:.4},\
              \"wire_cold\":{},\"wire_warm\":{}}}",
             cold_elapsed.as_secs_f64(),
             warm_elapsed.as_secs_f64(),
             cold.compression_ratio(),
+            predicted.setup_bytes,
+            predicted.round_bytes,
             cold.to_json(),
             warm.to_json(),
         ));

@@ -28,6 +28,13 @@ pub enum PartitioningStrategy {
         /// Number of rule groups (`g`); data shards = `k / g`.
         rule_groups: usize,
     },
+    /// Let the static plan analyzer pick: score the candidate strategies
+    /// (`owlpar_core::plan::auto_candidates`) with the OWL011–OWL016
+    /// cost model and run the argmin-cost deny-free plan. Refuses with
+    /// [`RunError::Plan`](crate::error::RunError::Plan) — before any
+    /// worker spawns — when every candidate has deny-level plan
+    /// diagnostics; that refusal is not overridable.
+    Auto,
 }
 
 /// Ownership policy for the data-partitioning approach (mirrors
@@ -71,6 +78,22 @@ impl PartitioningStrategy {
     /// Unweighted rule partitioning.
     pub fn rule() -> Self {
         PartitioningStrategy::Rule { weighted: false }
+    }
+
+    /// Analyzer-selected strategy.
+    pub fn auto() -> Self {
+        PartitioningStrategy::Auto
+    }
+
+    /// Short family label (`data` / `rule` / `hybrid` / `auto`) — the
+    /// name the CLIs and plan reports use.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PartitioningStrategy::Data(_) => "data",
+            PartitioningStrategy::Rule { .. } => "rule",
+            PartitioningStrategy::Hybrid { .. } => "hybrid",
+            PartitioningStrategy::Auto => "auto",
+        }
     }
 }
 

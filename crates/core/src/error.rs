@@ -219,6 +219,21 @@ pub enum RunError {
         /// The full lint report (render or serialize it for the user).
         report: LintReport,
     },
+    /// The static plan analyzer rejected every candidate plan with
+    /// deny-level diagnostics (OWL011–OWL016): running any of them would
+    /// degenerate (one worker owning the load, exchange dwarfing the
+    /// base, a majority of workers idle). Raised by `--strategy auto`
+    /// before any worker spawns; not overridable. Carries rendered text
+    /// rather than the reports so `RunError` stays `Eq` (the reports
+    /// hold floating-point estimates).
+    Plan {
+        /// Strategy labels that were considered.
+        candidates: Vec<String>,
+        /// Total deny-level findings across the candidates.
+        deny: usize,
+        /// Rendered per-candidate deny diagnostics.
+        detail: String,
+    },
     /// One or more workers were lost and the run could not recover
     /// (recovery is only guaranteed for data partitioning; see
     /// `FaultRecovery`).
@@ -256,6 +271,16 @@ impl fmt::Display for RunError {
                     ))
                     .collect::<Vec<_>>()
                     .join("; ")
+            ),
+            RunError::Plan {
+                candidates,
+                deny,
+                detail,
+            } => write!(
+                f,
+                "no viable partition plan: every candidate ({}) has deny-level plan \
+                 diagnostics ({deny} finding(s)): {detail}",
+                candidates.join(", ")
             ),
             RunError::Workers { errors } => {
                 write!(f, "{} worker(s) lost without recovery: ", errors.len())?;

@@ -66,6 +66,7 @@ pub mod fault;
 pub mod frame;
 pub mod master;
 pub mod model;
+pub mod plan;
 pub mod stats;
 pub mod worker;
 
@@ -86,4 +87,8 @@ pub use frame::{
 };
 pub use master::{prepare_run, reclose_serial, run_parallel, run_serial, RunPlan, RunReport};
 pub use model::{fit_cubic, PolyModel};
+pub use plan::{
+    analyze_rules_only, analyze_strategy, auto_candidates, select_auto, AutoSelection,
+    PlanningBase,
+};
 pub use stats::{WireBytes, WirePhase, WorkerStats};

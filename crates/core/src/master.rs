@@ -177,6 +177,9 @@ pub struct RunPlan {
     pub edge_cut: Option<u64>,
     /// Time spent compiling, linting and partitioning.
     pub partition_time: Duration,
+    /// The analyzer's report for the selected plan — `Some` only when
+    /// the run was configured with [`PartitioningStrategy::Auto`].
+    pub analysis: Option<owlpar_lint::PlanReport>,
 }
 
 impl RunPlan {
@@ -224,11 +227,31 @@ pub fn prepare_run(graph: &mut Graph, cfg: &ParallelConfig) -> Result<RunPlan, R
     let mut all_rules: Vec<Rule> = hr.rules().to_vec();
     all_rules.extend(cfg.extra_rules.iter().cloned());
     let mut strategy = cfg.strategy.clone();
+
+    // Auto strategy: score the candidate plans with the static analyzer
+    // and take the argmin-cost deny-free one. A plan-level deny on every
+    // candidate refuses the run here — before the lint gate, before
+    // partitioning, before any worker exists — and is not overridable.
+    let mut analysis = None;
+    if matches!(strategy, PartitioningStrategy::Auto) {
+        let base = crate::plan::PlanningBase::new(
+            all_rules.clone(),
+            hr.schema_triples.clone(),
+            hr.instance_triples.clone(),
+            rdf_type,
+        );
+        let selection = crate::plan::select_auto(&base, &graph.dict, cfg.k)?;
+        strategy = selection.strategy;
+        analysis = Some(selection.report);
+    }
+
     let context = match &strategy {
         PartitioningStrategy::Data(_) | PartitioningStrategy::Hybrid { .. } => {
             PartitionContext::DataPartitioned
         }
         PartitioningStrategy::Rule { .. } => PartitionContext::RulePartitioned,
+        // Resolved to a concrete strategy above.
+        PartitioningStrategy::Auto => unreachable!("auto strategy resolved before linting"),
     };
     let lint = lint_rules(&all_rules, &LintOptions::for_context(context));
     if lint.has_deny() {
@@ -251,120 +274,28 @@ pub fn prepare_run(graph: &mut Graph, cfg: &ParallelConfig) -> Result<RunPlan, R
     }
 
     // Partition.
-    struct Plan {
-        bases: Vec<Vec<Triple>>,
-        rules_per_worker: Vec<Vec<owlpar_datalog::Rule>>,
-        routing: Vec<Routing>,
-        quality: Option<PartitionQuality>,
-        edge_cut: Option<u64>,
-    }
-    let plan = match &strategy {
-        PartitioningStrategy::Data(policy) => {
-            let ownership = match policy {
-                DataPolicy::Graph(o) => OwnershipPolicy::Graph(*o),
-                DataPolicy::Hash { seed } => OwnershipPolicy::Hash { seed: *seed },
-                DataPolicy::Domain => OwnershipPolicy::Domain(None),
-                DataPolicy::Streaming => OwnershipPolicy::Streaming,
-            };
-            let dp = partition_data(&hr.instance_triples, &graph.dict, rdf_type, cfg.k, &ownership);
-            let q = quality(&dp.parts, rdf_type);
-            let owner = Arc::new(dp.owner);
-            Plan {
-                routing: (0..cfg.k)
-                    .map(|_| Routing::Data {
-                        owner: Arc::clone(&owner),
-                    })
-                    .collect(),
-                bases: dp.parts,
-                rules_per_worker: (0..cfg.k).map(|_| all_rules.clone()).collect(),
-                quality: Some(q),
-                edge_cut: dp.edge_cut,
-            }
-        }
-        PartitioningStrategy::Hybrid { rule_groups } => {
-            let g = *rule_groups;
-            if g < 1 || !cfg.k.is_multiple_of(g) {
-                return Err(RunError::config(format!(
-                    "rule_groups ({g}) must divide k ({})",
-                    cfg.k
-                )));
-            }
-            let d = cfg.k / g;
-            let dp = partition_data(
-                &hr.instance_triples,
-                &graph.dict,
-                rdf_type,
-                d,
-                &OwnershipPolicy::Graph(PartitionOptions::default()),
-            );
-            let q = quality(&dp.parts, rdf_type);
-            let rp = Arc::new(partition_rules(
-                &all_rules,
-                g,
-                None,
-                &PartitionOptions::default(),
-            ));
-            let owner = Arc::new(dp.owner);
-            let shared_rules = Arc::new(all_rules.clone());
-            Plan {
-                // worker w = group (w / d) × shard (w % d)
-                bases: (0..cfg.k).map(|w| dp.parts[w % d].clone()).collect(),
-                rules_per_worker: (0..cfg.k)
-                    .map(|w| {
-                        rp.parts[w / d]
-                            .iter()
-                            .map(|&i| all_rules[i].clone())
-                            .collect()
-                    })
-                    .collect(),
-                routing: (0..cfg.k)
-                    .map(|_| Routing::Hybrid {
-                        owner: Arc::clone(&owner),
-                        groups: Arc::clone(&rp),
-                        all_rules: Arc::clone(&shared_rules),
-                        data_shards: d as u32,
-                    })
-                    .collect(),
-                quality: Some(q),
-                edge_cut: dp.edge_cut,
-            }
-        }
-        PartitioningStrategy::Rule { weighted } => {
-            let hist;
-            let weights = if *weighted {
-                hist = graph.store.predicate_counts();
-                Some(&hist)
-            } else {
-                None
-            };
-            let rp = partition_rules(&all_rules, cfg.k, weights, &PartitionOptions::default());
-            let shared_rules = Arc::new(all_rules.clone());
-            let rp = Arc::new(rp);
-            Plan {
-                bases: (0..cfg.k).map(|_| hr.instance_triples.clone()).collect(),
-                rules_per_worker: (0..cfg.k)
-                    .map(|p| {
-                        rp.parts[p].iter().map(|&i| all_rules[i].clone()).collect()
-                    })
-                    .collect(),
-                routing: (0..cfg.k)
-                    .map(|_| Routing::Rule {
-                        partitions: Arc::clone(&rp),
-                        all_rules: Arc::clone(&shared_rules),
-                    })
-                    .collect(),
-                quality: None,
-                edge_cut: Some(rp.edge_cut),
-            }
-        }
+    let hist;
+    let weights = if matches!(strategy, PartitioningStrategy::Rule { weighted: true }) {
+        hist = graph.store.predicate_counts();
+        Some(&hist)
+    } else {
+        None
     };
-    let Plan {
+    let PartitionParts {
         bases,
         rules_per_worker,
         routing,
         quality,
         edge_cut,
-    } = plan;
+    } = build_partitions(
+        &strategy,
+        cfg.k,
+        &all_rules,
+        &hr.instance_triples,
+        &graph.dict,
+        rdf_type,
+        weights,
+    )?;
     Ok(RunPlan {
         k: cfg.k,
         strategy,
@@ -376,7 +307,136 @@ pub fn prepare_run(graph: &mut Graph, cfg: &ParallelConfig) -> Result<RunPlan, R
         quality,
         edge_cut,
         partition_time: t_part.elapsed(),
+        analysis,
     })
+}
+
+/// One strategy's concrete partitioning — the post-lint half of
+/// [`prepare_run`]. `pub(crate)` so the plan analyzer
+/// (`crate::plan`) scores candidate strategies through exactly the code
+/// path the runtime then distributes: same partitioner, same routing
+/// tables, same quality metrics.
+pub(crate) struct PartitionParts {
+    /// Per-worker base (instance) partitions.
+    pub bases: Vec<Vec<Triple>>,
+    /// Per-worker rule subsets.
+    pub rules_per_worker: Vec<Vec<Rule>>,
+    /// Per-worker routing tables.
+    pub routing: Vec<Routing>,
+    /// Pre-run partition quality (data strategies only).
+    pub quality: Option<PartitionQuality>,
+    /// Ownership-graph edge-cut, when the policy computes one.
+    pub edge_cut: Option<u64>,
+}
+
+/// Partition `instance_triples` and `all_rules` for `k` workers under a
+/// **concrete** (non-[`PartitioningStrategy::Auto`]) strategy.
+/// `predicate_counts` weighs the rule-dependency edges when the strategy
+/// asks for it.
+pub(crate) fn build_partitions(
+    strategy: &PartitioningStrategy,
+    k: usize,
+    all_rules: &[Rule],
+    instance_triples: &[Triple],
+    dict: &owlpar_rdf::Dictionary,
+    rdf_type: Option<owlpar_rdf::NodeId>,
+    predicate_counts: Option<&owlpar_rdf::fx::FxHashMap<owlpar_rdf::NodeId, usize>>,
+) -> Result<PartitionParts, RunError> {
+    match strategy {
+        PartitioningStrategy::Data(policy) => {
+            let ownership = match policy {
+                DataPolicy::Graph(o) => OwnershipPolicy::Graph(*o),
+                DataPolicy::Hash { seed } => OwnershipPolicy::Hash { seed: *seed },
+                DataPolicy::Domain => OwnershipPolicy::Domain(None),
+                DataPolicy::Streaming => OwnershipPolicy::Streaming,
+            };
+            let dp = partition_data(instance_triples, dict, rdf_type, k, &ownership);
+            let q = quality(&dp.parts, rdf_type);
+            let owner = Arc::new(dp.owner);
+            Ok(PartitionParts {
+                routing: (0..k)
+                    .map(|_| Routing::Data {
+                        owner: Arc::clone(&owner),
+                    })
+                    .collect(),
+                bases: dp.parts,
+                rules_per_worker: (0..k).map(|_| all_rules.to_vec()).collect(),
+                quality: Some(q),
+                edge_cut: dp.edge_cut,
+            })
+        }
+        PartitioningStrategy::Hybrid { rule_groups } => {
+            let g = *rule_groups;
+            if g < 1 || !k.is_multiple_of(g) {
+                return Err(RunError::config(format!(
+                    "rule_groups ({g}) must divide k ({k})"
+                )));
+            }
+            let d = k / g;
+            let dp = partition_data(
+                instance_triples,
+                dict,
+                rdf_type,
+                d,
+                &OwnershipPolicy::Graph(PartitionOptions::default()),
+            );
+            let q = quality(&dp.parts, rdf_type);
+            let rp = Arc::new(partition_rules(
+                all_rules,
+                g,
+                None,
+                &PartitionOptions::default(),
+            ));
+            let owner = Arc::new(dp.owner);
+            let shared_rules = Arc::new(all_rules.to_vec());
+            Ok(PartitionParts {
+                // worker w = group (w / d) × shard (w % d)
+                bases: (0..k).map(|w| dp.parts[w % d].clone()).collect(),
+                rules_per_worker: (0..k)
+                    .map(|w| {
+                        rp.parts[w / d]
+                            .iter()
+                            .map(|&i| all_rules[i].clone())
+                            .collect()
+                    })
+                    .collect(),
+                routing: (0..k)
+                    .map(|_| Routing::Hybrid {
+                        owner: Arc::clone(&owner),
+                        groups: Arc::clone(&rp),
+                        all_rules: Arc::clone(&shared_rules),
+                        data_shards: d as u32,
+                    })
+                    .collect(),
+                quality: Some(q),
+                edge_cut: dp.edge_cut,
+            })
+        }
+        PartitioningStrategy::Rule { .. } => {
+            let rp = partition_rules(all_rules, k, predicate_counts, &PartitionOptions::default());
+            let shared_rules = Arc::new(all_rules.to_vec());
+            let rp = Arc::new(rp);
+            Ok(PartitionParts {
+                bases: (0..k).map(|_| instance_triples.to_vec()).collect(),
+                rules_per_worker: (0..k)
+                    .map(|p| {
+                        rp.parts[p].iter().map(|&i| all_rules[i].clone()).collect()
+                    })
+                    .collect(),
+                routing: (0..k)
+                    .map(|_| Routing::Rule {
+                        partitions: Arc::clone(&rp),
+                        all_rules: Arc::clone(&shared_rules),
+                    })
+                    .collect(),
+                quality: None,
+                edge_cut: Some(rp.edge_cut),
+            })
+        }
+        PartitioningStrategy::Auto => Err(RunError::config(
+            "auto strategy must be resolved by the plan analyzer before partitioning",
+        )),
+    }
 }
 
 /// Run Algorithm 3 over `graph`, materializing it in place.
@@ -406,6 +466,7 @@ pub fn run_parallel(graph: &mut Graph, cfg: &ParallelConfig) -> Result<RunReport
         quality: partition_quality,
         edge_cut,
         partition_time,
+        analysis: _,
     } = plan;
 
     // Freeze the dictionary and build the fabric.
@@ -1027,6 +1088,49 @@ mod tests {
         assert!(report
             .deny_findings()
             .any(|d| d.code == owlpar_lint::LintCode::NotRangeRestricted));
+    }
+
+    #[test]
+    fn auto_strategy_resolves_and_matches_serial() {
+        let g0 = generate_lubm(&LubmConfig::mini(2));
+        for k in [2, 4] {
+            let cfg = ParallelConfig {
+                k,
+                strategy: PartitioningStrategy::Auto,
+                ..ParallelConfig::default()
+            }
+            .forward();
+            assert_parallel_matches_serial(&g0, &cfg);
+        }
+    }
+
+    #[test]
+    fn auto_attaches_the_argmin_plan_report() {
+        let mut g = generate_lubm(&LubmConfig::mini(2));
+        let cfg = ParallelConfig {
+            k: 2,
+            strategy: PartitioningStrategy::Auto,
+            ..ParallelConfig::default()
+        }
+        .forward();
+        let plan = prepare_run(&mut g, &cfg).expect("auto plan prepares");
+        let report = plan.analysis.expect("auto runs carry the analyzer report");
+        assert!(!report.has_deny());
+        assert!(report.total_cost.is_finite());
+        // The resolved strategy is concrete and matches the report.
+        assert!(!matches!(plan.strategy, PartitioningStrategy::Auto));
+        assert_eq!(plan.strategy.label(), report.strategy);
+        // Rule partitioning ships the whole base k times; on LUBM the
+        // analyzer must prefer the data split.
+        assert_eq!(report.strategy, "data");
+    }
+
+    #[test]
+    fn explicit_strategies_carry_no_analysis() {
+        let mut g = generate_lubm(&LubmConfig::mini(1));
+        let plan = prepare_run(&mut g, &ParallelConfig::default().forward())
+            .expect("plan prepares");
+        assert!(plan.analysis.is_none());
     }
 
     #[test]

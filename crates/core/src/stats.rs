@@ -204,6 +204,26 @@ impl WireBytes {
     }
 }
 
+/// The byte-cost constants the static plan analyzer uses, tied to this
+/// module's `WireLedger` conventions so predicted and measured bytes are
+/// commensurable:
+///
+/// * `frame_overhead` — the `len u32 | crc u32` framing every frame pays;
+/// * `v1_triple_bytes` — [`WirePhase::raw_triple_bytes`]'s 12 B/triple
+///   v1 floor;
+/// * `round_triple_bytes` — measured v2 delta/varint cost of one triple
+///   in a round batch (sorted blocks amortize to ~3.5 B on the bench KB);
+/// * `deliver_frame_bytes` — fixed cost of an empty `Deliver` verdict
+///   frame, paid per worker per round.
+pub fn plan_cost_model() -> owlpar_lint::WireCostModel {
+    owlpar_lint::WireCostModel {
+        frame_overhead: 8,
+        v1_triple_bytes: 12.0,
+        round_triple_bytes: 3.5,
+        deliver_frame_bytes: 18.0,
+    }
+}
+
 /// Reconstruct the synchronous cluster's wall-clock from per-round,
 /// per-worker CPU charges: each round lasts as long as its slowest
 /// worker; a worker's sync time is the sum of its per-round slacks.

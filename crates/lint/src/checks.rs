@@ -70,6 +70,7 @@ pub(crate) fn run(rules: &[Rule], opts: &LintOptions) -> LintReport {
                     message: String,
                     violation: Option<JoinViolation>,
                     diags: &mut Vec<Diagnostic>| {
+        let witness = violation.as_ref().map(|v| v.label().to_string());
         diags.push(Diagnostic {
             code,
             severity,
@@ -77,6 +78,7 @@ pub(crate) fn run(rules: &[Rule], opts: &LintOptions) -> LintReport {
             rule_index: rule.map(|(i, _)| i),
             message,
             violation,
+            witness,
             suppressed: false,
         });
     };
@@ -376,6 +378,7 @@ fn apply_suppressions(rules: &[Rule], opts: &LintOptions, diags: &mut Vec<Diagno
                     rule_index: Some(i),
                     message: format!("suppression names unknown lint code '{code_str}'"),
                     violation: None,
+                    witness: Some(code_str.clone()),
                     suppressed: false,
                 });
                 continue;
@@ -395,6 +398,7 @@ fn apply_suppressions(rules: &[Rule], opts: &LintOptions, diags: &mut Vec<Diagno
                         opts.context.label()
                     ),
                     violation: None,
+                    witness: Some(code.id().to_string()),
                     suppressed: false,
                 });
                 continue;

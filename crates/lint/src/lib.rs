@@ -28,14 +28,36 @@
 //! | OWL009 | mutually recursive rule group (SCC ≥ 2)    | allow (informational) |
 //! | OWL010 | bad suppression (unknown code, or deny-level target) | warn |
 //!
+//! The **plan-analysis pass** ([`analyze_plan`]) extends the battery
+//! with pre-run cost/skew prediction over a concrete partition plan
+//! (worker count, per-worker base sizes, routing strategy):
+//!
+//! | code | check | default severity |
+//! |--------|--------------------------------------------|------------------|
+//! | OWL011 | one worker owns > 80% of the estimated firing load | deny |
+//! | OWL012 | max worker load > 2× the mean (moderate skew) | warn |
+//! | OWL013 | a rule's cross-partition exchange estimate exceeds the whole base | deny |
+//! | OWL014 | a rule's exchange estimate exceeds a quarter of the base | warn |
+//! | OWL015 | idle workers (zero estimated load); deny when a majority idles | warn |
+//! | OWL016 | recursive rule with cross-partition exchange (round count data-dependent) | allow (informational) |
+//!
 //! Deny-level findings are correctness findings: the master refuses to
 //! spawn workers over such a rule-base (or falls back to full data
 //! replication when configured to). They can *not* be suppressed.
+//! Plan-level deny findings (OWL011/OWL013, escalated OWL015) are
+//! likewise non-overridable: under `--strategy auto` the master only
+//! runs a deny-free plan.
 
 #![forbid(unsafe_code)]
 
 mod checks;
+mod plan;
 mod render;
+
+pub use plan::{
+    analyze_plan, render_comparison, PlanInputs, PlanReport, RoundBound, RouteModel, RuleTraffic,
+    WireCostModel, WorkerLoad,
+};
 
 use owlpar_datalog::analysis::JoinClass;
 use owlpar_datalog::ParsedRule;
@@ -121,10 +143,31 @@ pub enum LintCode {
     /// OWL010 — a suppression annotation that names an unknown code or a
     /// deny-level (non-suppressible) one.
     BadSuppression,
+    /// OWL011 — one worker owns more than 80% of the estimated
+    /// rule-firing load: the "parallel" run degenerates to serial plus
+    /// exchange overhead.
+    LoadImbalance,
+    /// OWL012 — the most loaded worker carries more than twice the mean
+    /// estimated load (moderate skew).
+    LoadSkew,
+    /// OWL013 — a single rule's cross-partition exchange estimate
+    /// exceeds the whole instance base: the plan ships more than it
+    /// stores, so partitioning costs more than replication.
+    ExchangeExceedsBase,
+    /// OWL014 — a rule's exchange estimate exceeds a quarter of the
+    /// instance base (heavy but not pathological traffic).
+    HeavyExchange,
+    /// OWL015 — workers with zero estimated load (no rules to fire, or
+    /// an empty base share); deny when a majority of the cluster idles.
+    IdleWorkers,
+    /// OWL016 — a recursive rule (SCC with a cycle) ships derivations
+    /// cross-partition: the round count is bounded only by derivation
+    /// depth, not by the rule-dependency condensation.
+    RecursiveExchange,
 }
 
 /// All codes, in `OWLxxx` order (used by renderers and `from_id`).
-pub const ALL_CODES: [LintCode; 10] = [
+pub const ALL_CODES: [LintCode; 16] = [
     LintCode::NonSingleJoin,
     LintCode::CrossProduct,
     LintCode::DeadRule,
@@ -135,6 +178,12 @@ pub const ALL_CODES: [LintCode; 10] = [
     LintCode::SubsumedRule,
     LintCode::RecursiveGroup,
     LintCode::BadSuppression,
+    LintCode::LoadImbalance,
+    LintCode::LoadSkew,
+    LintCode::ExchangeExceedsBase,
+    LintCode::HeavyExchange,
+    LintCode::IdleWorkers,
+    LintCode::RecursiveExchange,
 ];
 
 impl LintCode {
@@ -151,6 +200,12 @@ impl LintCode {
             LintCode::SubsumedRule => "OWL008",
             LintCode::RecursiveGroup => "OWL009",
             LintCode::BadSuppression => "OWL010",
+            LintCode::LoadImbalance => "OWL011",
+            LintCode::LoadSkew => "OWL012",
+            LintCode::ExchangeExceedsBase => "OWL013",
+            LintCode::HeavyExchange => "OWL014",
+            LintCode::IdleWorkers => "OWL015",
+            LintCode::RecursiveExchange => "OWL016",
         }
     }
 
@@ -167,6 +222,12 @@ impl LintCode {
             LintCode::SubsumedRule => "subsumed rule",
             LintCode::RecursiveGroup => "mutually recursive rule group",
             LintCode::BadSuppression => "bad lint suppression",
+            LintCode::LoadImbalance => "severe worker load imbalance",
+            LintCode::LoadSkew => "moderate worker load skew",
+            LintCode::HeavyExchange => "heavy cross-partition exchange",
+            LintCode::ExchangeExceedsBase => "exchange estimate exceeds the base",
+            LintCode::IdleWorkers => "idle workers in the plan",
+            LintCode::RecursiveExchange => "recursive cross-partition exchange",
         }
     }
 
@@ -190,6 +251,12 @@ impl LintCode {
             | LintCode::SubsumedRule
             | LintCode::BadSuppression => Severity::Warn,
             LintCode::RecursiveGroup => Severity::Allow,
+            // Plan-analysis codes: severity is plan-shape-dependent, not
+            // deployment-context-dependent (see `plan::analyze_plan`;
+            // OWL015 escalates to deny when a majority of workers idle).
+            LintCode::LoadImbalance | LintCode::ExchangeExceedsBase => Severity::Deny,
+            LintCode::LoadSkew | LintCode::HeavyExchange | LintCode::IdleWorkers => Severity::Warn,
+            LintCode::RecursiveExchange => Severity::Allow,
         }
     }
 }
@@ -239,6 +306,11 @@ pub struct Diagnostic {
     pub message: String,
     /// Typed partition-safety explanation (OWL001/OWL002 only).
     pub violation: Option<JoinViolation>,
+    /// The concrete evidence the finding rests on — a join witness for
+    /// safety lints, a measured share/estimate for plan lints (e.g.
+    /// `"worker 0 owns 92.3% of the estimated load"`). Shared between
+    /// `owlpar lint --json` and `owlpar plan --json`.
+    pub witness: Option<String>,
     /// True when a rule-file annotation suppressed this finding; the
     /// severity is then [`Severity::Allow`] regardless of the default.
     pub suppressed: bool,

@@ -1,8 +1,27 @@
 //! Human-readable and JSON renderers for [`LintReport`].
 
-use crate::LintReport;
+use crate::{Diagnostic, LintReport};
 use serde_json::{json, Value};
 use std::fmt::Write as _;
+
+/// The **one** JSON shape a diagnostic ever takes — shared by
+/// `owlpar lint --json` and `owlpar plan --json` so downstream tooling
+/// parses both with a single schema
+/// (`code/title/severity/context/rule/rule_index/message/violation/witness/suppressed`).
+pub(crate) fn diagnostic_json(d: &Diagnostic, context: &str) -> Value {
+    json!({
+        "code": d.code.id(),
+        "title": d.code.title(),
+        "severity": d.severity.label(),
+        "context": context,
+        "rule": d.rule,
+        "rule_index": (d.rule_index.map(|i| i as u64)),
+        "message": d.message,
+        "violation": (d.violation.as_ref().map(|v| v.label())),
+        "witness": d.witness,
+        "suppressed": d.suppressed,
+    })
+}
 
 pub(crate) fn render_human(report: &LintReport) -> String {
     let mut out = String::new();
@@ -82,18 +101,7 @@ pub(crate) fn to_json(report: &LintReport) -> Value {
     let diagnostics: Vec<Value> = report
         .diagnostics
         .iter()
-        .map(|d| {
-            json!({
-                "code": d.code.id(),
-                "title": d.code.title(),
-                "severity": d.severity.label(),
-                "rule": d.rule,
-                "rule_index": (d.rule_index.map(|i| i as u64)),
-                "message": d.message,
-                "violation": (d.violation.as_ref().map(|v| v.label())),
-                "suppressed": d.suppressed,
-            })
-        })
+        .map(|d| diagnostic_json(d, report.context.label()))
         .collect();
     json!({
         "context": (report.context.label()),

@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! owlpar-cluster master <in.nt> [--k 4] [--listen 127.0.0.1:0] [--spawn-local]
-//!                       [--strategy graph|hash|domain|rule|hybrid]
+//!                       [--strategy graph|hash|domain|rule|hybrid|auto]
 //!                       [--fault-plan 'disconnect@1.1,...'] [--round-timeout 30]
 //!                       [--epoch 0] [--out FILE] [--check-serial]
 //!                       [--cache-dir DIR] [--wire-stats FILE]
@@ -118,6 +118,7 @@ fn master(args: &[String]) -> Result<(), CliError> {
         Some("hybrid") => PartitioningStrategy::Hybrid {
             rule_groups: if k.is_multiple_of(2) { 2 } else { 1 },
         },
+        Some("auto") => PartitioningStrategy::Auto,
         Some(other) => return Err(format!("unknown strategy '{other}'").into()),
     };
     let mut cfg = ParallelConfig {

@@ -49,10 +49,18 @@ const HEADER_LEN: usize = 4 + 4 + 16 + 16 + 4 + 16 + 4 + 4;
 /// File extension for cache entries.
 const EXT: &str = "owlpart";
 
+/// Default retention: newest entries kept per node id by
+/// [`PartitionCache::store`] — one per `(input, config)` the node has
+/// recently run, so a worker cycling through KBs and partitioning
+/// configs keeps its working set without growing the directory without
+/// bound.
+pub const DEFAULT_RETAIN_PER_NODE: usize = 8;
+
 /// A directory of shipped-partition entries.
 #[derive(Debug, Clone)]
 pub struct PartitionCache {
     dir: PathBuf,
+    retain_per_node: usize,
 }
 
 fn entry_name(input: &[u8; 16], config: &[u8; 16], node: u32) -> String {
@@ -106,11 +114,22 @@ fn parse_entry(bytes: &[u8]) -> Option<(CacheEntry, &[u8])> {
 }
 
 impl PartitionCache {
-    /// Open (creating if needed) a cache directory.
+    /// Open (creating if needed) a cache directory with the default
+    /// per-node retention ([`DEFAULT_RETAIN_PER_NODE`]).
     pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
-        Ok(PartitionCache { dir })
+        Ok(PartitionCache {
+            dir,
+            retain_per_node: DEFAULT_RETAIN_PER_NODE,
+        })
+    }
+
+    /// Override the per-node retention (floored at 1: the entry just
+    /// stored always survives its own store).
+    pub fn with_retention(mut self, retain_per_node: usize) -> Self {
+        self.retain_per_node = retain_per_node.max(1);
+        self
     }
 
     fn path_for(&self, input: &[u8; 16], config: &[u8; 16], node: u32) -> PathBuf {
@@ -189,8 +208,53 @@ impl PartitionCache {
         bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         bytes.extend_from_slice(&crc32(payload).to_le_bytes());
         bytes.extend_from_slice(payload);
-        atomic_write(&self.path_for(input, config, node), &bytes)
+        let path = self.path_for(input, config, node);
+        atomic_write(&path, &bytes)?;
+        self.evict_stale(node, &path);
+        Ok(())
     }
+
+    /// Enforce retention for `node`: keep the newest
+    /// `retain_per_node` entries by file modification time (the one at
+    /// `keep` — just written — always survives), delete the rest.
+    /// Eviction is advisory: an unreadable directory or a failed remove
+    /// leaves extra entries behind, which only costs disk, never
+    /// correctness (every load re-verifies).
+    fn evict_stale(&self, node: u32, keep: &Path) {
+        let Ok(dir) = std::fs::read_dir(&self.dir) else {
+            return;
+        };
+        let mut aged: Vec<(std::time::SystemTime, PathBuf)> = Vec::new();
+        for item in dir.flatten() {
+            let path = item.path();
+            if !is_entry_path(&path) || node_of_path(&path) != Some(node) || path == keep {
+                continue;
+            }
+            let mtime = item
+                .metadata()
+                .and_then(|m| m.modified())
+                .unwrap_or(std::time::SystemTime::UNIX_EPOCH);
+            aged.push((mtime, path));
+        }
+        if aged.len() < self.retain_per_node {
+            return;
+        }
+        // Oldest first; tie-break on the name so eviction order is
+        // deterministic under coarse mtime granularity.
+        aged.sort();
+        let excess = aged.len() + 1 - self.retain_per_node;
+        for (_, path) in aged.into_iter().take(excess) {
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+}
+
+/// Node id embedded in an entry file name
+/// (`part-<input>-<config>-<node>.owlpart`).
+fn node_of_path(path: &Path) -> Option<u32> {
+    let name = path.file_name()?.to_str()?;
+    let stem = name.strip_suffix(&format!(".{EXT}"))?;
+    stem.rsplit('-').next()?.parse().ok()
 }
 
 fn is_entry_path(path: &Path) -> bool {
@@ -268,6 +332,41 @@ mod tests {
         for cut in 0..full.len() {
             std::fs::write(&path, &full[..cut]).unwrap();
             assert!(cache.scan().is_empty(), "cut at {cut} accepted");
+        }
+        let _ = std::fs::remove_dir_all(&cache.dir);
+    }
+
+    #[test]
+    fn retention_keeps_newest_n_per_node() {
+        let cache = tmp_cache("retention").with_retention(3);
+        let config = digest128(b"cfg");
+        // Six entries for node 0, each backdated so entry i is strictly
+        // older than entry i+1 regardless of filesystem granularity.
+        let now = std::time::SystemTime::now();
+        for i in 0u8..6 {
+            let input = digest128(&[b'k', i]);
+            cache.store(&input, &config, 0, &[i; 32]).unwrap();
+            let f = std::fs::File::options()
+                .append(true)
+                .open(cache.path_for(&input, &config, 0))
+                .unwrap();
+            f.set_modified(now - std::time::Duration::from_secs(100 - i as u64))
+                .unwrap();
+        }
+        // Another node's entry is untouched by node 0's retention.
+        cache.store(&digest128(b"other"), &config, 1, b"n1").unwrap();
+
+        let entries = cache.scan();
+        let node0: Vec<_> = entries.iter().filter(|e| e.node == 0).collect();
+        assert_eq!(node0.len(), 3, "newest 3 of 6 survive");
+        assert_eq!(entries.iter().filter(|e| e.node == 1).count(), 1);
+        // Exactly the newest three (inputs 3, 4, 5) remain loadable.
+        for i in 0u8..6 {
+            let input = digest128(&[b'k', i]);
+            let hit = cache
+                .load(&input, &config, 0, &digest128(&[i; 32]))
+                .is_some();
+            assert_eq!(hit, i >= 3, "entry {i} retention");
         }
         let _ = std::fs::remove_dir_all(&cache.dir);
     }

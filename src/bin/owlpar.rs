@@ -2,11 +2,12 @@
 //! query, partition-inspect and snapshot OWL knowledge bases.
 //!
 //! ```text
-//! owlpar materialize <in.nt> <out.nt> [--k 4] [--strategy graph|hash|domain|rule|hybrid] [--async]
+//! owlpar materialize <in.nt> <out.nt> [--k 4] [--strategy graph|hash|domain|rule|hybrid|auto] [--async]
 //!                    [--fault-plan 'io@1.0:2,panic@1.2,...']
 //! owlpar query <kb.nt> '<SPARQL>'
 //! owlpar lint <rules-file> [--context data|rule|replicated] [--json]
 //! owlpar lint --compiled [<in.nt>] [--json]
+//! owlpar plan <kb.nt|rules-file> [--strategy data|rule|hybrid|auto] [--k 4] [--json]
 //! owlpar partition <in.nt> [--k 4]
 //! owlpar snapshot <in.nt> <out.owlpar>
 //! owlpar restore <in.owlpar> <out.nt>
@@ -18,10 +19,14 @@
 //! the linted rule-base has deny-level findings.
 
 use owlpar::core::config::RoundMode;
-use owlpar::core::{FaultPlan, RunError};
-use owlpar::datalog::parse_rules_annotated;
+use owlpar::core::{
+    analyze_rules_only, analyze_strategy, auto_candidates, FaultPlan, PlanningBase, RunError,
+};
+use owlpar::datalog::{parse_rules_annotated, Rule};
 use owlpar::horst::HorstReasoner;
-use owlpar::lint::{lint_parsed, lint_rules, LintOptions, PartitionContext};
+use owlpar::lint::{
+    lint_parsed, lint_rules, render_comparison, LintOptions, PartitionContext, PlanReport,
+};
 use owlpar::partition::metrics::quality;
 use owlpar::partition::multilevel::PartitionOptions;
 use owlpar::prelude::*;
@@ -41,6 +46,12 @@ enum CliError {
     /// itself was already printed to stdout.
     Lint {
         /// Number of deny findings.
+        deny: usize,
+    },
+    /// The analyzed plan(s) have deny-level diagnostics (OWL011–OWL016)
+    /// — exit code 3. The reports were already printed to stdout.
+    Plan {
+        /// Number of deny findings across the analyzed plans.
         deny: usize,
     },
 }
@@ -79,6 +90,10 @@ fn main() -> ExitCode {
             eprintln!("owlpar: lint failed with {deny} deny finding(s)");
             ExitCode::from(3)
         }
+        Err(CliError::Plan { deny }) => {
+            eprintln!("owlpar: plan analysis failed with {deny} deny finding(s)");
+            ExitCode::from(3)
+        }
     }
 }
 
@@ -106,12 +121,13 @@ fn run(args: Vec<String>) -> Result<(), CliError> {
         "materialize" => materialize(rest),
         "query" => query(rest).map_err(CliError::Usage),
         "lint" => lint_cmd(rest),
+        "plan" => plan_cmd(rest),
         "partition" => partition_info(rest).map_err(CliError::Usage),
         "snapshot" => snapshot_cmd(rest).map_err(CliError::Usage),
         "restore" => restore(rest).map_err(CliError::Usage),
         "gen" => gen(rest).map_err(CliError::Usage),
         _ => Err(CliError::Usage(format!(
-            "usage: owlpar <materialize|query|lint|partition|snapshot|restore|gen> ... (got '{cmd}')"
+            "usage: owlpar <materialize|query|lint|plan|partition|snapshot|restore|gen> ... (got '{cmd}')"
         ))),
     }
 }
@@ -130,6 +146,7 @@ fn materialize(args: &[String]) -> Result<(), CliError> {
         Some("hybrid") => PartitioningStrategy::Hybrid {
             rule_groups: if k.is_multiple_of(2) { 2 } else { 1 },
         },
+        Some("auto") => PartitioningStrategy::Auto,
         Some(other) => return Err(format!("unknown strategy '{other}'").into()),
     };
     let rounds = if args.iter().any(|a| a == "--async") {
@@ -238,6 +255,106 @@ fn lint_cmd(args: &[String]) -> Result<(), CliError> {
         })
     } else {
         Ok(())
+    }
+}
+
+/// `owlpar plan` — analyze partition plans statically, before any worker
+/// exists. Scores every `--strategy auto` candidate (or just the one
+/// requested) against the KB — or, for a `.rules` file, runs the
+/// structure-only analysis with uniform load shares and no byte
+/// estimates — prints the comparison table (or `--json`), and exits 3
+/// when no deny-free plan exists: the same non-overridable gate
+/// `materialize --strategy auto` applies before spawning workers.
+fn plan_cmd(args: &[String]) -> Result<(), CliError> {
+    let json = args.iter().any(|a| a == "--json");
+    let k: usize = flag_value(args, "--k")
+        .map_or(Ok(4), |v| v.parse().map_err(|_| "--k".to_string()))?;
+    if k == 0 {
+        return Err("--k must be >= 1".into());
+    }
+    let strategy_flag = flag_value(args, "--strategy");
+    let candidates = match strategy_flag.as_deref() {
+        None | Some("auto") => auto_candidates(k),
+        Some("data") => vec![PartitioningStrategy::data_graph()],
+        Some("rule") => vec![PartitioningStrategy::Rule { weighted: true }],
+        Some("hybrid") => vec![PartitioningStrategy::Hybrid {
+            rule_groups: if k.is_multiple_of(2) { 2 } else { 1 },
+        }],
+        Some(other) => {
+            return Err(format!("unknown strategy '{other}' (data|rule|hybrid|auto)").into())
+        }
+    };
+    // Positional arguments: everything that is neither a flag nor the
+    // value of a flag that takes one.
+    let mut positionals: Vec<&String> = Vec::new();
+    let mut skip_next = false;
+    for a in args {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        if a == "--strategy" || a == "--k" {
+            skip_next = true;
+            continue;
+        }
+        if a.starts_with("--") {
+            continue;
+        }
+        positionals.push(a);
+    }
+    let Some(path) = positionals.first() else {
+        return Err("plan needs <kb.nt|rules-file>".into());
+    };
+    let reports: Vec<PlanReport> = if path.ends_with(".rules") {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        let mut dict = Dictionary::new();
+        let parsed = parse_rules_annotated(&text, &mut dict)
+            .map_err(|e| format!("parsing {path}: {e}"))?;
+        let rules: Vec<Rule> = parsed.iter().map(|p| p.rule.clone()).collect();
+        candidates
+            .iter()
+            .map(|c| analyze_rules_only(&rules, k, c))
+            .collect::<Result<_, RunError>>()?
+    } else {
+        let mut g = load_graph(path)?;
+        let base = PlanningBase::compile(&mut g, &[]);
+        candidates
+            .iter()
+            .map(|c| analyze_strategy(&base, &g.dict, k, c))
+            .collect::<Result<_, RunError>>()?
+    };
+    // The argmin-cost deny-free plan — exactly what `--strategy auto`
+    // would run. With a single requested strategy this is just "is it
+    // viable at all".
+    let chosen = reports
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| !r.has_deny())
+        .min_by(|a, b| a.1.total_cost.total_cmp(&b.1.total_cost))
+        .map(|(i, _)| i);
+    if json {
+        let strategies: Vec<serde_json::Value> =
+            reports.iter().map(PlanReport::to_json).collect();
+        let doc = serde_json::json!({
+            "k": (k as u64),
+            "chosen": (chosen.map(|i| reports[i].strategy.clone())),
+            "strategies": strategies,
+        });
+        println!("{doc}");
+    } else {
+        println!("{}", render_comparison(&reports, chosen));
+        for (i, r) in reports.iter().enumerate() {
+            if chosen == Some(i) || r.has_deny() {
+                println!("\n{}", r.render_human());
+            }
+        }
+    }
+    match chosen {
+        Some(_) => Ok(()),
+        None => Err(CliError::Plan {
+            deny: reports.iter().map(PlanReport::deny_count).sum(),
+        }),
     }
 }
 
