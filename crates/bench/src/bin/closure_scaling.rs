@@ -10,6 +10,10 @@
 //!
 //! Throughput counts *derived* triples per second of wall-clock closure
 //! time; the best of `--repeat` runs is reported per configuration.
+//! Each parallel row also carries a `"phases"` object: the recorder's
+//! per-phase span totals (join / dedup / barrier-wait / ...) accumulated
+//! over all `--repeat` runs of that configuration, so the artifact shows
+//! *where* the wall-clock went, not just how much of it there was.
 
 // Benchmarks and experiment binaries abort loudly on failure.
 #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
@@ -19,6 +23,7 @@ use owlpar_datalog::forward::forward_closure;
 use owlpar_datalog::parallel_closure;
 use owlpar_datalog::MaterializationStrategy;
 use owlpar_horst::HorstReasoner;
+use owlpar_obs::Recorder;
 use owlpar_rdf::TripleStore;
 use std::time::{Duration, Instant};
 
@@ -87,10 +92,17 @@ fn main() {
         serial_tps,
     );
 
+    // The ambient recorder feeds the per-phase totals; installed *after*
+    // the untraced serial baseline so its wall-clock stays pristine.
+    let rec = Recorder::enabled();
+    owlpar_obs::install_global(rec.clone());
+
     let mut rows = Vec::new();
     for &threads in &thread_counts {
+        rec.drain(); // reset: totals below cover only this configuration
         let (derived, time) =
             time_closure(&base, repeat, |s| parallel_closure(s, &rules, threads));
+        let phases = owlpar_bench::phases_json(&rec);
         assert_eq!(
             derived, serial_derived,
             "parallel closure (threads={threads}) diverged from serial"
@@ -105,12 +117,14 @@ fn main() {
         );
         rows.push(format!(
             "{{\"threads\":{threads},\"derived\":{derived},\"elapsed_s\":{:.6},\
-             \"triples_per_sec\":{:.1},\"speedup_vs_serial\":{:.3}}}",
+             \"triples_per_sec\":{:.1},\"speedup_vs_serial\":{:.3},\
+             \"phases\":{phases}}}",
             time.as_secs_f64(),
             tps,
             speedup,
         ));
     }
+    owlpar_obs::install_global(Recorder::disabled());
 
     let json = format!(
         "{{\"bench\":\"closure_scaling\",\"dataset\":\"lubm-{universities}-scale{scale}\",\

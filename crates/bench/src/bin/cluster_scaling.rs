@@ -7,7 +7,9 @@
 //! a cold run (every worker misses, the master ships full partitions)
 //! and a warm run (every worker hits, `Setup` ships digests only) —
 //! so the JSON reports both the wire-format compression ratio and the
-//! cache's setup-byte elision.
+//! cache's setup-byte elision. The cold run is traced (workers ship
+//! telemetry to the master), so each level's row also carries a
+//! `"phases"` object with cluster-wide per-phase wall times.
 //!
 //! ```text
 //! cluster_scaling [--levels 1,2,4] [--triples 3000] [--universities 1]
@@ -28,6 +30,7 @@ use owlpar_core::{
 use owlpar_datagen::{generate_lubm, LubmConfig};
 use owlpar_datalog::MaterializationStrategy;
 use owlpar_net::{run_cluster_master, run_cluster_worker, MasterOptions, WorkerOptions};
+use owlpar_obs::Recorder;
 use owlpar_rdf::Graph;
 use std::net::TcpListener;
 use std::path::Path;
@@ -40,8 +43,15 @@ fn flag_value(args: &[String], name: &str) -> Option<String> {
 }
 
 /// One cluster run: master + `k` worker threads over loopback, every
-/// worker caching into `cache_dir`. Returns (elapsed, closure, wire).
-fn run_once(g0: &Graph, k: usize, cache_dir: &Path) -> (Duration, Graph, WireBytes) {
+/// worker caching into `cache_dir`. With `trace`, the run ships worker
+/// telemetry to the master and merges it into that recorder. Returns
+/// (elapsed, closure, wire).
+fn run_once(
+    g0: &Graph,
+    k: usize,
+    cache_dir: &Path,
+    trace: Option<Recorder>,
+) -> (Duration, Graph, WireBytes) {
     let cfg = ParallelConfig {
         k,
         strategy: PartitioningStrategy::data_graph(),
@@ -63,8 +73,12 @@ fn run_once(g0: &Graph, k: usize, cache_dir: &Path) -> (Duration, Graph, WireByt
                 s.spawn(move || run_cluster_worker(addr, &opts))
             })
             .collect();
-        let report = run_cluster_master(&mut g, &cfg, listener, &MasterOptions::default())
-            .expect("cluster run");
+        let master_opts = MasterOptions {
+            trace,
+            ..MasterOptions::default()
+        };
+        let report =
+            run_cluster_master(&mut g, &cfg, listener, &master_opts).expect("cluster run");
         for w in workers {
             w.join().expect("worker thread").expect("worker run");
         }
@@ -146,7 +160,12 @@ fn main() {
         )
         .expect("plan analysis");
 
-        let (cold_elapsed, g_cold, cold) = run_once(&g0, k, &cache_dir);
+        // The cold run is traced: workers ship their telemetry to the
+        // master, so the row's `"phases"` object covers the whole
+        // cluster (master relay + every worker lane).
+        let rec = Recorder::enabled();
+        let (cold_elapsed, g_cold, cold) = run_once(&g0, k, &cache_dir, Some(rec.clone()));
+        let phases = owlpar_bench::phases_json(&rec);
         assert_eq!(g_cold.len(), want_len, "k={k}: cold closure size diverged");
         assert_eq!(
             g_cold.term_fingerprint(),
@@ -155,7 +174,7 @@ fn main() {
         );
         assert_eq!(cold.cache_misses, k as u64, "k={k}: cold run should miss");
 
-        let (warm_elapsed, g_warm, warm) = run_once(&g0, k, &cache_dir);
+        let (warm_elapsed, g_warm, warm) = run_once(&g0, k, &cache_dir, None);
         assert_eq!(g_warm.len(), want_len, "k={k}: warm closure size diverged");
         assert_eq!(
             g_warm.term_fingerprint(),
@@ -192,6 +211,7 @@ fn main() {
              \"predicted_setup_bytes\":{},\"predicted_round_bytes\":{:.0},\
              \"setup_prediction_ratio\":{setup_ratio:.4},\
              \"round_prediction_ratio\":{round_ratio:.4},\
+             \"phases\":{phases},\
              \"wire_cold\":{},\"wire_warm\":{}}}",
             cold_elapsed.as_secs_f64(),
             warm_elapsed.as_secs_f64(),

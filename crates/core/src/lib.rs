@@ -91,4 +91,4 @@ pub use plan::{
     analyze_rules_only, analyze_strategy, auto_candidates, select_auto, AutoSelection,
     PlanningBase,
 };
-pub use stats::{WireBytes, WirePhase, WorkerStats};
+pub use stats::{WireBytes, WirePhase, WireRound, WorkerStats};

@@ -31,6 +31,7 @@ use crate::worker::{
 use owlpar_datalog::{MaterializationStrategy, Reasoner, Rule};
 use owlpar_horst::HorstReasoner;
 use owlpar_lint::{lint_rules, LintOptions, PartitionContext};
+use owlpar_obs as obs;
 use owlpar_partition::metrics::{or_excess, quality, PartitionQuality};
 use owlpar_partition::multilevel::PartitionOptions;
 use owlpar_partition::{partition_data, partition_rules, OwnershipPolicy};
@@ -95,19 +96,26 @@ impl RunReport {
         self.workers.iter().map(|w| w.skipped).sum()
     }
 
+    /// Total transient IO failures absorbed by retrying, across workers.
+    pub fn total_io_retries(&self) -> usize {
+        self.workers.iter().map(|w| w.io_retries).sum()
+    }
+
     /// One-line human summary — what the CLI and the serving layer
-    /// print. Deliberately includes the skipped-message total (even when
-    /// zero) so transport trouble is visible, not buried in per-worker
-    /// counters.
+    /// print. Deliberately includes the skipped-message and IO-retry
+    /// totals (even when zero) so transport trouble is visible, not
+    /// buried in per-worker counters.
     pub fn summary(&self) -> String {
         format!(
             "{} worker(s), {} round(s), {} derived, closure {} triples, \
-             {} message(s) skipped, simulated cluster time {:.3}s",
+             {} message(s) skipped, {} io retr{}, simulated cluster time {:.3}s",
             self.k,
             self.max_rounds(),
             self.derived,
             self.closure_size,
             self.total_skipped(),
+            self.total_io_retries(),
+            if self.total_io_retries() == 1 { "y" } else { "ies" },
             self.parallel_time.as_secs_f64(),
         )
     }
@@ -116,9 +124,15 @@ impl RunReport {
 /// Materialize `graph` serially; returns (derived count, CPU time of the
 /// reasoning thread — comparable with the simulated parallel times).
 pub fn run_serial(graph: &mut Graph, materialization: MaterializationStrategy) -> (usize, Duration) {
+    let rec = obs::global();
+    let mut lane = rec.track("serial");
     let start = crate::cputime::CpuTimer::start();
+    let compile_span = lane.begin(obs::Phase::Compile, obs::NO_ROUND);
     let hr = HorstReasoner::from_graph(graph, materialization);
+    lane.end(compile_span);
+    let join_span = lane.begin(obs::Phase::Join, obs::NO_ROUND);
     let derived = hr.materialize(graph);
+    lane.end(join_span);
     (derived, start.elapsed())
 }
 
@@ -213,6 +227,9 @@ pub fn prepare_run(graph: &mut Graph, cfg: &ParallelConfig) -> Result<RunPlan, R
     if cfg.k < 1 {
         return Err(RunError::config("k must be at least 1"));
     }
+    let rec = obs::global();
+    let mut lane = rec.track("master");
+    let part_span = lane.begin(obs::Phase::Partition, obs::NO_ROUND);
 
     // Compile the ontology (this interns the last few constants, so it
     // must precede freezing the dictionary).
@@ -296,6 +313,7 @@ pub fn prepare_run(graph: &mut Graph, cfg: &ParallelConfig) -> Result<RunPlan, R
         rdf_type,
         weights,
     )?;
+    lane.end(part_span);
     Ok(RunPlan {
         k: cfg.k,
         strategy,
@@ -581,6 +599,9 @@ pub fn run_parallel(graph: &mut Graph, cfg: &ParallelConfig) -> Result<RunReport
 
     // Aggregate: union the surviving partitions back into the master
     // graph; collect structured errors for the rest.
+    let rec = obs::global();
+    let mut lane = rec.track("master");
+    let agg_span = lane.begin(obs::Phase::Aggregate, obs::NO_ROUND);
     let t_agg = Instant::now();
     let mut worker_stats = Vec::with_capacity(cfg.k);
     let mut output_sizes = Vec::with_capacity(cfg.k);
@@ -626,10 +647,13 @@ pub fn run_parallel(graph: &mut Graph, cfg: &ParallelConfig) -> Result<RunReport
                 errors: worker_errors,
             });
         }
+        let rec_span = lane.begin(obs::Phase::Recovery, obs::NO_ROUND);
         reclose_serial(graph, cfg, &all_rules);
+        lane.end(rec_span);
         recovered = true;
     }
     let aggregation = t_agg.elapsed();
+    lane.end(agg_span);
 
     // Reconstruct the cluster's wall-clock. Barrier mode: replay the
     // synchronous schedule (per-round maxima + barrier slack). Async mode:

@@ -98,6 +98,19 @@ impl WirePhase {
     }
 }
 
+/// One round's slice of the relay traffic, as observed at the master.
+#[derive(Debug, Clone, Copy, Default, Serialize, PartialEq, Eq)]
+pub struct WireRound {
+    /// Round number (0-based, same numbering as `RoundDone`).
+    pub round: u32,
+    /// Exchange bytes relayed for this round, both directions, frame
+    /// envelopes included.
+    pub bytes: u64,
+    /// Triples relayed for this round (counted once inbound, once on
+    /// delivery — like the aggregate `rounds` phase).
+    pub triples: u64,
+}
+
 /// Wire-traffic accounting for a whole cluster run, split by phase, as
 /// observed at the master (the star topology's single vantage point: it
 /// touches every frame once). Filled by the `owlpar-net` cluster master;
@@ -118,6 +131,11 @@ pub struct WireBytes {
     pub cache_hits: u64,
     /// Workers whose `Setup` carried the full partition payload.
     pub cache_misses: u64,
+    /// Per-round relay traffic. Handler threads account rounds
+    /// concurrently, so the insertion order is arbitrary —
+    /// [`WireBytes::to_json`] (and every consumer that cares) must sort
+    /// by round, never trust the vector's order.
+    pub per_round: Vec<WireRound>,
 }
 
 impl WireBytes {
@@ -169,8 +187,21 @@ impl WireBytes {
     }
 
     /// Flat JSON object (stable key order, no serde dependency in
-    /// binaries that hand-assemble their reports).
+    /// binaries that hand-assemble their reports). `per_round` entries
+    /// are emitted **sorted by round number** regardless of the order
+    /// the concurrent handler threads pushed them in.
     pub fn to_json(&self) -> String {
+        let mut per_round = self.per_round.clone();
+        per_round.sort_unstable_by_key(|r| r.round);
+        let per_round_json: Vec<String> = per_round
+            .iter()
+            .map(|r| {
+                format!(
+                    "{{\"round\":{},\"bytes\":{},\"triples\":{}}}",
+                    r.round, r.bytes, r.triples
+                )
+            })
+            .collect();
         format!(
             "{{\"setup_bytes\":{},\"setup_frames\":{},\"setup_triples\":{},\
              \"setup_v1_bytes\":{},\
@@ -180,7 +211,8 @@ impl WireBytes {
              \"final_v1_bytes\":{},\
              \"control_bytes\":{},\"total_bytes\":{},\"raw_triple_bytes\":{},\
              \"v1_total_bytes\":{},\
-             \"compression_ratio\":{:.4},\"cache_hits\":{},\"cache_misses\":{}}}",
+             \"compression_ratio\":{:.4},\"cache_hits\":{},\"cache_misses\":{},\
+             \"per_round\":[{}]}}",
             self.setup.bytes,
             self.setup.frames,
             self.setup.triples,
@@ -200,6 +232,7 @@ impl WireBytes {
             self.compression_ratio(),
             self.cache_hits,
             self.cache_misses,
+            per_round_json.join(","),
         )
     }
 }
@@ -329,6 +362,32 @@ mod tests {
         // worker 0 waits 0 + 5; worker 1 waits 6 + 0
         assert_eq!(sync[0], Duration::from_millis(5));
         assert_eq!(sync[1], Duration::from_millis(6));
+    }
+
+    #[test]
+    fn wire_bytes_json_emits_per_round_entries_in_round_order() {
+        // Handler threads push round entries concurrently, so the vector
+        // can arrive in any order; the JSON must still be round-sorted.
+        let wire = WireBytes {
+            per_round: vec![
+                WireRound { round: 2, bytes: 30, triples: 3 },
+                WireRound { round: 0, bytes: 10, triples: 1 },
+                WireRound { round: 1, bytes: 20, triples: 2 },
+            ],
+            ..WireBytes::default()
+        };
+        let json = wire.to_json();
+        let expect = "\"per_round\":[{\"round\":0,\"bytes\":10,\"triples\":1},\
+                      {\"round\":1,\"bytes\":20,\"triples\":2},\
+                      {\"round\":2,\"bytes\":30,\"triples\":3}]"
+            .replace(char::is_whitespace, "");
+        assert!(
+            json.replace(char::is_whitespace, "").contains(&expect),
+            "per_round not emitted in round order: {json}"
+        );
+        // An empty per_round still emits the (empty) key, keeping the
+        // object schema stable for downstream parsers.
+        assert!(WireBytes::default().to_json().contains("\"per_round\":[]"));
     }
 
     #[test]

@@ -35,6 +35,7 @@ use crate::cputime::CpuTimer;
 use crate::error::{CommError, WorkerError};
 use crate::stats::WorkerStats;
 use owlpar_datalog::{Reasoner, Rule};
+use owlpar_obs::{Metric, Phase};
 use owlpar_partition::RulePartitions;
 use owlpar_rdf::fx::FxHashMap;
 use owlpar_rdf::{NodeId, Triple, TripleStore};
@@ -239,15 +240,21 @@ pub fn run_worker(mut ctx: WorkerCtx) -> Result<(TripleStore, WorkerStats), Work
         ..WorkerStats::default()
     };
     let me = ctx.id as u32;
+    // Ambient tracing lane for this worker (one branch per span when the
+    // recorder is disabled; flushed on drop, including error exits).
+    let rec = owlpar_obs::global();
+    let mut lane = rec.track(&format!("worker {}", ctx.id));
     // CPU charged to the round in progress (reason + io); pushed at each
     // barrier so the master can replay the synchronous schedule.
     let mut round_cpu = Duration::ZERO;
 
     // Round 0 closes the base tuples; later rounds close received deltas.
+    let span = lane.begin(Phase::Join, owlpar_obs::NO_ROUND);
     let t = CpuTimer::start();
     let base: Vec<Triple> = ctx.store.iter().copied().collect();
     let mut derived = ctx.reasoner.materialize_delta(&mut ctx.store, base);
     let dt = t.elapsed();
+    lane.end(span);
     stats.reason_time += dt;
     round_cpu += dt;
     stats.derived += derived.len();
@@ -258,6 +265,8 @@ pub fn run_worker(mut ctx: WorkerCtx) -> Result<(TripleStore, WorkerStats), Work
         stats.rounds += 1;
         let round = ctx.comm.round();
         ctx.progress.store(round, Ordering::Relaxed);
+        let trace_round = u32::try_from(round).unwrap_or(owlpar_obs::NO_ROUND);
+        let round_span = lane.begin(Phase::Round, trace_round);
 
         // injected faults pinned to the start of this round
         if ctx.comm.panic_scheduled(round) {
@@ -268,6 +277,7 @@ pub fn run_worker(mut ctx: WorkerCtx) -> Result<(TripleStore, WorkerStats), Work
         }
 
         // route + send
+        let span = lane.begin(Phase::Exchange, trace_round);
         let t = CpuTimer::start();
         let mut outbox: Vec<Vec<Triple>> = vec![Vec::new(); ctx.k];
         for tr in &derived {
@@ -299,6 +309,8 @@ pub fn run_worker(mut ctx: WorkerCtx) -> Result<(TripleStore, WorkerStats), Work
         stats.sent += sent_now as usize;
         ctx.total_sent.fetch_add(sent_now, Ordering::SeqCst);
         let dt = t.elapsed();
+        lane.end(span);
+        lane.count(Phase::Exchange, trace_round, Metric::Sent, sent_now);
         stats.io_time += dt;
         round_cpu += dt;
 
@@ -306,9 +318,12 @@ pub fn run_worker(mut ctx: WorkerCtx) -> Result<(TripleStore, WorkerStats), Work
         // account (sync time is reconstructed by the master afterwards)
         stats.round_cpu.push(round_cpu);
         round_cpu = Duration::ZERO;
+        let span = lane.begin(Phase::BarrierWait, trace_round);
         cross_barrier(&ctx, round)?;
+        lane.end(span);
 
         // receive (charged to the next round)
+        let span = lane.begin(Phase::Collect, trace_round);
         let t = CpuTimer::start();
         let received = match ctx.comm.collect() {
             Ok(r) => r,
@@ -325,22 +340,28 @@ pub fn run_worker(mut ctx: WorkerCtx) -> Result<(TripleStore, WorkerStats), Work
         };
         stats.received += received.len();
         let dt = t.elapsed();
+        lane.end(span);
         stats.io_time += dt;
         round_cpu += dt;
 
         // read the verdict inside the [A, B] window, then barrier B
         let now_total = ctx.total_sent.load(Ordering::SeqCst);
+        let span = lane.begin(Phase::BarrierWait, trace_round);
         cross_barrier(&ctx, round)?;
+        lane.end(span);
         if ctx.flags.failed() {
+            lane.end(round_span);
             break; // a worker was lost: drain cleanly, in the same round
                    // as every other survivor (see module docs)
         }
         if now_total == last_total {
+            lane.end(round_span);
             break; // nobody moved a triple this round: global quiescence
         }
         last_total = now_total;
 
         // absorb + incremental closure
+        let span = lane.begin(Phase::Join, trace_round);
         let t = CpuTimer::start();
         let fresh: Vec<Triple> = received
             .into_iter()
@@ -348,9 +369,11 @@ pub fn run_worker(mut ctx: WorkerCtx) -> Result<(TripleStore, WorkerStats), Work
             .collect();
         derived = ctx.reasoner.materialize_delta(&mut ctx.store, fresh);
         let dt = t.elapsed();
+        lane.end(span);
         stats.reason_time += dt;
         round_cpu += dt;
         stats.derived += derived.len();
+        lane.end(round_span);
     }
     // Leaving the run — on drain *or* quiescence — must shrink the
     // barrier membership: a peer that raced past our flag check may

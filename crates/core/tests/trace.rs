@@ -1,0 +1,167 @@
+//! Tracing integration: spans emitted by a traced `run_parallel` nest
+//! properly, never cross round boundaries, and tracing itself never
+//! perturbs the closure. Lives in its own integration-test binary (and a
+//! single `#[test]`) because the ambient recorder is process-global —
+//! concurrent tests would interleave their events.
+
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use owlpar_core::config::{ParallelConfig, PartitioningStrategy};
+use owlpar_core::master::{run_parallel, run_serial};
+use owlpar_datagen::{generate_lubm, LubmConfig};
+use owlpar_datalog::MaterializationStrategy;
+use owlpar_obs::{Event, Phase, Recorder, NO_ROUND};
+
+/// One recorded span, flattened for interval arithmetic.
+#[derive(Debug, Clone, Copy)]
+struct Span {
+    track: u32,
+    phase: Phase,
+    round: u32,
+    start: u64,
+    end: u64,
+}
+
+fn spans_of(events: &[Event]) -> Vec<Span> {
+    events
+        .iter()
+        .filter_map(|e| match *e {
+            Event::Span {
+                track,
+                phase,
+                round,
+                start_us,
+                dur_us,
+            } => Some(Span {
+                track,
+                phase,
+                round,
+                start: start_us,
+                end: start_us.saturating_add(dur_us),
+            }),
+            Event::Count { .. } => None,
+        })
+        .collect()
+}
+
+/// Two intervals either nest or are disjoint — no partial overlap.
+fn nested_or_disjoint(a: Span, b: Span) -> bool {
+    let disjoint = a.end <= b.start || b.end <= a.start;
+    let a_in_b = b.start <= a.start && a.end <= b.end;
+    let b_in_a = a.start <= b.start && b.end <= a.end;
+    disjoint || a_in_b || b_in_a
+}
+
+#[test]
+fn traced_run_spans_nest_and_tracing_is_inert() {
+    let g0 = generate_lubm(&LubmConfig::mini(2));
+
+    // Baseline: closure under the default (disabled) recorder.
+    let cfg = ParallelConfig {
+        k: 2,
+        strategy: PartitioningStrategy::data_graph(),
+        ..ParallelConfig::default()
+    }
+    .forward();
+    let mut g_plain = g0.clone();
+    let report_plain = run_parallel(&mut g_plain, &cfg).expect("untraced run succeeds");
+
+    // Traced run: identical closure, plus a well-formed span stream.
+    owlpar_obs::install_global(Recorder::enabled());
+    let mut g_traced = g0.clone();
+    let report_traced = run_parallel(&mut g_traced, &cfg).expect("traced run succeeds");
+    let book = owlpar_obs::global().drain();
+    owlpar_obs::install_global(Recorder::disabled());
+
+    // Tracing must not perturb the result in any way.
+    assert_eq!(g_traced.len(), g_plain.len(), "closure size changed under tracing");
+    assert_eq!(
+        g_traced.term_fingerprint(),
+        g_plain.term_fingerprint(),
+        "closure content changed under tracing"
+    );
+    assert_eq!(report_traced.derived, report_plain.derived);
+
+    // ... and it must agree with the serial oracle too.
+    let mut g_serial = g0.clone();
+    run_serial(&mut g_serial, MaterializationStrategy::ForwardSemiNaive);
+    assert_eq!(g_traced.term_fingerprint(), g_serial.term_fingerprint());
+
+    let spans = spans_of(&book.events);
+    assert!(!spans.is_empty(), "traced run recorded no spans");
+
+    // Master lifecycle phases are present.
+    assert!(
+        spans.iter().any(|s| s.phase == Phase::Partition),
+        "no Partition span"
+    );
+    assert!(
+        spans.iter().any(|s| s.phase == Phase::Aggregate),
+        "no Aggregate span"
+    );
+
+    // Worker round spans: both workers contributed, rounds start at 0.
+    let round_tracks: std::collections::BTreeSet<u32> = spans
+        .iter()
+        .filter(|s| s.phase == Phase::Round)
+        .map(|s| s.track)
+        .collect();
+    assert_eq!(round_tracks.len(), 2, "expected round spans from 2 workers");
+
+    for &t in &round_tracks {
+        let lane: Vec<Span> = spans.iter().filter(|s| s.track == t).copied().collect();
+        let rounds: Vec<Span> = lane
+            .iter()
+            .filter(|s| s.phase == Phase::Round)
+            .copied()
+            .collect();
+
+        // (1) Every pair of spans on one lane nests or is disjoint.
+        for (i, &a) in lane.iter().enumerate() {
+            for &b in &lane[i + 1..] {
+                assert!(
+                    nested_or_disjoint(a, b),
+                    "partially-overlapping spans on track {t}: {a:?} vs {b:?}"
+                );
+            }
+        }
+
+        // (2) Round spans are mutually disjoint (a worker is in at most
+        // one round at a time) and strictly ordered by round number.
+        for (i, &a) in rounds.iter().enumerate() {
+            for &b in &rounds[i + 1..] {
+                assert!(
+                    a.end <= b.start || b.end <= a.start,
+                    "round spans overlap on track {t}: {a:?} vs {b:?}"
+                );
+                assert!(a.round != b.round, "duplicate round {} on track {t}", a.round);
+            }
+        }
+
+        // (3) No sub-span crosses a round boundary: a span tagged round r
+        // lies inside that round's span; untagged spans lie outside every
+        // round span or contain it entirely (never straddle).
+        for &s in &lane {
+            if s.phase == Phase::Round {
+                continue;
+            }
+            if s.round != NO_ROUND {
+                let owner = rounds
+                    .iter()
+                    .find(|r| r.round == s.round)
+                    .unwrap_or_else(|| panic!("span {s:?} tagged with unknown round"));
+                assert!(
+                    owner.start <= s.start && s.end <= owner.end,
+                    "span {s:?} escapes its round span {owner:?}"
+                );
+            } else {
+                for &r in &rounds {
+                    assert!(
+                        nested_or_disjoint(s, r),
+                        "untagged span {s:?} straddles round span {r:?}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -23,6 +23,7 @@
 
 use crate::ast::Rule;
 use crate::forward::{apply_rule_delta, forward_closure_delta};
+use owlpar_obs::{global as obs_global, Phase, Track};
 use owlpar_rdf::{FrozenStore, Triple, TripleStore};
 
 /// Below this delta size a round is evaluated on the calling thread:
@@ -100,17 +101,31 @@ pub fn closure_delta_over(
     threads: usize,
 ) -> (FrozenStore, Vec<Triple>) {
     let threads = resolve_threads(threads).max(1);
+    // Ambient tracing: one coordinator track plus one stable lane per
+    // shard slot, forked into the scoped threads each round (disabled
+    // recorder: every span call is a single branch).
+    let rec = obs_global();
+    let mut track = rec.track("closure");
+    let shard_tracks: Vec<Track> = (0..threads)
+        .map(|i| rec.track(&format!("shard {i}")))
+        .collect();
     let mut all_derived: Vec<Triple> = Vec::new();
     let mut delta = seed;
+    let mut round_no: u32 = 0;
     while !delta.is_empty() {
+        let round_span = track.begin(Phase::Round, round_no);
         // Sorted, deduplicated, *novel* heads from the sharded joins
         // (each shard filters against the frozen base before returning).
-        let new = round_candidates(&base, rules, &delta, threads);
+        let new = round_candidates(&base, rules, &delta, threads, &shard_tracks, &mut track, round_no);
         if !new.is_empty() {
+            let freeze = track.begin(Phase::Freeze, round_no);
             base = base.merge_triples(&new);
+            track.end(freeze);
             all_derived.extend_from_slice(&new);
         }
+        track.end(round_span);
         delta = new;
+        round_no += 1;
     }
     (base, all_derived)
 }
@@ -129,31 +144,39 @@ fn round_candidates(
     rules: &[Rule],
     delta: &[Triple],
     threads: usize,
+    shard_tracks: &[Track],
+    track: &mut Track,
+    round_no: u32,
 ) -> Vec<Triple> {
-    let join_shard = |shard: &[Triple]| {
+    let join_shard = |shard: &[Triple], mut lane: Track| {
         // CSR shard: sorting a slice is much cheaper than building hash
         // indexes, and pivot scans are cache-local.
+        let join = lane.begin(Phase::Join, round_no);
         let shard_store = FrozenStore::from_triples(shard.iter().copied());
         let mut out = Vec::new();
         for rule in rules {
             apply_rule_delta(view, &shard_store, rule, &mut out);
         }
+        lane.end(join);
+        let dedup = lane.begin(Phase::Dedup, round_no);
         out.sort_unstable();
         out.dedup();
         out.retain(|t| !view.contains(t));
+        lane.end(dedup);
         out
     };
 
     let shards = threads.min(delta.len().div_ceil(MIN_PARALLEL_DELTA / 4)).max(1);
     if shards <= 1 {
-        return join_shard(delta);
+        return join_shard(delta, track.fork());
     }
     let chunk = delta.len().div_ceil(shards);
     let mut locals: Vec<Vec<Triple>> = Vec::with_capacity(shards);
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(shards);
-        for shard in delta.chunks(chunk) {
-            handles.push(scope.spawn(move || join_shard(shard)));
+        for (i, shard) in delta.chunks(chunk).enumerate() {
+            let lane = shard_tracks.get(i).map_or_else(|| track.fork(), Track::fork);
+            handles.push(scope.spawn(move || join_shard(shard, lane)));
         }
         for handle in handles {
             match handle.join() {
@@ -173,8 +196,10 @@ fn round_candidates(
     // Per-shard runs are sorted and duplicate-free; one more sort + dedup
     // resolves cross-shard duplicates (pdqsort is near-linear on
     // concatenated sorted runs).
+    let dedup = track.begin(Phase::Dedup, round_no);
     out.sort_unstable();
     out.dedup();
+    track.end(dedup);
     out
 }
 

@@ -40,6 +40,7 @@
 //! | OWL014 | a rule's exchange estimate exceeds a quarter of the base | warn |
 //! | OWL015 | idle workers (zero estimated load); deny when a majority idles | warn |
 //! | OWL016 | recursive rule with cross-partition exchange (round count data-dependent) | allow (informational) |
+//! | OWL017 | measured round skew exceeds predicted (traced runs, [`check_skew_tolerance`]) | warn |
 //!
 //! Deny-level findings are correctness findings: the master refuses to
 //! spawn workers over such a rule-base (or falls back to full data
@@ -55,8 +56,8 @@ mod plan;
 mod render;
 
 pub use plan::{
-    analyze_plan, render_comparison, PlanInputs, PlanReport, RoundBound, RouteModel, RuleTraffic,
-    WireCostModel, WorkerLoad,
+    analyze_plan, check_skew_tolerance, render_comparison, PlanInputs, PlanReport, RoundBound,
+    RouteModel, RuleTraffic, WireCostModel, WorkerLoad,
 };
 
 use owlpar_datalog::analysis::JoinClass;
@@ -164,10 +165,15 @@ pub enum LintCode {
     /// cross-partition: the round count is bounded only by derivation
     /// depth, not by the rule-dependency condensation.
     RecursiveExchange,
+    /// OWL017 — a traced run measured worse per-round skew than the
+    /// analyzer predicted (beyond tolerance): the static load model is
+    /// underestimating the straggler, so the plan's speedup projection
+    /// is optimistic.
+    SkewExceedsPredicted,
 }
 
 /// All codes, in `OWLxxx` order (used by renderers and `from_id`).
-pub const ALL_CODES: [LintCode; 16] = [
+pub const ALL_CODES: [LintCode; 17] = [
     LintCode::NonSingleJoin,
     LintCode::CrossProduct,
     LintCode::DeadRule,
@@ -184,6 +190,7 @@ pub const ALL_CODES: [LintCode; 16] = [
     LintCode::HeavyExchange,
     LintCode::IdleWorkers,
     LintCode::RecursiveExchange,
+    LintCode::SkewExceedsPredicted,
 ];
 
 impl LintCode {
@@ -206,6 +213,7 @@ impl LintCode {
             LintCode::HeavyExchange => "OWL014",
             LintCode::IdleWorkers => "OWL015",
             LintCode::RecursiveExchange => "OWL016",
+            LintCode::SkewExceedsPredicted => "OWL017",
         }
     }
 
@@ -228,6 +236,7 @@ impl LintCode {
             LintCode::ExchangeExceedsBase => "exchange estimate exceeds the base",
             LintCode::IdleWorkers => "idle workers in the plan",
             LintCode::RecursiveExchange => "recursive cross-partition exchange",
+            LintCode::SkewExceedsPredicted => "measured round skew exceeds predicted",
         }
     }
 
@@ -257,6 +266,10 @@ impl LintCode {
             LintCode::LoadImbalance | LintCode::ExchangeExceedsBase => Severity::Deny,
             LintCode::LoadSkew | LintCode::HeavyExchange | LintCode::IdleWorkers => Severity::Warn,
             LintCode::RecursiveExchange => Severity::Allow,
+            // Measured-vs-predicted comparison (fed by a traced run's
+            // telemetry, `plan::check_skew_tolerance`): the run already
+            // happened, so this can only ever advise.
+            LintCode::SkewExceedsPredicted => Severity::Warn,
         }
     }
 }

@@ -809,6 +809,58 @@ pub fn analyze_plan(rules: &[Rule], opts: &LintOptions, inputs: &PlanInputs) -> 
     }
 }
 
+/// OWL017 — compare a traced run's measured per-round skew against the
+/// analyzer's prediction.
+///
+/// `measured` holds one ratio per round: the slowest worker's round
+/// time over the mean (`max/mean`), the live analog of the analyzer's
+/// predicted skew ratio ([`PlanReport::max_load_share`] × k). The
+/// finding fires — always [`Severity::Warn`]: the run already happened,
+/// so this can only advise — when the worst measured ratio exceeds
+/// `predicted × tolerance` (`tolerance` ≥ 1, e.g. `1.25` for 25%
+/// headroom; lower values are clamped to exact). Returns `None` when
+/// the measurement is within tolerance or either side is degenerate
+/// (no finite rounds, non-positive prediction).
+pub fn check_skew_tolerance(
+    measured: &[f64],
+    predicted: f64,
+    tolerance: f64,
+) -> Option<Diagnostic> {
+    if predicted <= 0.0 || !predicted.is_finite() {
+        return None;
+    }
+    let worst = measured
+        .iter()
+        .copied()
+        .filter(|m| m.is_finite())
+        .fold(f64::NEG_INFINITY, f64::max);
+    if !worst.is_finite() {
+        return None;
+    }
+    let tolerance = tolerance.max(1.0);
+    let bound = predicted * tolerance;
+    if worst <= bound {
+        return None;
+    }
+    Some(Diagnostic {
+        code: LintCode::SkewExceedsPredicted,
+        severity: Severity::Warn,
+        rule: None,
+        rule_index: None,
+        message: format!(
+            "measured round skew {worst:.2}x exceeds the predicted {predicted:.2}x \
+             (tolerance {tolerance:.2}x): the static load model is underestimating \
+             the straggler"
+        ),
+        violation: None,
+        witness: Some(format!(
+            "worst of {} round(s) measured {worst:.2}x; bound {bound:.2}x",
+            measured.len()
+        )),
+        suppressed: false,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
@@ -859,7 +911,7 @@ mod tests {
 
     #[test]
     fn new_codes_roundtrip_ids() {
-        assert_eq!(ALL_CODES.len(), 16);
+        assert_eq!(ALL_CODES.len(), 17);
         for code in ALL_CODES {
             assert_eq!(LintCode::from_id(code.id()), Some(code));
         }
@@ -868,6 +920,28 @@ mod tests {
             LintCode::from_id("OWL016"),
             Some(LintCode::RecursiveExchange)
         );
+        assert_eq!(
+            LintCode::from_id("OWL017"),
+            Some(LintCode::SkewExceedsPredicted)
+        );
+    }
+
+    #[test]
+    fn skew_tolerance_fires_only_beyond_the_bound() {
+        // Within tolerance: 1.4 measured vs 1.2 predicted × 1.25 = 1.5.
+        assert!(check_skew_tolerance(&[1.1, 1.4], 1.2, 1.25).is_none());
+        // Beyond it: worst round 1.9 > 1.5.
+        let d = check_skew_tolerance(&[1.1, 1.9], 1.2, 1.25).expect("fires");
+        assert_eq!(d.code, LintCode::SkewExceedsPredicted);
+        assert_eq!(d.severity, Severity::Warn);
+        assert_eq!(d.code.id(), "OWL017");
+        assert!(d.message.contains("1.90x"), "{}", d.message);
+        // Degenerate inputs never fire: no rounds, NaN rounds, bad
+        // prediction; sub-1 tolerances clamp to exact comparison.
+        assert!(check_skew_tolerance(&[], 1.2, 1.25).is_none());
+        assert!(check_skew_tolerance(&[f64::NAN], 1.2, 1.25).is_none());
+        assert!(check_skew_tolerance(&[2.0], 0.0, 1.25).is_none());
+        assert!(check_skew_tolerance(&[1.3], 1.2, 0.5).is_some());
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //!                       [--strategy graph|hash|domain|rule|hybrid|auto]
 //!                       [--fault-plan 'disconnect@1.1,...'] [--round-timeout 30]
 //!                       [--epoch 0] [--out FILE] [--check-serial]
-//!                       [--cache-dir DIR] [--wire-stats FILE]
+//!                       [--cache-dir DIR] [--wire-stats FILE] [--trace-out FILE]
 //! owlpar-cluster worker <master-addr> [--connect-timeout 30] [--cache-dir DIR]
 //! ```
 //!
@@ -19,6 +19,10 @@
 //! and config ships 16-byte digests instead of partitions (with
 //! `--spawn-local` the flag is forwarded to every spawned worker).
 //! `--wire-stats` writes the master's per-phase wire accounting as JSON.
+//! `--trace-out` records the whole run — master relay lane plus every
+//! worker's spans, shipped back as telemetry frames and clock-offset
+//! merged — and writes a Chrome-trace JSON file (load it in
+//! `chrome://tracing` / Perfetto, or feed it to `owlpar trace summary`).
 //!
 //! Exit codes: 0 success, 1 usage/IO error, 3 the run itself failed (a
 //! handshake, protocol or worker failure without recovery — or an
@@ -138,8 +142,11 @@ fn master(args: &[String]) -> Result<(), CliError> {
     }
     let epoch: u64 = flag_value(args, "--epoch")
         .map_or(Ok(0), |v| v.parse().map_err(|_| "--epoch".to_string()))?;
+    let trace_out = flag_value(args, "--trace-out");
+    let recorder = trace_out.as_ref().map(|_| owlpar_obs::Recorder::enabled());
     let opts = MasterOptions {
         epoch,
+        trace: recorder.clone(),
         ..MasterOptions::default()
     };
 
@@ -194,6 +201,16 @@ fn master(args: &[String]) -> Result<(), CliError> {
             std::fs::write(&path, wire.to_json())
                 .map_err(|e| format!("writing {path}: {e}"))?;
         }
+    }
+    if let (Some(path), Some(rec)) = (&trace_out, &recorder) {
+        let book = rec.drain();
+        std::fs::write(path, owlpar_obs::chrome::to_chrome_json(&book))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!(
+            "master: trace written to {path} ({} event(s), {} lane(s))",
+            book.events.len(),
+            book.tracks.len()
+        );
     }
     if report.recovered {
         for e in &report.worker_errors {

@@ -45,8 +45,9 @@ use crate::protocol::{
 use owlpar_core::config::RoundMode;
 use owlpar_core::cputime::CpuTimer;
 use owlpar_core::master::resolve_materialization;
-use owlpar_core::stats::{simulate_rounds, PhaseBreakdown, WireBytes, WirePhase};
+use owlpar_core::stats::{simulate_rounds, PhaseBreakdown, WireBytes, WirePhase, WireRound};
 use owlpar_core::worker::Routing;
+use owlpar_obs::{wire as obs_wire, Metric, Phase, Recorder, NO_ROUND};
 use owlpar_core::{
     digest128, prepare_run, read_crc_frame, reclose_serial, write_crc_frame, Backoff, CommError,
     Digest128, FaultKind, ParallelConfig, RunError, RunReport, WorkerError, WorkerStats,
@@ -56,11 +57,12 @@ use owlpar_partition::metrics::or_excess;
 use owlpar_partition::RulePartitions;
 use owlpar_rdf::fx::FxHashMap;
 use owlpar_rdf::{Graph, Triple, TripleStore};
+use std::collections::BTreeMap;
 use std::io::ErrorKind;
 use std::net::{Shutdown, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -86,6 +88,13 @@ pub struct MasterOptions {
     pub accept_timeout: Duration,
     /// Most triples per streamed chunk frame (`DeliverChunk` splitting).
     pub chunk_triples: usize,
+    /// Telemetry sink. `Some(enabled recorder)` turns the `trace` flag
+    /// on in every `Welcome`, making workers record phase spans and ship
+    /// them back as `TraceChunk` frames; the master merges them into
+    /// this recorder (clock-offset corrected) alongside its own relay
+    /// lane. `None` (default) keeps the run telemetry-free — workers
+    /// are told not to record and ship nothing.
+    pub trace: Option<Recorder>,
 }
 
 impl Default for MasterOptions {
@@ -94,6 +103,7 @@ impl Default for MasterOptions {
             epoch: 0,
             accept_timeout: Duration::from_secs(60),
             chunk_triples: DEFAULT_CHUNK_TRIPLES,
+            trace: None,
         }
     }
 }
@@ -138,6 +148,14 @@ struct WireLedger {
     control_bytes: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    /// Round-phase traffic broken out per round number:
+    /// `round → (bytes, triples)`. Inbound `Triples` frames carry no
+    /// round number, so each handler buffers them and flushes the
+    /// accumulator when the worker's `RoundDone(r)` labels the batch;
+    /// outbound `DeliverChunk`/`Deliver` are charged to their explicit
+    /// round. A `BTreeMap` under a mutex — a handful of handler threads
+    /// touching it once per frame burst, never on the triple hot path.
+    per_round: Mutex<BTreeMap<u32, (u64, u64)>>,
 }
 
 impl WireLedger {
@@ -170,6 +188,18 @@ impl WireLedger {
             .fetch_add(body_len as u64 + FRAME_OVERHEAD, Ordering::Relaxed);
     }
 
+    /// Charge `bytes`/`triples` of round-phase traffic to round `round`.
+    fn round_traffic(&self, round: u32, bytes: u64, triples: u64) {
+        if bytes == 0 && triples == 0 {
+            return;
+        }
+        if let Ok(mut per_round) = self.per_round.lock() {
+            let slot = per_round.entry(round).or_insert((0, 0));
+            slot.0 += bytes;
+            slot.1 += triples;
+        }
+    }
+
     fn cache_outcome(&self, hit: bool) {
         if hit {
             self.cache_hits.fetch_add(1, Ordering::Relaxed);
@@ -185,6 +215,19 @@ impl WireLedger {
             triples: p[2].load(Ordering::Relaxed),
             v1_bytes: p[3].load(Ordering::Relaxed),
         };
+        let per_round = self
+            .per_round
+            .lock()
+            .map(|m| {
+                m.iter()
+                    .map(|(&round, &(bytes, triples))| WireRound {
+                        round,
+                        bytes,
+                        triples,
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
         WireBytes {
             setup: phase(&self.setup),
             rounds: phase(&self.rounds),
@@ -192,6 +235,7 @@ impl WireLedger {
             control_bytes: self.control_bytes.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            per_round,
         }
     }
 }
@@ -273,7 +317,48 @@ enum Event {
 /// `chunk` triples per frame; inbound `FinalChunk` sequences are
 /// reassembled here, so the coordinator only ever sees whole stores.
 /// Every frame is charged to the shared [`WireLedger`].
+///
+/// When `trace` is set, inbound `TraceChunk` frames accumulate here and
+/// are absorbed into the recorder (as `worker {id}`, pid `id + 1`) when
+/// the pump exits — on `Final` and on death alike, so a crashed
+/// worker's spans up to its last chunk still reach the merged timeline.
+#[allow(clippy::too_many_arguments)] // internal pump; the master wires it up once
 fn handle_worker(
+    id: usize,
+    stream: TcpStream,
+    n_terms: u32,
+    chunk: usize,
+    ledger: &WireLedger,
+    events: &mpsc::Sender<Event>,
+    delivery: &mpsc::Receiver<MasterMsg>,
+    trace: Option<&Recorder>,
+) {
+    let mut acc = TraceAcc::default();
+    pump_worker(
+        id, stream, n_terms, chunk, ledger, events, delivery, trace, &mut acc,
+    );
+    if let (Some(rec), false) = (trace, acc.events.is_empty()) {
+        rec.absorb(
+            &acc.events,
+            &format!("worker {id}"),
+            id as u32 + 1,
+            acc.offset_us.unwrap_or(0),
+        );
+    }
+}
+
+/// Worker telemetry accumulated by one connection handler: decoded
+/// events plus the best clock-offset estimate — the minimum of
+/// `master receipt − worker clock` over all chunks, because the chunk
+/// with the smallest transit delay bounds the offset tightest.
+#[derive(Default)]
+struct TraceAcc {
+    events: Vec<owlpar_obs::Event>,
+    offset_us: Option<i64>,
+}
+
+#[allow(clippy::too_many_arguments)] // split from handle_worker, same wiring
+fn pump_worker(
     id: usize,
     mut stream: TcpStream,
     n_terms: u32,
@@ -281,6 +366,8 @@ fn handle_worker(
     ledger: &WireLedger,
     events: &mpsc::Sender<Event>,
     delivery: &mpsc::Receiver<MasterMsg>,
+    trace: Option<&Recorder>,
+    acc: &mut TraceAcc,
 ) {
     let dead = |detail: String| {
         let _ = events.send(Event::Dead { from: id, detail });
@@ -288,6 +375,9 @@ fn handle_worker(
     let chunk = chunk.max(1);
     let mut final_acc: Vec<Triple> = Vec::new();
     let mut next_seq = 0u32;
+    // Inbound round traffic awaiting a round label (see
+    // `WireLedger::per_round`): `(bytes, triples)`.
+    let mut pending = (0u64, 0u64);
     loop {
         let body = match read_crc_frame(&mut stream) {
             Ok(b) => b,
@@ -296,6 +386,8 @@ fn handle_worker(
         match decode_worker_msg(&body, n_terms) {
             Ok(WorkerMsg::Triples { to, batch }) => {
                 ledger.round_frame(body.len(), batch.len());
+                pending.0 += body.len() as u64 + FRAME_OVERHEAD;
+                pending.1 += batch.len() as u64;
                 let routed = Event::Routed {
                     from: id,
                     to: to as usize,
@@ -307,6 +399,8 @@ fn handle_worker(
             }
             Ok(WorkerMsg::RoundDone { round, sent }) => {
                 ledger.control_frame(body.len());
+                ledger.round_traffic(round, pending.0, pending.1);
+                pending = (0, 0);
                 let done = Event::Done {
                     from: id,
                     round: round as usize,
@@ -337,6 +431,7 @@ fn handle_worker(
                     };
                     let part_body = encode_master_msg(&part);
                     ledger.round_frame(part_body.len(), chunk);
+                    ledger.round_traffic(round, part_body.len() as u64 + FRAME_OVERHEAD, chunk as u64);
                     if let Err(e) = write_crc_frame(&mut stream, &part_body) {
                         return dead(format!("delivering round chunk to worker {id}: {e}"));
                     }
@@ -351,6 +446,7 @@ fn handle_worker(
                 };
                 let verdict_body = encode_master_msg(&verdict);
                 ledger.round_frame(verdict_body.len(), tail);
+                ledger.round_traffic(round, verdict_body.len() as u64 + FRAME_OVERHEAD, tail as u64);
                 if let Err(e) = write_crc_frame(&mut stream, &verdict_body) {
                     return dead(format!("delivering round to worker {id}: {e}"));
                 }
@@ -374,6 +470,25 @@ fn handle_worker(
                     store: final_acc,
                 });
                 return;
+            }
+            Ok(WorkerMsg::TraceChunk { payload }) => {
+                ledger.control_frame(body.len());
+                // Tolerated-but-dropped when tracing is off: the Welcome
+                // told this worker not to send any, but a stray chunk is
+                // not worth killing the run over.
+                let Some(rec) = trace else { continue };
+                let receipt = i64::try_from(rec.now_us()).unwrap_or(i64::MAX);
+                match obs_wire::decode_trace_chunk(&payload) {
+                    Ok(chunk) => {
+                        let clock = i64::try_from(chunk.clock_us).unwrap_or(i64::MAX);
+                        let offset = receipt.saturating_sub(clock);
+                        acc.offset_us = Some(acc.offset_us.map_or(offset, |o| o.min(offset)));
+                        acc.events.extend(chunk.events);
+                    }
+                    Err(e) => {
+                        return dead(format!("undecodable trace chunk from worker {id}: {e}"))
+                    }
+                }
             }
             Ok(WorkerMsg::Hello { .. } | WorkerMsg::CacheAdvert { .. }) => {
                 return dead(format!("worker {id} repeated the handshake mid-run"))
@@ -472,6 +587,7 @@ fn accept_worker(
                 node_id,
                 k,
                 epoch: opts.epoch,
+                trace: opts.trace.as_ref().is_some_and(Recorder::is_enabled),
             });
             ledger.control_frame(welcome.len());
             write_crc_frame(&mut stream, &welcome)?;
@@ -556,12 +672,33 @@ pub fn run_cluster_master(
     let plan = prepare_run(graph, cfg)?;
     let recoverable = plan.recoverable(cfg.recovery);
     let k = plan.k;
+    // Telemetry: an enabled recorder in the options turns on worker-side
+    // tracing (via the Welcome flag) and gives the master its own
+    // "relay" lane. Predicted-vs-measured needs the analyzer's report —
+    // Auto runs already carry one; otherwise a traced run pays for one
+    // analyzer pass here (it re-runs the partitioner, accepted only
+    // when tracing).
+    let trace = opts.trace.clone().filter(Recorder::is_enabled);
+    let analysis = match (&trace, &plan.analysis) {
+        (Some(_), None) => {
+            let base = owlpar_core::PlanningBase::compile(graph, &cfg.extra_rules);
+            owlpar_core::analyze_strategy(&base, &graph.dict, k, &plan.strategy).ok()
+        }
+        _ => plan.analysis.clone(),
+    };
+    let pred_round_bytes = analysis
+        .as_ref()
+        .map(|a| a.round_bytes / a.rounds.expected.max(1) as f64);
+    let pred_skew = analysis.as_ref().map(|a| a.max_load_share * k as f64);
+    let trace_rec = trace.clone().unwrap_or_default();
+    let mut relay = trace_rec.track("relay");
     let n_terms = graph.dict.len() as u32;
     let materialization = resolve_materialization(cfg.materialization, k);
     let cfg_digest = config_digest(cfg, k, materialization);
     let ledger = Arc::new(WireLedger::default());
 
     // --- bootstrap: all-or-nothing -----------------------------------
+    let setup_span = relay.begin(Phase::Setup, NO_ROUND);
     listener.set_nonblocking(true)?;
     let deadline = Instant::now() + opts.accept_timeout;
     let mut streams = Vec::with_capacity(k);
@@ -614,6 +751,7 @@ pub fn run_cluster_master(
         stream.set_read_timeout(Some(cfg.round_timeout.saturating_mul(2)))?;
         stream.set_write_timeout(Some(cfg.round_timeout))?;
     }
+    relay.end(setup_span);
 
     // --- rounds ------------------------------------------------------
     let t_par = Instant::now();
@@ -628,10 +766,20 @@ pub fn run_cluster_master(
             delivery_txs.push(Some(tx));
             let handler_tx = events_tx.clone();
             let handler_ledger = Arc::clone(&ledger);
+            let handler_trace = trace.clone();
             let chunk = opts.chunk_triples;
             let builder = thread::Builder::new().name(format!("cluster-worker-{id}"));
             let spawned = builder.spawn_scoped(scope, move || {
-                handle_worker(id, stream, n_terms, chunk, &handler_ledger, &handler_tx, &rx);
+                handle_worker(
+                    id,
+                    stream,
+                    n_terms,
+                    chunk,
+                    &handler_ledger,
+                    &handler_tx,
+                    &rx,
+                    handler_trace.as_ref(),
+                );
             });
             if spawned.is_err() {
                 let _ = events_tx.send(Event::Dead {
@@ -660,6 +808,14 @@ pub fn run_cluster_master(
         loop {
             let mut done = vec![false; k];
             let mut round_sent = 0u64;
+            // Live skew: when each worker's RoundDone lands, measured
+            // from the master's release of the previous round. The gap
+            // between first and last arrival is the straggler tax the
+            // analyzer's `skew_ratio` predicts.
+            let round_t0 = Instant::now();
+            let mut done_at_ms: Vec<f64> = Vec::with_capacity(k);
+            let relay_bytes_before = ledger.rounds[0].load(Ordering::Relaxed);
+            let wait_span = relay.begin(Phase::BarrierWait, round as u32);
             while (0..k).any(|i| alive[i] && !done[i]) {
                 match events.recv_timeout(cfg.round_timeout) {
                     Ok(Event::Routed { from, to, batch }) => {
@@ -687,6 +843,7 @@ pub fn run_cluster_master(
                         if r == round {
                             done[from] = true;
                             round_sent += sent;
+                            done_at_ms.push(round_t0.elapsed().as_secs_f64() * 1e3);
                         } else {
                             kill(
                                 from,
@@ -763,6 +920,8 @@ pub fn run_cluster_master(
                 }
             }
 
+            relay.end(wait_span);
+
             // The verdict: quiescence, or any loss so far drains the
             // survivors — same rule as the in-process RunFlags check.
             let stop = round_sent == 0 || !worker_errors.is_empty();
@@ -793,6 +952,34 @@ pub fn run_cluster_master(
                         );
                     }
                 }
+            }
+            // Relay traffic this round, measured at the master: inbound
+            // Triples plus outbound Deliver(Chunk)s charged since the
+            // loop top. (Deliveries of round N−1 written after that
+            // snapshot smear into round N — a bounded, documented blur.)
+            let relay_bytes = ledger.rounds[0]
+                .load(Ordering::Relaxed)
+                .saturating_sub(relay_bytes_before);
+            relay.count(Phase::Exchange, round as u32, Metric::Bytes, relay_bytes);
+            if trace.is_some() && !done_at_ms.is_empty() {
+                let max = done_at_ms.iter().copied().fold(f64::MIN, f64::max);
+                let min = done_at_ms.iter().copied().fold(f64::MAX, f64::min);
+                let mean = done_at_ms.iter().sum::<f64>() / done_at_ms.len() as f64;
+                let skew_ratio = if mean > 0.0 { max / mean } else { 1.0 };
+                let pred = match (pred_round_bytes, pred_skew) {
+                    (Some(b), Some(s)) => {
+                        format!(" pred_round_bytes={b:.0} pred_skew_ratio={s:.2}")
+                    }
+                    _ => String::new(),
+                };
+                eprintln!(
+                    "[owlpar-cluster] RoundSummary round={round} workers={} \
+                     sent={round_sent} max_ms={max:.1} min_ms={min:.1} \
+                     skew_ms={:.1} skew_ratio={skew_ratio:.2} \
+                     relay_bytes={relay_bytes}{pred}",
+                    done_at_ms.len(),
+                    max - min,
+                );
             }
             if stop || !alive.iter().any(|&a| a) {
                 break;
@@ -869,6 +1056,7 @@ pub fn run_cluster_master(
 
     // --- aggregate + recover -----------------------------------------
     let t_agg = Instant::now();
+    let agg_span = relay.begin(Phase::Aggregate, NO_ROUND);
     let mut worker_stats = Vec::with_capacity(k);
     let mut output_sizes = Vec::with_capacity(k);
     for (id, f) in finals.into_iter().enumerate() {
@@ -893,14 +1081,34 @@ pub fn run_cluster_master(
                 errors: worker_errors,
             }));
         }
+        let recovery_span = relay.begin(Phase::Recovery, NO_ROUND);
         reclose_serial(graph, cfg, &plan.all_rules);
+        relay.end(recovery_span);
         recovered = true;
     }
+    relay.end(agg_span);
     let aggregation = t_agg.elapsed();
 
     let (parallel_time, sim_sync) = simulate_rounds(&worker_stats);
     for (w, s) in worker_stats.iter_mut().zip(sim_sync) {
         w.sync_time = s;
+    }
+    // Lay the analyzer's predictions beside the measured trace — the
+    // exact keys `owlpar trace summary` reads from the `"plan"` extra.
+    if let Some(rec) = &trace {
+        let plan_json = match &analysis {
+            Some(a) => format!(
+                "{{\"strategy\":{:?},\"setup_bytes\":{},\"round_bytes\":{:.1},\
+                 \"predicted_rounds\":{},\"skew_ratio\":{:.4}}}",
+                a.strategy,
+                a.setup_bytes,
+                a.round_bytes,
+                a.rounds.expected,
+                a.max_load_share * k as f64,
+            ),
+            None => format!("{{\"strategy\":{:?}}}", plan.strategy.label()),
+        };
+        rec.set_extra("plan", plan_json);
     }
     let closure_size = graph.len();
     Ok(RunReport {
@@ -1060,8 +1268,13 @@ pub fn run_cluster_worker(
         },
         &mut wire_sent,
     )?;
-    let (node_id, k, epoch) = match read_master(&mut stream, u32::MAX, &mut wire_recv)? {
-        MasterMsg::Welcome { node_id, k, epoch } => (node_id, k, epoch),
+    let (node_id, k, epoch, traced) = match read_master(&mut stream, u32::MAX, &mut wire_recv)? {
+        MasterMsg::Welcome {
+            node_id,
+            k,
+            epoch,
+            trace,
+        } => (node_id, k, epoch, trace),
         MasterMsg::Reject { reason } => return Err(handshake_err(reason)),
         other => {
             return Err(handshake_err(format!(
@@ -1148,9 +1361,24 @@ pub fn run_cluster_worker(
     let me = node_id;
     let mut round_cpu = Duration::ZERO;
 
+    // Telemetry: a LOCAL recorder, never the process global — worker
+    // events reach the merged timeline only as `TraceChunk` frames, so
+    // a loopback cluster (worker threads sharing one process in tests)
+    // cannot double-count through an ambient recorder. The master's
+    // Welcome flag decides; untraced runs carry a no-op recorder and
+    // ship nothing.
+    let rec = if traced {
+        Recorder::enabled()
+    } else {
+        Recorder::disabled()
+    };
+    let mut lane = rec.track("worker");
+
     let t = CpuTimer::start();
+    let join_span = lane.begin(Phase::Join, NO_ROUND);
     let base: Vec<Triple> = store.iter().copied().collect();
     let mut derived = reasoner.materialize_delta(&mut store, base);
+    lane.end(join_span);
     let dt = t.elapsed();
     stats.reason_micros += dt.as_micros() as u64;
     round_cpu += dt;
@@ -1160,6 +1388,7 @@ pub fn run_cluster_worker(
     let mut round = 0usize;
     loop {
         stats.rounds += 1;
+        let round_span = lane.begin(Phase::Round, round as u32);
 
         // injected faults pinned to the start of this round
         for &(r, fault) in &faults {
@@ -1187,6 +1416,7 @@ pub fn run_cluster_worker(
 
         // route + send
         let t = CpuTimer::start();
+        let exchange_span = lane.begin(Phase::Exchange, round as u32);
         let mut outbox: Vec<Vec<Triple>> = vec![Vec::new(); k as usize];
         for tr in &derived {
             routing.destinations(tr, me, &mut dests);
@@ -1214,6 +1444,19 @@ pub fn run_cluster_worker(
             }
             sent_now += batch.len() as u64;
         }
+        lane.count(Phase::Exchange, round as u32, Metric::Sent, sent_now);
+        lane.end(exchange_span);
+        // Ship buffered telemetry before announcing the round — one
+        // chunk per round keeps frames small and gives the master a
+        // fresh clock sample every round: the chunk's `clock_us` is the
+        // clock-offset handshake (the master keeps the minimum-latency
+        // estimate). Spans still open here (this Round span itself)
+        // ride a later chunk; the pre-Final flush ships the stragglers.
+        if rec.is_enabled() {
+            let chunk_events = lane.take_buffered();
+            let payload = obs_wire::encode_trace_chunk(rec.now_us(), &chunk_events);
+            send_worker_counted(&mut stream, &WorkerMsg::TraceChunk { payload }, &mut wire_sent)?;
+        }
         send_worker_counted(
             &mut stream,
             &WorkerMsg::RoundDone {
@@ -1231,6 +1474,7 @@ pub fn run_cluster_worker(
         stats.round_cpu_micros.push(round_cpu.as_micros() as u64);
         round_cpu = Duration::ZERO;
         let t = CpuTimer::start();
+        let wait_span = lane.begin(Phase::BarrierWait, round as u32);
         // The round's inbound stream: any number of DeliverChunk frames
         // then the Deliver verdict carrying the tail.
         let mut inbound: Vec<Triple> = Vec::new();
@@ -1264,23 +1508,29 @@ pub fn run_cluster_worker(
                 }
             }
         };
+        lane.end(wait_span);
         let triples = inbound;
         stats.received += triples.len() as u64;
+        lane.count(Phase::Collect, round as u32, Metric::Received, triples.len() as u64);
         let dt = t.elapsed();
         stats.io_micros += dt.as_micros() as u64;
         round_cpu += dt;
         if stop {
+            lane.end(round_span);
             break;
         }
 
         // absorb + incremental closure
         let t = CpuTimer::start();
+        let join_span = lane.begin(Phase::Join, round as u32);
         let fresh: Vec<Triple> = triples.into_iter().filter(|tr| store.insert(*tr)).collect();
         derived = reasoner.materialize_delta(&mut store, fresh);
+        lane.end(join_span);
         let dt = t.elapsed();
         stats.reason_micros += dt.as_micros() as u64;
         round_cpu += dt;
         stats.derived += derived.len() as u64;
+        lane.end(round_span);
         round += 1;
     }
     if round_cpu > Duration::ZERO {
@@ -1314,6 +1564,14 @@ pub fn run_cluster_worker(
             },
             &mut wire_sent,
         )?;
+    }
+    // Flush the telemetry stragglers (final Round span, last barrier
+    // wait) just before the Final frame — the handler absorbs the
+    // accumulated events when the pump exits.
+    if rec.is_enabled() {
+        let chunk_events = lane.take_buffered();
+        let payload = obs_wire::encode_trace_chunk(rec.now_us(), &chunk_events);
+        send_worker_counted(&mut stream, &WorkerMsg::TraceChunk { payload }, &mut wire_sent)?;
     }
     // The counters ride inside the Final frame, so they cannot include
     // it; the master-side ledger is the authoritative total.

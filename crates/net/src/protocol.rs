@@ -49,7 +49,10 @@ pub const WIRE_MAGIC: u32 = 0x4F57_4C50;
 /// v1: raw 12-byte triple records, monolithic `Setup`.
 /// v2: delta/varint triple blocks, digest-keyed `Setup` payloads,
 /// chunked `Final`/`Deliver` streaming.
-pub const PROTOCOL_VERSION: u32 = 2;
+/// v3: `trace` flag in `Welcome`, `TraceChunk` telemetry frames
+/// (`owlpar_obs::wire` payloads), `skipped`/`io_retries` in the final
+/// stats record. The `Hello` layout stays frozen.
+pub const PROTOCOL_VERSION: u32 = 3;
 
 /// Anything that can go wrong running the cluster.
 #[derive(Debug)]
@@ -273,6 +276,11 @@ pub struct WireStats {
     pub wire_sent_bytes: u64,
     /// Bytes this worker read from its master connection.
     pub wire_recv_bytes: u64,
+    /// Messages skipped with a report (v3; lost before then, which is
+    /// why merged cluster summaries used to report zero).
+    pub skipped: u64,
+    /// Transient IO failures absorbed by retrying (v3).
+    pub io_retries: u64,
 }
 
 impl WireStats {
@@ -292,6 +300,8 @@ impl WireStats {
             sent: self.sent as usize,
             received: self.received as usize,
             output_size: self.output_size as usize,
+            skipped: self.skipped as usize,
+            io_retries: self.io_retries as usize,
             ..WorkerStats::default()
         }
     }
@@ -347,6 +357,17 @@ pub enum WorkerMsg {
         /// Tail of its complete local store.
         store: Vec<Triple>,
     },
+    /// One batch of telemetry events (an `owlpar_obs::wire` chunk:
+    /// worker clock sample + span/counter events), sent only when the
+    /// `Welcome` enabled tracing — immediately before each `RoundDone`
+    /// and before `Final`, so the master can align the worker's clock
+    /// (offset = min over chunks of receipt − `clock_us`) and merge the
+    /// spans into one cluster timeline. Opaque at this layer: the codec
+    /// ships bytes, `owlpar_obs::wire` owns the grammar.
+    TraceChunk {
+        /// An encoded `owlpar_obs::wire` trace chunk.
+        payload: Vec<u8>,
+    },
 }
 
 /// Messages the master sends a worker.
@@ -361,6 +382,9 @@ pub enum MasterMsg {
         /// Run epoch — lets a late reconnect from a previous run be told
         /// apart from this run's workers.
         epoch: u64,
+        /// True when the master runs with `--trace-out`: record spans
+        /// and ship [`WorkerMsg::TraceChunk`] frames.
+        trace: bool,
     },
     /// Handshake refusal (version mismatch, cluster already full).
     Reject {
@@ -405,6 +429,11 @@ const TAG_FINAL: u8 = 8;
 const TAG_CACHE_ADVERT: u8 = 9;
 const TAG_FINAL_CHUNK: u8 = 10;
 const TAG_DELIVER_CHUNK: u8 = 11;
+const TAG_TRACE_CHUNK: u8 = 12;
+
+/// Largest encoded trace chunk the decoder accepts. Generous — a chunk
+/// holds one round's spans for one worker, a few dozen events.
+const MAX_TRACE_CHUNK: usize = 4 * 1024 * 1024;
 
 /// Longest string field (rule name, reject reason) the decoder accepts.
 const MAX_STRING: usize = 64 * 1024;
@@ -902,6 +931,8 @@ fn put_stats(out: &mut Vec<u8>, s: &WireStats) {
     put_u64(out, s.output_size);
     put_u64(out, s.wire_sent_bytes);
     put_u64(out, s.wire_recv_bytes);
+    put_u64(out, s.skipped);
+    put_u64(out, s.io_retries);
 }
 
 fn get_stats(cur: &mut Cursor<'_>) -> Result<WireStats, NetError> {
@@ -930,6 +961,8 @@ fn get_stats(cur: &mut Cursor<'_>) -> Result<WireStats, NetError> {
         output_size: cur.u64()?,
         wire_sent_bytes: cur.u64()?,
         wire_recv_bytes: cur.u64()?,
+        skipped: cur.u64()?,
+        io_retries: cur.u64()?,
     })
 }
 
@@ -1043,6 +1076,11 @@ pub fn encode_worker_msg(m: &WorkerMsg) -> Vec<u8> {
             put_stats(&mut out, stats);
             put_triples(&mut out, store);
         }
+        WorkerMsg::TraceChunk { payload } => {
+            out.push(TAG_TRACE_CHUNK);
+            put_u32(&mut out, payload.len() as u32);
+            out.extend_from_slice(payload);
+        }
     }
     out
 }
@@ -1090,6 +1128,17 @@ pub fn decode_worker_msg(body: &[u8], n_terms: u32) -> Result<WorkerMsg, NetErro
             stats: get_stats(&mut cur)?,
             store: get_triples(&mut cur, n_terms)?,
         },
+        TAG_TRACE_CHUNK => {
+            let len = cur.u32()? as usize;
+            if len > MAX_TRACE_CHUNK {
+                return Err(NetError::protocol(format!(
+                    "trace chunk of {len} bytes exceeds the {MAX_TRACE_CHUNK}-byte bound"
+                )));
+            }
+            WorkerMsg::TraceChunk {
+                payload: cur.take(len)?.to_vec(),
+            }
+        }
         other => return Err(NetError::protocol(format!("unknown worker message tag {other}"))),
     };
     cur.done()?;
@@ -1100,11 +1149,17 @@ pub fn decode_worker_msg(body: &[u8], n_terms: u32) -> Result<WorkerMsg, NetErro
 pub fn encode_master_msg(m: &MasterMsg) -> Vec<u8> {
     let mut out = Vec::new();
     match m {
-        MasterMsg::Welcome { node_id, k, epoch } => {
+        MasterMsg::Welcome {
+            node_id,
+            k,
+            epoch,
+            trace,
+        } => {
             out.push(TAG_WELCOME);
             put_u32(&mut out, *node_id);
             put_u32(&mut out, *k);
             put_u64(&mut out, *epoch);
+            out.push(u8::from(*trace));
         }
         MasterMsg::Reject { reason } => {
             out.push(TAG_REJECT);
@@ -1174,6 +1229,7 @@ pub fn decode_master_msg(body: &[u8], n_terms: u32) -> Result<MasterMsg, NetErro
             node_id: cur.u32()?,
             k: cur.u32()?,
             epoch: cur.u64()?,
+            trace: cur.u8()? != 0,
         },
         TAG_REJECT => MasterMsg::Reject {
             reason: cur.string()?,
@@ -1331,8 +1387,13 @@ mod tests {
                     output_size: 500,
                     wire_sent_bytes: 4096,
                     wire_recv_bytes: 8192,
+                    skipped: 2,
+                    io_retries: 5,
                 },
                 store: vec![t(0, 1, 2)],
+            },
+            WorkerMsg::TraceChunk {
+                payload: vec![0x01, 0x02, 0x03],
             },
         ];
         for m in msgs {

@@ -13,8 +13,11 @@ use owlpar_core::{
     WireBytes,
 };
 use owlpar_datagen::{generate_lubm, LubmConfig};
+use owlpar_lint::{check_skew_tolerance, LintCode, Severity};
 use owlpar_net::{run_cluster_master, run_cluster_worker, MasterOptions, WorkerOptions};
+use owlpar_obs::{Event, Phase, Recorder};
 use owlpar_rdf::Graph;
+use std::collections::BTreeMap;
 use std::net::TcpListener;
 use std::thread;
 
@@ -96,4 +99,84 @@ fn predictions_within_2x_of_measurements() {
             assert_within_2x(&tag, predicted.round_bytes, wire.rounds.bytes as f64);
         }
     }
+}
+
+/// OWL017 against a real traced run: per-round skew ratios measured
+/// from the merged cluster trace (max/mean of the worker `Round` span
+/// durations) feed [`check_skew_tolerance`] next to the analyzer's
+/// predicted ratio. Wall-clock skew on a loaded host is arbitrarily
+/// noisy, so the test pins the check's *behavior* on real measurements
+/// — an unreachable bound never fires, a bound strictly below the worst
+/// measurement fires a warn-level OWL017 — not a timing threshold.
+#[test]
+fn owl017_checks_measured_skew_against_prediction() {
+    let g0 = bench_kb();
+    let k = 2usize;
+    let strategy = PartitioningStrategy::data_graph();
+    let predicted = {
+        let mut g = g0.clone();
+        let base = PlanningBase::compile(&mut g, &[]);
+        analyze_strategy(&base, &g.dict, k, &strategy).expect("analyzable")
+    };
+    let pred_skew = predicted.max_load_share * k as f64;
+    assert!(pred_skew >= 1.0, "skew ratio is max/mean, never below 1");
+
+    let rec = Recorder::enabled();
+    let cfg = ParallelConfig {
+        k,
+        strategy,
+        ..ParallelConfig::default()
+    }
+    .forward();
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let mut g = g0.clone();
+    let opts = MasterOptions {
+        trace: Some(rec.clone()),
+        ..MasterOptions::default()
+    };
+    thread::scope(|s| {
+        let workers: Vec<_> = (0..k)
+            .map(|_| s.spawn(move || run_cluster_worker(addr, &WorkerOptions::default())))
+            .collect();
+        run_cluster_master(&mut g, &cfg, listener, &opts).unwrap();
+        for w in workers {
+            w.join().unwrap().unwrap();
+        }
+    });
+
+    let book = rec.drain();
+    let mut per_round: BTreeMap<u32, Vec<u64>> = BTreeMap::new();
+    for e in &book.events {
+        if let Event::Span {
+            phase: Phase::Round,
+            round,
+            dur_us,
+            ..
+        } = e
+        {
+            per_round.entry(*round).or_default().push((*dur_us).max(1));
+        }
+    }
+    assert!(!per_round.is_empty(), "traced run produced no Round spans");
+    let measured: Vec<f64> = per_round
+        .values()
+        .map(|durs| {
+            let max = durs.iter().copied().max().unwrap_or(1) as f64;
+            let mean = durs.iter().sum::<u64>() as f64 / durs.len() as f64;
+            max / mean
+        })
+        .collect();
+    let worst = measured.iter().copied().fold(f64::MIN, f64::max);
+    assert!(worst >= 1.0);
+
+    // Unreachable bound: never fires, however noisy the host was.
+    assert!(check_skew_tolerance(&measured, pred_skew, 1e9).is_none());
+    // Bound strictly below the worst measurement: always fires, as a
+    // warn, carrying the OWL017 identity.
+    let d = check_skew_tolerance(&measured, worst / 2.0, 1.0).expect("bound below worst fires");
+    assert_eq!(d.code, LintCode::SkewExceedsPredicted);
+    assert_eq!(d.code.id(), "OWL017");
+    assert_eq!(d.severity, Severity::Warn);
+    assert!(!d.suppressed);
 }

@@ -1,0 +1,180 @@
+//! Chrome `trace_event` JSON export.
+//!
+//! Emits the JSON object format (`{"traceEvents":[...]}`) loadable by
+//! `chrome://tracing` / Perfetto: complete (`"ph":"X"`) events for
+//! spans, counter (`"ph":"C"`) events for samples, and metadata events
+//! naming each process and thread lane. Extra top-level keys (the plan
+//! predictions, run metadata) ride along — the Chrome viewer ignores
+//! keys it does not know, and `owlpar trace summary` reads them back.
+
+use crate::{Event, TraceBook, NO_ROUND};
+use std::fmt::Write as _;
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render a drained [`TraceBook`] as a Chrome trace JSON document.
+pub fn to_chrome_json(book: &TraceBook) -> String {
+    let mut out = String::with_capacity(book.events.len() * 96 + 1024);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    let push = |out: &mut String, first: &mut bool, ev: String| {
+        if !*first {
+            out.push(',');
+        }
+        *first = false;
+        out.push('\n');
+        out.push_str(&ev);
+    };
+
+    // Metadata: name each process and thread lane.
+    let mut pids: Vec<u32> = book.tracks.iter().map(|t| t.pid).collect();
+    pids.sort_unstable();
+    pids.dedup();
+    for pid in pids {
+        let pname = if pid == 0 { "master" } else { "worker" };
+        let name = if pid == 0 {
+            pname.to_string()
+        } else {
+            format!("{pname} {}", pid - 1)
+        };
+        push(
+            &mut out,
+            &mut first,
+            format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                escape(&name)
+            ),
+        );
+    }
+    for t in &book.tracks {
+        push(
+            &mut out,
+            &mut first,
+            format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{},\"tid\":{},\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                t.pid,
+                t.id,
+                escape(&t.name)
+            ),
+        );
+    }
+
+    let pid_of = |track: u32| {
+        book.tracks
+            .iter()
+            .find(|t| t.id == track)
+            .map_or(0, |t| t.pid)
+    };
+    for e in &book.events {
+        match *e {
+            Event::Span {
+                track,
+                phase,
+                round,
+                start_us,
+                dur_us,
+            } => {
+                let args = if round == NO_ROUND {
+                    String::new()
+                } else {
+                    format!(",\"args\":{{\"round\":{round}}}")
+                };
+                push(
+                    &mut out,
+                    &mut first,
+                    format!(
+                        "{{\"name\":\"{}\",\"cat\":\"owlpar\",\"ph\":\"X\",\
+                         \"pid\":{},\"tid\":{track},\"ts\":{start_us},\"dur\":{dur_us}{args}}}",
+                        phase.name(),
+                        pid_of(track),
+                    ),
+                );
+            }
+            Event::Count {
+                track,
+                phase,
+                round,
+                at_us,
+                metric,
+                value,
+            } => {
+                let round_arg = if round == NO_ROUND {
+                    String::new()
+                } else {
+                    format!(",\"round\":{round}")
+                };
+                push(
+                    &mut out,
+                    &mut first,
+                    format!(
+                        "{{\"name\":\"{}.{}\",\"cat\":\"owlpar\",\"ph\":\"C\",\
+                         \"pid\":{},\"tid\":{track},\"ts\":{at_us},\
+                         \"args\":{{\"{}\":{value}{round_arg}}}}}",
+                        phase.name(),
+                        metric.name(),
+                        pid_of(track),
+                        metric.name(),
+                    ),
+                );
+            }
+        }
+    }
+    out.push_str("\n],\"displayTimeUnit\":\"ms\"");
+    for (key, raw) in &book.extra_json {
+        let _ = write!(out, ",\"{}\":{raw}", escape(key));
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+    use super::*;
+    use crate::{Metric, Phase, Recorder};
+
+    #[test]
+    fn export_contains_spans_counters_and_lane_names() {
+        let rec = Recorder::enabled();
+        let mut t = rec.track("worker 0");
+        t.span_at(Phase::Join, 2, 100, 50);
+        t.count(Phase::Exchange, 2, Metric::Bytes, 777);
+        t.flush();
+        let mut book = rec.drain();
+        book.extra_json
+            .push(("plan".to_string(), "{\"k\":4}".to_string()));
+        let json = to_chrome_json(&book);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"name\":\"join\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"dur\":50"));
+        assert!(json.contains("\"args\":{\"round\":2}"));
+        assert!(json.contains("\"name\":\"exchange.bytes\""));
+        assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("\"thread_name\""));
+        assert!(json.contains("worker 0"));
+        assert!(json.contains("\"plan\":{\"k\":4}"));
+        // The mini parser must accept its own exporter's output.
+        let v = crate::json::parse(&json).unwrap();
+        assert!(v.get("traceEvents").and_then(|e| e.as_array()).is_some());
+    }
+}

@@ -1,0 +1,78 @@
+//! Prometheus text exposition rendering of phase metrics.
+//!
+//! The serve STATS response embeds this dump so one scrape shows where
+//! server time goes (query/insert/checkpoint/wal-fsync spans) next to
+//! the request counters.
+
+use crate::Phase;
+use std::fmt::Write as _;
+
+/// One extra sample: `(metric name, label key, label value, sample)`.
+pub type Sample<'a> = (&'a str, &'a str, &'a str, f64);
+
+/// Render per-phase span totals (`(phase, total_dur_us, span_count)` as
+/// returned by [`Recorder::phase_totals`](crate::Recorder::phase_totals))
+/// plus optional extra samples in the Prometheus text format.
+pub fn render(totals: &[(Phase, u64, u64)], extra: &[Sample<'_>]) -> String {
+    let mut out = String::new();
+    if !totals.is_empty() {
+        out.push_str("# TYPE owlpar_phase_seconds_total counter\n");
+        for (phase, dur_us, _) in totals {
+            let _ = writeln!(
+                out,
+                "owlpar_phase_seconds_total{{phase=\"{}\"}} {:.6}",
+                phase.name(),
+                *dur_us as f64 / 1e6
+            );
+        }
+        out.push_str("# TYPE owlpar_phase_spans_total counter\n");
+        for (phase, _, count) in totals {
+            let _ = writeln!(
+                out,
+                "owlpar_phase_spans_total{{phase=\"{}\"}} {count}",
+                phase.name()
+            );
+        }
+    }
+    let mut last_name = "";
+    for (name, key, label, value) in extra {
+        if *name != last_name {
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            last_name = name;
+        }
+        if key.is_empty() {
+            let _ = writeln!(out, "{name} {value}");
+        } else {
+            let _ = writeln!(out, "{name}{{{key}=\"{label}\"}} {value}");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+    use super::*;
+
+    #[test]
+    fn renders_phase_totals_and_extras() {
+        let text = render(
+            &[(Phase::Join, 1_500_000, 3), (Phase::WalFsync, 250, 1)],
+            &[
+                ("owlpar_server_queries", "", "", 42.0),
+                ("owlpar_server_latency_us", "quantile", "p50", 128.0),
+            ],
+        );
+        assert!(text.contains("owlpar_phase_seconds_total{phase=\"join\"} 1.500000"));
+        assert!(text.contains("owlpar_phase_seconds_total{phase=\"wal-fsync\"} 0.000250"));
+        assert!(text.contains("owlpar_phase_spans_total{phase=\"join\"} 3"));
+        assert!(text.contains("owlpar_server_queries 42"));
+        assert!(text.contains("owlpar_server_latency_us{quantile=\"p50\"} 128"));
+        assert!(text.contains("# TYPE owlpar_phase_seconds_total counter"));
+    }
+
+    #[test]
+    fn empty_inputs_render_empty() {
+        assert_eq!(render(&[], &[]), "");
+    }
+}

@@ -1,0 +1,325 @@
+//! Compact varint codec for shipped trace buffers.
+//!
+//! A cluster worker drains its [`Track`](crate::Track) buffer every
+//! round and ships it to the master inside a `TraceChunk` protocol
+//! message. The payload grammar (all integers LEB128 varints, the same
+//! encoding as the v2 triple-block codec):
+//!
+//! ```text
+//! chunk   := clock_us:varint  count:varint  event*
+//! event   := 0x00 span  | 0x01 count
+//! span    := track phase round+1 start_us dur_us        (varints)
+//! count   := track phase round+1 at_us metric value     (varints)
+//! ```
+//!
+//! `round+1` maps [`NO_ROUND`](crate::NO_ROUND) to 0 so the sentinel
+//! stays a one-byte varint. `clock_us` is the worker's monotonic clock
+//! at encode time: the master estimates the worker's clock offset as
+//! `min over chunks (master_receipt_us − clock_us)` — the minimum sees
+//! the chunk with the smallest transit + queueing delay, so the merged
+//! timeline error is bounded by the best observed one-way latency.
+
+use crate::{Event, Metric, NO_ROUND, Phase};
+
+/// A decoded `TraceChunk` payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceChunk {
+    /// Sender's monotonic clock (µs since its recorder origin) at
+    /// encode time.
+    pub clock_us: u64,
+    /// The shipped events, in flush order.
+    pub events: Vec<Event>,
+}
+
+/// Why a trace chunk failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceWireError {
+    /// Varint ran past the end of the buffer or exceeded 64 bits.
+    BadVarint,
+    /// Unknown event tag byte.
+    BadTag(u8),
+    /// Unknown phase discriminant.
+    BadPhase(u64),
+    /// Unknown metric discriminant.
+    BadMetric(u64),
+    /// Field does not fit its declared width.
+    Overflow,
+    /// Bytes left over after the declared event count.
+    TrailingBytes(usize),
+}
+
+impl std::fmt::Display for TraceWireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceWireError::BadVarint => write!(f, "truncated or oversized varint"),
+            TraceWireError::BadTag(t) => write!(f, "unknown trace event tag {t}"),
+            TraceWireError::BadPhase(p) => write!(f, "unknown phase discriminant {p}"),
+            TraceWireError::BadMetric(m) => write!(f, "unknown metric discriminant {m}"),
+            TraceWireError::Overflow => write!(f, "field exceeds its width"),
+            TraceWireError::TrailingBytes(n) => write!(f, "{n} trailing byte(s) after events"),
+        }
+    }
+}
+
+impl std::error::Error for TraceWireError {}
+
+/// Append a LEB128 varint.
+pub fn put_varint64(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Read a LEB128 varint, advancing `pos`.
+pub fn get_varint64(buf: &[u8], pos: &mut usize) -> Result<u64, TraceWireError> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let &byte = buf.get(*pos).ok_or(TraceWireError::BadVarint)?;
+        *pos += 1;
+        if shift >= 64 || (shift == 63 && byte > 1) {
+            return Err(TraceWireError::BadVarint);
+        }
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+fn put_round(out: &mut Vec<u8>, round: u32) {
+    // NO_ROUND → 0, round r → r+1: the sentinel costs one byte.
+    put_varint64(out, if round == NO_ROUND { 0 } else { u64::from(round) + 1 });
+}
+
+fn get_round(buf: &[u8], pos: &mut usize) -> Result<u32, TraceWireError> {
+    let v = get_varint64(buf, pos)?;
+    if v == 0 {
+        return Ok(NO_ROUND);
+    }
+    u32::try_from(v - 1).map_err(|_| TraceWireError::Overflow)
+}
+
+/// Encode a chunk: the sender's clock plus its drained event buffer.
+pub fn encode_trace_chunk(clock_us: u64, events: &[Event]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + events.len() * 12);
+    put_varint64(&mut out, clock_us);
+    put_varint64(&mut out, events.len() as u64);
+    for e in events {
+        match *e {
+            Event::Span {
+                track,
+                phase,
+                round,
+                start_us,
+                dur_us,
+            } => {
+                out.push(0);
+                put_varint64(&mut out, u64::from(track));
+                put_varint64(&mut out, u64::from(phase as u8));
+                put_round(&mut out, round);
+                put_varint64(&mut out, start_us);
+                put_varint64(&mut out, dur_us);
+            }
+            Event::Count {
+                track,
+                phase,
+                round,
+                at_us,
+                metric,
+                value,
+            } => {
+                out.push(1);
+                put_varint64(&mut out, u64::from(track));
+                put_varint64(&mut out, u64::from(phase as u8));
+                put_round(&mut out, round);
+                put_varint64(&mut out, at_us);
+                put_varint64(&mut out, u64::from(metric as u8));
+                put_varint64(&mut out, value);
+            }
+        }
+    }
+    out
+}
+
+/// Decode a chunk produced by [`encode_trace_chunk`].
+pub fn decode_trace_chunk(buf: &[u8]) -> Result<TraceChunk, TraceWireError> {
+    let mut pos = 0usize;
+    let clock_us = get_varint64(buf, &mut pos)?;
+    let count = get_varint64(buf, &mut pos)?;
+    let count = usize::try_from(count).map_err(|_| TraceWireError::Overflow)?;
+    // 6 bytes is the smallest possible event; a wild count fails fast.
+    if count > buf.len() {
+        return Err(TraceWireError::Overflow);
+    }
+    let mut events = Vec::with_capacity(count);
+    for _ in 0..count {
+        let &tag = buf.get(pos).ok_or(TraceWireError::BadVarint)?;
+        pos += 1;
+        if tag > 1 {
+            return Err(TraceWireError::BadTag(tag));
+        }
+        let track = u32::try_from(get_varint64(buf, &mut pos)?)
+            .map_err(|_| TraceWireError::Overflow)?;
+        let phase_raw = get_varint64(buf, &mut pos)?;
+        let phase = u8::try_from(phase_raw)
+            .ok()
+            .and_then(Phase::from_u8)
+            .ok_or(TraceWireError::BadPhase(phase_raw))?;
+        let round = get_round(buf, &mut pos)?;
+        match tag {
+            0 => {
+                let start_us = get_varint64(buf, &mut pos)?;
+                let dur_us = get_varint64(buf, &mut pos)?;
+                events.push(Event::Span {
+                    track,
+                    phase,
+                    round,
+                    start_us,
+                    dur_us,
+                });
+            }
+            1 => {
+                let at_us = get_varint64(buf, &mut pos)?;
+                let metric_raw = get_varint64(buf, &mut pos)?;
+                let metric = u8::try_from(metric_raw)
+                    .ok()
+                    .and_then(Metric::from_u8)
+                    .ok_or(TraceWireError::BadMetric(metric_raw))?;
+                let value = get_varint64(buf, &mut pos)?;
+                events.push(Event::Count {
+                    track,
+                    phase,
+                    round,
+                    at_us,
+                    metric,
+                    value,
+                });
+            }
+            other => return Err(TraceWireError::BadTag(other)),
+        }
+    }
+    if pos != buf.len() {
+        return Err(TraceWireError::TrailingBytes(buf.len() - pos));
+    }
+    Ok(TraceChunk { clock_us, events })
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+    use super::*;
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event::Span {
+                track: 0,
+                phase: Phase::Round,
+                round: 0,
+                start_us: 10,
+                dur_us: 1_000,
+            },
+            Event::Span {
+                track: 0,
+                phase: Phase::BarrierWait,
+                round: 2,
+                start_us: u64::from(u32::MAX) + 17,
+                dur_us: 3,
+            },
+            Event::Span {
+                track: 1,
+                phase: Phase::Setup,
+                round: NO_ROUND,
+                start_us: 0,
+                dur_us: 0,
+            },
+            Event::Count {
+                track: 1,
+                phase: Phase::Exchange,
+                round: 1,
+                at_us: 55,
+                metric: Metric::Bytes,
+                value: 123_456_789,
+            },
+        ]
+    }
+
+    #[test]
+    fn roundtrip() {
+        let events = sample_events();
+        let buf = encode_trace_chunk(987_654_321, &events);
+        let chunk = decode_trace_chunk(&buf).unwrap();
+        assert_eq!(chunk.clock_us, 987_654_321);
+        assert_eq!(chunk.events, events);
+    }
+
+    #[test]
+    fn empty_chunk_roundtrips() {
+        let buf = encode_trace_chunk(5, &[]);
+        let chunk = decode_trace_chunk(&buf).unwrap();
+        assert_eq!(chunk.clock_us, 5);
+        assert!(chunk.events.is_empty());
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut buf = encode_trace_chunk(1, &sample_events());
+        buf.push(0xaa);
+        assert_eq!(
+            decode_trace_chunk(&buf),
+            Err(TraceWireError::TrailingBytes(1))
+        );
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let buf = encode_trace_chunk(1, &sample_events());
+        for cut in 1..buf.len() {
+            assert!(
+                decode_trace_chunk(&buf[..cut]).is_err(),
+                "cut at {cut} must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_tag_and_phase_rejected() {
+        let mut buf = Vec::new();
+        put_varint64(&mut buf, 0); // clock
+        put_varint64(&mut buf, 1); // one event
+        buf.push(9); // bogus tag
+        assert_eq!(decode_trace_chunk(&buf), Err(TraceWireError::BadTag(9)));
+
+        let mut buf = Vec::new();
+        put_varint64(&mut buf, 0);
+        put_varint64(&mut buf, 1);
+        buf.push(0); // span
+        put_varint64(&mut buf, 0); // track
+        put_varint64(&mut buf, 99); // bogus phase
+        put_varint64(&mut buf, 1); // round
+        put_varint64(&mut buf, 0); // start
+        put_varint64(&mut buf, 0); // dur
+        assert_eq!(decode_trace_chunk(&buf), Err(TraceWireError::BadPhase(99)));
+    }
+
+    #[test]
+    fn varint_refuses_65_bit_values() {
+        let buf = [0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x02];
+        let mut pos = 0;
+        assert_eq!(
+            get_varint64(&buf, &mut pos),
+            Err(TraceWireError::BadVarint)
+        );
+        let mut ok = Vec::new();
+        put_varint64(&mut ok, u64::MAX);
+        let mut pos = 0;
+        assert_eq!(get_varint64(&ok, &mut pos), Ok(u64::MAX));
+    }
+}

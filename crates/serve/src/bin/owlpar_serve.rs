@@ -6,7 +6,7 @@
 //!                  [--threads 4] [--strategy graph|hash|domain|rule]
 //!                  [--data-dir <dir>] [--checkpoint-bytes <n>]
 //!                  [--read-timeout-ms <n>] [--max-pending <n>]
-//!                  [--crash-at <point[@occ][,...]>]
+//!                  [--crash-at <point[@occ][,...]>] [--trace-out <file>]
 //! owlpar-serve query <addr> '<SPARQL>'
 //! owlpar-serve insert <addr> <batch.nt|->
 //! owlpar-serve stats <addr>
@@ -19,7 +19,10 @@
 //! holds state, the server recovers from it (latest valid checkpoint +
 //! WAL replay) and the `<kb>` argument is ignored. `--crash-at` injects
 //! a real `abort(2)` at a durability crash point — the hook the CI
-//! crash-recovery smoke job drives.
+//! crash-recovery smoke job drives. `--trace-out` records the whole run
+//! — initial materialization phases plus every query / insert /
+//! checkpoint / WAL-fsync span — and writes a Chrome-trace JSON on
+//! clean shutdown (live phase totals are scrapeable from STATS anytime).
 //!
 //! Exit codes mirror `owlpar`: 0 success, 1 usage/IO/remote error, 3 the
 //! initial parallel materialization failed *or* the data directory is
@@ -136,6 +139,13 @@ fn run_server(args: &[String]) -> Result<(), CliError> {
     let [input, ..] = args else {
         return Err("run needs <kb.nt|kb.owlpar>".into());
     };
+    // Install the ambient recorder before anything records: the initial
+    // materialization, the KB writer lane, and the pool threads all bind
+    // to it at construction time.
+    let trace_out = flag_value(args, "--trace-out");
+    if trace_out.is_some() {
+        owlpar_obs::install_global(owlpar_obs::Recorder::enabled());
+    }
     let addr = flag_value(args, "--addr").unwrap_or_else(|| "127.0.0.1:7878".to_string());
     let k: usize = flag_value(args, "--k")
         .map_or(Ok(2), |v| v.parse().map_err(|_| "--k".to_string()))?;
@@ -228,6 +238,17 @@ fn run_server(args: &[String]) -> Result<(), CliError> {
     );
     handle.join()?;
     println!("shut down cleanly");
+    if let Some(path) = trace_out {
+        let book = owlpar_obs::global().drain();
+        owlpar_obs::install_global(owlpar_obs::Recorder::disabled());
+        std::fs::write(&path, owlpar_obs::chrome::to_chrome_json(&book))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!(
+            "trace written to {path} ({} event(s), {} lane(s))",
+            book.events.len(),
+            book.tracks.len()
+        );
+    }
     Ok(())
 }
 

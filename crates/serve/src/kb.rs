@@ -18,6 +18,7 @@ use crate::error::ServeError;
 use crate::recovery::Durability;
 use owlpar_core::{run_parallel, ParallelConfig, RunReport};
 use owlpar_datalog::MaterializationStrategy;
+use owlpar_obs::{Phase, Track, NO_ROUND};
 use owlpar_horst::{DeltaOutcome, HorstReasoner};
 use owlpar_rdf::{parse_ntriples, FrozenStore, Graph, OverlayStore, Triple, TripleStore};
 use std::sync::{Arc, Mutex, MutexGuard};
@@ -60,6 +61,10 @@ struct WriterState {
     /// still acknowledged — it was already logged — but the layer is
     /// poisoned and later inserts are refused.
     durability_error: Option<String>,
+    /// Trace lane of the write path on the ambient recorder (a no-op
+    /// unless one was installed *before* the KB was built): WAL fsyncs
+    /// and checkpoint writes show up as spans on the server timeline.
+    lane: Track,
 }
 
 impl WriterState {
@@ -72,6 +77,7 @@ impl WriterState {
             overlay: TripleStore::new(),
             durability: None,
             durability_error: None,
+            lane: owlpar_obs::global().track("kb-writer"),
         }
     }
 
@@ -181,10 +187,18 @@ impl ServingKb {
     /// applied+logged or were rejected before touching any state.
     pub fn shutdown_flush(&self) -> Result<(), ServeError> {
         let mut guard = self.lock_writer();
-        match guard.durability.as_mut() {
-            Some(d) => d.final_sync(),
+        let w: &mut WriterState = &mut guard;
+        let result = match w.durability.as_mut() {
+            Some(d) => {
+                let span = w.lane.begin(Phase::WalFsync, NO_ROUND);
+                let r = d.final_sync();
+                w.lane.end(span);
+                r
+            }
             None => Ok(()),
-        }
+        };
+        w.lane.flush();
+        result
     }
 
     /// The current snapshot (cheap; see [`EpochHandle::load`]).
@@ -238,7 +252,9 @@ impl ServingKb {
         // no-ops without triples referencing them.)
         if let Some(d) = w.durability.as_mut() {
             if !batch.is_empty() {
+                let span = w.lane.begin(Phase::WalFsync, NO_ROUND);
                 d.log_batch(nt)?;
+                w.lane.end(span);
             }
         }
 
@@ -287,11 +303,18 @@ impl ServingKb {
         // poisons the layer, and the *next* insert is refused.
         if let Some(d) = w.durability.as_mut() {
             if compacted || d.wal_over_threshold() {
-                if let Err(e) = d.take_checkpoint(&w.graph) {
+                let span = w.lane.begin(Phase::Checkpoint, NO_ROUND);
+                let result = d.take_checkpoint(&w.graph);
+                w.lane.end(span);
+                if let Err(e) = result {
                     w.durability_error = Some(e.to_string());
                 }
             }
         }
+
+        // Publish this insert's spans so a STATS scrape between inserts
+        // sees them in the phase totals.
+        w.lane.flush();
 
         // Build the complete next snapshot before touching the handle.
         // Publication cost is O(overlay): the frozen base is shared.

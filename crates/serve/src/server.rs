@@ -25,6 +25,7 @@ use crate::kb::ServingKb;
 use crate::stats::{RunInfo, ServerStats};
 use crate::wire::{self, Request, Response};
 use owlpar_core::RunReport;
+use owlpar_obs::{Phase, Track, NO_ROUND};
 use owlpar_query::exec::render_row;
 use owlpar_query::{execute, parse_query_frozen};
 use std::io::{BufReader, BufWriter, ErrorKind};
@@ -205,6 +206,12 @@ fn worker_loop(
     inner: &Arc<Inner>,
     timeouts: (Option<Duration>, Option<Duration>),
 ) {
+    // One trace lane per pool thread, on the ambient recorder (disabled
+    // unless the embedder installed one — e.g. `owlpar-serve run
+    // --trace-out`). Named after the thread so the timeline shows which
+    // pool slot served each request.
+    let rec = owlpar_obs::global();
+    let mut lane = rec.track(std::thread::current().name().unwrap_or("owlpar-serve"));
     loop {
         let next = {
             let guard = match rx.lock() {
@@ -216,7 +223,7 @@ fn worker_loop(
         match next {
             Ok(stream) => {
                 // Connection-level failures only affect that peer.
-                let _ = handle_connection(stream, inner, timeouts);
+                let _ = handle_connection(stream, inner, timeouts, &mut lane);
             }
             Err(_) => return, // acceptor gone and queue drained
         }
@@ -233,6 +240,7 @@ fn handle_connection(
     stream: TcpStream,
     inner: &Arc<Inner>,
     (read_timeout, write_timeout): (Option<Duration>, Option<Duration>),
+    lane: &mut Track,
 ) -> Result<(), ServeError> {
     stream.set_read_timeout(read_timeout)?;
     stream.set_write_timeout(write_timeout)?;
@@ -261,12 +269,15 @@ fn handle_connection(
             }
         };
         let response = match Request::decode(&body) {
-            Ok(req) => dispatch(req, inner),
+            Ok(req) => dispatch(req, inner, lane),
             Err(e) => {
                 inner.stats.errors.fetch_add(1, Ordering::Relaxed);
                 Response::Error(e.to_string())
             }
         };
+        // Publish the request's spans before answering, so a STATS
+        // scrape arriving next sees them in the phase totals.
+        lane.flush();
         let closing = matches!(response, Response::ShuttingDown);
         match wire::write_frame(&mut writer, &response.encode()) {
             Ok(()) => {}
@@ -289,16 +300,17 @@ fn handle_connection(
     }
 }
 
-fn dispatch(req: Request, inner: &Arc<Inner>) -> Response {
+fn dispatch(req: Request, inner: &Arc<Inner>, lane: &mut Track) -> Response {
     match req {
         Request::Query(src) => {
+            let span = lane.begin(Phase::Query, NO_ROUND);
             let started = Instant::now();
             // The whole query runs against one frozen snapshot: parsing
             // against its dictionary (read-only), executing against its
             // store. Updates published meanwhile are invisible — the
             // client learns which epoch answered via the response.
             let snapshot = inner.kb.snapshot();
-            match parse_query_frozen(&src, &snapshot.dict) {
+            let response = match parse_query_frozen(&src, &snapshot.dict) {
                 Ok(q) => {
                     let rows = execute(&snapshot.store, &q);
                     let columns: Vec<String> =
@@ -319,7 +331,9 @@ fn dispatch(req: Request, inner: &Arc<Inner>) -> Response {
                     inner.stats.errors.fetch_add(1, Ordering::Relaxed);
                     Response::Error(ServeError::BadQuery(e.to_string()).to_string())
                 }
-            }
+            };
+            lane.end(span);
+            response
         }
         Request::Insert(nt) => {
             // Once shutdown has been requested, new INSERTs are rejected
@@ -332,8 +346,9 @@ fn dispatch(req: Request, inner: &Arc<Inner>) -> Response {
                         .to_string(),
                 );
             }
+            let span = lane.begin(Phase::Insert, NO_ROUND);
             let started = Instant::now();
-            match inner.kb.insert_ntriples(&nt) {
+            let response = match inner.kb.insert_ntriples(&nt) {
                 Ok(out) => {
                     inner.stats.inserts.fetch_add(1, Ordering::Relaxed);
                     inner.stats.insert_latency.record(started.elapsed());
@@ -348,17 +363,21 @@ fn dispatch(req: Request, inner: &Arc<Inner>) -> Response {
                     inner.stats.errors.fetch_add(1, Ordering::Relaxed);
                     Response::Error(e.to_string())
                 }
-            }
+            };
+            lane.end(span);
+            response
         }
         Request::Stats => {
             let snapshot = inner.kb.snapshot();
             let durability = inner.kb.durability_status();
+            let prom = inner.stats.prometheus(&owlpar_obs::global());
             Response::Stats(inner.stats.to_json(
                 snapshot.epoch,
                 snapshot.store.len(),
                 snapshot.dict.len(),
                 &inner.run,
                 durability.as_deref(),
+                &prom,
             ))
         }
         Request::Ping => Response::Pong,

@@ -1,7 +1,11 @@
 //! Server-side instrumentation: request counters and latency
 //! histograms, exported as hand-rolled JSON (the wire protocol is
-//! dependency-free, so no serde here).
+//! dependency-free, so no serde here). The STATS response also embeds a
+//! Prometheus text dump ([`ServerStats::prometheus`]) so one scrape
+//! shows where server time goes (query / insert / checkpoint /
+//! wal-fsync phase spans) next to the request counters.
 
+use owlpar_obs::Recorder;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
@@ -99,9 +103,74 @@ pub struct RunInfo {
 }
 
 impl ServerStats {
+    /// The Prometheus text dump embedded in STATS: the recorder's
+    /// per-phase span totals (empty when tracing is off) merged with the
+    /// request counters and latency quantiles as extra samples.
+    pub fn prometheus(&self, rec: &Recorder) -> String {
+        let extras = [
+            (
+                "owlpar_server_queries_total",
+                "",
+                "",
+                self.queries.load(Ordering::Relaxed) as f64,
+            ),
+            (
+                "owlpar_server_inserts_total",
+                "",
+                "",
+                self.inserts.load(Ordering::Relaxed) as f64,
+            ),
+            (
+                "owlpar_server_errors_total",
+                "",
+                "",
+                self.errors.load(Ordering::Relaxed) as f64,
+            ),
+            (
+                "owlpar_server_busy_rejections_total",
+                "",
+                "",
+                self.busy_rejections.load(Ordering::Relaxed) as f64,
+            ),
+            (
+                "owlpar_server_idle_disconnects_total",
+                "",
+                "",
+                self.idle_disconnects.load(Ordering::Relaxed) as f64,
+            ),
+            (
+                "owlpar_server_query_latency_us",
+                "quantile",
+                "p50",
+                self.query_latency.quantile_us(0.50) as f64,
+            ),
+            (
+                "owlpar_server_query_latency_us",
+                "quantile",
+                "p99",
+                self.query_latency.quantile_us(0.99) as f64,
+            ),
+            (
+                "owlpar_server_insert_latency_us",
+                "quantile",
+                "p50",
+                self.insert_latency.quantile_us(0.50) as f64,
+            ),
+            (
+                "owlpar_server_insert_latency_us",
+                "quantile",
+                "p99",
+                self.insert_latency.quantile_us(0.99) as f64,
+            ),
+        ];
+        owlpar_obs::prom::render(&rec.phase_totals(), &extras)
+    }
+
     /// Render the stats JSON the STATS request returns. `durability` is
     /// `None` when the server runs without a data dir, `Some("ok")`
     /// while the layer is healthy, and `Some(<error>)` once poisoned.
+    /// `prom` is the Prometheus dump of [`ServerStats::prometheus`],
+    /// embedded as an escaped string so a scraper can unwrap one field.
     pub fn to_json(
         &self,
         epoch: u64,
@@ -109,6 +178,7 @@ impl ServerStats {
         terms: usize,
         run: &RunInfo,
         durability: Option<&str>,
+        prom: &str,
     ) -> String {
         let durability = match durability {
             None => "null".to_string(),
@@ -121,6 +191,7 @@ impl ServerStats {
              \"durability\":{durability},\
              \"query_p50_us\":{},\"query_p99_us\":{},\
              \"insert_p50_us\":{},\"insert_p99_us\":{},\
+             \"prom\":\"{}\",\
              \"run\":{{\"workers\":{},\"rounds\":{},\"derived\":{},\
              \"skipped\":{},\"summary\":\"{}\"}}}}",
             self.queries.load(Ordering::Relaxed),
@@ -132,6 +203,7 @@ impl ServerStats {
             self.query_latency.quantile_us(0.99),
             self.insert_latency.quantile_us(0.50),
             self.insert_latency.quantile_us(0.99),
+            escape_json(prom),
             run.workers,
             run.rounds,
             run.derived,
@@ -218,6 +290,7 @@ mod tests {
                 summary: "4 worker(s)".into(),
             },
             None,
+            "owlpar_server_queries_total 3\n",
         );
         assert!(j.starts_with('{') && j.ends_with('}'));
         for key in [
@@ -228,6 +301,7 @@ mod tests {
             "\"idle_disconnects\":0",
             "\"durability\":null",
             "\"query_p50_us\":",
+            "\"prom\":\"owlpar_server_queries_total 3\\n\"",
             "\"workers\":4",
             "\"summary\":\"4 worker(s)\"",
         ] {
@@ -239,9 +313,42 @@ mod tests {
     fn stats_json_reports_durability_state() {
         let s = ServerStats::default();
         let run = RunInfo::default();
-        let ok = s.to_json(0, 0, 0, &run, Some("ok"));
+        let ok = s.to_json(0, 0, 0, &run, Some("ok"), "");
         assert!(ok.contains("\"durability\":\"ok\""), "{ok}");
-        let bad = s.to_json(0, 0, 0, &run, Some("wal: disk \"full\""));
+        let bad = s.to_json(0, 0, 0, &run, Some("wal: disk \"full\""), "");
         assert!(bad.contains("\"durability\":\"wal: disk \\\"full\\\"\""), "{bad}");
+    }
+
+    #[test]
+    fn prometheus_dump_merges_counters_and_phase_totals() {
+        use owlpar_obs::Phase;
+        let s = ServerStats::default();
+        s.queries.fetch_add(7, Ordering::Relaxed);
+        s.query_latency.record(Duration::from_micros(100));
+
+        // Untraced server: counters and quantiles, no phase lines.
+        let text = s.prometheus(&Recorder::disabled());
+        assert!(text.contains("owlpar_server_queries_total 7"), "{text}");
+        assert!(
+            text.contains("owlpar_server_query_latency_us{quantile=\"p50\"}"),
+            "{text}"
+        );
+        assert!(!text.contains("owlpar_phase_seconds_total"), "{text}");
+
+        // Traced server: flushed spans surface as phase counters.
+        let rec = Recorder::enabled();
+        let mut lane = rec.track("serve");
+        let span = lane.begin(Phase::Query, owlpar_obs::NO_ROUND);
+        lane.end(span);
+        lane.flush();
+        let text = s.prometheus(&rec);
+        assert!(
+            text.contains("owlpar_phase_seconds_total{phase=\"query\"}"),
+            "{text}"
+        );
+        assert!(
+            text.contains("owlpar_phase_spans_total{phase=\"query\"} 1"),
+            "{text}"
+        );
     }
 }

@@ -1,0 +1,107 @@
+//! Server-side tracing end to end: with an ambient recorder installed,
+//! a real server records Query / Insert / WAL-fsync / Checkpoint spans,
+//! the STATS response embeds a Prometheus dump that merges those phase
+//! totals with the request counters, and draining the recorder yields a
+//! timeline with the pool-thread and writer lanes.
+//!
+//! The ambient recorder is process-global, so this file holds exactly
+//! one test — parallel tests in the same binary would race on it.
+
+// Tests assert on infallible setup; unwrap/expect failures are test failures.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use owlpar_datalog::MaterializationStrategy;
+use owlpar_horst::HorstReasoner;
+use owlpar_obs::{Event, Phase, Recorder};
+use owlpar_rdf::Graph;
+use owlpar_serve::{
+    serve, Client, Durability, DurabilityConfig, RunInfo, ServeConfig, ServingKb,
+};
+use std::path::PathBuf;
+
+fn tmp_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("owlpar-traceserve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn closed_base() -> (Graph, HorstReasoner) {
+    let mut g = Graph::new();
+    g.insert_iris(
+        "http://x/Student",
+        owlpar_rdf::vocab::RDFS_SUBCLASSOF,
+        "http://x/Person",
+    );
+    g.insert_iris(
+        "http://x/alice",
+        owlpar_rdf::vocab::RDF_TYPE,
+        "http://x/Student",
+    );
+    let hr = HorstReasoner::from_graph(&mut g, MaterializationStrategy::ForwardSemiNaive);
+    hr.materialize(&mut g);
+    (g, hr)
+}
+
+fn span_count(events: &[Event], phase: Phase) -> usize {
+    events
+        .iter()
+        .filter(|e| matches!(e, Event::Span { phase: p, .. } if *p == phase))
+        .count()
+}
+
+#[test]
+fn traced_server_records_request_and_durability_spans() {
+    // Before the KB and the pool exist, so both bind to this recorder.
+    let rec = Recorder::enabled();
+    owlpar_obs::install_global(rec.clone());
+
+    let dir = tmp_dir();
+    let (g, hr) = closed_base();
+    let d = Durability::init(DurabilityConfig::new(&dir), &g).unwrap();
+    let kb = ServingKb::from_closed(g, hr).with_durability(d);
+    let handle = serve(
+        kb,
+        RunInfo::default(),
+        &ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 2,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+
+    let mut c = Client::connect(handle.addr()).unwrap();
+    c.query("SELECT ?s WHERE { ?s a <http://x/Person> }").unwrap();
+    c.insert(
+        "<http://x/bob> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> \
+         <http://x/Student> .\n",
+    )
+    .unwrap();
+
+    // The Prometheus dump inside STATS merges counters with the phase
+    // totals of the spans flushed so far.
+    let stats = c.stats().unwrap();
+    assert!(stats.contains("\"prom\":\""), "{stats}");
+    assert!(stats.contains("owlpar_server_queries_total 1"), "{stats}");
+    assert!(stats.contains("owlpar_server_inserts_total 1"), "{stats}");
+    assert!(stats.contains("owlpar_phase_seconds_total"), "{stats}");
+    assert!(stats.contains("owlpar_server_query_latency_us"), "{stats}");
+
+    c.shutdown().unwrap();
+    handle.join().unwrap();
+
+    let book = rec.drain();
+    owlpar_obs::install_global(Recorder::disabled());
+    assert!(span_count(&book.events, Phase::Query) >= 1, "query span");
+    assert!(span_count(&book.events, Phase::Insert) >= 1, "insert span");
+    // One WAL fsync for the logged batch, one for the shutdown flush.
+    assert!(span_count(&book.events, Phase::WalFsync) >= 2, "wal spans");
+    let names: Vec<&str> = book.tracks.iter().map(|t| t.name.as_str()).collect();
+    assert!(names.contains(&"kb-writer"), "writer lane in {names:?}");
+    assert!(
+        names.iter().any(|n| n.starts_with("owlpar-serve-")),
+        "pool lane in {names:?}"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! owlpar materialize <in.nt> <out.nt> [--k 4] [--strategy graph|hash|domain|rule|hybrid|auto] [--async]
-//!                    [--fault-plan 'io@1.0:2,panic@1.2,...']
+//!                    [--fault-plan 'io@1.0:2,panic@1.2,...'] [--trace-out FILE]
 //! owlpar query <kb.nt> '<SPARQL>'
 //! owlpar lint <rules-file> [--context data|rule|replicated] [--json]
 //! owlpar lint --compiled [<in.nt>] [--json]
@@ -12,6 +12,7 @@
 //! owlpar snapshot <in.nt> <out.owlpar>
 //! owlpar restore <in.owlpar> <out.nt>
 //! owlpar gen <lubm|uobm|mdc> <out.nt> [--universities 2] [--scale 0.1]
+//! owlpar trace summary <trace.json>
 //! ```
 //!
 //! Exit codes: 0 success, 1 usage/IO error, 3 the parallel run itself
@@ -126,8 +127,9 @@ fn run(args: Vec<String>) -> Result<(), CliError> {
         "snapshot" => snapshot_cmd(rest).map_err(CliError::Usage),
         "restore" => restore(rest).map_err(CliError::Usage),
         "gen" => gen(rest).map_err(CliError::Usage),
+        "trace" => trace_cmd(rest).map_err(CliError::Usage),
         _ => Err(CliError::Usage(format!(
-            "usage: owlpar <materialize|query|lint|plan|partition|snapshot|restore|gen> ... (got '{cmd}')"
+            "usage: owlpar <materialize|query|lint|plan|partition|snapshot|restore|gen|trace> ... (got '{cmd}')"
         ))),
     }
 }
@@ -165,10 +167,35 @@ fn materialize(args: &[String]) -> Result<(), CliError> {
         let plan = FaultPlan::parse(&spec).map_err(|e| format!("--fault-plan: {e}"))?;
         cfg = cfg.with_faults(plan);
     }
+    // Tracing: install an enabled global recorder before the run so the
+    // engine's ambient spans (partition, rounds, shard lanes, aggregate)
+    // land in it; the Parse span covers the N-Triples load.
+    let trace_out = flag_value(args, "--trace-out");
+    let recorder = trace_out.as_ref().map(|_| {
+        let rec = owlpar::obs::Recorder::enabled();
+        owlpar::obs::install_global(rec.clone());
+        rec
+    });
+    let rec = owlpar::obs::global();
+    let mut lane = rec.track("cli");
+    let parse_span = lane.begin(owlpar::obs::Phase::Parse, owlpar::obs::NO_ROUND);
     let mut g = load_graph(input)?;
+    lane.end(parse_span);
     let before = g.len();
     let report = run_parallel(&mut g, &cfg)?;
     save_graph(&g, output)?;
+    drop(lane);
+    if let (Some(path), Some(rec)) = (&trace_out, &recorder) {
+        let book = rec.drain();
+        owlpar::obs::install_global(owlpar::obs::Recorder::disabled());
+        std::fs::write(path, owlpar::obs::chrome::to_chrome_json(&book))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!(
+            "trace written to {path} ({} event(s), {} lane(s))",
+            book.events.len(),
+            book.tracks.len()
+        );
+    }
     // The one-line run summary includes the skipped-message count, so a
     // lossy-but-recovered run is visible at a glance.
     println!("{before} base triples -> {} total: {}", g.len(), report.summary());
@@ -502,4 +529,30 @@ fn gen(args: &[String]) -> Result<(), String> {
     save_graph(&g, output)?;
     println!("generated {} triples into {output}", g.len());
     Ok(())
+}
+
+/// `owlpar trace summary <trace.json>` — digest a Chrome-trace file
+/// written by `--trace-out` (any of `owlpar materialize`,
+/// `owlpar-cluster master`, `owlpar-serve run`) into a per-phase /
+/// per-lane table: wall and span time per phase, per-worker round skew,
+/// critical-path share, exchange bytes per round, and — when the file
+/// embeds the analyzer's `"plan"` predictions — measured vs predicted.
+fn trace_cmd(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("summary") => {
+            let Some(path) = args.get(1) else {
+                return Err("trace summary needs <trace.json>".into());
+            };
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            let rendered = owlpar::obs::summary::summarize_text(&text)
+                .map_err(|e| format!("summarizing {path}: {e}"))?;
+            println!("{rendered}");
+            Ok(())
+        }
+        other => Err(format!(
+            "usage: owlpar trace summary <trace.json> (got '{}')",
+            other.unwrap_or_default()
+        )),
+    }
 }

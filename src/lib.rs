@@ -24,7 +24,10 @@
 //!   incremental delta-closure inserts, framed TCP protocol;
 //! * [`net`] — the TCP cluster runtime: a loopback mesh transport that
 //!   plugs into [`core`]'s fabric, and a master/worker multi-process
-//!   protocol that ships partitions over the wire (`owlpar-cluster`).
+//!   protocol that ships partitions over the wire (`owlpar-cluster`);
+//! * [`obs`] — zero-dependency tracing and phase metrics: per-lane span
+//!   recording, Chrome-trace / Prometheus exporters, and the cluster
+//!   telemetry merge (`owlpar trace summary`).
 //!
 //! ## Quickstart
 //!
@@ -47,6 +50,7 @@
 
 pub use owlpar_core as core;
 pub use owlpar_datagen as datagen;
+pub use owlpar_obs as obs;
 pub use owlpar_datalog as datalog;
 pub use owlpar_horst as horst;
 pub use owlpar_lint as lint;
